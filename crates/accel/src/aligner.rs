@@ -1,0 +1,460 @@
+//! The Aligner module (paper §4.3): per-score extend/compute iteration over
+//! batches of `P` parallel sections, with cycle accounting and backtrace
+//! origin-block emission.
+//!
+//! The Aligner follows the deterministic [`crate::schedule::WavefrontSchedule`]:
+//! for every computed score it (1) computes the frame column in batches of
+//! `P` cells (emitting one origin block per batch when backtrace is
+//! enabled), (2) extends the new M cells — each parallel section extends the
+//! cells of its stripe back-to-back — and (3) checks termination. An
+//! alignment whose score exceeds `Score_max = 2*k_max + 4` (Eq. 6) is
+//! terminated with `Success = 0`.
+
+use crate::compute::{compute_cell, CellSources};
+use crate::config::AccelConfig;
+use crate::extend::{extend_cell, section_run_cycles};
+use crate::extractor::ExtractedPair;
+use crate::schedule::WavefrontSchedule;
+use wfa_core::bitpack::PackedSeq;
+use wfa_core::wavefront::{offset_is_valid, Wavefront, OFFSET_NULL};
+use wfasic_seqio::memimage::{pack_origins, CellOrigin};
+use wfasic_soc::clock::Cycle;
+
+/// Work counters for one alignment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlignerStats {
+    /// Frame-column cells computed (each computes I, D and M).
+    pub cells: u64,
+    /// Compute batches issued.
+    pub batches: u64,
+    /// Extend operations performed (valid M cells).
+    pub extends: u64,
+    /// Bases compared across all extends.
+    pub bases_compared: u64,
+    /// Computed score steps executed.
+    pub score_steps: u64,
+}
+
+/// The outcome of aligning one pair (or rejecting it).
+#[derive(Debug, Clone)]
+pub struct AlignerOutcome {
+    /// Alignment ID.
+    pub id: u32,
+    /// Completed within the hardware limits?
+    pub success: bool,
+    /// Alignment score (valid when `success`).
+    pub score: u32,
+    /// Terminal diagonal `k_end = |b| - |a|`.
+    pub k_end: i32,
+    /// Total alignment cycles (compute + extend + per-score overhead).
+    pub cycles: Cycle,
+    /// Cycles in the extend phases.
+    pub extend_cycles: Cycle,
+    /// Cycles in the compute phases.
+    pub compute_cycles: Cycle,
+    /// Origin blocks, in emission order (empty when backtrace is disabled
+    /// or the pair was rejected).
+    pub bt_blocks: Vec<Vec<u8>>,
+    /// Work counters.
+    pub stats: AlignerStats,
+}
+
+/// One score's wavefront storage inside the Aligner window.
+#[derive(Debug, Clone)]
+struct WfSet {
+    score: u32,
+    m: Wavefront,
+    i: Wavefront,
+    d: Wavefront,
+}
+
+/// Retained window of recent wavefronts (the hardware keeps only the
+/// lookback needed by Eq. 3: 4 M columns + 1 I + 1 D for (4,6,2)).
+#[derive(Debug, Default)]
+struct Window {
+    sets: Vec<WfSet>,
+}
+
+impl Window {
+    fn get(&self, score: i64) -> Option<&WfSet> {
+        if score < 0 {
+            return None;
+        }
+        self.sets.iter().find(|s| s.score as i64 == score)
+    }
+
+    fn m_at(&self, score: i64, k: i32) -> i32 {
+        self.get(score).map(|s| s.m.get(k)).unwrap_or(OFFSET_NULL)
+    }
+
+    fn i_at(&self, score: i64, k: i32) -> i32 {
+        self.get(score).map(|s| s.i.get(k)).unwrap_or(OFFSET_NULL)
+    }
+
+    fn d_at(&self, score: i64, k: i32) -> i32 {
+        self.get(score).map(|s| s.d.get(k)).unwrap_or(OFFSET_NULL)
+    }
+
+    fn push(&mut self, set: WfSet, lookback: u32) {
+        let min_keep = set.score.saturating_sub(lookback);
+        self.sets.retain(|s| s.score >= min_keep);
+        self.sets.push(set);
+    }
+}
+
+/// Align an extracted pair. `bt` enables origin-block emission.
+pub fn align_extracted(
+    cfg: &AccelConfig,
+    schedule: &WavefrontSchedule,
+    ex: &ExtractedPair,
+    bt: bool,
+) -> AlignerOutcome {
+    let Some((ram_a, ram_b)) = &ex.rams else {
+        // Unsupported read: Success = 0, no processing beyond a couple of
+        // control cycles.
+        return AlignerOutcome {
+            id: ex.id,
+            success: false,
+            score: 0,
+            k_end: 0,
+            cycles: 2,
+            extend_cycles: 0,
+            compute_cycles: 0,
+            bt_blocks: Vec::new(),
+            stats: AlignerStats::default(),
+        };
+    };
+    let a = ram_a.to_packed();
+    let b = ram_b.to_packed();
+    align_packed(cfg, schedule, ex.id, &a, &b, bt)
+}
+
+/// Align two packed sequences (the Aligner datapath proper).
+pub fn align_packed(
+    cfg: &AccelConfig,
+    schedule: &WavefrontSchedule,
+    id: u32,
+    a: &PackedSeq,
+    b: &PackedSeq,
+    bt: bool,
+) -> AlignerOutcome {
+    let n = a.len() as i32;
+    let m = b.len() as i32;
+    let k_end = m - n;
+    let p = cfg.parallel_sections;
+    let lookback = cfg.penalties.x.max(cfg.penalties.o + cfg.penalties.e);
+
+    let mut out = AlignerOutcome {
+        id,
+        success: false,
+        score: 0,
+        k_end,
+        cycles: 0,
+        extend_cycles: 0,
+        compute_cycles: 0,
+        bt_blocks: Vec::new(),
+        stats: AlignerStats::default(),
+    };
+
+    let mut window = Window::default();
+
+    // --- Score 0: the initial wavefront, extended. ---
+    let mut m0 = Wavefront::initial();
+    {
+        out.stats.score_steps += 1;
+        let r = extend_cell(cfg, a, b, 0, 0);
+        out.stats.extends += 1;
+        out.stats.bases_compared += r.matches as u64 + 1;
+        m0.set(0, r.matches as i32);
+        out.extend_cycles += section_run_cycles(cfg, &[r.compare_cycles]);
+        out.cycles = out.extend_cycles + cfg.score_loop_overhead;
+    }
+    if k_end == 0 && m0.get(0) == m {
+        out.success = true;
+        out.score = 0;
+        return out;
+    }
+    window.push(
+        WfSet {
+            score: 0,
+            m: m0,
+            i: Wavefront::null_range(0, 0),
+            d: Wavefront::null_range(0, 0),
+        },
+        lookback,
+    );
+
+    // --- Scheduled score steps. ---
+    let px = cfg.penalties.x as i64;
+    let poe = (cfg.penalties.o + cfg.penalties.e) as i64;
+    let pe = cfg.penalties.e as i64;
+
+    for step in &schedule.steps()[1..] {
+        let s = step.score as i64;
+        let depth = step.depth as i32;
+        out.stats.score_steps += 1;
+
+        let mut wm = Wavefront::null_range(-depth, depth);
+        let mut wi = Wavefront::null_range(-depth, depth);
+        let mut wd = Wavefront::null_range(-depth, depth);
+
+        // Compute phase: P-aligned row groups of the wavefront matrix
+        // covering the frame column's range (row = k + k_max; the Fig. 6
+        // bank distribution serves aligned batches).
+        let center = cfg.k_max as i32;
+        let row_lo = (center - depth) as usize;
+        let row_hi = (center + depth) as usize;
+        let first_group = row_lo / p;
+        let last_group = row_hi / p;
+        let batches = last_group - first_group + 1;
+        out.stats.batches += batches as u64;
+        out.stats.cells += (row_hi - row_lo + 1) as u64;
+        out.compute_cycles += batches as Cycle * cfg.compute_batch_cycles;
+
+        let mut batch_origins: Vec<CellOrigin> = Vec::with_capacity(p);
+        for group in first_group..=last_group {
+            batch_origins.clear();
+            for lane in 0..p {
+                let row = group * p + lane;
+                if row < row_lo || row > row_hi {
+                    if bt {
+                        batch_origins.push(CellOrigin::NONE);
+                    }
+                    continue;
+                }
+                let k = row as i32 - center;
+                let src = CellSources {
+                    m_sub: window.m_at(s - px, k),
+                    m_open_ins: window.m_at(s - poe, k - 1),
+                    m_open_del: window.m_at(s - poe, k + 1),
+                    i_ext: window.i_at(s - pe, k - 1),
+                    d_ext: window.d_at(s - pe, k + 1),
+                };
+                let cell = compute_cell(&src, k, n, m);
+                if offset_is_valid(cell.i) {
+                    wi.set(k, cell.i);
+                }
+                if offset_is_valid(cell.d) {
+                    wd.set(k, cell.d);
+                }
+                if offset_is_valid(cell.m) {
+                    wm.set(k, cell.m);
+                }
+                if bt {
+                    batch_origins.push(cell.origin);
+                }
+            }
+            if bt {
+                out.bt_blocks.push(pack_origins(&batch_origins));
+            }
+        }
+
+        // Extend phase: each section extends its stripe's valid M cells.
+        let mut section_cycles: Vec<Vec<Cycle>> = vec![Vec::new(); p];
+        for (idx, k) in (-depth..=depth).enumerate() {
+            let off = wm.get(k);
+            if !offset_is_valid(off) {
+                continue;
+            }
+            let r = extend_cell(cfg, a, b, k, off);
+            out.stats.extends += 1;
+            let i0 = (off - k) as usize + r.matches;
+            let j0 = off as usize + r.matches;
+            let stopped_inside = (i0 as i32) < n && (j0 as i32) < m;
+            out.stats.bases_compared += r.matches as u64 + stopped_inside as u64;
+            if r.matches > 0 {
+                wm.set(k, off + r.matches as i32);
+            }
+            section_cycles[idx % p].push(r.compare_cycles);
+        }
+        let extend_phase = section_cycles
+            .iter()
+            .map(|cells| section_run_cycles(cfg, cells))
+            .max()
+            .unwrap_or(0);
+        out.extend_cycles += extend_phase;
+
+        // Termination check.
+        if k_end.abs() <= depth && wm.get(k_end) == m {
+            out.success = true;
+            out.score = step.score;
+            window.push(
+                WfSet {
+                    score: step.score,
+                    m: wm,
+                    i: wi,
+                    d: wd,
+                },
+                lookback,
+            );
+            break;
+        }
+
+        window.push(
+            WfSet {
+                score: step.score,
+                m: wm,
+                i: wi,
+                d: wd,
+            },
+            lookback,
+        );
+    }
+
+    out.cycles = out.extend_cycles
+        + out.compute_cycles
+        + out.stats.score_steps * cfg.score_loop_overhead;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfa_core::{swg_score, Penalties};
+
+    fn cfg() -> AccelConfig {
+        AccelConfig::wfasic_chip()
+    }
+
+    fn run(a: &[u8], b: &[u8], bt: bool) -> AlignerOutcome {
+        let c = cfg();
+        let schedule = WavefrontSchedule::for_config(&c);
+        let pa = PackedSeq::from_ascii(a).unwrap();
+        let pb = PackedSeq::from_ascii(b).unwrap();
+        align_packed(&c, &schedule, 1, &pa, &pb, bt)
+    }
+
+    #[test]
+    fn identical_pair_scores_zero() {
+        let out = run(b"ACGTACGTACGT", b"ACGTACGTACGT", false);
+        assert!(out.success);
+        assert_eq!(out.score, 0);
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn scores_match_software_wfa() {
+        let cases: [(&[u8], &[u8]); 6] = [
+            (b"GATTACA", b"GACTACA"),
+            (b"GATTACA", b"GATTTACA"),
+            (b"AAAA", b"AAAATTTT"),
+            (b"ACGTACGTACGTACGT", b"TGCATGCA"),
+            (b"GATTACAGATTACAGATTACA", b"GATCACAGATAACAGATTACA"),
+            (b"A", b"T"),
+        ];
+        for (a, b) in cases {
+            let out = run(a, b, false);
+            assert!(out.success, "a={:?}", a);
+            assert_eq!(
+                out.score as u64,
+                swg_score(a, b, &Penalties::WFASIC_DEFAULT),
+                "a={:?} b={:?}",
+                std::str::from_utf8(a).unwrap(),
+                std::str::from_utf8(b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let out = run(b"", b"", false);
+        assert!(out.success);
+        assert_eq!(out.score, 0);
+        let out = run(b"", b"ACG", false);
+        assert!(out.success);
+        assert_eq!(out.score, 6 + 3 * 2);
+        let out = run(b"ACG", b"", false);
+        assert!(out.success);
+        assert_eq!(out.score, 6 + 3 * 2);
+    }
+
+    #[test]
+    fn score_limit_sets_success_zero() {
+        // A tiny k_max bounds the score at 2*k+4; wildly different sequences
+        // blow past it and must come back with Success = 0.
+        let mut c = cfg();
+        c.k_max = 3;
+        let schedule = WavefrontSchedule::for_config(&c);
+        let a = PackedSeq::from_ascii(&[b'A'; 40]).unwrap();
+        let b = PackedSeq::from_ascii(&[b'T'; 40]).unwrap();
+        let out = align_packed(&c, &schedule, 9, &a, &b, false);
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn bt_blocks_follow_schedule() {
+        let c = cfg();
+        let schedule = WavefrontSchedule::for_config(&c);
+        let a = PackedSeq::from_ascii(b"GATTACAGATTACA").unwrap();
+        let b = PackedSeq::from_ascii(b"GATCACAGATAACA").unwrap();
+        let out = align_packed(&c, &schedule, 1, &a, &b, true);
+        assert!(out.success);
+        assert_eq!(
+            out.bt_blocks.len() as u64,
+            schedule.total_blocks_through(out.score),
+            "emitted blocks must match the deterministic schedule"
+        );
+        // Every block is P*5 bits.
+        for blk in &out.bt_blocks {
+            assert_eq!(blk.len(), wfasic_seqio::memimage::bt_block_bytes(c.parallel_sections));
+        }
+    }
+
+    #[test]
+    fn bt_disabled_emits_nothing() {
+        let out = run(b"GATTACA", b"GACTACA", false);
+        assert!(out.bt_blocks.is_empty());
+    }
+
+    #[test]
+    fn cycle_accounting_is_consistent() {
+        let out = run(b"GATTACAGATTACAGATTACAGATTACA", b"GATCACAGATAACAGATTACAGATTACA", false);
+        assert_eq!(
+            out.cycles,
+            out.extend_cycles + out.compute_cycles + out.stats.score_steps * cfg().score_loop_overhead
+        );
+        assert!(out.stats.cells > 0);
+        assert!(out.stats.batches > 0);
+    }
+
+    #[test]
+    fn more_parallel_sections_fewer_cycles_on_wide_wavefronts() {
+        // A long, noisy pair produces wide wavefronts; 64 sections must beat
+        // 8 sections in cycles.
+        let a: Vec<u8> = (0..600).map(|i| b"ACGT"[i % 4]).collect();
+        let mut b = a.clone();
+        for idx in (7..580).step_by(13) {
+            b[idx] = if b[idx] == b'A' { b'C' } else { b'A' };
+        }
+        let c64 = cfg();
+        let c8 = cfg().with_parallel_sections(8);
+        let pa = PackedSeq::from_ascii(&a).unwrap();
+        let pb = PackedSeq::from_ascii(&b).unwrap();
+        let o64 = align_packed(&c64, &WavefrontSchedule::for_config(&c64), 0, &pa, &pb, false);
+        let o8 = align_packed(&c8, &WavefrontSchedule::for_config(&c8), 0, &pa, &pb, false);
+        assert!(o64.success && o8.success);
+        assert_eq!(o64.score, o8.score, "parallelism must not change results");
+        assert!(
+            o64.cycles * 2 < o8.cycles,
+            "64 PS ({}) should be much faster than 8 PS ({})",
+            o64.cycles,
+            o8.cycles
+        );
+    }
+
+    #[test]
+    fn rejected_pair_outcome() {
+        let c = cfg();
+        let schedule = WavefrontSchedule::for_config(&c);
+        let ex = ExtractedPair {
+            id: 5,
+            rams: None,
+            reject: Some(crate::extractor::RejectReason::UnknownBase),
+            decode_cycles: 5,
+        };
+        let out = align_extracted(&c, &schedule, &ex, true);
+        assert!(!out.success);
+        assert_eq!(out.id, 5);
+        assert!(out.bt_blocks.is_empty());
+    }
+}

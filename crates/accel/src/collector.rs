@@ -1,0 +1,197 @@
+//! Collector modules (paper §4.4): package Aligner results into 16-byte
+//! output transactions.
+//!
+//! * **Collector BT** (backtrace enabled): each origin block is split into
+//!   10-byte payload chunks, each wrapped with 6 bytes of info
+//!   {counter, Last, ID}; the final transaction of an alignment carries the
+//!   5-byte score record with Last = 1.
+//! * **Collector NBT** (backtrace disabled): 4-byte result records
+//!   {Success, score, ID}, merged four to a transaction ("this way, the
+//!   design is less limited by the accelerator-memory bandwidth").
+
+use crate::aligner::AlignerOutcome;
+use wfasic_seqio::memimage::{
+    BtScoreRecord, BtTxn, NbtRecord, BT_PAYLOAD_BYTES, NBT_RECORDS_PER_TXN, SECTION,
+};
+
+/// Serialize one alignment's backtrace stream: origin-block transactions
+/// followed by the Last score-record transaction.
+pub fn collect_bt(outcome: &AlignerOutcome) -> Vec<BtTxn> {
+    let id = outcome.id & 0x7F_FFFF;
+    let mut txns = Vec::new();
+    let mut counter: u32 = 0;
+    // Blocks are streamed contiguously so the CPU can index block `i` at
+    // byte `i * block_bytes` of the reassembled payload; only the final
+    // partial payload is padded. (For the 64-PS chip a block is exactly
+    // four 10-byte payloads, so the chunking is invisible.)
+    let data: Vec<u8> = outcome.bt_blocks.concat();
+    for chunk in data.chunks(BT_PAYLOAD_BYTES) {
+        let mut payload = [0u8; BT_PAYLOAD_BYTES];
+        payload[..chunk.len()].copy_from_slice(chunk);
+        txns.push(BtTxn {
+            payload,
+            counter,
+            last: false,
+            id,
+        });
+        counter += 1;
+    }
+    let score_rec = BtScoreRecord {
+        success: outcome.success,
+        k: outcome.k_end as i16,
+        score: outcome.score.min(u16::MAX as u32) as u16,
+    };
+    txns.push(BtTxn {
+        payload: score_rec.encode(),
+        counter,
+        last: true,
+        id,
+    });
+    txns
+}
+
+/// Encode BT transactions to raw output bytes (16 bytes each).
+pub fn bt_txns_to_bytes(txns: &[BtTxn]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(txns.len() * SECTION);
+    for t in txns {
+        out.extend_from_slice(&t.encode());
+    }
+    out
+}
+
+/// The NBT result record for one alignment.
+pub fn nbt_record(outcome: &AlignerOutcome) -> NbtRecord {
+    NbtRecord {
+        success: outcome.success,
+        score: outcome.score.min(0x7FFF) as u16,
+        id: (outcome.id & 0xFFFF) as u16,
+    }
+}
+
+/// Pack NBT records into 16-byte transactions, padding the tail with
+/// sentinel records (`success = false`, `id = 0xFFFF`, `score = 0x7FFF`)
+/// that consumers can recognize and skip.
+pub fn pack_nbt_records(records: &[NbtRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len().div_ceil(NBT_RECORDS_PER_TXN) * SECTION);
+    for group in records.chunks(NBT_RECORDS_PER_TXN) {
+        for rec in group {
+            out.extend_from_slice(&rec.encode());
+        }
+        for _ in group.len()..NBT_RECORDS_PER_TXN {
+            out.extend_from_slice(&NBT_PAD.encode());
+        }
+    }
+    out
+}
+
+/// The padding sentinel for partially-filled NBT transactions.
+pub const NBT_PAD: NbtRecord = NbtRecord {
+    success: false,
+    score: 0x7FFF,
+    id: 0xFFFF,
+};
+
+/// Parse an NBT output buffer back into records (skipping pad sentinels).
+pub fn parse_nbt_records(bytes: &[u8], expected: usize) -> Vec<NbtRecord> {
+    let mut out = Vec::with_capacity(expected);
+    for chunk in bytes.chunks_exact(4) {
+        if out.len() == expected {
+            break;
+        }
+        let rec = NbtRecord::decode(chunk.try_into().unwrap());
+        if rec == NBT_PAD {
+            continue;
+        }
+        out.push(rec);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aligner::AlignerStats;
+
+    fn outcome(id: u32, success: bool, score: u32, blocks: usize) -> AlignerOutcome {
+        AlignerOutcome {
+            id,
+            success,
+            score,
+            k_end: -3,
+            cycles: 100,
+            extend_cycles: 60,
+            compute_cycles: 40,
+            bt_blocks: (0..blocks).map(|i| vec![i as u8; 40]).collect(),
+            stats: AlignerStats::default(),
+        }
+    }
+
+    #[test]
+    fn bt_stream_structure() {
+        let o = outcome(12, true, 44, 3);
+        let txns = collect_bt(&o);
+        // 3 blocks × 4 txns + 1 score txn.
+        assert_eq!(txns.len(), 13);
+        assert!(txns[..12].iter().all(|t| !t.last));
+        assert!(txns[12].last);
+        // Counters are continuous.
+        for (i, t) in txns.iter().enumerate() {
+            assert_eq!(t.counter, i as u32);
+            assert_eq!(t.id, 12);
+        }
+        let rec = BtScoreRecord::decode(&txns[12].payload);
+        assert_eq!(rec.score, 44);
+        assert_eq!(rec.k, -3);
+        assert!(rec.success);
+    }
+
+    #[test]
+    fn bt_bytes_are_16_per_txn() {
+        let o = outcome(1, true, 0, 2);
+        let txns = collect_bt(&o);
+        let bytes = bt_txns_to_bytes(&txns);
+        assert_eq!(bytes.len(), txns.len() * 16);
+        // Round-trip the first transaction.
+        assert_eq!(BtTxn::decode(&bytes[..16]), txns[0]);
+    }
+
+    #[test]
+    fn bt_failed_alignment_still_reports() {
+        let o = outcome(5, false, 0, 0);
+        let txns = collect_bt(&o);
+        assert_eq!(txns.len(), 1);
+        assert!(txns[0].last);
+        assert!(!BtScoreRecord::decode(&txns[0].payload).success);
+    }
+
+    #[test]
+    fn nbt_packing_and_padding() {
+        let recs: Vec<NbtRecord> = (0..5)
+            .map(|i| NbtRecord {
+                success: true,
+                score: i * 10,
+                id: i,
+            })
+            .collect();
+        let bytes = pack_nbt_records(&recs);
+        // 5 records -> 2 transactions (32 bytes), 3 pads.
+        assert_eq!(bytes.len(), 32);
+        let parsed = parse_nbt_records(&bytes, 5);
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn nbt_32ps_style_blocks_split_into_two_txns() {
+        // 20-byte origin blocks (32 parallel sections) -> 2 payload chunks.
+        let mut o = outcome(1, true, 4, 0);
+        o.bt_blocks = vec![vec![0xAB; 20]];
+        let txns = collect_bt(&o);
+        assert_eq!(txns.len(), 2 + 1);
+    }
+
+    #[test]
+    fn nbt_id_truncates_to_16_bits() {
+        let o = outcome(0x1_0005, true, 9, 0);
+        assert_eq!(nbt_record(&o).id, 5);
+    }
+}

@@ -1,0 +1,209 @@
+//! The Compute sub-module (paper §4.3.3).
+//!
+//! Computes the frame column of a new score from the wavefront window
+//! (Eq. 3) and, when backtrace is enabled, tracks the 5-bit origin of every
+//! computed cell: 3 bits for the M source (substitution, or which of the
+//! I/D paths), 1 bit each for the I and D sources (open vs extend).
+
+use wfa_core::wavefront::{offset_is_valid, OFFSET_NULL};
+use wfa_core::wfa::{validated_offset};
+use wfasic_seqio::memimage::{CellOrigin, MOrigin};
+
+/// Inputs to one cell's computation: the window values Eq. 3 reads.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSources {
+    /// `M[s-x][k]` (substitution source).
+    pub m_sub: i32,
+    /// `M[s-o-e][k-1]` (insertion-opening source).
+    pub m_open_ins: i32,
+    /// `M[s-o-e][k+1]` (deletion-opening source).
+    pub m_open_del: i32,
+    /// `I[s-e][k-1]` (insertion-extension source).
+    pub i_ext: i32,
+    /// `D[s-e][k+1]` (deletion-extension source).
+    pub d_ext: i32,
+}
+
+/// One computed frame-column cell: the three component offsets plus the
+/// origin bundle for the backtrace stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputedCell {
+    /// New `I[s][k]`.
+    pub i: i32,
+    /// New `D[s][k]`.
+    pub d: i32,
+    /// New `M[s][k]` (pre-extend).
+    pub m: i32,
+    /// 5-bit origin bundle.
+    pub origin: CellOrigin,
+}
+
+/// Compute one cell of the frame column at diagonal `k` for sequences of
+/// lengths `n`/`m` (Eq. 3 with matrix-bounds validation).
+pub fn compute_cell(src: &CellSources, k: i32, n: i32, m: i32) -> ComputedCell {
+    let validate_inc = |off: i32| {
+        if offset_is_valid(off) {
+            validated_offset(off + 1, k, n, m)
+        } else {
+            OFFSET_NULL
+        }
+    };
+    let validate = |off: i32| {
+        if offset_is_valid(off) {
+            validated_offset(off, k, n, m)
+        } else {
+            OFFSET_NULL
+        }
+    };
+
+    // Insertion: max(M[s-o-e][k-1], I[s-e][k-1]) + 1, each candidate
+    // bounds-validated before the max (a too-long source must not shadow a
+    // valid shorter one at the matrix edge).
+    let i_open = validate_inc(src.m_open_ins);
+    let i_ext_v = validate_inc(src.i_ext);
+    let (iv, i_from_ext) = if i_ext_v >= i_open {
+        (i_ext_v, true)
+    } else {
+        (i_open, false)
+    };
+
+    // Deletion: max(M[s-o-e][k+1], D[s-e][k+1]), validated likewise.
+    let d_open = validate(src.m_open_del);
+    let d_ext_v = validate(src.d_ext);
+    let (dv, d_from_ext) = if d_ext_v >= d_open {
+        (d_ext_v, true)
+    } else {
+        (d_open, false)
+    };
+
+    // Match: max(M[s-x][k] + 1, I[s][k], D[s][k]).
+    let sub = if offset_is_valid(src.m_sub) {
+        validated_offset(src.m_sub + 1, k, n, m)
+    } else {
+        OFFSET_NULL
+    };
+    let mv = sub.max(iv).max(dv);
+
+    let m_origin = if !offset_is_valid(mv) {
+        MOrigin::None
+    } else if offset_is_valid(sub) && sub == mv {
+        MOrigin::Sub
+    } else if offset_is_valid(iv) && iv == mv {
+        if i_from_ext {
+            MOrigin::InsExt
+        } else {
+            MOrigin::InsOpen
+        }
+    } else if d_from_ext {
+        MOrigin::DelExt
+    } else {
+        MOrigin::DelOpen
+    };
+
+    ComputedCell {
+        i: iv,
+        d: dv,
+        m: mv,
+        origin: CellOrigin {
+            m: m_origin,
+            i_ext: i_from_ext && offset_is_valid(iv),
+            d_ext: d_from_ext && offset_is_valid(dv),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NULL: i32 = OFFSET_NULL;
+
+    fn src(m_sub: i32, m_open_ins: i32, m_open_del: i32, i_ext: i32, d_ext: i32) -> CellSources {
+        CellSources {
+            m_sub,
+            m_open_ins,
+            m_open_del,
+            i_ext,
+            d_ext,
+        }
+    }
+
+    #[test]
+    fn substitution_wins() {
+        let c = compute_cell(&src(5, 3, 3, NULL, NULL), 0, 100, 100);
+        assert_eq!(c.m, 6);
+        assert_eq!(c.origin.m, MOrigin::Sub);
+    }
+
+    #[test]
+    fn insertion_open_vs_extend() {
+        // Only the opening source: I = m_open + 1, origin open.
+        let c = compute_cell(&src(NULL, 7, NULL, NULL, NULL), 0, 100, 100);
+        assert_eq!(c.i, 8);
+        assert!(!c.origin.i_ext);
+        assert_eq!(c.origin.m, MOrigin::InsOpen);
+
+        // Extension dominates (ties prefer extension, matching the encoder).
+        let c = compute_cell(&src(NULL, 7, NULL, 9, NULL), 0, 100, 100);
+        assert_eq!(c.i, 10);
+        assert!(c.origin.i_ext);
+        assert_eq!(c.origin.m, MOrigin::InsExt);
+    }
+
+    #[test]
+    fn deletion_keeps_offset() {
+        let c = compute_cell(&src(NULL, NULL, 4, NULL, NULL), 0, 100, 100);
+        assert_eq!(c.d, 4, "deletion does not advance the offset");
+        assert_eq!(c.origin.m, MOrigin::DelOpen);
+    }
+
+    #[test]
+    fn all_null_sources_give_null_cell() {
+        let c = compute_cell(&src(NULL, NULL, NULL, NULL, NULL), 0, 100, 100);
+        assert!(!offset_is_valid(c.m));
+        assert_eq!(c.origin, CellOrigin::NONE);
+    }
+
+    #[test]
+    fn bounds_invalidate_cells() {
+        // Offset would land past the end of b (m = 5): nulled.
+        let c = compute_cell(&src(5, NULL, NULL, NULL, NULL), 0, 100, 5);
+        assert!(!offset_is_valid(c.m));
+        // Offset - k would land past the end of a (n = 3): nulled.
+        let c = compute_cell(&src(5, NULL, NULL, NULL, NULL), 2, 3, 100);
+        assert!(!offset_is_valid(c.m));
+    }
+
+    #[test]
+    fn m_prefers_sub_on_ties() {
+        // sub and ins both reach 6: origin must record Sub (the decoder
+        // follows whatever is recorded, but the encoder's priority is fixed).
+        let c = compute_cell(&src(5, 5, NULL, NULL, NULL), 0, 100, 100);
+        assert_eq!(c.m, 6);
+        assert_eq!(c.origin.m, MOrigin::Sub);
+    }
+
+    #[test]
+    fn agrees_with_core_cell_functions() {
+        use wfa_core::wfa::{compute_cell_d, compute_cell_i, compute_cell_m};
+        let cases = [
+            src(5, 3, 2, 4, 1),
+            src(NULL, 3, NULL, 4, NULL),
+            src(7, NULL, 2, NULL, 9),
+            src(NULL, NULL, NULL, NULL, NULL),
+            src(0, 0, 0, 0, 0),
+        ];
+        for (idx, s) in cases.iter().enumerate() {
+            for k in [-2, 0, 3] {
+                let c = compute_cell(s, k, 50, 60);
+                assert_eq!(c.i, compute_cell_i(s.m_open_ins, s.i_ext, k, 50, 60), "i case {idx} k {k}");
+                assert_eq!(c.d, compute_cell_d(s.m_open_del, s.d_ext, k, 50, 60), "d case {idx} k {k}");
+                assert_eq!(
+                    c.m,
+                    compute_cell_m(s.m_sub, c.i, c.d, k, 50, 60),
+                    "m case {idx} k {k}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! The top-level WFAsic device (paper Fig. 5): DMA → Input FIFO → Extractor
+//! → Aligner(s) → Collector → Output FIFO → DMA, behind the AXI-Lite
+//! register file.
+//!
+//! `run()` executes one job exactly as the hardware would: it reads the
+//! input set from main memory record by record (the Extractor ingests a pair
+//! only when an Aligner is idle), dispatches pairs to the earliest-idle
+//! Aligner, streams results back through the Collector, and accounts cycles
+//! on the shared AXI-Full port — which is precisely what saturates
+//! multi-Aligner scaling for short reads (Table 1 / Fig. 10 / Eq. 7).
+
+use crate::aligner::{align_extracted, AlignerStats};
+use crate::collector::{bt_txns_to_bytes, collect_bt, nbt_record, pack_nbt_records};
+use crate::config::AccelConfig;
+use crate::extractor::extract_pair;
+use crate::regs::{offsets, JobConfig};
+use crate::schedule::WavefrontSchedule;
+use wfasic_seqio::memimage::{pair_record_bytes, NbtRecord, SECTION};
+use wfasic_soc::bus::{BusStats, MemoryBus};
+use wfasic_soc::clock::Cycle;
+use wfasic_soc::dma::DmaEngine;
+use wfasic_soc::mem::MainMemory;
+use wfasic_soc::mmio::RegFile;
+
+/// Per-pair timing/result record.
+#[derive(Debug, Clone, Copy)]
+pub struct PairReport {
+    /// Alignment ID.
+    pub id: u32,
+    /// Completed within the hardware limits?
+    pub success: bool,
+    /// Alignment score.
+    pub score: u32,
+    /// Cycles to read this pair's record from memory (unqueued — the
+    /// paper's Table 1 "Reading Cycles").
+    pub read_cycles: Cycle,
+    /// Cycles the Aligner spent on this pair (Table 1 "Alignment Cycles").
+    pub align_cycles: Cycle,
+    /// Cycle the Aligner started this pair.
+    pub start: Cycle,
+    /// Cycle the pair fully completed (including result drain).
+    pub done: Cycle,
+    /// Which Aligner ran it.
+    pub aligner: usize,
+    /// Work counters.
+    pub stats: AlignerStats,
+}
+
+/// The report of one accelerator job.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total job cycles (everything complete).
+    pub total_cycles: Cycle,
+    /// Per-pair details, in input order.
+    pub pairs: Vec<PairReport>,
+    /// Result bytes written to memory.
+    pub output_bytes: u64,
+    /// Shared-bus traffic.
+    pub bus: BusStats,
+    /// Bus utilization over the job.
+    pub bus_utilization: f64,
+    /// Per-Aligner busy cycles.
+    pub aligner_busy: Vec<Cycle>,
+    /// Was an interrupt raised at completion?
+    pub interrupt_raised: bool,
+}
+
+/// Output chunking granularity for the backtrace stream: one bus burst.
+const BT_CHUNK_TXNS: usize = 16;
+
+/// The WFAsic accelerator device.
+#[derive(Debug)]
+pub struct WfasicDevice {
+    /// Structural/timing configuration.
+    pub cfg: AccelConfig,
+    /// The AXI-Lite register file.
+    pub regs: RegFile,
+    schedule: WavefrontSchedule,
+}
+
+impl WfasicDevice {
+    /// Instantiate a device.
+    pub fn new(cfg: AccelConfig) -> Self {
+        cfg.validate().expect("invalid accelerator configuration");
+        let schedule = WavefrontSchedule::for_config(&cfg);
+        let mut regs = RegFile::new();
+        regs.poke(offsets::IDLE, 1);
+        WfasicDevice {
+            cfg,
+            regs,
+            schedule,
+        }
+    }
+
+    /// CPU-side register write over AXI-Lite.
+    pub fn mmio_write(&mut self, offset: u64, value: u64) {
+        self.regs.write(offset, value);
+    }
+
+    /// CPU-side register read over AXI-Lite.
+    pub fn mmio_read(&mut self, offset: u64) -> u64 {
+        self.regs.read(offset)
+    }
+
+    /// Execute the job described by the registers. The CPU writes START = 1
+    /// and this simulates until completion (IDLE returns to 1; the interrupt
+    /// is raised if enabled).
+    pub fn run(&mut self, mem: &mut MainMemory) -> RunReport {
+        assert_eq!(self.regs.peek(offsets::START), 1, "START was not written");
+        self.regs.poke(offsets::START, 0);
+        self.regs.poke(offsets::IDLE, 0);
+
+        let job = JobConfig::from_regs(&self.regs);
+        assert!(
+            job.max_read_len.is_multiple_of(16) && job.max_read_len > 0,
+            "MAX_READ_LEN must be a positive multiple of 16 (the CPU pads with dummy bases)"
+        );
+        let rec_bytes = pair_record_bytes(job.max_read_len);
+        assert_eq!(
+            job.in_size as usize % rec_bytes,
+            0,
+            "input size must be a whole number of pair records"
+        );
+        let num_pairs = job.in_size as usize / rec_bytes;
+        let n_aligners = self.cfg.num_aligners;
+
+        let mut bus = MemoryBus::new(self.cfg.bus);
+        let mut dma = DmaEngine::new();
+
+        let mut aligner_free: Vec<Cycle> = vec![0; n_aligners];
+        let mut aligner_busy: Vec<Cycle> = vec![0; n_aligners];
+        let mut completion: Vec<Cycle> = Vec::with_capacity(num_pairs);
+        let mut pairs: Vec<PairReport> = Vec::with_capacity(num_pairs);
+
+        let mut out_cursor = job.out_addr;
+        let mut output_bytes: u64 = 0;
+        let mut last_event: Cycle = 0;
+
+        // Pending NBT records (flushed four per transaction).
+        let mut nbt_pending: Vec<(NbtRecord, Cycle)> = Vec::new();
+
+        let mut read_free: Cycle = 0;
+        for i in 0..num_pairs {
+            // The Extractor starts ingesting a pair only when an Aligner is
+            // (about to be) idle: gate on the (i - N)-th completion.
+            let gate = if i >= n_aligners {
+                completion[i - n_aligners]
+            } else {
+                0
+            };
+            let read_start = read_free.max(gate);
+            let (record, read_done) =
+                dma.read(mem, &mut bus, read_start, job.in_addr + (i * rec_bytes) as u64, rec_bytes);
+            read_free = read_done;
+
+            let ex = extract_pair(&self.cfg, &record, job.max_read_len);
+
+            // Dispatch to the earliest-idle Aligner.
+            let w = (0..n_aligners)
+                .min_by_key(|&w| aligner_free[w])
+                .expect("at least one aligner");
+            let t0 = read_done.max(aligner_free[w]);
+            let outcome = align_extracted(&self.cfg, &self.schedule, &ex, job.backtrace);
+            let mut done = t0 + outcome.cycles;
+            aligner_busy[w] += outcome.cycles;
+
+            if job.backtrace {
+                // Collector BT: stream the origin blocks out while the
+                // alignment runs; the pair is not finished until the stream
+                // has drained (the Aligner stalls if the output can't keep
+                // up — "transferring huge amount of backtrace data ... may
+                // limit the performance").
+                let txns = collect_bt(&outcome);
+                let bytes = bt_txns_to_bytes(&txns);
+                let chunks = bytes.chunks(BT_CHUNK_TXNS * SECTION);
+                let n_chunks = chunks.len();
+                let mut write_done = t0;
+                for (ci, chunk) in chunks.enumerate() {
+                    // Chunk becomes available proportionally through the
+                    // alignment; the last chunk only after completion.
+                    let avail = t0 + (outcome.cycles * (ci as Cycle + 1)) / n_chunks as Cycle;
+                    write_done = dma.write(mem, &mut bus, avail, out_cursor, chunk);
+                    out_cursor += chunk.len() as u64;
+                    output_bytes += chunk.len() as u64;
+                }
+                done = done.max(write_done);
+            } else {
+                nbt_pending.push((nbt_record(&outcome), done));
+                if nbt_pending.len() == 4 {
+                    let (bytes, avail) = drain_nbt(&mut nbt_pending);
+                    let wd = dma.write(mem, &mut bus, avail, out_cursor, &bytes);
+                    out_cursor += bytes.len() as u64;
+                    output_bytes += bytes.len() as u64;
+                    last_event = last_event.max(wd);
+                }
+            }
+
+            aligner_free[w] = done;
+            completion.push(done);
+            last_event = last_event.max(done);
+
+            pairs.push(PairReport {
+                id: outcome.id,
+                success: outcome.success,
+                score: outcome.score,
+                read_cycles: self.cfg.bus.transfer_cycles(rec_bytes),
+                align_cycles: outcome.cycles,
+                start: t0,
+                done,
+                aligner: w,
+                stats: outcome.stats,
+            });
+        }
+
+        // Flush a partial NBT transaction.
+        if !nbt_pending.is_empty() {
+            let (bytes, avail) = drain_nbt(&mut nbt_pending);
+            let wd = dma.write(mem, &mut bus, avail, out_cursor, &bytes);
+            output_bytes += bytes.len() as u64;
+            last_event = last_event.max(wd);
+        }
+
+        let total_cycles = last_event.max(read_free);
+        self.regs.poke(offsets::IDLE, 1);
+        self.regs.poke(offsets::OUT_BYTES, output_bytes);
+        self.regs.poke(offsets::JOB_CYCLES, total_cycles);
+        let interrupt_raised = job.irq_enable;
+        if interrupt_raised {
+            self.regs.poke(offsets::IRQ_PENDING, 1);
+        }
+
+        RunReport {
+            total_cycles,
+            pairs,
+            output_bytes,
+            bus: bus.stats,
+            bus_utilization: bus.utilization(total_cycles),
+            aligner_busy,
+            interrupt_raised,
+        }
+    }
+}
+
+/// Pack pending NBT records into transaction bytes; returns the bytes and
+/// the cycle at which the group is ready (the latest member's completion).
+fn drain_nbt(pending: &mut Vec<(NbtRecord, Cycle)>) -> (Vec<u8>, Cycle) {
+    let avail = pending.iter().map(|&(_, t)| t).max().unwrap_or(0);
+    let recs: Vec<NbtRecord> = pending.drain(..).map(|(r, _)| r).collect();
+    (pack_nbt_records(&recs), avail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::parse_nbt_records;
+    use wfasic_seqio::dataset::InputSetSpec;
+    use wfasic_seqio::memimage::InputImage;
+
+    const IN_ADDR: u64 = 0x1000;
+    const OUT_ADDR: u64 = 0x40_0000;
+
+    fn setup(
+        spec: InputSetSpec,
+        n: usize,
+        seed: u64,
+        bt: bool,
+        cfg: AccelConfig,
+    ) -> (WfasicDevice, MainMemory, usize, Vec<wfasic_seqio::Pair>) {
+        let set = spec.generate(n, seed);
+        let max = set.max_read_len();
+        let img = InputImage::encode(&set.pairs, max);
+        let mut mem = MainMemory::with_default_cap();
+        mem.write(IN_ADDR, &img.bytes);
+
+        let mut dev = WfasicDevice::new(cfg);
+        dev.mmio_write(offsets::BT_ENABLE, bt as u64);
+        dev.mmio_write(offsets::MAX_READ_LEN, max as u64);
+        dev.mmio_write(offsets::IN_ADDR, IN_ADDR);
+        dev.mmio_write(offsets::IN_SIZE, img.bytes.len() as u64);
+        dev.mmio_write(offsets::OUT_ADDR, OUT_ADDR);
+        dev.mmio_write(offsets::START, 1);
+        (dev, mem, max, set.pairs)
+    }
+
+    #[test]
+    fn nbt_job_end_to_end() {
+        let spec = InputSetSpec { length: 100, error_pct: 5 };
+        let (mut dev, mut mem, _max, input) = setup(spec, 6, 1, false, AccelConfig::wfasic_chip());
+        let report = dev.run(&mut mem);
+        assert_eq!(report.pairs.len(), 6);
+        assert!(report.pairs.iter().all(|p| p.success));
+        assert_eq!(dev.mmio_read(offsets::IDLE), 1);
+
+        // Results in memory match software WFA scores.
+        let out = mem.read(OUT_ADDR, report.output_bytes as usize);
+        let recs = parse_nbt_records(&out, 6);
+        assert_eq!(recs.len(), 6);
+        for (rec, pair) in recs.iter().zip(&input) {
+            let sw = wfa_core::swg_score(&pair.a, &pair.b, &wfa_core::Penalties::WFASIC_DEFAULT);
+            assert_eq!(rec.score as u64, sw, "pair id {}", pair.id);
+            assert_eq!(rec.id as u32, pair.id & 0xFFFF);
+            assert!(rec.success);
+        }
+    }
+
+    #[test]
+    fn bt_job_writes_stream_and_score_records() {
+        let spec = InputSetSpec { length: 100, error_pct: 10 };
+        let (mut dev, mut mem, _max, input) = setup(spec, 2, 7, true, AccelConfig::wfasic_chip());
+        let report = dev.run(&mut mem);
+        assert!(report.output_bytes > 0);
+        assert_eq!(report.output_bytes % 16, 0);
+        // Walk the transactions: Last flags appear exactly once per pair.
+        let out = mem.read(OUT_ADDR, report.output_bytes as usize);
+        let lasts: Vec<_> = out
+            .chunks_exact(16)
+            .map(wfasic_seqio::BtTxn::decode)
+            .filter(|t| t.last)
+            .collect();
+        assert_eq!(lasts.len(), input.len());
+        for (t, pair) in lasts.iter().zip(&input) {
+            let rec = wfasic_seqio::BtScoreRecord::decode(&t.payload);
+            let sw = wfa_core::swg_score(&pair.a, &pair.b, &wfa_core::Penalties::WFASIC_DEFAULT);
+            assert_eq!(rec.score as u64, sw);
+            assert_eq!(t.id, pair.id & 0x7F_FFFF);
+        }
+    }
+
+    #[test]
+    fn bt_costs_more_cycles_than_nbt() {
+        let spec = InputSetSpec { length: 1000, error_pct: 10 };
+        let (mut d1, mut m1, _, _) = setup(spec, 2, 3, false, AccelConfig::wfasic_chip());
+        let (mut d2, mut m2, _, _) = setup(spec, 2, 3, true, AccelConfig::wfasic_chip());
+        let r_nbt = d1.run(&mut m1);
+        let r_bt = d2.run(&mut m2);
+        assert!(
+            r_bt.total_cycles >= r_nbt.total_cycles,
+            "backtrace streaming cannot be free: bt={} nbt={}",
+            r_bt.total_cycles,
+            r_nbt.total_cycles
+        );
+        assert!(r_bt.output_bytes > r_nbt.output_bytes * 10);
+    }
+
+    #[test]
+    fn more_aligners_scale_long_reads() {
+        let spec = InputSetSpec { length: 1000, error_pct: 10 };
+        let (mut d1, mut m1, _, _) = setup(spec, 8, 5, false, AccelConfig::wfasic_chip());
+        let (mut d4, mut m4, _, _) =
+            setup(spec, 8, 5, false, AccelConfig::wfasic_chip().with_aligners(4));
+        let r1 = d1.run(&mut m1);
+        let r4 = d4.run(&mut m4);
+        let speedup = r1.total_cycles as f64 / r4.total_cycles as f64;
+        assert!(
+            speedup > 2.5,
+            "4 aligners should speed up 1K-10% markedly, got {speedup:.2}x"
+        );
+        // Same results regardless of aligner count.
+        let s1: Vec<_> = r1.pairs.iter().map(|p| (p.id, p.score)).collect();
+        let s4: Vec<_> = r4.pairs.iter().map(|p| (p.id, p.score)).collect();
+        assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn unsupported_reads_do_not_hang_and_flag_failure() {
+        // The paper's robustness test: broken/unexpected data must not hang
+        // the device; the affected pair reports Success = 0.
+        let mut pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(3, 2).pairs;
+        pairs[1].a[10] = b'N';
+        let max = 128;
+        let img = InputImage::encode(&pairs, max);
+        let mut mem = MainMemory::with_default_cap();
+        mem.write(IN_ADDR, &img.bytes);
+        let mut dev = WfasicDevice::new(AccelConfig::wfasic_chip());
+        dev.mmio_write(offsets::MAX_READ_LEN, max as u64);
+        dev.mmio_write(offsets::IN_ADDR, IN_ADDR);
+        dev.mmio_write(offsets::IN_SIZE, img.bytes.len() as u64);
+        dev.mmio_write(offsets::OUT_ADDR, OUT_ADDR);
+        dev.mmio_write(offsets::START, 1);
+        let report = dev.run(&mut mem);
+        assert_eq!(report.pairs.len(), 3);
+        assert!(report.pairs[0].success);
+        assert!(!report.pairs[1].success, "the 'N' read must fail");
+        assert!(report.pairs[2].success);
+    }
+
+    #[test]
+    fn interrupt_raised_when_enabled() {
+        let spec = InputSetSpec { length: 100, error_pct: 5 };
+        let (mut dev, mut mem, _, _) = setup(spec, 1, 9, false, AccelConfig::wfasic_chip());
+        dev.mmio_write(offsets::IRQ_ENABLE, 1);
+        dev.mmio_write(offsets::START, 1);
+        let report = dev.run(&mut mem);
+        assert!(report.interrupt_raised);
+        assert_eq!(dev.mmio_read(offsets::IRQ_PENDING), 1);
+    }
+
+    #[test]
+    fn job_cycles_register_matches_report() {
+        let spec = InputSetSpec { length: 100, error_pct: 10 };
+        let (mut dev, mut mem, _, _) = setup(spec, 4, 11, false, AccelConfig::wfasic_chip());
+        let report = dev.run(&mut mem);
+        assert_eq!(dev.mmio_read(offsets::JOB_CYCLES), report.total_cycles);
+        assert_eq!(dev.mmio_read(offsets::OUT_BYTES), report.output_bytes);
+    }
+}

@@ -1,0 +1,189 @@
+//! The Extractor module (paper §4.2).
+//!
+//! Reads 16 bytes of input per cycle from the Input FIFO, decodes the
+//! per-pair record (ID, lengths, bases), compacts bases from one byte to two
+//! bits, broadcasts the packed words into an idle Aligner's Input_Seq RAMs,
+//! and detects the two kinds of unsupported reads: longer than MAX_READ_LEN
+//! and containing 'N' bases.
+
+use crate::config::AccelConfig;
+use crate::input_ram::InputSeqRam;
+use wfasic_seqio::memimage::{pair_record_bytes, HEADER_SECTIONS, SECTION};
+use wfasic_soc::clock::Cycle;
+
+/// A pair decoded and loaded into Input_Seq RAM images, or flagged
+/// unsupported.
+#[derive(Debug, Clone)]
+pub struct ExtractedPair {
+    /// Alignment ID from the record.
+    pub id: u32,
+    /// Loaded RAM images, or `None` for unsupported reads ("the Aligner does
+    /// not process the alignment and sets the Success flag ... to zero").
+    pub rams: Option<(InputSeqRam, InputSeqRam)>,
+    /// Why the pair was rejected, if it was.
+    pub reject: Option<RejectReason>,
+    /// Extractor decode cycles (16 input bytes per cycle).
+    pub decode_cycles: Cycle,
+}
+
+/// Reasons the Extractor rejects a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// A recorded length exceeds the programmed MAX_READ_LEN.
+    OverMaxReadLen { len: usize, max: usize },
+    /// A recorded length exceeds the design's supported maximum.
+    OverSupportedLen { len: usize, max: usize },
+    /// The bases contain an 'N' (or any non-ACGT byte).
+    UnknownBase,
+}
+
+/// Decode one pair record from raw input bytes.
+///
+/// `record` must be exactly `pair_record_bytes(max_read_len)` long.
+pub fn extract_pair(cfg: &AccelConfig, record: &[u8], max_read_len: usize) -> ExtractedPair {
+    assert_eq!(record.len(), pair_record_bytes(max_read_len));
+    let decode_cycles = (record.len() / SECTION) as Cycle;
+
+    let id = u32::from_le_bytes(record[0..4].try_into().unwrap());
+    let len_a = u32::from_le_bytes(record[SECTION..SECTION + 4].try_into().unwrap()) as usize;
+    let len_b =
+        u32::from_le_bytes(record[2 * SECTION..2 * SECTION + 4].try_into().unwrap()) as usize;
+
+    let reject_len = |len: usize| -> Option<RejectReason> {
+        if len > cfg.max_supported_len {
+            Some(RejectReason::OverSupportedLen {
+                len,
+                max: cfg.max_supported_len,
+            })
+        } else if len > max_read_len {
+            Some(RejectReason::OverMaxReadLen {
+                len,
+                max: max_read_len,
+            })
+        } else {
+            None
+        }
+    };
+    if let Some(reject) = reject_len(len_a).or_else(|| reject_len(len_b)) {
+        return ExtractedPair {
+            id,
+            rams: None,
+            reject: Some(reject),
+            decode_cycles,
+        };
+    }
+
+    let a_off = HEADER_SECTIONS * SECTION;
+    let a_bytes = &record[a_off..a_off + len_a];
+    let b_off = a_off + max_read_len;
+    let b_bytes = &record[b_off..b_off + len_b];
+
+    let cap = cfg.input_ram_words().max(2 + max_read_len.div_ceil(16));
+    let ram_a = InputSeqRam::load(id, a_bytes, cap);
+    let ram_b = InputSeqRam::load(id, b_bytes, cap);
+    match (ram_a, ram_b) {
+        (Some(a), Some(b)) => ExtractedPair {
+            id,
+            rams: Some((a, b)),
+            reject: None,
+            decode_cycles,
+        },
+        _ => ExtractedPair {
+            id,
+            rams: None,
+            reject: Some(RejectReason::UnknownBase),
+            decode_cycles,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfasic_seqio::generate::Pair;
+    use wfasic_seqio::memimage::InputImage;
+
+    fn cfg() -> AccelConfig {
+        AccelConfig::wfasic_chip()
+    }
+
+    fn record_for(pair: &Pair, max: usize) -> Vec<u8> {
+        InputImage::encode_raw(std::slice::from_ref(pair), max).bytes
+    }
+
+    #[test]
+    fn extracts_good_pair() {
+        let pair = Pair {
+            id: 99,
+            a: b"GATTACAGATTACA".to_vec(),
+            b: b"GATCACAGATTACA".to_vec(),
+        };
+        let rec = record_for(&pair, 16);
+        let ex = extract_pair(&cfg(), &rec, 16);
+        assert_eq!(ex.id, 99);
+        assert!(ex.reject.is_none());
+        let (a, b) = ex.rams.unwrap();
+        assert_eq!(a.to_packed().to_ascii(), pair.a);
+        assert_eq!(b.to_packed().to_ascii(), pair.b);
+        // 3 header sections + 2 sequence sections of 16 bytes each.
+        assert_eq!(ex.decode_cycles, 5);
+    }
+
+    #[test]
+    fn rejects_over_max_read_len() {
+        let pair = Pair {
+            id: 1,
+            a: vec![b'A'; 20],
+            b: b"ACGT".to_vec(),
+        };
+        let rec = record_for(&pair, 16);
+        let ex = extract_pair(&cfg(), &rec, 16);
+        assert!(matches!(
+            ex.reject,
+            Some(RejectReason::OverMaxReadLen { len: 20, max: 16 })
+        ));
+        assert!(ex.rams.is_none());
+    }
+
+    #[test]
+    fn rejects_over_supported_len() {
+        // MAX_READ_LEN programmed beyond the design's 10K support.
+        let pair = Pair {
+            id: 1,
+            a: vec![b'A'; 10_016],
+            b: b"ACGT".to_vec(),
+        };
+        let rec = record_for(&pair, 10_016);
+        let ex = extract_pair(&cfg(), &rec, 10_016);
+        assert!(matches!(ex.reject, Some(RejectReason::OverSupportedLen { .. })));
+    }
+
+    #[test]
+    fn rejects_n_bases() {
+        let pair = Pair {
+            id: 7,
+            a: b"ACGNACGT".to_vec(),
+            b: b"ACGTACGT".to_vec(),
+        };
+        let rec = record_for(&pair, 16);
+        let ex = extract_pair(&cfg(), &rec, 16);
+        assert_eq!(ex.reject, Some(RejectReason::UnknownBase));
+        assert_eq!(ex.id, 7, "id still reported for the Success=0 result");
+    }
+
+    #[test]
+    fn dummy_padding_ignored() {
+        // Padding bytes after the true length are zeros (not valid bases) —
+        // the Extractor must ignore them because it knows the lengths.
+        let pair = Pair {
+            id: 2,
+            a: b"ACG".to_vec(),
+            b: b"ACGT".to_vec(),
+        };
+        let rec = record_for(&pair, 32);
+        let ex = extract_pair(&cfg(), &rec, 32);
+        assert!(ex.reject.is_none());
+        let (a, _) = ex.rams.unwrap();
+        assert_eq!(a.len(), 3);
+    }
+}

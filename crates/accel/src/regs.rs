@@ -1,0 +1,102 @@
+//! The AXI-Lite register map (paper §3: "The WFAsic accelerator includes a
+//! set of memory-mapped registers, and the CPU writes into these registers
+//! the configuration of the accelerator").
+
+/// Byte offsets of the memory-mapped registers.
+pub mod offsets {
+    /// Write 1 to start the configured job.
+    pub const START: u64 = 0x00;
+    /// Reads 1 while the accelerator is idle (polled by the CPU).
+    pub const IDLE: u64 = 0x08;
+    /// 1 = backtrace data generation enabled.
+    pub const BT_ENABLE: u64 = 0x10;
+    /// MAX_READ_LEN for the input set (multiple of 16).
+    pub const MAX_READ_LEN: u64 = 0x18;
+    /// Base address of the input set in main memory.
+    pub const IN_ADDR: u64 = 0x20;
+    /// Size of the input set in bytes.
+    pub const IN_SIZE: u64 = 0x28;
+    /// Base address where results are written.
+    pub const OUT_ADDR: u64 = 0x30;
+    /// 1 = raise an interrupt at job completion.
+    pub const IRQ_ENABLE: u64 = 0x38;
+    /// (RO) Bytes of results written by the last job.
+    pub const OUT_BYTES: u64 = 0x40;
+    /// (RO) Total cycles of the last job.
+    pub const JOB_CYCLES: u64 = 0x48;
+    /// (RO) Sticky interrupt pending flag (write 1 to clear).
+    pub const IRQ_PENDING: u64 = 0x50;
+}
+
+/// A decoded job configuration, read from the register file when START is
+/// written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobConfig {
+    /// Backtrace enabled?
+    pub backtrace: bool,
+    /// MAX_READ_LEN programmed by the CPU.
+    pub max_read_len: usize,
+    /// Input base address.
+    pub in_addr: u64,
+    /// Input size in bytes.
+    pub in_size: u64,
+    /// Output base address.
+    pub out_addr: u64,
+    /// Interrupt on completion?
+    pub irq_enable: bool,
+}
+
+impl JobConfig {
+    /// Decode from a register file.
+    pub fn from_regs(regs: &wfasic_soc::RegFile) -> JobConfig {
+        JobConfig {
+            backtrace: regs.peek(offsets::BT_ENABLE) != 0,
+            max_read_len: regs.peek(offsets::MAX_READ_LEN) as usize,
+            in_addr: regs.peek(offsets::IN_ADDR),
+            in_size: regs.peek(offsets::IN_SIZE),
+            out_addr: regs.peek(offsets::OUT_ADDR),
+            irq_enable: regs.peek(offsets::IRQ_ENABLE) != 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfasic_soc::RegFile;
+
+    #[test]
+    fn decode_from_regfile() {
+        let mut regs = RegFile::new();
+        regs.write(offsets::BT_ENABLE, 1);
+        regs.write(offsets::MAX_READ_LEN, 9024);
+        regs.write(offsets::IN_ADDR, 0x1000);
+        regs.write(offsets::IN_SIZE, 0x2000);
+        regs.write(offsets::OUT_ADDR, 0x8000);
+        let job = JobConfig::from_regs(&regs);
+        assert_eq!(
+            job,
+            JobConfig {
+                backtrace: true,
+                max_read_len: 9024,
+                in_addr: 0x1000,
+                in_size: 0x2000,
+                out_addr: 0x8000,
+                irq_enable: false,
+            }
+        );
+    }
+
+    #[test]
+    fn offsets_are_distinct() {
+        use offsets::*;
+        let all = [
+            START, IDLE, BT_ENABLE, MAX_READ_LEN, IN_ADDR, IN_SIZE, OUT_ADDR, IRQ_ENABLE,
+            OUT_BYTES, JOB_CYCLES, IRQ_PENDING,
+        ];
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion bench for the Fig. 9 pipeline: the co-design experiment
+//! (accelerator + CPU baselines) with and without backtrace. Regenerate the
+//! figure with `cargo run -p wfasic-bench --release --bin report -- fig9`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfasic_accel::AccelConfig;
+use wfasic_driver::codesign::run_experiment;
+use wfasic_seqio::dataset::InputSetSpec;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_codesign");
+    group.sample_size(10);
+    let cfg = AccelConfig::wfasic_chip();
+    for (spec, n) in [
+        (InputSetSpec { length: 100, error_pct: 10 }, 8usize),
+        (InputSetSpec { length: 1_000, error_pct: 10 }, 2),
+    ] {
+        let pairs = spec.generate(n, 9).pairs;
+        for bt in [false, true] {
+            let label = format!("{}-{}", spec.name(), if bt { "bt" } else { "nbt" });
+            group.bench_with_input(BenchmarkId::from_parameter(label), &pairs, |b, pairs| {
+                b.iter(|| {
+                    let r = run_experiment(&cfg, pairs, bt, false);
+                    (r.wfasic_total, r.cpu_scalar_total)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

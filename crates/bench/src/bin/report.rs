@@ -1,0 +1,59 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p wfasic-bench --release --bin report -- [table1|fig8|fig9|fig10|fig11|table2|ablation|all] [--quick] [--seed N]
+//! ```
+
+use wfasic_bench::experiments::Sizes;
+use wfasic_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut what: Vec<String> = Vec::new();
+    let mut sizes = Sizes::default_report();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => sizes = Sizes::quick(),
+            "--seed" => {
+                i += 1;
+                sizes.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            other => what.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if what.is_empty() {
+        what.push("all".to_string());
+    }
+
+    for w in &what {
+        match w.as_str() {
+            "table1" => print!("{}", report::table1_report(&sizes)),
+            "fig8" => print!("{}", report::fig8_report()),
+            "fig9" => print!("{}", report::fig9_report(&sizes)),
+            "fig10" => print!("{}", report::fig10_report(&sizes)),
+            "fig11" => print!("{}", report::fig11_report(&sizes)),
+            "table2" => print!("{}", report::table2_report(&sizes)),
+            "ablation" => print!("{}", report::ablation_report(&sizes)),
+            "all" => {
+                println!("{}", report::table1_report(&sizes));
+                println!("{}", report::fig9_report(&sizes));
+                println!("{}", report::fig10_report(&sizes));
+                println!("{}", report::fig11_report(&sizes));
+                println!("{}", report::table2_report(&sizes));
+                println!("{}", report::ablation_report(&sizes));
+                print!("{}", report::fig8_report());
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!("usage: report [table1|fig8|fig9|fig10|fig11|table2|ablation|all] [--quick] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+        println!();
+    }
+}

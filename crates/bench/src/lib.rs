@@ -1,0 +1,16 @@
+//! # wfasic-bench — experiment harnesses for every table and figure
+//!
+//! * [`experiments`] — runners regenerating Table 1, Fig. 9, Fig. 10,
+//!   Fig. 11 and Table 2 from the full co-design simulation;
+//! * [`paper`] — the paper's reported numbers for side-by-side printing;
+//! * [`report`] — the formatted reports (also used by the `report` binary);
+//! * [`fmt`] — table rendering.
+//!
+//! `cargo run -p wfasic-bench --release --bin report -- all` prints every
+//! regenerated table/figure; the criterion benches under `benches/` track
+//! simulator performance per experiment.
+
+pub mod experiments;
+pub mod fmt;
+pub mod paper;
+pub mod report;

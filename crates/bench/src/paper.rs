@@ -1,0 +1,90 @@
+//! The paper's reported numbers, embedded for side-by-side comparison in
+//! every regenerated table/figure (we reproduce *shapes*, not testbed
+//! absolutes — see EXPERIMENTS.md).
+
+/// One Table 1 row as printed in the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTable1Row {
+    /// Input set label.
+    pub set: &'static str,
+    /// Alignment cycles per pair.
+    pub alignment_cycles: u64,
+    /// Reading cycles per pair.
+    pub reading_cycles: u64,
+    /// Eq. 7 maximum efficient Aligners.
+    pub max_aligners: u64,
+}
+
+/// Table 1 (paper §5.3).
+pub const TABLE1: [PaperTable1Row; 6] = [
+    PaperTable1Row { set: "100-5%", alignment_cycles: 214, reading_cycles: 75, max_aligners: 4 },
+    PaperTable1Row { set: "100-10%", alignment_cycles: 327, reading_cycles: 75, max_aligners: 6 },
+    PaperTable1Row { set: "1K-5%", alignment_cycles: 2_541, reading_cycles: 376, max_aligners: 8 },
+    PaperTable1Row { set: "1K-10%", alignment_cycles: 8_461, reading_cycles: 376, max_aligners: 24 },
+    PaperTable1Row { set: "10K-5%", alignment_cycles: 278_083, reading_cycles: 3_420, max_aligners: 83 },
+    PaperTable1Row { set: "10K-10%", alignment_cycles: 937_630, reading_cycles: 3_420, max_aligners: 276 },
+];
+
+/// Fig. 9 headline ranges: speedup over the CPU scalar code.
+pub mod fig9 {
+    /// Minimum speedup with backtrace disabled (at 100-5%).
+    pub const NBT_MIN: f64 = 143.0;
+    /// Maximum speedup with backtrace disabled (at 10K-10%).
+    pub const NBT_MAX: f64 = 1076.0;
+    /// Minimum speedup with backtrace enabled.
+    pub const BT_MIN: f64 = 2.8;
+    /// Maximum speedup with backtrace enabled.
+    pub const BT_MAX: f64 = 344.0;
+}
+
+/// Fig. 10: speedup of 10 Aligners over 1 for the long sets.
+pub mod fig10 {
+    /// 10K-10% with 10 Aligners.
+    pub const SPEEDUP_10K_10: f64 = 9.87;
+    /// 10K-5% with 10 Aligners.
+    pub const SPEEDUP_10K_5: f64 = 9.67;
+}
+
+/// Fig. 11: per-set speedups over the 1×64PS `[Sep]` baseline.
+pub mod fig11 {
+    /// 1 Aligner × 64 PS without data separation.
+    pub const NOSEP_1X64: [f64; 6] = [6.7, 9.7, 11.4, 24.2, 87.4, 180.4];
+    /// 2 Aligners × 32 PS with separation.
+    pub const SEP_2X32: [f64; 6] = [1.7, 1.8, 1.2, 1.1, 1.0, 1.0];
+}
+
+/// One Table 2 row (GCUPS comparison at 10Kbp).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTable2Row {
+    /// Platform/design label.
+    pub platform: &'static str,
+    /// GCUPS as reported.
+    pub gcups: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+}
+
+impl PaperTable2Row {
+    /// GCUPS per mm².
+    pub fn gcups_per_mm2(&self) -> f64 {
+        self.gcups / self.area_mm2
+    }
+}
+
+/// Table 2's literature rows (the WFAsic rows are measured by us).
+pub const TABLE2_LITERATURE: [PaperTable2Row; 4] = [
+    PaperTable2Row { platform: "GACT-ASIC [Heuristic]", gcups: 2129.0, area_mm2: 85.6 },
+    PaperTable2Row { platform: "WFA-CPU AMD EPYC [1 thread]", gcups: 7.5, area_mm2: 1008.0 },
+    PaperTable2Row { platform: "WFA-CPU AMD EPYC [64 threads]", gcups: 98.0, area_mm2: 1008.0 },
+    PaperTable2Row { platform: "WFA-GPU [GeForce 3080]", gcups: 476.0, area_mm2: 628.0 },
+];
+
+/// Paper-reported WFAsic Table 2 rows.
+pub mod table2_wfasic {
+    /// With backtrace.
+    pub const GCUPS_BT: f64 = 61.0;
+    /// Without backtrace.
+    pub const GCUPS_NBT: f64 = 390.0;
+    /// Accelerator area.
+    pub const AREA_MM2: f64 = 1.6;
+}

@@ -1,0 +1,238 @@
+//! Formatted experiment reports: measured numbers side by side with the
+//! paper's, one function per table/figure.
+
+use crate::experiments::{self, Sizes};
+use crate::fmt::{f, render_table};
+use crate::paper;
+use wfasic_accel::{area_report, AccelConfig};
+
+/// Table 1: alignment/reading cycles and Eq. 7 MaxAligners.
+pub fn table1_report(sizes: &Sizes) -> String {
+    let rows = experiments::table1(sizes);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .zip(paper::TABLE1.iter())
+        .map(|(m, p)| {
+            vec![
+                m.set.clone(),
+                f(m.alignment_cycles),
+                p.alignment_cycles.to_string(),
+                m.reading_cycles.to_string(),
+                p.reading_cycles.to_string(),
+                m.max_aligners.to_string(),
+                p.max_aligners.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "Table 1: cycles per pair and max efficient Aligners (measured vs paper)",
+        &[
+            "input",
+            "align(meas)",
+            "align(paper)",
+            "read(meas)",
+            "read(paper)",
+            "maxAlign(meas)",
+            "maxAlign(paper)",
+        ],
+        &body,
+    )
+}
+
+/// Fig. 9: speedups over the CPU scalar code.
+pub fn fig9_report(sizes: &Sizes) -> String {
+    let rows = experiments::fig9(sizes);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.set.clone(),
+                f(r.nbt_speedup),
+                f(r.bt_speedup),
+                f(r.vector_speedup),
+            ]
+        })
+        .collect();
+    let mut s = render_table(
+        "Fig. 9: WFAsic speedup over CPU scalar (measured)",
+        &["input", "no-BT", "with-BT", "CPU-vector"],
+        &body,
+    );
+    s.push_str(&format!(
+        "paper ranges: no-BT {}x..{}x, with-BT {}x..{}x (min at 100-5%, max at 10K-10%)\n",
+        paper::fig9::NBT_MIN,
+        paper::fig9::NBT_MAX,
+        paper::fig9::BT_MIN,
+        paper::fig9::BT_MAX
+    ));
+    s
+}
+
+/// Fig. 10: scalability with the number of Aligners.
+pub fn fig10_report(sizes: &Sizes) -> String {
+    let rows = experiments::fig10(sizes);
+    let mut header: Vec<String> = vec!["input".into()];
+    header.extend((1..=10).map(|n| format!("{n}A")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.set.clone()];
+            row.extend(r.speedups.iter().map(|&v| f(v)));
+            row
+        })
+        .collect();
+    let mut s = render_table(
+        "Fig. 10: speedup vs one Aligner (measured, BT off)",
+        &header_refs,
+        &body,
+    );
+    s.push_str(&format!(
+        "paper at 10 Aligners: 10K-10% {}x, 10K-5% {}x; short reads saturate per Eq. 7\n",
+        paper::fig10::SPEEDUP_10K_10,
+        paper::fig10::SPEEDUP_10K_5
+    ));
+    s
+}
+
+/// Fig. 11: configuration comparison with backtrace enabled.
+pub fn fig11_report(sizes: &Sizes) -> String {
+    let rows = experiments::fig11(sizes);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            vec![
+                r.set.clone(),
+                "1.00".to_string(),
+                f(r.sep_2x32),
+                f(paper::fig11::SEP_2X32[i]),
+                f(r.nosep_1x64),
+                f(paper::fig11::NOSEP_1X64[i]),
+            ]
+        })
+        .collect();
+    render_table(
+        "Fig. 11: speedup over 1x64PS [Sep] (measured vs paper)",
+        &[
+            "input",
+            "1x64 Sep",
+            "2x32 Sep(meas)",
+            "2x32 Sep(paper)",
+            "1x64 NoSep(meas)",
+            "1x64 NoSep(paper)",
+        ],
+        &body,
+    )
+}
+
+/// Table 2: GCUPS / area comparison.
+pub fn table2_report(sizes: &Sizes) -> String {
+    let rows = experiments::table2(sizes);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.platform.clone(),
+                f(r.gcups),
+                f(r.area_mm2),
+                f(r.gcups / r.area_mm2),
+                if r.measured { "measured" } else { "paper" }.into(),
+            ]
+        })
+        .collect();
+    let mut s = render_table(
+        "Table 2: GCUPS and area, 10Kbp reads",
+        &["platform", "GCUPS", "area mm2", "GCUPS/mm2", "source"],
+        &body,
+    );
+    s.push_str(&format!(
+        "paper WFAsic rows: {} GCUPS (BT) / {} GCUPS (no BT) at {} mm2\n",
+        paper::table2_wfasic::GCUPS_BT,
+        paper::table2_wfasic::GCUPS_NBT,
+        paper::table2_wfasic::AREA_MM2
+    ));
+    s
+}
+
+/// Fig. 8: the area/memory budget report.
+pub fn fig8_report() -> String {
+    let cfg = AccelConfig::wfasic_chip();
+    let r = area_report(&cfg);
+    let b = r.breakdown;
+    let total = r.memory_bytes as f64;
+    let row = |name: &str, bytes: usize| {
+        vec![
+            name.to_string(),
+            bytes.to_string(),
+            format!("{:.1}%", bytes as f64 / total * 100.0),
+        ]
+    };
+    let mut s = render_table(
+        "Fig. 8: WFAsic physical budget (analytical model, GF22FDX anchors)",
+        &["memory structure", "bytes", "share"],
+        &[
+            row("Input_Seq RAMs (2 x 64 replicas)", b.input_seq),
+            row("Wavefront M banks (64 + 2 dup)", b.wavefront_m),
+            row("Wavefront I/D banks (merged, 64)", b.wavefront_id),
+            row("Input/Output FIFOs (2 x 256 x 16B)", b.fifos),
+        ],
+    );
+    s.push_str(&format!(
+        "memory macros: {} (paper: 260)   on-chip memory: {:.3} MB (paper: 0.48 MB)\n",
+        r.memory_macros,
+        r.memory_bytes as f64 / (1024.0 * 1024.0)
+    ));
+    s.push_str(&format!(
+        "area: {:.2} mm2 (paper: 1.6)   frequency: {:.1} GHz (paper: 1.1)   power: {:.0} mW (paper: 312)\n",
+        r.area_mm2,
+        r.freq_hz / 1e9,
+        r.power_w * 1000.0
+    ));
+    s
+}
+
+/// Ablation study: design-knob sensitivity on the 1K-10% workload.
+pub fn ablation_report(sizes: &crate::experiments::Sizes) -> String {
+    let rows = crate::experiments::ablation(sizes);
+    let base = rows[0].align_cycles;
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.knob.clone(),
+                f(r.align_cycles),
+                format!("{:+.1}%", (r.align_cycles / base - 1.0) * 100.0),
+                r.read_cycles.to_string(),
+                r.max_aligners.to_string(),
+                f(r.area_mm2),
+            ]
+        })
+        .collect();
+    render_table(
+        "Ablation: design-knob sensitivity (1K-10%, BT off)",
+        &["knob", "align cyc", "vs base", "read cyc", "maxAlign", "area mm2"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_report_contains_anchor_numbers() {
+        let s = fig8_report();
+        assert!(s.contains("260"));
+        assert!(s.contains("1.60 mm2"));
+        assert!(s.contains("1.1 GHz"));
+    }
+
+    #[test]
+    fn quick_table1_report_renders() {
+        let s = table1_report(&Sizes::quick());
+        assert!(s.contains("100-5%"));
+        assert!(s.contains("10K-10%"));
+        assert!(s.contains("937630"), "paper column present");
+    }
+}

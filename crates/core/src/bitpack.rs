@@ -1,0 +1,206 @@
+//! 2-bit packed DNA sequences and machine-word `extend()`.
+//!
+//! The WFAsic Extractor packs each base into 2 bits so 16 bases fit in a
+//! 4-byte Input_Seq RAM word, and the Extend sub-module compares 16 bases per
+//! cycle (paper §4.2/§4.3.2). This module provides the same packing and a
+//! word-at-a-time comparison primitive:
+//!
+//! * it is the functional reference for the hardware Extend model, and
+//! * it doubles as the "CPU vector code" analogue (the paper's RVV kernel),
+//!   since a 64-bit XOR + trailing-zero count compares 32 bases at once.
+
+/// 2-bit encoding of one base: A=0, C=1, G=2, T=3.
+#[inline]
+pub fn encode_base(b: u8) -> Option<u8> {
+    match b {
+        b'A' | b'a' => Some(0),
+        b'C' | b'c' => Some(1),
+        b'G' | b'g' => Some(2),
+        b'T' | b't' => Some(3),
+        _ => None,
+    }
+}
+
+/// Decode a 2-bit code back to an uppercase ASCII base.
+#[inline]
+pub fn decode_base(code: u8) -> u8 {
+    match code & 3 {
+        0 => b'A',
+        1 => b'C',
+        2 => b'G',
+        _ => b'T',
+    }
+}
+
+/// Bases per 64-bit word.
+pub const BASES_PER_WORD: usize = 32;
+
+/// A DNA sequence packed at 2 bits per base, little-endian within each word
+/// (base `i` occupies bits `2*(i%32) ..= 2*(i%32)+1` of word `i/32`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedSeq {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl PackedSeq {
+    /// Pack an ASCII sequence. Returns `None` if any base is not ACGT
+    /// (the hardware flags such reads as unsupported — 'N' bases, §4.2).
+    pub fn from_ascii(seq: &[u8]) -> Option<Self> {
+        let mut words = vec![0u64; seq.len().div_ceil(BASES_PER_WORD)];
+        for (i, &b) in seq.iter().enumerate() {
+            let code = encode_base(b)? as u64;
+            words[i / BASES_PER_WORD] |= code << (2 * (i % BASES_PER_WORD));
+        }
+        Some(PackedSeq {
+            len: seq.len(),
+            words,
+        })
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The 2-bit code of base `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        ((self.words[i / BASES_PER_WORD] >> (2 * (i % BASES_PER_WORD))) & 3) as u8
+    }
+
+    /// Raw packed words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Decode back to ASCII.
+    pub fn to_ascii(&self) -> Vec<u8> {
+        (0..self.len).map(|i| decode_base(self.get(i))).collect()
+    }
+
+    /// Read 32 bases starting at base `pos` as one u64, shifting across the
+    /// word boundary (the hardware's REG_1/REG_2 concatenate-and-shift,
+    /// §4.3.2). Bases past the end are unspecified garbage; callers bound the
+    /// comparison by length.
+    #[inline]
+    fn window(&self, pos: usize) -> u64 {
+        let wi = pos / BASES_PER_WORD;
+        let shift = 2 * (pos % BASES_PER_WORD);
+        let lo = self.words.get(wi).copied().unwrap_or(0) >> shift;
+        if shift == 0 {
+            lo
+        } else {
+            let hi = self.words.get(wi + 1).copied().unwrap_or(0);
+            lo | (hi << (64 - shift))
+        }
+    }
+}
+
+/// Count matching bases of `a[i..]` vs `b[j..]` using 32-base blocks:
+/// XOR the windows and count trailing zero *base pairs*.
+///
+/// Functionally identical to [`crate::wfa::extend_matches`]; used by the
+/// vectorized CPU model and as the reference for the hardware Extend unit.
+pub fn extend_matches_packed(a: &PackedSeq, b: &PackedSeq, i: usize, j: usize) -> usize {
+    let limit = (a.len() - i).min(b.len() - j);
+    let mut matched = 0;
+    while matched < limit {
+        let wa = a.window(i + matched);
+        let wb = b.window(j + matched);
+        let diff = wa ^ wb;
+        if diff == 0 {
+            matched += BASES_PER_WORD;
+        } else {
+            matched += (diff.trailing_zeros() / 2) as usize;
+            break;
+        }
+    }
+    matched.min(limit)
+}
+
+/// Number of 16-base hardware comparison blocks needed to discover
+/// `matches` matching bases (the Extend sub-module compares 16 bases/cycle;
+/// even an immediate mismatch consumes one block).
+pub fn hw_extend_blocks(matches: usize) -> u64 {
+    (matches / 16) as u64 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wfa::extend_matches;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for &b in b"ACGT" {
+            assert_eq!(decode_base(encode_base(b).unwrap()), b);
+        }
+        assert_eq!(encode_base(b'N'), None);
+        assert_eq!(encode_base(b'a'), Some(0));
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let seq = b"ACGTACGTACGTACGTACGTACGTACGTACGTACG"; // 35 bases, crosses a word
+        let p = PackedSeq::from_ascii(seq).unwrap();
+        assert_eq!(p.len(), 35);
+        assert_eq!(p.to_ascii(), seq);
+        assert_eq!(p.words().len(), 2);
+    }
+
+    #[test]
+    fn rejects_n_bases() {
+        assert!(PackedSeq::from_ascii(b"ACGNT").is_none());
+    }
+
+    #[test]
+    fn packed_extend_equals_naive() {
+        let a = b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTAAAA";
+        let b = b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTAAAT";
+        let pa = PackedSeq::from_ascii(a).unwrap();
+        let pb = PackedSeq::from_ascii(b).unwrap();
+        for i in 0..a.len() {
+            for j in 0..b.len() {
+                assert_eq!(
+                    extend_matches_packed(&pa, &pb, i, j),
+                    extend_matches(a, b, i, j),
+                    "i={i} j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extend_across_word_boundaries() {
+        // 70 identical bases: full-word fast path plus a partial tail.
+        let a = vec![b'G'; 70];
+        let b = vec![b'G'; 70];
+        let pa = PackedSeq::from_ascii(&a).unwrap();
+        let pb = PackedSeq::from_ascii(&b).unwrap();
+        assert_eq!(extend_matches_packed(&pa, &pb, 0, 0), 70);
+        assert_eq!(extend_matches_packed(&pa, &pb, 5, 0), 65);
+        assert_eq!(extend_matches_packed(&pa, &pb, 31, 33), 37);
+    }
+
+    #[test]
+    fn immediate_mismatch() {
+        let pa = PackedSeq::from_ascii(b"AAAA").unwrap();
+        let pb = PackedSeq::from_ascii(b"TAAA").unwrap();
+        assert_eq!(extend_matches_packed(&pa, &pb, 0, 0), 0);
+    }
+
+    #[test]
+    fn hw_block_counts() {
+        assert_eq!(hw_extend_blocks(0), 1);
+        assert_eq!(hw_extend_blocks(15), 1);
+        assert_eq!(hw_extend_blocks(16), 2);
+        assert_eq!(hw_extend_blocks(33), 3);
+    }
+}

@@ -1,0 +1,230 @@
+//! Wavefront alignment for the **gap-linear** scoring model (paper Eq. 1).
+//!
+//! The paper's background contrasts gap-linear Smith-Waterman with the
+//! gap-affine SWG that WFAsic implements. The wavefront formulation exists
+//! for both models; the gap-linear variant needs a single wavefront
+//! component (no I/D split) with sources at `s-x` (diagonal) and `s-g`
+//! (either gap direction):
+//!
+//! ```text
+//! M[s][k] = max( M[s-x][k] + 1,        // substitution
+//!                M[s-g][k-1] + 1,      // gap consuming b
+//!                M[s-g][k+1] )         // gap consuming a
+//! ```
+//!
+//! followed by the same `extend()` as the affine WFA. Exactness is checked
+//! against the gap-linear DP of [`crate::swg::gap_linear_score`].
+
+use crate::wavefront::{offset_is_valid, Wavefront, OFFSET_NULL};
+use crate::wfa::{extend_matches, validated_offset};
+
+/// Result of a gap-linear wavefront alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapLinearAlignment {
+    /// Optimal gap-linear score.
+    pub score: u32,
+    /// Wavefront cells computed.
+    pub cells_computed: u64,
+    /// Bases compared during extends.
+    pub bases_compared: u64,
+}
+
+/// Errors for the gap-linear wavefront aligner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapLinearError {
+    /// Penalties must be strictly positive for the wavefront iteration to
+    /// make progress.
+    BadPenalties,
+}
+
+/// Exact gap-linear alignment (score only) by wavefronts: mismatch `x`,
+/// gap `g` per base.
+pub fn gap_linear_wavefront(
+    a: &[u8],
+    b: &[u8],
+    x: u32,
+    g: u32,
+) -> Result<GapLinearAlignment, GapLinearError> {
+    if x == 0 || g == 0 {
+        return Err(GapLinearError::BadPenalties);
+    }
+    let n = a.len() as i32;
+    let m = b.len() as i32;
+    let k_end = m - n;
+    let target = m;
+
+    let mut out = GapLinearAlignment {
+        score: 0,
+        cells_computed: 0,
+        bases_compared: 0,
+    };
+
+    // Retained wavefronts within the lookback max(x, g).
+    let lookback = x.max(g) as usize;
+    let mut fronts: Vec<Option<Wavefront>> = Vec::new();
+
+    // Score 0.
+    let mut w0 = Wavefront::initial();
+    let matches = extend_matches(a, b, 0, 0);
+    out.bases_compared += matches as u64 + 1;
+    w0.set(0, matches as i32);
+    if k_end == 0 && w0.get(0) == target {
+        return Ok(out);
+    }
+    fronts.push(Some(w0));
+
+    let cap = (x as u64) * (n.max(m) as u64) + (g as u64) * (n + m) as u64 + 1;
+    let mut s: usize = 0;
+    loop {
+        s += 1;
+        if s as u64 > cap {
+            unreachable!("gap-linear wavefront must terminate within the all-edits bound");
+        }
+        let src = |fronts: &Vec<Option<Wavefront>>, back: u32| -> Option<usize> {
+            let back = back as usize;
+            (s >= back).then(|| s - back).filter(|&i| fronts[i].is_some())
+        };
+        let sub = src(&fronts, x);
+        let gap = src(&fronts, g);
+        if sub.is_none() && gap.is_none() {
+            fronts.push(None);
+            continue;
+        }
+        let mut lo = i32::MAX;
+        let mut hi = i32::MIN;
+        for idx in [sub, gap].into_iter().flatten() {
+            let w = fronts[idx].as_ref().unwrap();
+            lo = lo.min(w.lo);
+            hi = hi.max(w.hi);
+        }
+        let (lo, hi) = (lo - 1, hi + 1);
+        let mut w = Wavefront::null_range(lo, hi);
+        let mut any = false;
+        for k in lo..=hi {
+            let from_sub = sub
+                .map(|i| fronts[i].as_ref().unwrap().get(k))
+                .unwrap_or(OFFSET_NULL);
+            let from_ins = gap
+                .map(|i| fronts[i].as_ref().unwrap().get(k - 1))
+                .unwrap_or(OFFSET_NULL);
+            let from_del = gap
+                .map(|i| fronts[i].as_ref().unwrap().get(k + 1))
+                .unwrap_or(OFFSET_NULL);
+            let mut best = OFFSET_NULL;
+            if offset_is_valid(from_sub) {
+                best = best.max(validated_offset(from_sub + 1, k, n, m));
+            }
+            if offset_is_valid(from_ins) {
+                best = best.max(validated_offset(from_ins + 1, k, n, m));
+            }
+            if offset_is_valid(from_del) {
+                best = best.max(validated_offset(from_del, k, n, m));
+            }
+            out.cells_computed += 1;
+            if !offset_is_valid(best) {
+                continue;
+            }
+            any = true;
+            // Extend.
+            let i = (best - k) as usize;
+            let j = best as usize;
+            let matches = extend_matches(a, b, i, j);
+            let stopped_inside = i + matches < a.len() && j + matches < b.len();
+            out.bases_compared += matches as u64 + stopped_inside as u64;
+            w.set(k, best + matches as i32);
+        }
+        // Termination.
+        if any && w.get(k_end) == target {
+            out.score = s as u32;
+            return Ok(out);
+        }
+        fronts.push(any.then_some(w));
+        if s > lookback {
+            fronts[s - lookback - 1] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swg::gap_linear_score;
+
+    fn check(a: &[u8], b: &[u8], x: u32, g: u32) {
+        let wf = gap_linear_wavefront(a, b, x, g).unwrap();
+        let dp = gap_linear_score(a, b, x, g);
+        assert_eq!(wf.score as u64, dp, "a={a:?} b={b:?} x={x} g={g}");
+    }
+
+    #[test]
+    fn identical() {
+        check(b"ACGTACGT", b"ACGTACGT", 4, 2);
+    }
+
+    #[test]
+    fn single_edits() {
+        check(b"ACGT", b"AGGT", 4, 2);
+        check(b"ACGT", b"ACGGT", 4, 2);
+        check(b"ACGGT", b"ACGT", 4, 2);
+    }
+
+    #[test]
+    fn gap_vs_mismatch_tradeoffs() {
+        // When 2g < x the model prefers two gaps over a mismatch.
+        check(b"AC", b"AG", 5, 2);
+        check(b"AC", b"AG", 3, 2);
+        check(b"AAAA", b"TTTT", 4, 3);
+    }
+
+    #[test]
+    fn empty_sides() {
+        check(b"", b"", 4, 2);
+        check(b"", b"ACG", 4, 2);
+        check(b"ACG", b"", 4, 2);
+    }
+
+    #[test]
+    fn random_pairs_match_dp() {
+        // Deterministic pseudo-random pairs across several penalty sets.
+        let mut state = 0x1234_5678u32;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        for _ in 0..30 {
+            let la = (next() % 40) as usize;
+            let lb = (next() % 40) as usize;
+            let a: Vec<u8> = (0..la).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let b: Vec<u8> = (0..lb).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            for (x, g) in [(4, 2), (1, 1), (3, 5)] {
+                check(&a, &b, x, g);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_zero_penalties() {
+        assert_eq!(
+            gap_linear_wavefront(b"A", b"C", 0, 2),
+            Err(GapLinearError::BadPenalties)
+        );
+        assert_eq!(
+            gap_linear_wavefront(b"A", b"C", 4, 0),
+            Err(GapLinearError::BadPenalties)
+        );
+    }
+
+    #[test]
+    fn work_is_proportional_to_divergence() {
+        let a: Vec<u8> = (0..200).map(|i| b"ACGT"[i % 4]).collect();
+        let same = gap_linear_wavefront(&a, &a, 4, 2).unwrap();
+        let mut b = a.clone();
+        for i in (3..190).step_by(29) {
+            b[i] = if b[i] == b'A' { b'C' } else { b'A' };
+        }
+        let diff = gap_linear_wavefront(&a, &b, 4, 2).unwrap();
+        assert!(diff.cells_computed > same.cells_computed * 5);
+    }
+}

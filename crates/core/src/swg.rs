@@ -1,0 +1,276 @@
+//! Full dynamic-programming baselines: Smith-Waterman-Gotoh (gap-affine,
+//! paper Eq. 2) and the gap-linear variant (paper Eq. 1).
+//!
+//! These are the `O(n^2)` exact references the WFA is equivalent to. The paper
+//! uses them both as the conceptual background (§2.2) and as the definition of
+//! "equivalent DP cells" for the CUPS metric (§5.5). Here they also serve as
+//! the correctness oracle for every other aligner in the workspace.
+//!
+//! The alignment is *end-to-end* (global): both sequences must be fully
+//! consumed, matching the WFA termination condition (reach cell `(n, m)`).
+
+use crate::cigar::{Cigar, Op};
+use crate::penalties::Penalties;
+
+/// Saturating "infinity" for u64 DP cells; large enough that adding any
+/// penalty never wraps.
+const INF: u64 = u64::MAX / 4;
+
+/// Result of a full-DP alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpAlignment {
+    /// Optimal gap-affine (or gap-linear) score.
+    pub score: u64,
+    /// An optimal transcript.
+    pub cigar: Cigar,
+    /// Number of DP cells computed (all matrices), for CUPS accounting.
+    pub cells_computed: u64,
+}
+
+/// Which of the three Gotoh matrices a traceback state lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mat {
+    M,
+    I,
+    D,
+}
+
+/// Global gap-affine alignment by the Smith-Waterman-Gotoh recurrence
+/// (paper Eq. 2), minimizing penalties, with full traceback.
+///
+/// `I(i, j)` tracks alignments of `a[..i]`/`b[..j]` ending with an insertion
+/// (consuming `b[j-1]` only); `D(i, j)` ends with a deletion (consuming
+/// `a[i-1]` only), matching the conventions in [`crate::cigar`].
+pub fn swg_align(a: &[u8], b: &[u8], p: &Penalties) -> DpAlignment {
+    let n = a.len();
+    let m = b.len();
+    let w = m + 1;
+    let idx = |i: usize, j: usize| i * w + j;
+
+    let mut mm = vec![INF; (n + 1) * w];
+    let mut ii = vec![INF; (n + 1) * w];
+    let mut dd = vec![INF; (n + 1) * w];
+
+    mm[idx(0, 0)] = 0;
+    for j in 1..=m {
+        ii[idx(0, j)] = p.o as u64 + p.e as u64 * j as u64;
+        mm[idx(0, j)] = ii[idx(0, j)];
+    }
+    for i in 1..=n {
+        dd[idx(i, 0)] = p.o as u64 + p.e as u64 * i as u64;
+        mm[idx(i, 0)] = dd[idx(i, 0)];
+    }
+
+    for i in 1..=n {
+        for j in 1..=m {
+            let open = p.gap_open() as u64;
+            let ext = p.e as u64;
+            let ins = (mm[idx(i, j - 1)] + open).min(ii[idx(i, j - 1)] + ext);
+            let del = (mm[idx(i - 1, j)] + open).min(dd[idx(i - 1, j)] + ext);
+            let sub = if a[i - 1] == b[j - 1] { 0 } else { p.x as u64 };
+            let diag = mm[idx(i - 1, j - 1)] + sub;
+            ii[idx(i, j)] = ins;
+            dd[idx(i, j)] = del;
+            mm[idx(i, j)] = diag.min(ins).min(del);
+        }
+    }
+
+    let score = mm[idx(n, m)];
+    let cells_computed = 3 * (n as u64 + 1) * (m as u64 + 1);
+
+    // Traceback from (n, m) in M.
+    let mut cigar = Cigar::new();
+    let (mut i, mut j) = (n, m);
+    let mut mat = Mat::M;
+    while i > 0 || j > 0 {
+        match mat {
+            Mat::M => {
+                let v = mm[idx(i, j)];
+                let sub_ok = i > 0 && j > 0;
+                let sub = if sub_ok && a[i - 1] == b[j - 1] { 0 } else { p.x as u64 };
+                if sub_ok && mm[idx(i - 1, j - 1)] + sub == v {
+                    cigar.push(if sub == 0 { Op::Match } else { Op::Mismatch });
+                    i -= 1;
+                    j -= 1;
+                } else if j > 0 && ii[idx(i, j)] == v {
+                    mat = Mat::I;
+                } else {
+                    debug_assert!(i > 0 && dd[idx(i, j)] == v);
+                    mat = Mat::D;
+                }
+            }
+            Mat::I => {
+                let v = ii[idx(i, j)];
+                cigar.push(Op::Ins);
+                if ii[idx(i, j - 1)] + p.e as u64 == v && j > 1 {
+                    // stay in I
+                } else {
+                    debug_assert_eq!(mm[idx(i, j - 1)] + p.gap_open() as u64, v);
+                    mat = Mat::M;
+                }
+                j -= 1;
+            }
+            Mat::D => {
+                let v = dd[idx(i, j)];
+                cigar.push(Op::Del);
+                if dd[idx(i - 1, j)] + p.e as u64 == v && i > 1 {
+                    // stay in D
+                } else {
+                    debug_assert_eq!(mm[idx(i - 1, j)] + p.gap_open() as u64, v);
+                    mat = Mat::M;
+                }
+                i -= 1;
+            }
+        }
+    }
+    cigar.reverse();
+
+    DpAlignment {
+        score,
+        cigar,
+        cells_computed,
+    }
+}
+
+/// Score-only SWG with `O(m)` memory (two rolling rows per matrix). Used by
+/// large oracle checks where the full matrices would not fit.
+pub fn swg_score(a: &[u8], b: &[u8], p: &Penalties) -> u64 {
+    let m = b.len();
+    let open = p.gap_open() as u64;
+    let ext = p.e as u64;
+
+    let mut m_prev = vec![INF; m + 1];
+    let mut i_prev = vec![INF; m + 1];
+    let mut d_prev = vec![INF; m + 1];
+    let mut m_cur = vec![INF; m + 1];
+    let mut i_cur = vec![INF; m + 1];
+    let mut d_cur = vec![INF; m + 1];
+
+    m_prev[0] = 0;
+    for j in 1..=m {
+        i_prev[j] = p.o as u64 + ext * j as u64;
+        m_prev[j] = i_prev[j];
+    }
+
+    for i in 1..=a.len() {
+        d_cur[0] = p.o as u64 + ext * i as u64;
+        m_cur[0] = d_cur[0];
+        i_cur[0] = INF;
+        for j in 1..=m {
+            let ins = (m_cur[j - 1] + open).min(i_cur[j - 1] + ext);
+            let del = (m_prev[j] + open).min(d_prev[j] + ext);
+            let sub = if a[i - 1] == b[j - 1] { 0 } else { p.x as u64 };
+            let diag = m_prev[j - 1] + sub;
+            i_cur[j] = ins;
+            d_cur[j] = del;
+            m_cur[j] = diag.min(ins).min(del);
+        }
+        std::mem::swap(&mut m_prev, &mut m_cur);
+        std::mem::swap(&mut i_prev, &mut i_cur);
+        std::mem::swap(&mut d_prev, &mut d_cur);
+    }
+    m_prev[m]
+}
+
+/// Global gap-linear alignment (paper Eq. 1): each gap base costs `g`,
+/// each mismatch costs `x`. Returns score only.
+pub fn gap_linear_score(a: &[u8], b: &[u8], x: u32, g: u32) -> u64 {
+    let m = b.len();
+    let mut prev: Vec<u64> = (0..=m as u64).map(|j| j * g as u64).collect();
+    let mut cur = vec![0u64; m + 1];
+    for i in 1..=a.len() {
+        cur[0] = i as u64 * g as u64;
+        for j in 1..=m {
+            let sub = if a[i - 1] == b[j - 1] { 0 } else { x as u64 };
+            cur[j] = (prev[j - 1] + sub)
+                .min(prev[j] + g as u64)
+                .min(cur[j - 1] + g as u64);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: Penalties = Penalties::WFASIC_DEFAULT;
+
+    #[test]
+    fn identical_sequences_score_zero() {
+        let r = swg_align(b"ACGTACGT", b"ACGTACGT", &P);
+        assert_eq!(r.score, 0);
+        assert_eq!(r.cigar.to_op_string(), "MMMMMMMM");
+        r.cigar.check(b"ACGTACGT", b"ACGTACGT").unwrap();
+    }
+
+    #[test]
+    fn single_mismatch() {
+        let r = swg_align(b"ACGT", b"AGGT", &P);
+        assert_eq!(r.score, 4);
+        r.cigar.check(b"ACGT", b"AGGT").unwrap();
+        assert_eq!(r.cigar.score(&P), 4);
+    }
+
+    #[test]
+    fn single_insertion() {
+        // b has one extra base.
+        let r = swg_align(b"ACGT", b"ACGGT", &P);
+        assert_eq!(r.score, 8);
+        r.cigar.check(b"ACGT", b"ACGGT").unwrap();
+        assert_eq!(r.cigar.score(&P), 8);
+    }
+
+    #[test]
+    fn single_deletion() {
+        let r = swg_align(b"ACGGT", b"ACGT", &P);
+        assert_eq!(r.score, 8);
+        r.cigar.check(b"ACGGT", b"ACGT").unwrap();
+    }
+
+    #[test]
+    fn long_gap_extends_affine() {
+        // 4-base insertion: o + 4e = 6 + 8 = 14, cheaper than 4 mismatches+shifts.
+        let r = swg_align(b"AAAA", b"AAAATTTT", &P);
+        assert_eq!(r.score, 6 + 4 * 2);
+        r.cigar.check(b"AAAA", b"AAAATTTT").unwrap();
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(swg_align(b"", b"", &P).score, 0);
+        let r = swg_align(b"", b"ACG", &P);
+        assert_eq!(r.score, 6 + 3 * 2);
+        r.cigar.check(b"", b"ACG").unwrap();
+        let r = swg_align(b"ACG", b"", &P);
+        assert_eq!(r.score, 6 + 3 * 2);
+        r.cigar.check(b"ACG", b"").unwrap();
+    }
+
+    #[test]
+    fn score_only_matches_full() {
+        let a = b"GATTACAGATTACAGGG";
+        let b = b"GATCACAGAGTTACAGG";
+        let full = swg_align(a, b, &P);
+        assert_eq!(swg_score(a, b, &P), full.score);
+        full.cigar.check(a, b).unwrap();
+        assert_eq!(full.cigar.score(&P), full.score);
+    }
+
+    #[test]
+    fn gap_linear_basics() {
+        assert_eq!(gap_linear_score(b"ACGT", b"ACGT", 4, 2), 0);
+        assert_eq!(gap_linear_score(b"ACGT", b"AGGT", 4, 2), 4);
+        // One gap base costs g = 2 under gap-linear (no opening penalty).
+        assert_eq!(gap_linear_score(b"ACGT", b"ACGGT", 4, 2), 2);
+        // Gap-linear prefers two gaps over a mismatch when 2g < x.
+        assert_eq!(gap_linear_score(b"AC", b"AG", 5, 2), 4);
+    }
+
+    #[test]
+    fn cells_computed_accounting() {
+        let r = swg_align(b"ACGT", b"ACG", &P);
+        assert_eq!(r.cells_computed, 3 * 5 * 4);
+    }
+}

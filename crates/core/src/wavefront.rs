@@ -1,0 +1,226 @@
+//! Wavefront vector storage (the data structure behind paper Eq. 3).
+//!
+//! A wavefront for score `s` is, per component (M/I/D), a vector of *offsets*
+//! indexed by diagonal `k`. Following the paper's Eq. 4 geometry:
+//!
+//! * diagonal `k = j - i` (with `i` indexing `a`, `j` indexing `b`),
+//! * the stored offset is `j` — the farthest column reached on that diagonal
+//!   with score `s` by an alignment ending in the component's state,
+//! * so `i = offset - k`.
+//!
+//! Only the farthest (maximum) offset per diagonal is kept, which is the key
+//! compression that makes WFA `O(n*s)`.
+
+/// Sentinel for "no alignment with this score reaches this diagonal".
+///
+/// Very negative, but far from `i32::MIN` so that `NULL + 1` and similar
+/// arithmetic cannot overflow and still compares below every real offset.
+pub const OFFSET_NULL: i32 = i32::MIN / 4;
+
+/// Is this a real offset (not the NULL sentinel)?
+#[inline]
+pub fn offset_is_valid(off: i32) -> bool {
+    off > OFFSET_NULL / 2
+}
+
+/// One wavefront vector: offsets for diagonals `lo..=hi`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wavefront {
+    /// Lowest diagonal with storage.
+    pub lo: i32,
+    /// Highest diagonal with storage.
+    pub hi: i32,
+    /// `offsets[(k - lo) as usize]` is the offset for diagonal `k`.
+    pub offsets: Vec<i32>,
+}
+
+impl Wavefront {
+    /// A wavefront covering `lo..=hi`, all diagonals NULL.
+    pub fn null_range(lo: i32, hi: i32) -> Self {
+        assert!(lo <= hi, "wavefront range must be non-empty ({lo}..={hi})");
+        Wavefront {
+            lo,
+            hi,
+            offsets: vec![OFFSET_NULL; (hi - lo + 1) as usize],
+        }
+    }
+
+    /// The initial wavefront: `M(0, 0) = 0`.
+    pub fn initial() -> Self {
+        Wavefront {
+            lo: 0,
+            hi: 0,
+            offsets: vec![0],
+        }
+    }
+
+    /// Offset at diagonal `k`; NULL outside the stored range.
+    #[inline]
+    pub fn get(&self, k: i32) -> i32 {
+        if k < self.lo || k > self.hi {
+            OFFSET_NULL
+        } else {
+            self.offsets[(k - self.lo) as usize]
+        }
+    }
+
+    /// Set the offset at diagonal `k` (must be within range).
+    #[inline]
+    pub fn set(&mut self, k: i32, off: i32) {
+        debug_assert!(k >= self.lo && k <= self.hi, "k={k} out of [{}, {}]", self.lo, self.hi);
+        self.offsets[(k - self.lo) as usize] = off;
+    }
+
+    /// Number of stored diagonals.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Always false: a wavefront stores at least one diagonal.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if every diagonal is NULL.
+    pub fn is_all_null(&self) -> bool {
+        self.offsets.iter().all(|&o| !offset_is_valid(o))
+    }
+
+    /// Shrink the stored range to the smallest span containing all valid
+    /// offsets (used by the adaptive heuristic so later wavefronts, whose
+    /// ranges derive from this one's bounds, actually narrow). No-op when
+    /// every cell is NULL.
+    pub fn shrink_to_valid(&mut self) {
+        let mut first = None;
+        let mut last = None;
+        for (idx, &o) in self.offsets.iter().enumerate() {
+            if offset_is_valid(o) {
+                if first.is_none() {
+                    first = Some(idx);
+                }
+                last = Some(idx);
+            }
+        }
+        let (Some(first), Some(last)) = (first, last) else {
+            return;
+        };
+        if first == 0 && last == self.offsets.len() - 1 {
+            return;
+        }
+        self.offsets.drain(last + 1..);
+        self.offsets.drain(..first);
+        self.hi = self.lo + last as i32;
+        self.lo += first as i32;
+    }
+
+    /// Clamp the stored range to `lo..=hi`, dropping cells outside.
+    /// Returns false (leaving the wavefront unchanged) when the ranges do
+    /// not intersect.
+    pub fn clamp_range(&mut self, lo: i32, hi: i32) -> bool {
+        let new_lo = self.lo.max(lo);
+        let new_hi = self.hi.min(hi);
+        if new_lo > new_hi {
+            return false;
+        }
+        if new_lo == self.lo && new_hi == self.hi {
+            return true;
+        }
+        let first = (new_lo - self.lo) as usize;
+        let last = (new_hi - self.lo) as usize;
+        self.offsets.drain(last + 1..);
+        self.offsets.drain(..first);
+        self.lo = new_lo;
+        self.hi = new_hi;
+        true
+    }
+
+    /// Iterator over `(k, offset)` pairs with valid offsets.
+    pub fn valid_cells(&self) -> impl Iterator<Item = (i32, i32)> + '_ {
+        self.offsets
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| offset_is_valid(o))
+            .map(move |(idx, &o)| (self.lo + idx as i32, o))
+    }
+}
+
+/// The M/I/D wavefront triple for one score.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WavefrontSet {
+    /// Match/mismatch component (always present when the set exists).
+    pub m: Wavefront,
+    /// Insertion component (None when no insertion path has this score).
+    pub i: Option<Wavefront>,
+    /// Deletion component.
+    pub d: Option<Wavefront>,
+}
+
+impl WavefrontSet {
+    /// Estimated heap footprint in bytes (used by the CPU memory model).
+    pub fn memory_bytes(&self) -> usize {
+        let cell = std::mem::size_of::<i32>();
+        let mut total = self.m.len() * cell;
+        if let Some(w) = &self.i {
+            total += w.len() * cell;
+        }
+        if let Some(w) = &self.d {
+            total += w.len() * cell;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_wavefront() {
+        let w = Wavefront::initial();
+        assert_eq!(w.get(0), 0);
+        assert_eq!(w.get(1), OFFSET_NULL);
+        assert_eq!(w.get(-1), OFFSET_NULL);
+        assert!(!w.is_all_null());
+    }
+
+    #[test]
+    fn null_range_and_set() {
+        let mut w = Wavefront::null_range(-2, 3);
+        assert_eq!(w.len(), 6);
+        assert!(w.is_all_null());
+        w.set(-2, 5);
+        w.set(3, 7);
+        assert_eq!(w.get(-2), 5);
+        assert_eq!(w.get(3), 7);
+        assert_eq!(w.get(0), OFFSET_NULL);
+        let cells: Vec<_> = w.valid_cells().collect();
+        assert_eq!(cells, vec![(-2, 5), (3, 7)]);
+    }
+
+    #[test]
+    fn null_arithmetic_is_safe() {
+        // The compute step adds 1 to possibly-NULL offsets; the result must
+        // still register as invalid and never overflow.
+        let bumped = OFFSET_NULL + 1;
+        assert!(!offset_is_valid(bumped));
+        let maxed = bumped.max(OFFSET_NULL);
+        assert!(!offset_is_valid(maxed));
+    }
+
+    #[test]
+    fn out_of_range_get_is_null() {
+        let w = Wavefront::null_range(0, 0);
+        assert_eq!(w.get(100), OFFSET_NULL);
+        assert_eq!(w.get(-100), OFFSET_NULL);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let set = WavefrontSet {
+            m: Wavefront::null_range(-1, 1),
+            i: Some(Wavefront::null_range(0, 1)),
+            d: None,
+        };
+        assert_eq!(set.memory_bytes(), (3 + 2) * 4);
+    }
+}

@@ -1,0 +1,566 @@
+//! The exact gap-affine WaveFront Alignment algorithm (paper §2.3, Eq. 3/4).
+//!
+//! WFA computes the same optimal score and alignment as Smith-Waterman-Gotoh
+//! but visits only `O(n*s)` cells: for each score `s` (in increasing order) it
+//! keeps, per diagonal `k`, the farthest DP cell reachable with exactly that
+//! score, then alternates two operators:
+//!
+//! * `extend()` — advance each M offset along its diagonal while bases match
+//!   (matches are free, so the farthest cell of the same score moves);
+//! * `compute()` — build the next score's wavefronts from the wavefronts at
+//!   `s - x`, `s - o - e`, and `s - e` (Eq. 3).
+//!
+//! The iteration stops when the wavefront reaches the cell `(n, m)`.
+
+use crate::adaptive::{reduce_wavefront, AdaptiveParams};
+use crate::backtrace;
+use crate::cigar::Cigar;
+use crate::penalties::Penalties;
+use crate::wavefront::{offset_is_valid, Wavefront, WavefrontSet, OFFSET_NULL};
+
+/// Options controlling a WFA run.
+#[derive(Debug, Clone, Copy)]
+pub struct WfaOptions {
+    /// Penalty model.
+    pub penalties: Penalties,
+    /// Keep all wavefronts and produce a CIGAR (otherwise score-only with
+    /// bounded memory, like the accelerator with backtrace disabled).
+    pub compute_cigar: bool,
+    /// Abort if the score exceeds this limit (models the hardware
+    /// `Score_max = 2*k_max + 4`, Eq. 6). `None` = unbounded.
+    pub score_limit: Option<u32>,
+    /// Clamp wavefronts to diagonals `-band..=band` (models the hardware
+    /// `k_max` storage bound). `None` = unbounded.
+    pub band: Option<i32>,
+    /// Heuristic wavefront reduction (WFA-adaptive). `None` = exact.
+    pub adaptive: Option<AdaptiveParams>,
+}
+
+impl WfaOptions {
+    /// Exact, unbounded alignment with a CIGAR.
+    pub fn exact(penalties: Penalties) -> Self {
+        WfaOptions {
+            penalties,
+            compute_cigar: true,
+            score_limit: None,
+            band: None,
+            adaptive: None,
+        }
+    }
+
+    /// Score-only (bounded-memory) exact alignment.
+    pub fn score_only(penalties: Penalties) -> Self {
+        WfaOptions {
+            compute_cigar: false,
+            ..Self::exact(penalties)
+        }
+    }
+
+    /// Hardware-like configuration: score limit from `k_max` via Eq. 6 and
+    /// banded wavefront storage.
+    pub fn hardware(penalties: Penalties, k_max: u32) -> Self {
+        WfaOptions {
+            penalties,
+            compute_cigar: false,
+            score_limit: Some(Penalties::hardware_score_max(k_max)),
+            band: Some(k_max as i32),
+            adaptive: None,
+        }
+    }
+}
+
+impl Default for WfaOptions {
+    fn default() -> Self {
+        Self::exact(Penalties::default())
+    }
+}
+
+/// Work statistics of a WFA run — the basis for the CPU cycle models and for
+/// CUPS accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WfaStats {
+    /// Wavefront component cells computed by `compute()` (M + I + D).
+    pub cells_computed: u64,
+    /// Base comparisons performed by `extend()` (matches + the terminating
+    /// mismatch where applicable).
+    pub bases_compared: u64,
+    /// Individual diagonal extensions performed.
+    pub extend_calls: u64,
+    /// Scores for which a (non-null) wavefront set exists.
+    pub score_steps: u64,
+    /// Widest wavefront (number of diagonals) seen.
+    pub max_wavefront_len: u64,
+    /// Peak retained wavefront memory in bytes.
+    pub peak_memory_bytes: u64,
+}
+
+/// The result of a WFA alignment.
+#[derive(Debug, Clone)]
+pub struct WfaAlignment {
+    /// Optimal gap-affine score (exact, equal to SWG).
+    pub score: u32,
+    /// Optimal transcript (present iff `compute_cigar` was set).
+    pub cigar: Option<Cigar>,
+    /// Work statistics.
+    pub stats: WfaStats,
+}
+
+/// WFA failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WfaError {
+    /// The optimal score exceeds the configured `score_limit` (the hardware
+    /// sets `Success = 0` in this case).
+    ScoreLimitExceeded { limit: u32 },
+    /// The alignment needs diagonals beyond the configured band; with banded
+    /// storage the end diagonal can be unreachable.
+    BandExceeded { band: i32, needed: i32 },
+    /// Invalid penalties.
+    BadPenalties(crate::penalties::PenaltyError),
+}
+
+impl std::fmt::Display for WfaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WfaError::ScoreLimitExceeded { limit } => {
+                write!(f, "alignment score exceeds the configured limit {limit}")
+            }
+            WfaError::BandExceeded { band, needed } => {
+                write!(f, "end diagonal {needed} outside the configured band ±{band}")
+            }
+            WfaError::BadPenalties(e) => write!(f, "invalid penalties: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WfaError {}
+
+/// Validate a candidate offset for diagonal `k` against the DP-matrix bounds:
+/// the cell `(i, j) = (offset - k, offset)` must lie inside the matrix.
+#[inline]
+pub fn validated_offset(off: i32, k: i32, n: i32, m: i32) -> i32 {
+    if !offset_is_valid(off) {
+        return OFFSET_NULL;
+    }
+    let j = off;
+    let i = off - k;
+    if j < 0 || j > m || i < 0 || i > n {
+        OFFSET_NULL
+    } else {
+        off
+    }
+}
+
+/// Eq. 3, insertion component: `I[s][k] = max(M[s-o-e][k-1], I[s-e][k-1]) + 1`.
+///
+/// Each candidate is bounds-validated *before* the max: a larger source
+/// offset whose successor cell falls outside the matrix must not shadow a
+/// smaller one whose successor is valid (this matters at the right/bottom
+/// matrix edges).
+#[inline]
+pub fn compute_cell_i(m_open: i32, i_ext: i32, k: i32, n: i32, m: i32) -> i32 {
+    let open = if offset_is_valid(m_open) {
+        validated_offset(m_open + 1, k, n, m)
+    } else {
+        OFFSET_NULL
+    };
+    let ext = if offset_is_valid(i_ext) {
+        validated_offset(i_ext + 1, k, n, m)
+    } else {
+        OFFSET_NULL
+    };
+    open.max(ext)
+}
+
+/// Eq. 3, deletion component: `D[s][k] = max(M[s-o-e][k+1], D[s-e][k+1])`.
+/// Candidates validate before the max, as in [`compute_cell_i`].
+#[inline]
+pub fn compute_cell_d(m_open: i32, d_ext: i32, k: i32, n: i32, m: i32) -> i32 {
+    let open = if offset_is_valid(m_open) {
+        validated_offset(m_open, k, n, m)
+    } else {
+        OFFSET_NULL
+    };
+    let ext = if offset_is_valid(d_ext) {
+        validated_offset(d_ext, k, n, m)
+    } else {
+        OFFSET_NULL
+    };
+    open.max(ext)
+}
+
+/// Eq. 3, match component: `M[s][k] = max(M[s-x][k] + 1, I[s][k], D[s][k])`.
+#[inline]
+pub fn compute_cell_m(m_sub: i32, i_cur: i32, d_cur: i32, k: i32, n: i32, m: i32) -> i32 {
+    let sub = if offset_is_valid(m_sub) {
+        validated_offset(m_sub + 1, k, n, m)
+    } else {
+        OFFSET_NULL
+    };
+    sub.max(i_cur).max(d_cur)
+}
+
+/// Count matching bases of `a[i..]` vs `b[j..]` (the `extend()` primitive).
+#[inline]
+pub fn extend_matches(a: &[u8], b: &[u8], i: usize, j: usize) -> usize {
+    let mut count = 0;
+    let (sa, sb) = (&a[i..], &b[j..]);
+    let limit = sa.len().min(sb.len());
+    while count < limit && sa[count] == sb[count] {
+        count += 1;
+    }
+    count
+}
+
+/// Align `a` against `b` end-to-end with the exact WFA.
+pub fn wfa_align(a: &[u8], b: &[u8], opts: &WfaOptions) -> Result<WfaAlignment, WfaError> {
+    opts.penalties.validate().map_err(WfaError::BadPenalties)?;
+    let p = opts.penalties;
+    let n = a.len() as i32;
+    let m = b.len() as i32;
+    let k_end = m - n;
+    let target = m;
+
+    if let Some(band) = opts.band {
+        if k_end.abs() > band {
+            return Err(WfaError::BandExceeded {
+                band,
+                needed: k_end,
+            });
+        }
+    }
+
+    // Hard cap: the all-gaps alignment is always available, so the optimal
+    // score can never exceed it.
+    let natural_cap = p.gap_cost(n as u32) as u64 + p.gap_cost(m as u32) as u64;
+    let cap = match opts.score_limit {
+        Some(lim) => (lim as u64).min(natural_cap),
+        None => natural_cap,
+    };
+
+    let lookback = p.x.max(p.o + p.e) as usize;
+
+    let mut stats = WfaStats::default();
+    let mut fronts: Vec<Option<WavefrontSet>> = Vec::new();
+    fronts.push(Some(WavefrontSet {
+        m: Wavefront::initial(),
+        i: None,
+        d: None,
+    }));
+    let mut live_memory: u64 = fronts[0].as_ref().unwrap().memory_bytes() as u64;
+    stats.peak_memory_bytes = live_memory;
+
+    let mut s: usize = 0;
+    loop {
+        // --- extend() + termination check ---
+        if let Some(set) = fronts[s].as_mut() {
+            stats.score_steps += 1;
+            stats.max_wavefront_len = stats.max_wavefront_len.max(set.m.len() as u64);
+            let lo = set.m.lo;
+            for idx in 0..set.m.offsets.len() {
+                let off = set.m.offsets[idx];
+                if !offset_is_valid(off) {
+                    continue;
+                }
+                let k = lo + idx as i32;
+                let i = (off - k) as usize;
+                let j = off as usize;
+                let matches = extend_matches(a, b, i, j);
+                stats.extend_calls += 1;
+                // Count the terminating comparison too when we stopped on a
+                // mismatch inside both sequences.
+                let stopped_inside = i + matches < a.len() && j + matches < b.len();
+                stats.bases_compared += matches as u64 + stopped_inside as u64;
+                set.m.offsets[idx] = off + matches as i32;
+            }
+            if let Some(params) = &opts.adaptive {
+                // Heuristic mode: never prune the terminal cell (checked
+                // below before any source use).
+                if set.m.get(k_end) != target && reduce_wavefront(&mut set.m, n, m, params) > 0 {
+                    // Trim the I/D components to the surviving band so
+                    // future ranges (unions over all components) narrow too.
+                    let (lo, hi) = (set.m.lo, set.m.hi);
+                    if let Some(w) = set.i.as_mut() {
+                        if !w.clamp_range(lo, hi) {
+                            set.i = None;
+                        }
+                    }
+                    if let Some(w) = set.d.as_mut() {
+                        if !w.clamp_range(lo, hi) {
+                            set.d = None;
+                        }
+                    }
+                }
+            }
+            if set.m.get(k_end) == target {
+                let score = s as u32;
+                let cigar = if opts.compute_cigar {
+                    Some(backtrace::backtrace(a, b, &fronts, score, &p))
+                } else {
+                    None
+                };
+                return Ok(WfaAlignment {
+                    score,
+                    cigar,
+                    stats,
+                });
+            }
+        }
+
+        // --- advance the score and compute() the next wavefront set ---
+        s += 1;
+        if s as u64 > cap {
+            return Err(WfaError::ScoreLimitExceeded {
+                limit: opts.score_limit.unwrap_or(cap as u32),
+            });
+        }
+
+        let get = |fronts: &Vec<Option<WavefrontSet>>, back: u32| -> Option<usize> {
+            let back = back as usize;
+            if s >= back && fronts[s - back].is_some() {
+                Some(s - back)
+            } else {
+                None
+            }
+        };
+        let src_sub = get(&fronts, p.x);
+        let src_open = get(&fronts, p.o + p.e);
+        let src_ext = get(&fronts, p.e);
+        // A wavefront for this score exists only if some source exists.
+        if src_sub.is_none() && src_open.is_none() && src_ext.is_none() {
+            fronts.push(None);
+            continue;
+        }
+
+        // New diagonal range: sources widen by one on each side through the
+        // I (k-1 -> k) and D (k+1 -> k) transitions.
+        let mut lo = i32::MAX;
+        let mut hi = i32::MIN;
+        let mut consider = |idx: Option<usize>, fronts: &Vec<Option<WavefrontSet>>| {
+            if let Some(i) = idx {
+                let set = fronts[i].as_ref().unwrap();
+                lo = lo.min(set.m.lo);
+                hi = hi.max(set.m.hi);
+                if let Some(w) = &set.i {
+                    lo = lo.min(w.lo);
+                    hi = hi.max(w.hi);
+                }
+                if let Some(w) = &set.d {
+                    lo = lo.min(w.lo);
+                    hi = hi.max(w.hi);
+                }
+            }
+        };
+        consider(src_sub, &fronts);
+        consider(src_open, &fronts);
+        consider(src_ext, &fronts);
+        let mut lo = lo - 1;
+        let mut hi = hi + 1;
+        if let Some(band) = opts.band {
+            lo = lo.max(-band);
+            hi = hi.min(band);
+            if lo > hi {
+                fronts.push(None);
+                continue;
+            }
+        }
+
+        let mut wi = Wavefront::null_range(lo, hi);
+        let mut wd = Wavefront::null_range(lo, hi);
+        let mut wm = Wavefront::null_range(lo, hi);
+        let mut any_i = false;
+        let mut any_d = false;
+        let mut any_m = false;
+
+        for k in lo..=hi {
+            let m_open = src_open
+                .map(|i| fronts[i].as_ref().unwrap().m.get(k - 1))
+                .unwrap_or(OFFSET_NULL);
+            let i_ext = src_ext
+                .and_then(|i| fronts[i].as_ref().unwrap().i.as_ref().map(|w| w.get(k - 1)))
+                .unwrap_or(OFFSET_NULL);
+            let iv = compute_cell_i(m_open, i_ext, k, n, m);
+
+            let m_open_d = src_open
+                .map(|i| fronts[i].as_ref().unwrap().m.get(k + 1))
+                .unwrap_or(OFFSET_NULL);
+            let d_ext = src_ext
+                .and_then(|i| fronts[i].as_ref().unwrap().d.as_ref().map(|w| w.get(k + 1)))
+                .unwrap_or(OFFSET_NULL);
+            let dv = compute_cell_d(m_open_d, d_ext, k, n, m);
+
+            let m_sub = src_sub
+                .map(|i| fronts[i].as_ref().unwrap().m.get(k))
+                .unwrap_or(OFFSET_NULL);
+            let mv = compute_cell_m(m_sub, iv, dv, k, n, m);
+
+            stats.cells_computed += 3;
+            if offset_is_valid(iv) {
+                wi.set(k, iv);
+                any_i = true;
+            }
+            if offset_is_valid(dv) {
+                wd.set(k, dv);
+                any_d = true;
+            }
+            if offset_is_valid(mv) {
+                wm.set(k, mv);
+                any_m = true;
+            }
+        }
+
+        if !any_m && !any_i && !any_d {
+            fronts.push(None);
+            continue;
+        }
+        let set = WavefrontSet {
+            m: wm,
+            i: any_i.then_some(wi),
+            d: any_d.then_some(wd),
+        };
+        live_memory += set.memory_bytes() as u64;
+        fronts.push(Some(set));
+
+        // Score-only mode: drop wavefronts older than the deepest lookback.
+        if !opts.compute_cigar && s > lookback {
+            if let Some(old) = fronts[s - lookback - 1].take() {
+                live_memory -= old.memory_bytes() as u64;
+            }
+        }
+        stats.peak_memory_bytes = stats.peak_memory_bytes.max(live_memory);
+    }
+}
+
+/// Convenience wrapper: exact alignment with CIGAR under the given penalties.
+pub fn align(a: &[u8], b: &[u8], penalties: Penalties) -> Result<WfaAlignment, WfaError> {
+    wfa_align(a, b, &WfaOptions::exact(penalties))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swg::swg_align;
+
+    const P: Penalties = Penalties::WFASIC_DEFAULT;
+
+    fn check_against_swg(a: &[u8], b: &[u8]) {
+        let wfa = align(a, b, P).unwrap();
+        let swg = swg_align(a, b, &P);
+        assert_eq!(wfa.score as u64, swg.score, "a={:?} b={:?}", a, b);
+        let cigar = wfa.cigar.expect("cigar requested");
+        cigar.check(a, b).unwrap();
+        assert_eq!(cigar.score(&P), wfa.score as u64);
+    }
+
+    #[test]
+    fn identical() {
+        let r = align(b"ACGTACGTAC", b"ACGTACGTAC", P).unwrap();
+        assert_eq!(r.score, 0);
+        assert_eq!(r.cigar.unwrap().to_op_string(), "MMMMMMMMMM");
+    }
+
+    #[test]
+    fn empty_both() {
+        let r = align(b"", b"", P).unwrap();
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn empty_one_side() {
+        check_against_swg(b"", b"ACGT");
+        check_against_swg(b"ACGT", b"");
+    }
+
+    #[test]
+    fn single_base_cases() {
+        check_against_swg(b"A", b"A");
+        check_against_swg(b"A", b"C");
+        check_against_swg(b"A", b"AC");
+        check_against_swg(b"CA", b"A");
+    }
+
+    #[test]
+    fn mismatches_and_gaps() {
+        check_against_swg(b"GATTACA", b"GACTACA");
+        check_against_swg(b"GATTACA", b"GATTTACA");
+        check_against_swg(b"GATTACA", b"GTTACA");
+        check_against_swg(b"AAAAAAAA", b"TTTTTTTT");
+        check_against_swg(b"ACGT", b"TGCA");
+    }
+
+    #[test]
+    fn long_gap_preferred() {
+        check_against_swg(b"AAAA", b"AAAATTTTTTTT");
+        check_against_swg(b"AAAATTTTTTTT", b"AAAA");
+    }
+
+    #[test]
+    fn score_only_matches_full() {
+        let a = b"GATTACAGATTACAGGGCCC";
+        let b = b"GATCACAGAGTTACAGGCCC";
+        let full = align(a, b, P).unwrap();
+        let so = wfa_align(a, b, &WfaOptions::score_only(P)).unwrap();
+        assert_eq!(full.score, so.score);
+        assert!(so.cigar.is_none());
+        // Score-only retains at most lookback+1 wavefronts: less memory.
+        assert!(so.stats.peak_memory_bytes <= full.stats.peak_memory_bytes);
+    }
+
+    #[test]
+    fn score_limit_enforced() {
+        let opts = WfaOptions {
+            score_limit: Some(4),
+            ..WfaOptions::exact(P)
+        };
+        // Needs 2 mismatches (8) > 4.
+        let err = wfa_align(b"AATT", b"TTTTT", &opts).unwrap_err();
+        assert!(matches!(err, WfaError::ScoreLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn band_exceeded_rejects_skewed_lengths() {
+        let opts = WfaOptions {
+            band: Some(2),
+            ..WfaOptions::exact(P)
+        };
+        let err = wfa_align(b"AC", b"ACGTACGT", &opts).unwrap_err();
+        assert!(matches!(err, WfaError::BandExceeded { needed: 6, .. }));
+    }
+
+    #[test]
+    fn hardware_options_align_within_limits() {
+        // k_max = 10 supports scores up to 24: a 3-mismatch alignment fits.
+        let opts = WfaOptions::hardware(P, 10);
+        let r = wfa_align(b"GATTACAGAT", b"GACTACAGTT", &opts).unwrap();
+        let swg = swg_align(b"GATTACAGAT", b"GACTACAGTT", &P);
+        assert_eq!(r.score as u64, swg.score);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let r = align(b"GATTACAGATTACA", b"GACTACAGATTACA", P).unwrap();
+        assert!(r.stats.extend_calls > 0);
+        assert!(r.stats.bases_compared >= 13);
+        assert!(r.stats.score_steps >= 1);
+        assert!(r.stats.peak_memory_bytes > 0);
+        if r.score > 0 {
+            assert!(r.stats.cells_computed > 0);
+        }
+    }
+
+    #[test]
+    fn wfa_visits_far_fewer_cells_than_swg() {
+        // The headline property: O(ns) vs O(n^2).
+        let a: Vec<u8> = (0..400).map(|i| b"ACGT"[i % 4]).collect();
+        let mut b = a.clone();
+        b[101] = b'A'; // a[101] = 'C': one mismatch vs the periodic pattern
+        let wfa = align(&a, &b, P).unwrap();
+        let swg = swg_align(&a, &b, &P);
+        assert_eq!(wfa.score as u64, swg.score);
+        assert!(
+            wfa.stats.cells_computed * 10 < swg.cells_computed,
+            "wfa={} swg={}",
+            wfa.stats.cells_computed,
+            swg.cells_computed
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! The Linux-driver-style API (paper §3/§5.3: "We use a standard Linux
+//! driver and API to configure the WFAsic accelerator").
+//!
+//! [`WfasicDriver`] owns the device and main memory, and exposes the flow
+//! the paper's co-design uses: build the input image, program the
+//! memory-mapped registers over AXI-Lite, start the job, wait (polling Idle
+//! or taking the interrupt), then parse results — including the CPU-side
+//! backtrace when enabled.
+
+use crate::backtrace::{
+    backtrace_alignment, separate_stream, split_consecutive_stream, BtAlignment, BtError,
+};
+use crate::cpu_model::BacktraceCosts;
+use wfa_core::cigar::Cigar;
+use wfasic_accel::device::{RunReport, WfasicDevice};
+use wfasic_accel::regs::offsets;
+use wfasic_accel::schedule::WavefrontSchedule;
+use wfasic_accel::AccelConfig;
+use wfasic_seqio::dataset::round_up_16;
+use wfasic_seqio::generate::Pair;
+use wfasic_seqio::memimage::InputImage;
+use wfasic_soc::bus::AxiLite;
+use wfasic_soc::clock::Cycle;
+use wfasic_soc::mem::MainMemory;
+
+/// Default memory layout for jobs: input image at 1 MiB, results at 16 MiB
+/// (the backing store grows on demand; a modest output base keeps the
+/// simulated-DRAM allocation small for typical jobs).
+const IN_ADDR: u64 = 0x0010_0000;
+const OUT_ADDR: u64 = 0x0100_0000;
+
+/// One alignment's final result as the application sees it.
+#[derive(Debug, Clone)]
+pub struct AlignmentResult {
+    /// Alignment ID.
+    pub id: u32,
+    /// Completed within hardware limits?
+    pub success: bool,
+    /// Alignment score (valid when `success`).
+    pub score: u32,
+    /// CIGAR from the CPU backtrace (when backtrace was enabled and the
+    /// alignment succeeded).
+    pub cigar: Option<Cigar>,
+}
+
+/// The outcome of one submitted job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Per-alignment results, in submission order.
+    pub results: Vec<AlignmentResult>,
+    /// The accelerator's run report (cycles, bus stats, per-pair details).
+    pub report: RunReport,
+    /// AXI-Lite configuration cycles spent by the driver.
+    pub config_cycles: Cycle,
+    /// Modeled CPU cycles for the backtrace step (0 when disabled).
+    pub cpu_backtrace_cycles: Cycle,
+    /// Whether the multi-Aligner data-separation method was used.
+    pub separated: bool,
+}
+
+/// Wait strategy after starting a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitMode {
+    /// Poll the Idle register.
+    PollIdle,
+    /// Enable and take the completion interrupt.
+    Interrupt,
+}
+
+/// The driver: device + memory + policy.
+#[derive(Debug)]
+pub struct WfasicDriver {
+    /// The accelerator.
+    pub device: WfasicDevice,
+    /// Main memory shared between CPU and accelerator.
+    pub mem: MainMemory,
+    /// AXI-Lite timing for register traffic.
+    pub axi_lite: AxiLite,
+    /// CPU backtrace cost model.
+    pub bt_costs: BacktraceCosts,
+    /// Force the data-separation method even with one Aligner (Fig. 11's
+    /// `[Sep]` configurations). Multi-Aligner jobs always separate.
+    pub force_separation: bool,
+    schedule: WavefrontSchedule,
+}
+
+impl WfasicDriver {
+    /// Bring up a device with the given configuration.
+    pub fn new(cfg: AccelConfig) -> Self {
+        let schedule = WavefrontSchedule::for_config(&cfg);
+        WfasicDriver {
+            device: WfasicDevice::new(cfg),
+            mem: MainMemory::with_default_cap(),
+            axi_lite: AxiLite::default(),
+            bt_costs: BacktraceCosts::default(),
+            force_separation: false,
+            schedule,
+        }
+    }
+
+    /// Submit a batch of pairs and run to completion.
+    pub fn submit(&mut self, pairs: &[Pair], backtrace: bool, wait: WaitMode) -> JobResult {
+        let max_read_len = round_up_16(
+            pairs
+                .iter()
+                .map(|p| p.a.len().max(p.b.len()))
+                .max()
+                .unwrap_or(16)
+                .max(16),
+        );
+        // The CPU parses the input and stores it in main memory (Fig. 4
+        // step 1), padding every sequence to MAX_READ_LEN with dummy bases.
+        let img = InputImage::encode_raw(pairs, max_read_len);
+        assert!(
+            IN_ADDR + img.bytes.len() as u64 <= OUT_ADDR,
+            "input image ({} bytes) would overlap the result region; split the batch",
+            img.bytes.len()
+        );
+        self.mem.write(IN_ADDR, &img.bytes);
+
+        // Program the registers over AXI-Lite.
+        let mut writes = 0u64;
+        let mut w = |dev: &mut WfasicDevice, off, val| {
+            dev.mmio_write(off, val);
+            writes += 1;
+        };
+        w(&mut self.device, offsets::BT_ENABLE, backtrace as u64);
+        w(&mut self.device, offsets::MAX_READ_LEN, max_read_len as u64);
+        w(&mut self.device, offsets::IN_ADDR, IN_ADDR);
+        w(&mut self.device, offsets::IN_SIZE, img.bytes.len() as u64);
+        w(&mut self.device, offsets::OUT_ADDR, OUT_ADDR);
+        w(
+            &mut self.device,
+            offsets::IRQ_ENABLE,
+            matches!(wait, WaitMode::Interrupt) as u64,
+        );
+        w(&mut self.device, offsets::START, 1);
+        let config_cycles = self.axi_lite.cycles_for(writes);
+
+        let report = self.device.run(&mut self.mem);
+
+        // Completion: poll Idle or take the interrupt.
+        match wait {
+            WaitMode::PollIdle => {
+                assert_eq!(self.device.mmio_read(offsets::IDLE), 1);
+            }
+            WaitMode::Interrupt => {
+                assert!(report.interrupt_raised);
+                assert_eq!(self.device.mmio_read(offsets::IRQ_PENDING), 1);
+                self.device.mmio_write(offsets::IRQ_PENDING, 0);
+            }
+        }
+
+        let separated = self.force_separation || self.device.cfg.num_aligners > 1;
+        let (results, cpu_backtrace_cycles) = if backtrace {
+            self.parse_bt_results(pairs, &report, separated)
+                .expect("device-produced stream must parse")
+        } else {
+            (self.parse_nbt_results(pairs, &report), 0)
+        };
+
+        JobResult {
+            results,
+            report,
+            config_cycles,
+            cpu_backtrace_cycles,
+            separated,
+        }
+    }
+
+    fn parse_nbt_results(&self, pairs: &[Pair], report: &RunReport) -> Vec<AlignmentResult> {
+        let bytes = self.mem.read(OUT_ADDR, report.output_bytes as usize);
+        let recs = wfasic_accel::collector::parse_nbt_records(&bytes, pairs.len());
+        recs.iter()
+            .zip(pairs)
+            .map(|(rec, pair)| {
+                debug_assert_eq!(rec.id as u32, pair.id & 0xFFFF);
+                AlignmentResult {
+                    id: pair.id,
+                    success: rec.success,
+                    score: rec.score as u32,
+                    cigar: None,
+                }
+            })
+            .collect()
+    }
+
+    fn parse_bt_results(
+        &self,
+        pairs: &[Pair],
+        report: &RunReport,
+        separated: bool,
+    ) -> Result<(Vec<AlignmentResult>, Cycle), BtError> {
+        let bytes = self.mem.read(OUT_ADDR, report.output_bytes as usize);
+        let alignments: Vec<BtAlignment> = if separated {
+            separate_stream(&bytes)?
+        } else {
+            split_consecutive_stream(&bytes)?
+        };
+        let by_id: std::collections::HashMap<u32, &BtAlignment> =
+            alignments.iter().map(|a| (a.id, a)).collect();
+
+        let p = self.device.cfg.penalties;
+        let ps = self.device.cfg.parallel_sections;
+        let mut cycles: Cycle = 0;
+        let mut results = Vec::with_capacity(pairs.len());
+        for pair in pairs {
+            let bt = by_id
+                .get(&(pair.id & 0x7F_FFFF))
+                .ok_or(BtError::TruncatedStream)?;
+            if !bt.record.success {
+                results.push(AlignmentResult {
+                    id: pair.id,
+                    success: false,
+                    score: 0,
+                    cigar: None,
+                });
+                continue;
+            }
+            let cigar = backtrace_alignment(&self.schedule, bt, &pair.a, &pair.b, &p, ps)?;
+            let edits = {
+                let st = cigar.stats();
+                st.edits()
+            };
+            cycles += self.bt_costs.cycles(
+                (bt.txns * 16) as u64,
+                edits,
+                (pair.a.len() + pair.b.len()) as u64,
+                separated,
+            );
+            results.push(AlignmentResult {
+                id: pair.id,
+                success: true,
+                score: bt.record.score as u32,
+                cigar: Some(cigar),
+            });
+        }
+        let _ = report;
+        Ok((results, cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfa_core::{swg_score, Penalties};
+    use wfasic_seqio::dataset::InputSetSpec;
+
+    #[test]
+    fn nbt_job_results_match_software() {
+        let pairs = InputSetSpec { length: 100, error_pct: 10 }.generate(5, 42).pairs;
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        let job = drv.submit(&pairs, false, WaitMode::PollIdle);
+        assert_eq!(job.results.len(), 5);
+        assert!(job.config_cycles > 0);
+        for (res, pair) in job.results.iter().zip(&pairs) {
+            assert!(res.success);
+            assert_eq!(
+                res.score as u64,
+                swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT)
+            );
+            assert!(res.cigar.is_none());
+        }
+    }
+
+    #[test]
+    fn bt_job_produces_valid_cigars() {
+        let pairs = InputSetSpec { length: 100, error_pct: 10 }.generate(4, 7).pairs;
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+        assert!(job.cpu_backtrace_cycles > 0);
+        assert!(!job.separated, "single aligner defaults to no separation");
+        for (res, pair) in job.results.iter().zip(&pairs) {
+            assert!(res.success);
+            let cigar = res.cigar.as_ref().expect("bt job yields cigars");
+            cigar.check(&pair.a, &pair.b).unwrap();
+            assert_eq!(cigar.score(&Penalties::WFASIC_DEFAULT), res.score as u64);
+        }
+    }
+
+    #[test]
+    fn multi_aligner_bt_separates_and_still_works() {
+        let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(6, 3).pairs;
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip().with_aligners(3));
+        let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+        assert!(job.separated);
+        for (res, pair) in job.results.iter().zip(&pairs) {
+            assert!(res.success);
+            res.cigar.as_ref().unwrap().check(&pair.a, &pair.b).unwrap();
+        }
+    }
+
+    #[test]
+    fn forced_separation_single_aligner() {
+        let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(2, 5).pairs;
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        drv.force_separation = true;
+        let sep_job = drv.submit(&pairs, true, WaitMode::PollIdle);
+        assert!(sep_job.separated);
+
+        let mut drv2 = WfasicDriver::new(AccelConfig::wfasic_chip());
+        let nosep_job = drv2.submit(&pairs, true, WaitMode::PollIdle);
+        assert!(
+            sep_job.cpu_backtrace_cycles > nosep_job.cpu_backtrace_cycles,
+            "separation must cost more CPU cycles"
+        );
+        // Same CIGARs either way.
+        for (a, b) in sep_job.results.iter().zip(&nosep_job.results) {
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.cigar, b.cigar);
+        }
+    }
+
+    #[test]
+    fn interrupt_wait_mode() {
+        let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(1, 1).pairs;
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        let job = drv.submit(&pairs, false, WaitMode::Interrupt);
+        assert!(job.report.interrupt_raised);
+        assert_eq!(drv.device.mmio_read(offsets::IRQ_PENDING), 0, "driver cleared the irq");
+    }
+
+    #[test]
+    fn unsupported_pair_flows_through_with_success_false() {
+        let mut pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(3, 8).pairs;
+        pairs[1].b[5] = b'N';
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+        assert!(job.results[0].success);
+        assert!(!job.results[1].success);
+        assert!(job.results[1].cigar.is_none());
+        assert!(job.results[2].success);
+    }
+}

@@ -1,0 +1,23 @@
+//! # wfasic-driver — the CPU side of the co-design
+//!
+//! Everything the paper's Fig. 4 runs on the CPU:
+//!
+//! * [`api`] — the Linux-driver-style interface (register programming over
+//!   AXI-Lite, Start/Idle/interrupt protocol, result parsing);
+//! * [`backtrace`] — the CPU backtrace over the accelerator's origin
+//!   stream: multi-Aligner data separation, single-Aligner no-separation
+//!   boundary detection, the origin walk, and match insertion (§4.5);
+//! * [`cpu_model`] — analytic Sargantana cycle models for the scalar and
+//!   vectorized CPU WFA baselines and the CPU backtrace costs;
+//! * [`codesign`] — end-to-end experiment execution (accelerator + CPU
+//!   phases + baselines) used by every table/figure harness.
+
+pub mod api;
+pub mod backtrace;
+pub mod codesign;
+pub mod cpu_model;
+
+pub use api::{AlignmentResult, JobResult, WaitMode, WfasicDriver};
+pub use backtrace::{backtrace_alignment, BtAlignment, BtError, Edit};
+pub use codesign::{run_experiment, ExperimentResult};
+pub use cpu_model::{software_backtrace_cycles, BacktraceCosts, CpuCosts};

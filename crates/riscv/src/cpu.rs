@@ -1,0 +1,619 @@
+//! RV64IM user-mode machine: executes assembled programs over a flat RAM,
+//! with a Sargantana-like cycle model (in-order 7-stage pipeline, L1I/L1D +
+//! L2 + DRAM from `wfasic-soc`).
+//!
+//! Timing model (per retired instruction):
+//! * 1 base cycle (single-issue, ~1 IPC when everything hits);
+//! * loads/stores add the data-hierarchy latency beyond an L1 hit, plus a
+//!   1-cycle load-use bubble charged statistically;
+//! * taken branches/jumps pay a redirect penalty (no branch predictor in
+//!   the modeled in-order pipeline front-end beyond static not-taken);
+//! * mul 2 extra cycles, div/rem 11 extra (iterative unit);
+//! * instruction fetch goes through the L1I model.
+
+use crate::asm::Program;
+use crate::isa::{AluOp, BranchOp, Instr, LoadOp, MulOp, StoreOp};
+use crate::vector::{VInstr, VecUnit};
+use wfasic_soc::cache::{Cache, MemHierarchy};
+use wfasic_soc::clock::Cycle;
+
+/// Why execution stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stop {
+    /// `ecall` retired; `a0` holds the result by our runtime convention.
+    Ecall,
+    /// `ebreak` retired.
+    Ebreak,
+    /// PC left the program.
+    PcOutOfRange { pc: u64 },
+    /// A memory access left RAM.
+    MemFault { addr: u64 },
+    /// The instruction budget was exhausted (likely an endless loop).
+    OutOfFuel,
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Instructions retired.
+    pub instret: u64,
+    /// Modeled cycles.
+    pub cycles: Cycle,
+    /// Loads and stores executed.
+    pub mem_ops: u64,
+    /// Taken branches/jumps.
+    pub redirects: u64,
+}
+
+/// The machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// Integer registers (x0 hardwired to zero on write).
+    pub regs: [u64; 32],
+    /// Program counter (byte address; instructions at `pc / 4`).
+    pub pc: u64,
+    /// Flat RAM.
+    pub ram: Vec<u8>,
+    /// Execution statistics.
+    pub stats: ExecStats,
+    /// The RVV-subset vector unit (Sargantana's SIMD).
+    pub vec: VecUnit,
+    l1i: Cache,
+    data: MemHierarchy,
+    /// Extra cycles charged for a taken control transfer.
+    pub redirect_penalty: Cycle,
+    /// Extra cycles for mul.
+    pub mul_penalty: Cycle,
+    /// Extra cycles for div/rem.
+    pub div_penalty: Cycle,
+}
+
+impl Machine {
+    /// A machine with `ram_bytes` of RAM and Sargantana-like timing.
+    pub fn new(ram_bytes: usize) -> Self {
+        Machine {
+            regs: [0; 32],
+            pc: 0,
+            ram: vec![0; ram_bytes],
+            stats: ExecStats::default(),
+            vec: VecUnit::default(),
+            l1i: Cache::sargantana_l1i(),
+            data: MemHierarchy::sargantana_data(),
+            redirect_penalty: 2,
+            mul_penalty: 2,
+            div_penalty: 11,
+        }
+    }
+
+    /// Read a register.
+    #[inline]
+    pub fn reg(&self, r: u8) -> u64 {
+        self.regs[r as usize]
+    }
+
+    /// Write a register (x0 ignored).
+    #[inline]
+    pub fn set_reg(&mut self, r: u8, v: u64) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    fn load(&mut self, addr: u64, size: usize) -> Result<u64, Stop> {
+        let a = addr as usize;
+        if a + size > self.ram.len() {
+            return Err(Stop::MemFault { addr });
+        }
+        let mut v: u64 = 0;
+        for (i, &b) in self.ram[a..a + size].iter().enumerate() {
+            v |= (b as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), Stop> {
+        let a = addr as usize;
+        if a + size > self.ram.len() {
+            return Err(Stop::MemFault { addr });
+        }
+        for i in 0..size {
+            self.ram[a + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Run `program` from its start until a stop condition, with an
+    /// instruction budget.
+    pub fn run(&mut self, program: &Program, fuel: u64) -> Stop {
+        self.pc = 0;
+        let n = program.instrs.len() as u64;
+        for _ in 0..fuel {
+            if !self.pc.is_multiple_of(4) || self.pc / 4 >= n {
+                return Stop::PcOutOfRange { pc: self.pc };
+            }
+            let instr = program.instrs[(self.pc / 4) as usize];
+
+            // Fetch timing through the L1I.
+            self.stats.cycles += 1;
+            if !self.l1i.access(self.pc) {
+                self.stats.cycles += 14; // L2 instruction refill
+            }
+
+            match self.step(instr) {
+                Ok(None) => {}
+                Ok(Some(stop)) => {
+                    self.stats.instret += 1;
+                    return stop;
+                }
+                Err(stop) => return stop,
+            }
+            self.stats.instret += 1;
+        }
+        Stop::OutOfFuel
+    }
+
+    /// Execute one instruction; `Ok(Some(stop))` for ecall/ebreak.
+    fn step(&mut self, instr: Instr) -> Result<Option<Stop>, Stop> {
+        use Instr::*;
+        let mut next_pc = self.pc.wrapping_add(4);
+        match instr {
+            Lui { rd, imm } => self.set_reg(rd, imm as u64),
+            Auipc { rd, imm } => self.set_reg(rd, self.pc.wrapping_add(imm as u64)),
+            Jal { rd, offset } => {
+                self.set_reg(rd, self.pc.wrapping_add(4));
+                next_pc = self.pc.wrapping_add(offset as u64);
+                self.stats.cycles += self.redirect_penalty;
+                self.stats.redirects += 1;
+            }
+            Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u64) & !1;
+                self.set_reg(rd, self.pc.wrapping_add(4));
+                next_pc = target;
+                self.stats.cycles += self.redirect_penalty;
+                self.stats.redirects += 1;
+            }
+            Branch { op, rs1, rs2, offset } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let taken = match op {
+                    BranchOp::Eq => a == b,
+                    BranchOp::Ne => a != b,
+                    BranchOp::Lt => (a as i64) < (b as i64),
+                    BranchOp::Ge => (a as i64) >= (b as i64),
+                    BranchOp::Ltu => a < b,
+                    BranchOp::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = self.pc.wrapping_add(offset as u64);
+                    self.stats.cycles += self.redirect_penalty;
+                    self.stats.redirects += 1;
+                }
+            }
+            Load { op, rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u64);
+                self.stats.mem_ops += 1;
+                // Data-side latency beyond the 1-cycle base; L1 hits cost 1
+                // extra (2-cycle load), misses stack the hierarchy.
+                self.stats.cycles += self.data.access(addr).saturating_sub(1);
+                let v = match op {
+                    LoadOp::B => self.load(addr, 1)? as i8 as i64 as u64,
+                    LoadOp::H => self.load(addr, 2)? as i16 as i64 as u64,
+                    LoadOp::W => self.load(addr, 4)? as i32 as i64 as u64,
+                    LoadOp::D => self.load(addr, 8)?,
+                    LoadOp::Bu => self.load(addr, 1)?,
+                    LoadOp::Hu => self.load(addr, 2)?,
+                    LoadOp::Wu => self.load(addr, 4)?,
+                };
+                self.set_reg(rd, v);
+            }
+            Store { op, rs2, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u64);
+                self.stats.mem_ops += 1;
+                self.stats.cycles += self.data.access(addr).saturating_sub(2);
+                let v = self.reg(rs2);
+                match op {
+                    StoreOp::B => self.store(addr, 1, v)?,
+                    StoreOp::H => self.store(addr, 2, v)?,
+                    StoreOp::W => self.store(addr, 4, v)?,
+                    StoreOp::D => self.store(addr, 8, v)?,
+                }
+            }
+            OpImm { op, rd, rs1, imm, word } => {
+                let v = alu(op, self.reg(rs1), imm as u64, word);
+                self.set_reg(rd, v);
+            }
+            Op { op, rd, rs1, rs2, word } => {
+                let v = alu(op, self.reg(rs1), self.reg(rs2), word);
+                self.set_reg(rd, v);
+            }
+            MulDiv { op, rd, rs1, rs2, word } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                self.stats.cycles += match op {
+                    MulOp::Mul | MulOp::Mulh | MulOp::Mulhsu | MulOp::Mulhu => self.mul_penalty,
+                    _ => self.div_penalty,
+                };
+                let v = muldiv(op, a, b, word);
+                self.set_reg(rd, v);
+            }
+            Vector(v) => self.step_vector(v)?,
+            Ecall => return Ok(Some(Stop::Ecall)),
+            Ebreak => return Ok(Some(Stop::Ebreak)),
+            Fence => {}
+        }
+        self.pc = next_pc;
+        Ok(None)
+    }
+
+    /// Execute one vector instruction (one extra cycle for the SIMD unit;
+    /// loads/stores pay the data hierarchy once per touched 16-byte line).
+    fn step_vector(&mut self, v: VInstr) -> Result<(), Stop> {
+        self.stats.cycles += 1;
+        let vl = self.vec.vl;
+        match v {
+            VInstr::Vsetvli { rd, rs1, sew } => {
+                let new_vl = self.vec.setvl(self.reg(rs1), sew);
+                self.set_reg(rd, new_vl);
+            }
+            VInstr::Vle { width, vd, rs1 } => {
+                let base = self.reg(rs1);
+                let elem = (width / 8) as u64;
+                self.stats.mem_ops += 1;
+                self.stats.cycles += self.data.access(base).saturating_sub(1);
+                for i in 0..vl {
+                    let value = self.load(base + elem * i as u64, elem as usize)?;
+                    let signed = match width {
+                        8 => value as i8 as i64,
+                        16 => value as i16 as i64,
+                        32 => value as i32 as i64,
+                        _ => value as i64,
+                    };
+                    self.vec.set_lane(vd, i, signed);
+                }
+            }
+            VInstr::Vse { width, vs3, rs1 } => {
+                let base = self.reg(rs1);
+                let elem = (width / 8) as u64;
+                self.stats.mem_ops += 1;
+                self.stats.cycles += self.data.access(base).saturating_sub(2);
+                for i in 0..vl {
+                    let value = self.vec.lane(vs3, i) as u64;
+                    self.store(base + elem * i as u64, elem as usize, value)?;
+                }
+            }
+            VInstr::VaddVV { vd, vs2, vs1 } => {
+                for i in 0..vl {
+                    let r = self.vec.lane(vs2, i).wrapping_add(self.vec.lane(vs1, i));
+                    self.vec.set_lane(vd, i, r);
+                }
+            }
+            VInstr::VaddVI { vd, vs2, imm } => {
+                for i in 0..vl {
+                    let r = self.vec.lane(vs2, i).wrapping_add(imm as i64);
+                    self.vec.set_lane(vd, i, r);
+                }
+            }
+            VInstr::VaddVX { vd, vs2, rs1 } => {
+                let x = self.reg(rs1) as i64;
+                for i in 0..vl {
+                    let r = self.vec.lane(vs2, i).wrapping_add(x);
+                    self.vec.set_lane(vd, i, r);
+                }
+            }
+            VInstr::VmaxVV { vd, vs2, vs1 } => {
+                for i in 0..vl {
+                    let r = self.vec.lane(vs2, i).max(self.vec.lane(vs1, i));
+                    self.vec.set_lane(vd, i, r);
+                }
+            }
+            VInstr::VmseqVV { vd, vs2, vs1 } => {
+                for i in 0..vl {
+                    let bit = self.vec.lane(vs2, i) == self.vec.lane(vs1, i);
+                    self.vec.set_mask_bit(vd, i, bit);
+                }
+            }
+            VInstr::VmsneVV { vd, vs2, vs1 } => {
+                for i in 0..vl {
+                    let bit = self.vec.lane(vs2, i) != self.vec.lane(vs1, i);
+                    self.vec.set_mask_bit(vd, i, bit);
+                }
+            }
+            VInstr::VmsltVX { vd, vs2, rs1 } => {
+                let x = self.reg(rs1) as i64;
+                for i in 0..vl {
+                    let bit = self.vec.lane(vs2, i) < x;
+                    self.vec.set_mask_bit(vd, i, bit);
+                }
+            }
+            VInstr::VmsgtVX { vd, vs2, rs1 } => {
+                let x = self.reg(rs1) as i64;
+                for i in 0..vl {
+                    let bit = self.vec.lane(vs2, i) > x;
+                    self.vec.set_mask_bit(vd, i, bit);
+                }
+            }
+            VInstr::VmergeVXM { vd, vs2, rs1 } => {
+                let x = self.reg(rs1) as i64;
+                for i in 0..vl {
+                    let r = if self.vec.mask_bit(0, i) { x } else { self.vec.lane(vs2, i) };
+                    self.vec.set_lane(vd, i, r);
+                }
+            }
+            VInstr::VmvVX { vd, rs1 } => {
+                let x = self.reg(rs1) as i64;
+                for i in 0..vl {
+                    self.vec.set_lane(vd, i, x);
+                }
+            }
+            VInstr::VfirstM { rd, vs2 } => {
+                let mut first: i64 = -1;
+                for i in 0..vl {
+                    if self.vec.mask_bit(vs2, i) {
+                        first = i as i64;
+                        break;
+                    }
+                }
+                self.set_reg(rd, first as u64);
+            }
+            VInstr::VidV { vd } => {
+                for i in 0..vl {
+                    self.vec.set_lane(vd, i, i as i64);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn alu(op: AluOp, a: u64, b: u64, word: bool) -> u64 {
+    let v = match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => {
+            if word {
+                a.wrapping_shl((b & 0x1F) as u32)
+            } else {
+                a.wrapping_shl((b & 0x3F) as u32)
+            }
+        }
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Sltu => (a < b) as u64,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => {
+            if word {
+                ((a as u32) >> (b & 0x1F)) as u64
+            } else {
+                a >> (b & 0x3F)
+            }
+        }
+        AluOp::Sra => {
+            if word {
+                ((a as i32) >> (b & 0x1F)) as i64 as u64
+            } else {
+                ((a as i64) >> (b & 0x3F)) as u64
+            }
+        }
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    };
+    if word {
+        v as i32 as i64 as u64
+    } else {
+        v
+    }
+}
+
+// RISC-V division semantics (div-by-zero yields all-ones / the dividend)
+// are spelled out explicitly rather than via checked_div.
+#[allow(clippy::manual_checked_ops)]
+fn muldiv(op: MulOp, a: u64, b: u64, word: bool) -> u64 {
+    if word {
+        let (a, b) = (a as i32, b as i32);
+        let v: i32 = match op {
+            MulOp::Mul => a.wrapping_mul(b),
+            MulOp::Div => {
+                if b == 0 {
+                    -1
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            MulOp::Divu => {
+                if b == 0 {
+                    -1
+                } else {
+                    ((a as u32) / (b as u32)) as i32
+                }
+            }
+            MulOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            MulOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    ((a as u32) % (b as u32)) as i32
+                }
+            }
+            _ => unreachable!("mulh* have no word form"),
+        };
+        v as i64 as u64
+    } else {
+        match op {
+            MulOp::Mul => a.wrapping_mul(b),
+            MulOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+            MulOp::Mulhsu => (((a as i64 as i128) * (b as u128 as i128)) >> 64) as u64,
+            MulOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+            MulOp::Div => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    ((a as i64).wrapping_div(b as i64)) as u64
+                }
+            }
+            MulOp::Divu => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a / b
+                }
+            }
+            MulOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    ((a as i64).wrapping_rem(b as i64)) as u64
+                }
+            }
+            MulOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(text: &str) -> (Machine, Stop) {
+        let p = assemble(text).unwrap();
+        let mut m = Machine::new(1 << 20);
+        let stop = m.run(&p, 10_000_000);
+        (m, stop)
+    }
+
+    #[test]
+    fn arithmetic_smoke() {
+        let (m, stop) = run("  li a0, 5\n  li a1, 7\n  add a0, a0, a1\n  ecall\n");
+        assert_eq!(stop, Stop::Ecall);
+        assert_eq!(m.reg(10), 12);
+        assert_eq!(m.stats.instret, 4);
+    }
+
+    #[test]
+    fn loop_sum_1_to_100() {
+        let (m, stop) = run(
+            "  li t0, 100\n  li a0, 0\nloop:\n  add a0, a0, t0\n  addi t0, t0, -1\n  bnez t0, loop\n  ecall\n",
+        );
+        assert_eq!(stop, Stop::Ecall);
+        assert_eq!(m.reg(10), 5050);
+        assert!(m.stats.cycles > m.stats.instret, "taken branches cost extra");
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let (m, stop) = run(
+            "  li t0, 0x1000\n  li t1, -2\n  sw t1, 0(t0)\n  lw a0, 0(t0)\n  lwu a1, 0(t0)\n  lb a2, 0(t0)\n  lbu a3, 0(t0)\n  ecall\n",
+        );
+        assert_eq!(stop, Stop::Ecall);
+        assert_eq!(m.reg(10) as i64, -2);
+        assert_eq!(m.reg(11), 0xFFFF_FFFE);
+        assert_eq!(m.reg(12) as i64, -2);
+        assert_eq!(m.reg(13), 0xFE);
+    }
+
+    #[test]
+    fn word_ops_sign_extend() {
+        let (m, _) = run("  li a0, 0x7FFFFFFF\n  addiw a0, a0, 1\n  ecall\n");
+        assert_eq!(m.reg(10) as i64, i32::MIN as i64);
+        let (m, _) = run("  li a0, -8\n  li a1, 2\n  divw a2, a0, a1\n  remw a3, a0, a1\n  ecall\n");
+        assert_eq!(m.reg(12) as i64, -4);
+        assert_eq!(m.reg(13) as i64, 0);
+    }
+
+    #[test]
+    fn division_by_zero_riscv_semantics() {
+        let (m, _) = run("  li a0, 42\n  li a1, 0\n  div a2, a0, a1\n  rem a3, a0, a1\n  ecall\n");
+        assert_eq!(m.reg(12), u64::MAX);
+        assert_eq!(m.reg(13), 42);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let (m, stop) = run(
+            "  li a0, 10\n  call double\n  ecall\ndouble:\n  slli a0, a0, 1\n  ret\n",
+        );
+        assert_eq!(stop, Stop::Ecall);
+        assert_eq!(m.reg(10), 20);
+    }
+
+    #[test]
+    fn fibonacci_iterative() {
+        let (m, stop) = run(
+            "
+  li t0, 20      # n
+  li a0, 0       # fib(0)
+  li a1, 1       # fib(1)
+fib:
+  beqz t0, done
+  add t1, a0, a1
+  mv a0, a1
+  mv a1, t1
+  addi t0, t0, -1
+  j fib
+done:
+  ecall
+",
+        );
+        assert_eq!(stop, Stop::Ecall);
+        assert_eq!(m.reg(10), 6765);
+    }
+
+    #[test]
+    fn memcpy_kernel() {
+        let text = "
+  li t0, 0x1000   # src
+  li t1, 0x2000   # dst
+  li t2, 64       # len
+copy:
+  beqz t2, done
+  lbu t3, (t0)
+  sb t3, (t1)
+  addi t0, t0, 1
+  addi t1, t1, 1
+  addi t2, t2, -1
+  j copy
+done:
+  ecall
+";
+        let p = assemble(text).unwrap();
+        let mut m = Machine::new(1 << 20);
+        for i in 0..64u8 {
+            m.ram[0x1000 + i as usize] = i.wrapping_mul(7);
+        }
+        let stop = m.run(&p, 1_000_000);
+        assert_eq!(stop, Stop::Ecall);
+        for i in 0..64u8 {
+            assert_eq!(m.ram[0x2000 + i as usize], i.wrapping_mul(7));
+        }
+    }
+
+    #[test]
+    fn fuel_stops_infinite_loops() {
+        let (_, stop) = run("spin:\n  j spin\n");
+        assert_eq!(stop, Stop::OutOfFuel);
+    }
+
+    #[test]
+    fn mem_fault_detected() {
+        let (_, stop) = run("  li t0, 0x7FFFFFFF\n  lw a0, 0(t0)\n  ecall\n");
+        assert!(matches!(stop, Stop::MemFault { .. }));
+    }
+
+    #[test]
+    fn cycles_exceed_instret_with_memory_traffic() {
+        let (m, _) = run(
+            "  li t0, 0\n  li t1, 0x100000\nwr:\n  sd t0, 0(t0)\n  addi t0, t0, 4096\n  blt t0, t1, wr\n  ecall\n",
+        );
+        // Page-stride stores: every access misses all the way to DRAM.
+        assert!(m.stats.cycles > m.stats.instret * 10);
+    }
+}

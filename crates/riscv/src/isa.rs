@@ -1,0 +1,485 @@
+//! RV64IM instruction set: typed instructions plus binary encode/decode.
+//!
+//! The SoC's CPU (Sargantana) implements RV64G; the WFA kernels only need
+//! the integer base and the M extension, so that is what the interpreter
+//! supports. Encoding follows the standard R/I/S/B/U/J formats, giving the
+//! assembler → encoder → decoder → executor pipeline real 32-bit RISC-V
+//! words to chew on (and property tests a round-trip invariant).
+
+/// A register index (x0..x31).
+pub type Reg = u8;
+
+/// Branch comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchOp {
+    /// beq
+    Eq,
+    /// bne
+    Ne,
+    /// blt
+    Lt,
+    /// bge
+    Ge,
+    /// bltu
+    Ltu,
+    /// bgeu
+    Geu,
+}
+
+/// Load widths/signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOp {
+    /// lb
+    B,
+    /// lh
+    H,
+    /// lw
+    W,
+    /// ld
+    D,
+    /// lbu
+    Bu,
+    /// lhu
+    Hu,
+    /// lwu
+    Wu,
+}
+
+/// Store widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// sb
+    B,
+    /// sh
+    H,
+    /// sw
+    W,
+    /// sd
+    D,
+}
+
+/// Integer ALU operations (register and immediate forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// add / addi
+    Add,
+    /// sub (register form only)
+    Sub,
+    /// sll / slli
+    Sll,
+    /// slt / slti
+    Slt,
+    /// sltu / sltiu
+    Sltu,
+    /// xor / xori
+    Xor,
+    /// srl / srli
+    Srl,
+    /// sra / srai
+    Sra,
+    /// or / ori
+    Or,
+    /// and / andi
+    And,
+}
+
+/// M-extension operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulOp {
+    /// mul
+    Mul,
+    /// mulh
+    Mulh,
+    /// mulhsu
+    Mulhsu,
+    /// mulhu
+    Mulhu,
+    /// div
+    Div,
+    /// divu
+    Divu,
+    /// rem
+    Rem,
+    /// remu
+    Remu,
+}
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// lui rd, imm (imm is the full sign-extended value, low 12 bits zero).
+    Lui { rd: Reg, imm: i64 },
+    /// auipc rd, imm.
+    Auipc { rd: Reg, imm: i64 },
+    /// jal rd, byte offset.
+    Jal { rd: Reg, offset: i64 },
+    /// jalr rd, offset(rs1).
+    Jalr { rd: Reg, rs1: Reg, offset: i64 },
+    /// Conditional branch by byte offset.
+    Branch { op: BranchOp, rs1: Reg, rs2: Reg, offset: i64 },
+    /// Load rd <- [rs1 + offset].
+    Load { op: LoadOp, rd: Reg, rs1: Reg, offset: i64 },
+    /// Store [rs1 + offset] <- rs2.
+    Store { op: StoreOp, rs2: Reg, rs1: Reg, offset: i64 },
+    /// ALU with immediate; `word` selects the *W (32-bit) form.
+    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i64, word: bool },
+    /// ALU register-register; `word` selects the *W form.
+    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg, word: bool },
+    /// M extension; `word` selects mulw/divw/divuw/remw/remuw.
+    MulDiv { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg, word: bool },
+    /// A vector instruction (the RVV subset in [`crate::vector`]).
+    Vector(crate::vector::VInstr),
+    /// Environment call (the runtime's halt).
+    Ecall,
+    /// Breakpoint (treated as a trap).
+    Ebreak,
+    /// Memory fence (a timing no-op here).
+    Fence,
+}
+
+fn enc_r(funct7: u32, rs2: Reg, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    (funct7 << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn enc_i(imm: i64, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "I-imm out of range: {imm}");
+    (((imm as u32) & 0xFFF) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn enc_s(imm: i64, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "S-imm out of range: {imm}");
+    let imm = (imm as u32) & 0xFFF;
+    ((imm >> 5) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+}
+
+fn enc_b(imm: i64, rs2: Reg, rs1: Reg, funct3: u32) -> u32 {
+    debug_assert!(imm % 2 == 0 && (-4096..=4094).contains(&imm), "B-imm: {imm}");
+    let imm = (imm as u32) & 0x1FFF;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | 0b1100011
+}
+
+fn enc_j(imm: i64, rd: Reg) -> u32 {
+    debug_assert!(imm % 2 == 0 && (-(1 << 20)..(1 << 20)).contains(&imm), "J-imm: {imm}");
+    let imm = (imm as u32) & 0x1F_FFFF;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | ((rd as u32) << 7)
+        | 0b1101111
+}
+
+impl Instr {
+    /// Encode to the 32-bit instruction word.
+    pub fn encode(&self) -> u32 {
+        use Instr::*;
+        match *self {
+            Lui { rd, imm } => (((imm as u32) >> 12) << 12) | ((rd as u32) << 7) | 0b0110111,
+            Auipc { rd, imm } => (((imm as u32) >> 12) << 12) | ((rd as u32) << 7) | 0b0010111,
+            Jal { rd, offset } => enc_j(offset, rd),
+            Jalr { rd, rs1, offset } => enc_i(offset, rs1, 0, rd, 0b1100111),
+            Branch { op, rs1, rs2, offset } => {
+                let f3 = match op {
+                    BranchOp::Eq => 0b000,
+                    BranchOp::Ne => 0b001,
+                    BranchOp::Lt => 0b100,
+                    BranchOp::Ge => 0b101,
+                    BranchOp::Ltu => 0b110,
+                    BranchOp::Geu => 0b111,
+                };
+                enc_b(offset, rs2, rs1, f3)
+            }
+            Load { op, rd, rs1, offset } => {
+                let f3 = match op {
+                    LoadOp::B => 0b000,
+                    LoadOp::H => 0b001,
+                    LoadOp::W => 0b010,
+                    LoadOp::D => 0b011,
+                    LoadOp::Bu => 0b100,
+                    LoadOp::Hu => 0b101,
+                    LoadOp::Wu => 0b110,
+                };
+                enc_i(offset, rs1, f3, rd, 0b0000011)
+            }
+            Store { op, rs2, rs1, offset } => {
+                let f3 = match op {
+                    StoreOp::B => 0b000,
+                    StoreOp::H => 0b001,
+                    StoreOp::W => 0b010,
+                    StoreOp::D => 0b011,
+                };
+                enc_s(offset, rs2, rs1, f3, 0b0100011)
+            }
+            OpImm { op, rd, rs1, imm, word } => {
+                let opcode = if word { 0b0011011 } else { 0b0010011 };
+                let shamt_mask: i64 = if word { 0x1F } else { 0x3F };
+                match op {
+                    AluOp::Add => enc_i(imm, rs1, 0b000, rd, opcode),
+                    AluOp::Slt => enc_i(imm, rs1, 0b010, rd, opcode),
+                    AluOp::Sltu => enc_i(imm, rs1, 0b011, rd, opcode),
+                    AluOp::Xor => enc_i(imm, rs1, 0b100, rd, opcode),
+                    AluOp::Or => enc_i(imm, rs1, 0b110, rd, opcode),
+                    AluOp::And => enc_i(imm, rs1, 0b111, rd, opcode),
+                    AluOp::Sll => enc_i(imm & shamt_mask, rs1, 0b001, rd, opcode),
+                    AluOp::Srl => enc_i(imm & shamt_mask, rs1, 0b101, rd, opcode),
+                    AluOp::Sra => enc_i((imm & shamt_mask) | 0x400, rs1, 0b101, rd, opcode),
+                    AluOp::Sub => unreachable!("subi does not exist"),
+                }
+            }
+            Op { op, rd, rs1, rs2, word } => {
+                let opcode = if word { 0b0111011 } else { 0b0110011 };
+                let (f7, f3) = match op {
+                    AluOp::Add => (0b0000000, 0b000),
+                    AluOp::Sub => (0b0100000, 0b000),
+                    AluOp::Sll => (0b0000000, 0b001),
+                    AluOp::Slt => (0b0000000, 0b010),
+                    AluOp::Sltu => (0b0000000, 0b011),
+                    AluOp::Xor => (0b0000000, 0b100),
+                    AluOp::Srl => (0b0000000, 0b101),
+                    AluOp::Sra => (0b0100000, 0b101),
+                    AluOp::Or => (0b0000000, 0b110),
+                    AluOp::And => (0b0000000, 0b111),
+                };
+                enc_r(f7, rs2, rs1, f3, rd, opcode)
+            }
+            MulDiv { op, rd, rs1, rs2, word } => {
+                let opcode = if word { 0b0111011 } else { 0b0110011 };
+                let f3 = match op {
+                    MulOp::Mul => 0b000,
+                    MulOp::Mulh => 0b001,
+                    MulOp::Mulhsu => 0b010,
+                    MulOp::Mulhu => 0b011,
+                    MulOp::Div => 0b100,
+                    MulOp::Divu => 0b101,
+                    MulOp::Rem => 0b110,
+                    MulOp::Remu => 0b111,
+                };
+                enc_r(0b0000001, rs2, rs1, f3, rd, opcode)
+            }
+            Vector(v) => v.encode(),
+            Ecall => 0x0000_0073,
+            Ebreak => 0x0010_0073,
+            Fence => 0x0000_000F,
+        }
+    }
+
+    /// Decode a 32-bit instruction word.
+    pub fn decode(word: u32) -> Option<Instr> {
+        let opcode = word & 0x7F;
+        let rd = ((word >> 7) & 0x1F) as Reg;
+        let rs1 = ((word >> 15) & 0x1F) as Reg;
+        let rs2 = ((word >> 20) & 0x1F) as Reg;
+        let f3 = (word >> 12) & 0x7;
+        let f7 = (word >> 25) & 0x7F;
+        let imm_i = ((word as i32) >> 20) as i64;
+        let imm_s = ((((word as i32) >> 25) << 5) | (((word >> 7) & 0x1F) as i32)) as i64;
+        let imm_b = {
+            let b12 = (word >> 31) & 1;
+            let b11 = (word >> 7) & 1;
+            let b10_5 = (word >> 25) & 0x3F;
+            let b4_1 = (word >> 8) & 0xF;
+            let v = (b12 << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1);
+            ((v as i32) << 19 >> 19) as i64
+        };
+        let imm_j = {
+            let b20 = (word >> 31) & 1;
+            let b19_12 = (word >> 12) & 0xFF;
+            let b11 = (word >> 20) & 1;
+            let b10_1 = (word >> 21) & 0x3FF;
+            let v = (b20 << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1);
+            ((v as i32) << 11 >> 11) as i64
+        };
+        let imm_u = ((word & 0xFFFF_F000) as i32) as i64;
+
+        Some(match opcode {
+            0b0110111 => Instr::Lui { rd, imm: imm_u },
+            0b0010111 => Instr::Auipc { rd, imm: imm_u },
+            0b1101111 => Instr::Jal { rd, offset: imm_j },
+            0b1100111 if f3 == 0 => Instr::Jalr { rd, rs1, offset: imm_i },
+            0b1100011 => {
+                let op = match f3 {
+                    0b000 => BranchOp::Eq,
+                    0b001 => BranchOp::Ne,
+                    0b100 => BranchOp::Lt,
+                    0b101 => BranchOp::Ge,
+                    0b110 => BranchOp::Ltu,
+                    0b111 => BranchOp::Geu,
+                    _ => return None,
+                };
+                Instr::Branch { op, rs1, rs2, offset: imm_b }
+            }
+            0b0000011 => {
+                let op = match f3 {
+                    0b000 => LoadOp::B,
+                    0b001 => LoadOp::H,
+                    0b010 => LoadOp::W,
+                    0b011 => LoadOp::D,
+                    0b100 => LoadOp::Bu,
+                    0b101 => LoadOp::Hu,
+                    0b110 => LoadOp::Wu,
+                    _ => return None,
+                };
+                Instr::Load { op, rd, rs1, offset: imm_i }
+            }
+            0b0100011 => {
+                let op = match f3 {
+                    0b000 => StoreOp::B,
+                    0b001 => StoreOp::H,
+                    0b010 => StoreOp::W,
+                    0b011 => StoreOp::D,
+                    _ => return None,
+                };
+                Instr::Store { op, rs2, rs1, offset: imm_s }
+            }
+            0b0010011 | 0b0011011 => {
+                let word_form = opcode == 0b0011011;
+                let shamt = if word_form { imm_i & 0x1F } else { imm_i & 0x3F };
+                let op = match f3 {
+                    0b000 => return Some(Instr::OpImm { op: AluOp::Add, rd, rs1, imm: imm_i, word: word_form }),
+                    0b010 => return Some(Instr::OpImm { op: AluOp::Slt, rd, rs1, imm: imm_i, word: word_form }),
+                    0b011 => return Some(Instr::OpImm { op: AluOp::Sltu, rd, rs1, imm: imm_i, word: word_form }),
+                    0b100 => return Some(Instr::OpImm { op: AluOp::Xor, rd, rs1, imm: imm_i, word: word_form }),
+                    0b110 => return Some(Instr::OpImm { op: AluOp::Or, rd, rs1, imm: imm_i, word: word_form }),
+                    0b111 => return Some(Instr::OpImm { op: AluOp::And, rd, rs1, imm: imm_i, word: word_form }),
+                    0b001 => AluOp::Sll,
+                    0b101 => {
+                        if (imm_i >> 10) & 1 == 1 {
+                            AluOp::Sra
+                        } else {
+                            AluOp::Srl
+                        }
+                    }
+                    _ => return None,
+                };
+                Instr::OpImm { op, rd, rs1, imm: shamt, word: word_form }
+            }
+            0b0110011 | 0b0111011 => {
+                let word_form = opcode == 0b0111011;
+                if f7 == 0b0000001 {
+                    let op = match f3 {
+                        0b000 => MulOp::Mul,
+                        0b001 => MulOp::Mulh,
+                        0b010 => MulOp::Mulhsu,
+                        0b011 => MulOp::Mulhu,
+                        0b100 => MulOp::Div,
+                        0b101 => MulOp::Divu,
+                        0b110 => MulOp::Rem,
+                        0b111 => MulOp::Remu,
+                        _ => return None,
+                    };
+                    Instr::MulDiv { op, rd, rs1, rs2, word: word_form }
+                } else {
+                    let op = match (f7, f3) {
+                        (0b0000000, 0b000) => AluOp::Add,
+                        (0b0100000, 0b000) => AluOp::Sub,
+                        (0b0000000, 0b001) => AluOp::Sll,
+                        (0b0000000, 0b010) => AluOp::Slt,
+                        (0b0000000, 0b011) => AluOp::Sltu,
+                        (0b0000000, 0b100) => AluOp::Xor,
+                        (0b0000000, 0b101) => AluOp::Srl,
+                        (0b0100000, 0b101) => AluOp::Sra,
+                        (0b0000000, 0b110) => AluOp::Or,
+                        (0b0000000, 0b111) => AluOp::And,
+                        _ => return None,
+                    };
+                    Instr::Op { op, rd, rs1, rs2, word: word_form }
+                }
+            }
+            0b1110011 => match word >> 20 {
+                0 => Instr::Ecall,
+                1 => Instr::Ebreak,
+                _ => return None,
+            },
+            0b0001111 => Instr::Fence,
+            0b1010111 | 0b0000111 | 0b0100111 => {
+                Instr::Vector(crate::vector::VInstr::decode(word)?)
+            }
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instr) {
+        let enc = i.encode();
+        let dec = Instr::decode(enc).unwrap_or_else(|| panic!("decode failed for {i:?}"));
+        assert_eq!(dec, i, "encoding 0x{enc:08x}");
+    }
+
+    #[test]
+    fn known_encodings() {
+        // addi x1, x0, 42 => 0x02A00093
+        assert_eq!(
+            Instr::OpImm { op: AluOp::Add, rd: 1, rs1: 0, imm: 42, word: false }.encode(),
+            0x02A0_0093
+        );
+        // add x3, x1, x2 => 0x002081B3
+        assert_eq!(
+            Instr::Op { op: AluOp::Add, rd: 3, rs1: 1, rs2: 2, word: false }.encode(),
+            0x0020_81B3
+        );
+        // ecall
+        assert_eq!(Instr::Ecall.encode(), 0x0000_0073);
+        // lui x5, 0x12345000
+        assert_eq!(Instr::Lui { rd: 5, imm: 0x1234_5000 }.encode(), 0x1234_52B7);
+    }
+
+    #[test]
+    fn roundtrip_representative_set() {
+        let cases = vec![
+            Instr::Lui { rd: 10, imm: -4096 },
+            Instr::Auipc { rd: 1, imm: 0x7FFF_F000 },
+            Instr::Jal { rd: 1, offset: -2048 },
+            Instr::Jal { rd: 0, offset: 1 << 19 },
+            Instr::Jalr { rd: 0, rs1: 1, offset: 0 },
+            Instr::Branch { op: BranchOp::Ltu, rs1: 5, rs2: 6, offset: -4096 },
+            Instr::Branch { op: BranchOp::Ge, rs1: 31, rs2: 0, offset: 4094 },
+            Instr::Load { op: LoadOp::Bu, rd: 7, rs1: 8, offset: -1 },
+            Instr::Load { op: LoadOp::D, rd: 9, rs1: 2, offset: 2047 },
+            Instr::Store { op: StoreOp::W, rs2: 3, rs1: 4, offset: -2048 },
+            Instr::OpImm { op: AluOp::Sra, rd: 1, rs1: 2, imm: 63, word: false },
+            Instr::OpImm { op: AluOp::Sll, rd: 1, rs1: 2, imm: 31, word: true },
+            Instr::OpImm { op: AluOp::Xor, rd: 1, rs1: 2, imm: -1, word: false },
+            Instr::Op { op: AluOp::Sub, rd: 1, rs1: 2, rs2: 3, word: true },
+            Instr::Op { op: AluOp::Sltu, rd: 1, rs1: 2, rs2: 3, word: false },
+            Instr::MulDiv { op: MulOp::Mul, rd: 4, rs1: 5, rs2: 6, word: false },
+            Instr::MulDiv { op: MulOp::Remu, rd: 4, rs1: 5, rs2: 6, word: true },
+            Instr::Ecall,
+            Instr::Ebreak,
+            Instr::Fence,
+        ];
+        for c in cases {
+            roundtrip(c);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Instr::decode(0xFFFF_FFFF), None);
+        assert_eq!(Instr::decode(0x0000_0000), None);
+    }
+}

@@ -1,0 +1,27 @@
+//! # wfasic-riscv — the CPU substrate
+//!
+//! An RV64IM toolchain and machine standing in for the SoC's Sargantana
+//! core (paper §3):
+//!
+//! * [`isa`] — typed RV64IM instructions with binary encode/decode;
+//! * [`asm`] — a two-pass assembler (labels, ABI register names, pseudo
+//!   instructions);
+//! * [`cpu`] — the interpreter with a Sargantana-like cycle model (in-order
+//!   pipeline, L1I/L1D + L2 + DRAM from `wfasic-soc`);
+//! * [`kernels`] — hand-written WFA assembly kernels, validated against
+//!   `wfa-core`: the instruction-accurate version of the paper's CPU
+//!   baseline.
+
+pub mod asm;
+pub mod cpu;
+pub mod disasm;
+pub mod isa;
+pub mod kernels;
+pub mod vector;
+
+pub use asm::{assemble, AsmError, Program};
+pub use cpu::{ExecStats, Machine, Stop};
+pub use disasm::disassemble;
+pub use isa::Instr;
+pub use kernels::{run_wfa_scalar, KernelRun};
+pub use vector::{VInstr, VecUnit, VLEN_BYTES};

@@ -1,0 +1,339 @@
+//! An RVV-flavored vector subset (Sargantana's SIMD unit supports RVV
+//! 0.7.1; this models the instructions the vectorized WFA kernel needs,
+//! with RVV-1.0-style binary encodings).
+//!
+//! * VLEN = 128 bits (16 bytes) — 16 lanes at e8, 4 lanes at e32;
+//! * unit-stride loads/stores, integer add/max, compare-to-mask,
+//!   `vfirst.m`, `vid.v`, broadcast, and masked merge;
+//! * tail-undisturbed semantics: lanes at or beyond `vl` keep their values.
+
+/// Vector register length in bytes.
+pub const VLEN_BYTES: usize = 16;
+
+/// A vector instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VInstr {
+    /// `vsetvli rd, rs1, eSEW` — set `vl = min(rs1, VLEN/SEW)`; rd gets vl.
+    Vsetvli { rd: u8, rs1: u8, sew: u16 },
+    /// Unit-stride load of `vl` elements of `width` bits.
+    Vle { width: u16, vd: u8, rs1: u8 },
+    /// Unit-stride store.
+    Vse { width: u16, vs3: u8, rs1: u8 },
+    /// `vadd.vv vd, vs2, vs1`.
+    VaddVV { vd: u8, vs2: u8, vs1: u8 },
+    /// `vadd.vi vd, vs2, imm`.
+    VaddVI { vd: u8, vs2: u8, imm: i8 },
+    /// `vadd.vx vd, vs2, rs1`.
+    VaddVX { vd: u8, vs2: u8, rs1: u8 },
+    /// `vmax.vv vd, vs2, vs1` (signed max).
+    VmaxVV { vd: u8, vs2: u8, vs1: u8 },
+    /// `vmseq.vv vd, vs2, vs1` — mask of equal lanes.
+    VmseqVV { vd: u8, vs2: u8, vs1: u8 },
+    /// `vmsne.vv vd, vs2, vs1` — mask of unequal lanes.
+    VmsneVV { vd: u8, vs2: u8, vs1: u8 },
+    /// `vmslt.vx vd, vs2, rs1` — mask of lanes `< x` (signed).
+    VmsltVX { vd: u8, vs2: u8, rs1: u8 },
+    /// `vmsgt.vx vd, vs2, rs1` — mask of lanes `> x` (signed).
+    VmsgtVX { vd: u8, vs2: u8, rs1: u8 },
+    /// `vmerge.vxm vd, vs2, rs1, v0` — per lane: mask ? x : vs2.
+    VmergeVXM { vd: u8, vs2: u8, rs1: u8 },
+    /// `vmv.v.x vd, rs1` — broadcast.
+    VmvVX { vd: u8, rs1: u8 },
+    /// `vfirst.m rd, vs2` — index of first set mask bit, or -1.
+    VfirstM { rd: u8, vs2: u8 },
+    /// `vid.v vd` — lane indices 0, 1, 2, ...
+    VidV { vd: u8 },
+}
+
+const OP_V: u32 = 0b1010111;
+const OP_VL: u32 = 0b0000111;
+const OP_VS: u32 = 0b0100111;
+
+fn sew_to_vtype(sew: u16) -> u32 {
+    match sew {
+        8 => 0b000 << 3,
+        16 => 0b001 << 3,
+        32 => 0b010 << 3,
+        64 => 0b011 << 3,
+        _ => panic!("unsupported SEW {sew}"),
+    }
+}
+
+fn vtype_to_sew(vtype: u32) -> Option<u16> {
+    match (vtype >> 3) & 0b111 {
+        0b000 => Some(8),
+        0b001 => Some(16),
+        0b010 => Some(32),
+        0b011 => Some(64),
+        _ => None,
+    }
+}
+
+fn width_bits(width: u16) -> u32 {
+    match width {
+        8 => 0b000,
+        16 => 0b101,
+        32 => 0b110,
+        64 => 0b111,
+        _ => panic!("unsupported element width {width}"),
+    }
+}
+
+fn bits_width(bits: u32) -> Option<u16> {
+    match bits {
+        0b000 => Some(8),
+        0b101 => Some(16),
+        0b110 => Some(32),
+        0b111 => Some(64),
+        _ => None,
+    }
+}
+
+fn opivv(funct6: u32, vm: u32, vs2: u8, vs1: u8, f3: u32, vd: u8) -> u32 {
+    (funct6 << 26)
+        | (vm << 25)
+        | ((vs2 as u32) << 20)
+        | ((vs1 as u32) << 15)
+        | (f3 << 12)
+        | ((vd as u32) << 7)
+        | OP_V
+}
+
+impl VInstr {
+    /// Encode to the 32-bit word (RVV 1.0-style layouts).
+    pub fn encode(&self) -> u32 {
+        match *self {
+            VInstr::Vsetvli { rd, rs1, sew } => {
+                (sew_to_vtype(sew) << 20)
+                    | ((rs1 as u32) << 15)
+                    | (0b111 << 12)
+                    | ((rd as u32) << 7)
+                    | OP_V
+            }
+            VInstr::Vle { width, vd, rs1 } => {
+                (1 << 25) // vm = 1 (unmasked)
+                    | ((rs1 as u32) << 15)
+                    | (width_bits(width) << 12)
+                    | ((vd as u32) << 7)
+                    | OP_VL
+            }
+            VInstr::Vse { width, vs3, rs1 } => {
+                (1 << 25)
+                    | ((rs1 as u32) << 15)
+                    | (width_bits(width) << 12)
+                    | ((vs3 as u32) << 7)
+                    | OP_VS
+            }
+            VInstr::VaddVV { vd, vs2, vs1 } => opivv(0b000000, 1, vs2, vs1, 0b000, vd),
+            VInstr::VaddVI { vd, vs2, imm } => {
+                opivv(0b000000, 1, vs2, (imm as u8) & 0x1F, 0b011, vd)
+            }
+            VInstr::VaddVX { vd, vs2, rs1 } => opivv(0b000000, 1, vs2, rs1, 0b100, vd),
+            VInstr::VmaxVV { vd, vs2, vs1 } => opivv(0b000111, 1, vs2, vs1, 0b000, vd),
+            VInstr::VmseqVV { vd, vs2, vs1 } => opivv(0b011000, 1, vs2, vs1, 0b000, vd),
+            VInstr::VmsneVV { vd, vs2, vs1 } => opivv(0b011001, 1, vs2, vs1, 0b000, vd),
+            VInstr::VmsltVX { vd, vs2, rs1 } => opivv(0b011011, 1, vs2, rs1, 0b100, vd),
+            VInstr::VmsgtVX { vd, vs2, rs1 } => opivv(0b011111, 1, vs2, rs1, 0b100, vd),
+            VInstr::VmergeVXM { vd, vs2, rs1 } => opivv(0b010111, 0, vs2, rs1, 0b100, vd),
+            VInstr::VmvVX { vd, rs1 } => opivv(0b010111, 1, 0, rs1, 0b100, vd),
+            VInstr::VfirstM { rd, vs2 } => opivv(0b010000, 1, vs2, 0b10001, 0b010, rd),
+            VInstr::VidV { vd } => opivv(0b010100, 1, 0, 0b10001, 0b010, vd),
+        }
+    }
+
+    /// Decode from a 32-bit word.
+    pub fn decode(word: u32) -> Option<VInstr> {
+        let opcode = word & 0x7F;
+        let rd = ((word >> 7) & 0x1F) as u8;
+        let f3 = (word >> 12) & 0x7;
+        let rs1 = ((word >> 15) & 0x1F) as u8;
+        let vs2 = ((word >> 20) & 0x1F) as u8;
+        let vm = (word >> 25) & 1;
+        let funct6 = (word >> 26) & 0x3F;
+        match opcode {
+            OP_VL if vm == 1 && vs2 == 0 && funct6 == 0 => Some(VInstr::Vle {
+                width: bits_width(f3)?,
+                vd: rd,
+                rs1,
+            }),
+            OP_VS if vm == 1 && vs2 == 0 && funct6 == 0 => Some(VInstr::Vse {
+                width: bits_width(f3)?,
+                vs3: rd,
+                rs1,
+            }),
+            OP_V => match f3 {
+                0b111 if word >> 31 == 0 => Some(VInstr::Vsetvli {
+                    rd,
+                    rs1,
+                    sew: vtype_to_sew((word >> 20) & 0x7FF)?,
+                }),
+                0b000 => match funct6 {
+                    0b000000 => Some(VInstr::VaddVV { vd: rd, vs2, vs1: rs1 }),
+                    0b000111 => Some(VInstr::VmaxVV { vd: rd, vs2, vs1: rs1 }),
+                    0b011000 => Some(VInstr::VmseqVV { vd: rd, vs2, vs1: rs1 }),
+                    0b011001 => Some(VInstr::VmsneVV { vd: rd, vs2, vs1: rs1 }),
+                    _ => None,
+                },
+                0b011 => match funct6 {
+                    0b000000 => Some(VInstr::VaddVI {
+                        vd: rd,
+                        vs2,
+                        imm: ((rs1 << 3) as i8) >> 3,
+                    }),
+                    _ => None,
+                },
+                0b100 => match funct6 {
+                    0b000000 => Some(VInstr::VaddVX { vd: rd, vs2, rs1 }),
+                    0b011011 => Some(VInstr::VmsltVX { vd: rd, vs2, rs1 }),
+                    0b011111 => Some(VInstr::VmsgtVX { vd: rd, vs2, rs1 }),
+                    0b010111 if vm == 0 => Some(VInstr::VmergeVXM { vd: rd, vs2, rs1 }),
+                    0b010111 if vm == 1 && vs2 == 0 => Some(VInstr::VmvVX { vd: rd, rs1 }),
+                    _ => None,
+                },
+                0b010 => match (funct6, rs1) {
+                    (0b010000, 0b10001) => Some(VInstr::VfirstM { rd, vs2 }),
+                    (0b010100, 0b10001) => Some(VInstr::VidV { vd: rd }),
+                    _ => None,
+                },
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// The vector unit state.
+#[derive(Debug, Clone)]
+pub struct VecUnit {
+    /// Vector registers.
+    pub regs: [[u8; VLEN_BYTES]; 32],
+    /// Active vector length (elements).
+    pub vl: usize,
+    /// Selected element width (bits).
+    pub sew: u16,
+}
+
+impl Default for VecUnit {
+    fn default() -> Self {
+        VecUnit {
+            regs: [[0; VLEN_BYTES]; 32],
+            vl: 0,
+            sew: 8,
+        }
+    }
+}
+
+impl VecUnit {
+    /// `vsetvli`: configure and return the new vl.
+    pub fn setvl(&mut self, avl: u64, sew: u16) -> u64 {
+        self.sew = sew;
+        let max = (VLEN_BYTES * 8) / sew as usize;
+        self.vl = (avl as usize).min(max);
+        self.vl as u64
+    }
+
+    /// Read lane `i` (sign-extended to i64).
+    pub fn lane(&self, v: u8, i: usize) -> i64 {
+        let bytes = &self.regs[v as usize];
+        match self.sew {
+            8 => bytes[i] as i8 as i64,
+            16 => i16::from_le_bytes([bytes[2 * i], bytes[2 * i + 1]]) as i64,
+            32 => i32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().unwrap()) as i64,
+            64 => i64::from_le_bytes(bytes[8 * i..8 * i + 8].try_into().unwrap()),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Write lane `i`.
+    pub fn set_lane(&mut self, v: u8, i: usize, value: i64) {
+        let bytes = &mut self.regs[v as usize];
+        match self.sew {
+            8 => bytes[i] = value as u8,
+            16 => bytes[2 * i..2 * i + 2].copy_from_slice(&(value as i16).to_le_bytes()),
+            32 => bytes[4 * i..4 * i + 4].copy_from_slice(&(value as i32).to_le_bytes()),
+            64 => bytes[8 * i..8 * i + 8].copy_from_slice(&value.to_le_bytes()),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Mask bit `i` of register `v` (one bit per lane, LSB-first).
+    pub fn mask_bit(&self, v: u8, i: usize) -> bool {
+        (self.regs[v as usize][i / 8] >> (i % 8)) & 1 == 1
+    }
+
+    /// Set mask bit `i`.
+    pub fn set_mask_bit(&mut self, v: u8, i: usize, bit: bool) {
+        let byte = &mut self.regs[v as usize][i / 8];
+        if bit {
+            *byte |= 1 << (i % 8);
+        } else {
+            *byte &= !(1 << (i % 8));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cases = [
+            VInstr::Vsetvli { rd: 5, rs1: 6, sew: 8 },
+            VInstr::Vsetvli { rd: 0, rs1: 10, sew: 32 },
+            VInstr::Vle { width: 8, vd: 1, rs1: 11 },
+            VInstr::Vle { width: 32, vd: 2, rs1: 12 },
+            VInstr::Vse { width: 32, vs3: 3, rs1: 13 },
+            VInstr::VaddVV { vd: 1, vs2: 2, vs1: 3 },
+            VInstr::VaddVI { vd: 1, vs2: 2, imm: -5 },
+            VInstr::VaddVX { vd: 1, vs2: 2, rs1: 7 },
+            VInstr::VmaxVV { vd: 4, vs2: 5, vs1: 6 },
+            VInstr::VmseqVV { vd: 0, vs2: 1, vs1: 2 },
+            VInstr::VmsneVV { vd: 0, vs2: 1, vs1: 2 },
+            VInstr::VmsltVX { vd: 0, vs2: 1, rs1: 8 },
+            VInstr::VmsgtVX { vd: 0, vs2: 1, rs1: 9 },
+            VInstr::VmergeVXM { vd: 3, vs2: 4, rs1: 10 },
+            VInstr::VmvVX { vd: 3, rs1: 10 },
+            VInstr::VfirstM { rd: 14, vs2: 7 },
+            VInstr::VidV { vd: 9 },
+        ];
+        for c in cases {
+            let enc = c.encode();
+            assert_eq!(VInstr::decode(enc), Some(c), "0x{enc:08x}");
+        }
+    }
+
+    #[test]
+    fn setvl_clamps_to_vlen() {
+        let mut v = VecUnit::default();
+        assert_eq!(v.setvl(100, 8), 16);
+        assert_eq!(v.setvl(3, 8), 3);
+        assert_eq!(v.setvl(100, 32), 4);
+        assert_eq!(v.vl, 4);
+    }
+
+    #[test]
+    fn lanes_roundtrip_at_each_sew() {
+        let mut v = VecUnit::default();
+        v.setvl(16, 8);
+        v.set_lane(1, 3, -2);
+        assert_eq!(v.lane(1, 3), -2);
+        v.setvl(4, 32);
+        v.set_lane(2, 1, -1_000_000);
+        assert_eq!(v.lane(2, 1), -1_000_000);
+        v.set_lane(2, 0, 0x12345678);
+        assert_eq!(v.lane(2, 0), 0x12345678);
+    }
+
+    #[test]
+    fn mask_bits() {
+        let mut v = VecUnit::default();
+        v.set_mask_bit(0, 0, true);
+        v.set_mask_bit(0, 9, true);
+        assert!(v.mask_bit(0, 0));
+        assert!(!v.mask_bit(0, 1));
+        assert!(v.mask_bit(0, 9));
+        v.set_mask_bit(0, 9, false);
+        assert!(!v.mask_bit(0, 9));
+    }
+}

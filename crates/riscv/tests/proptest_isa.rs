@@ -1,0 +1,194 @@
+//! Property tests for the RISC-V substrate: encode/decode round trips over
+//! randomized instructions, and interpreter arithmetic vs native Rust
+//! semantics.
+
+use proptest::prelude::*;
+use wfasic_riscv::asm::assemble;
+use wfasic_riscv::cpu::{Machine, Stop};
+use wfasic_riscv::isa::{AluOp, BranchOp, Instr, LoadOp, MulOp, StoreOp};
+use wfasic_riscv::vector::VInstr;
+
+fn reg() -> impl Strategy<Value = u8> {
+    0u8..32
+}
+
+fn imm12() -> impl Strategy<Value = i64> {
+    -2048i64..=2047
+}
+
+fn any_scalar_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (reg(), -(1i64 << 31)..(1i64 << 31)).prop_map(|(rd, v)| Instr::Lui {
+            rd,
+            imm: (v >> 12) << 12
+        }),
+        (reg(), (-(1i64 << 19)..(1i64 << 19))).prop_map(|(rd, v)| Instr::Jal {
+            rd,
+            offset: v * 2
+        }),
+        (reg(), reg(), imm12()).prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (
+            prop_oneof![
+                Just(BranchOp::Eq),
+                Just(BranchOp::Ne),
+                Just(BranchOp::Lt),
+                Just(BranchOp::Ge),
+                Just(BranchOp::Ltu),
+                Just(BranchOp::Geu)
+            ],
+            reg(),
+            reg(),
+            -2048i64..=2047
+        )
+            .prop_map(|(op, rs1, rs2, o)| Instr::Branch { op, rs1, rs2, offset: o * 2 }),
+        (
+            prop_oneof![
+                Just(LoadOp::B),
+                Just(LoadOp::H),
+                Just(LoadOp::W),
+                Just(LoadOp::D),
+                Just(LoadOp::Bu),
+                Just(LoadOp::Hu),
+                Just(LoadOp::Wu)
+            ],
+            reg(),
+            reg(),
+            imm12()
+        )
+            .prop_map(|(op, rd, rs1, offset)| Instr::Load { op, rd, rs1, offset }),
+        (
+            prop_oneof![Just(StoreOp::B), Just(StoreOp::H), Just(StoreOp::W), Just(StoreOp::D)],
+            reg(),
+            reg(),
+            imm12()
+        )
+            .prop_map(|(op, rs2, rs1, offset)| Instr::Store { op, rs2, rs1, offset }),
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Slt),
+                Just(AluOp::Sltu),
+                Just(AluOp::Xor),
+                Just(AluOp::Or),
+                Just(AluOp::And)
+            ],
+            reg(),
+            reg(),
+            imm12(),
+            any::<bool>()
+        )
+            .prop_map(|(op, rd, rs1, imm, word)| Instr::OpImm { op, rd, rs1, imm, word }),
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Sub),
+                Just(AluOp::Sll),
+                Just(AluOp::Slt),
+                Just(AluOp::Sltu),
+                Just(AluOp::Xor),
+                Just(AluOp::Srl),
+                Just(AluOp::Sra),
+                Just(AluOp::Or),
+                Just(AluOp::And)
+            ],
+            reg(),
+            reg(),
+            reg(),
+            any::<bool>()
+        )
+            .prop_map(|(op, rd, rs1, rs2, word)| Instr::Op { op, rd, rs1, rs2, word }),
+        (
+            prop_oneof![
+                Just(MulOp::Mul),
+                Just(MulOp::Div),
+                Just(MulOp::Divu),
+                Just(MulOp::Rem),
+                Just(MulOp::Remu)
+            ],
+            reg(),
+            reg(),
+            reg(),
+            any::<bool>()
+        )
+            .prop_map(|(op, rd, rs1, rs2, word)| Instr::MulDiv { op, rd, rs1, rs2, word }),
+        (reg(), reg()).prop_map(|(vd, rs1)| Instr::Vector(VInstr::VmvVX { vd, rs1 })),
+        (reg(), reg(), reg())
+            .prop_map(|(vd, vs2, vs1)| Instr::Vector(VInstr::VmaxVV { vd, vs2, vs1 })),
+        Just(Instr::Ecall),
+        Just(Instr::Fence),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    /// Every representable instruction survives encode -> decode.
+    #[test]
+    fn encode_decode_roundtrip(instr in any_scalar_instr()) {
+        let word = instr.encode();
+        prop_assert_eq!(Instr::decode(word), Some(instr), "word 0x{:08x}", word);
+    }
+
+    /// The interpreter's add/sub/mul/div match native i64 semantics.
+    #[test]
+    fn alu_matches_native(a in any::<i64>(), b in any::<i64>()) {
+        let text = "
+  ld a0, 0(zero)
+  ld a1, 8(zero)
+  add t0, a0, a1
+  sd t0, 16(zero)
+  sub t0, a0, a1
+  sd t0, 24(zero)
+  mul t0, a0, a1
+  sd t0, 32(zero)
+  xor t0, a0, a1
+  sd t0, 40(zero)
+  sltu t0, a0, a1
+  sd t0, 48(zero)
+  ecall
+";
+        let p = assemble(text).unwrap();
+        let mut m = Machine::new(4096);
+        m.ram[0..8].copy_from_slice(&a.to_le_bytes());
+        m.ram[8..16].copy_from_slice(&b.to_le_bytes());
+        prop_assert_eq!(m.run(&p, 1000), Stop::Ecall);
+        let rd = |off: usize| i64::from_le_bytes(m.ram[off..off + 8].try_into().unwrap());
+        prop_assert_eq!(rd(16), a.wrapping_add(b));
+        prop_assert_eq!(rd(24), a.wrapping_sub(b));
+        prop_assert_eq!(rd(32), a.wrapping_mul(b));
+        prop_assert_eq!(rd(40), a ^ b);
+        prop_assert_eq!(rd(48), ((a as u64) < (b as u64)) as i64);
+    }
+
+    /// Vector extend (vmsne + vfirst) agrees with a byte loop for arbitrary
+    /// buffers.
+    #[test]
+    fn vector_mismatch_scan_matches_scalar(
+        data_a in proptest::collection::vec(any::<u8>(), 16),
+        data_b in proptest::collection::vec(any::<u8>(), 16),
+    ) {
+        let text = "
+  li t0, 0
+  li t1, 16
+  vsetvli t2, t1, e8
+  li t3, 256
+  vle8.v v1, (t0)
+  vle8.v v2, (t3)
+  vmsne.vv v0, v1, v2
+  vfirst.m a0, v0
+  ecall
+";
+        let p = assemble(text).unwrap();
+        let mut m = Machine::new(4096);
+        m.ram[0..16].copy_from_slice(&data_a);
+        m.ram[256..272].copy_from_slice(&data_b);
+        prop_assert_eq!(m.run(&p, 1000), Stop::Ecall);
+        let expected = data_a
+            .iter()
+            .zip(&data_b)
+            .position(|(x, y)| x != y)
+            .map(|i| i as i64)
+            .unwrap_or(-1);
+        prop_assert_eq!(m.reg(10) as i64, expected);
+    }
+}

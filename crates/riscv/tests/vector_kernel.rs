@@ -1,0 +1,94 @@
+//! The vectorized WFA kernel: exactness (scores equal the scalar kernel,
+//! the software WFA and SWG) and the speedup over the scalar kernel that
+//! Fig. 9's "CPU vector vs scalar" bars report.
+
+use wfa_core::{swg_score, Penalties};
+use wfasic_riscv::kernels::{run_wfa_scalar, run_wfa_vector};
+use wfasic_seqio::generate::PairGenerator;
+
+#[test]
+fn vector_kernel_matches_swg_on_random_pairs() {
+    for (len, rate, seed) in [
+        (60usize, 0.05, 10u64),
+        (120, 0.10, 11),
+        (180, 0.08, 12),
+        (250, 0.04, 13),
+    ] {
+        let mut g = PairGenerator::new(len, rate, seed);
+        for _ in 0..4 {
+            let p = g.pair();
+            let expect = swg_score(&p.a, &p.b, &Penalties::WFASIC_DEFAULT);
+            let got = run_wfa_vector(&p.a, &p.b);
+            assert_eq!(got.score.map(u64::from), Some(expect), "len={len} rate={rate}");
+        }
+    }
+}
+
+#[test]
+fn vector_kernel_matches_on_edge_shapes() {
+    let cases: [(&[u8], &[u8]); 7] = [
+        (b"A", b"A"),
+        (b"A", b"T"),
+        (b"", b"ACGTACGT"),
+        (b"ACGTACGT", b""),
+        (b"AAAA", b"AAAATTTTTTTT"),
+        (b"AG", b"ATGG"),
+        (b"GATTACAGATTACAGATTACA", b"GATCACAGGATTACAGATACA"),
+    ];
+    for (a, b) in cases {
+        let expect = swg_score(a, b, &Penalties::WFASIC_DEFAULT);
+        assert_eq!(
+            run_wfa_vector(a, b).score.map(u64::from),
+            Some(expect),
+            "a={a:?} b={b:?}"
+        );
+    }
+}
+
+#[test]
+fn vector_and_scalar_kernels_always_agree() {
+    let mut g = PairGenerator::new(150, 0.07, 21);
+    for _ in 0..6 {
+        let p = g.pair();
+        assert_eq!(
+            run_wfa_vector(&p.a, &p.b).score,
+            run_wfa_scalar(&p.a, &p.b).score
+        );
+    }
+}
+
+#[test]
+fn vector_kernel_is_faster_than_scalar() {
+    // Long match runs are where 16-bases-per-op pays off (paper Fig. 9's
+    // modest vector speedups: extend vectorizes, compute mostly doesn't).
+    let mut g = PairGenerator::new(250, 0.04, 33);
+    let p = g.pair();
+    let scalar = run_wfa_scalar(&p.a, &p.b);
+    let vector = run_wfa_vector(&p.a, &p.b);
+    assert_eq!(scalar.score, vector.score);
+    assert!(
+        vector.stats.cycles < scalar.stats.cycles,
+        "vector {} !< scalar {}",
+        vector.stats.cycles,
+        scalar.stats.cycles
+    );
+    assert!(
+        vector.stats.instret < scalar.stats.instret,
+        "vectorization must retire fewer instructions"
+    );
+    let speedup = scalar.stats.cycles as f64 / vector.stats.cycles as f64;
+    assert!(
+        speedup > 1.05 && speedup < 10.0,
+        "plausible vector speedup, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn vector_kernel_band_and_score_envelopes() {
+    let a = vec![b'A'; 10];
+    let b = vec![b'A'; 310];
+    assert_eq!(run_wfa_vector(&a, &b).score, None, "band envelope");
+    let a = vec![b'A'; 200];
+    let b = vec![b'T'; 200];
+    assert_eq!(run_wfa_vector(&a, &b).score, None, "score envelope");
+}

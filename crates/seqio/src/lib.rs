@@ -1,0 +1,23 @@
+//! # wfasic-seqio — sequences, synthetic workloads, and wire formats
+//!
+//! Input-side substrate of the WFAsic reproduction:
+//!
+//! * [`dna`] — alphabet utilities ('N' detection drives the hardware's
+//!   unsupported-read path);
+//! * [`generate`] — the paper's synthetic pair generator (uniform random
+//!   mismatches/insertions/deletions at a nominal error rate, §5.3);
+//! * [`dataset`] — the six standard input sets of Table 1 / Figs. 9-11;
+//! * [`memimage`] — the exact main-memory layouts the accelerator's DMA,
+//!   Extractor and Collectors produce/consume (16-byte sections, NBT result
+//!   records, BT transactions, 5-bit origin codes);
+//! * [`fasta`] — minimal FASTA I/O for the examples.
+
+pub mod dataset;
+pub mod dna;
+pub mod fasta;
+pub mod generate;
+pub mod memimage;
+
+pub use dataset::{round_up_16, InputSet, InputSetSpec};
+pub use generate::{ErrorProfile, Pair, PairGenerator};
+pub use memimage::{BtScoreRecord, BtTxn, CellOrigin, InputImage, MOrigin, NbtRecord};

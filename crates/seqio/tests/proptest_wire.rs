@@ -1,0 +1,88 @@
+//! Property tests for the wire formats: arbitrary values must round-trip
+//! through every encoding the hardware and driver share.
+
+use proptest::prelude::*;
+use wfasic_seqio::generate::Pair;
+use wfasic_seqio::memimage::{
+    bt_block_bytes, pack_origins, unpack_bt_cell, BtScoreRecord, BtTxn, CellOrigin, InputImage,
+    MOrigin, NbtRecord,
+};
+
+fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..=max)
+}
+
+fn origin() -> impl Strategy<Value = CellOrigin> {
+    (0u8..6, any::<bool>(), any::<bool>()).prop_map(|(m, i_ext, d_ext)| CellOrigin {
+        m: MOrigin::from_code(m),
+        i_ext,
+        d_ext,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Input images round-trip arbitrary pair batches.
+    #[test]
+    fn input_image_roundtrip(
+        seqs in proptest::collection::vec((dna(40), dna(40)), 1..5),
+    ) {
+        let pairs: Vec<Pair> = seqs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| Pair { id: i as u32 * 7, a, b })
+            .collect();
+        let max = pairs
+            .iter()
+            .map(|p| p.a.len().max(p.b.len()))
+            .max()
+            .unwrap_or(0)
+            .div_ceil(16)
+            .max(1)
+            * 16;
+        let img = InputImage::encode(&pairs, max);
+        for (n, p) in pairs.iter().enumerate() {
+            let (id, a, b) = img.decode(n);
+            prop_assert_eq!(id, p.id);
+            prop_assert_eq!(&a, &p.a);
+            prop_assert_eq!(&b, &p.b);
+        }
+    }
+
+    /// NBT records round-trip over the whole field space.
+    #[test]
+    fn nbt_roundtrip(success in any::<bool>(), score in 0u16..0x8000, id in any::<u16>()) {
+        let r = NbtRecord { success, score, id };
+        prop_assert_eq!(NbtRecord::decode(r.encode()), r);
+    }
+
+    /// BT transactions round-trip over the whole field space.
+    #[test]
+    fn bt_txn_roundtrip(
+        payload in proptest::array::uniform10(any::<u8>()),
+        counter in 0u32..(1 << 24),
+        last in any::<bool>(),
+        id in 0u32..(1 << 23),
+    ) {
+        let t = BtTxn { payload, counter, last, id };
+        prop_assert_eq!(BtTxn::decode(&t.encode()), t);
+    }
+
+    /// Score records round-trip including negative diagonals.
+    #[test]
+    fn score_record_roundtrip(success in any::<bool>(), k in any::<i16>(), score in any::<u16>()) {
+        let r = BtScoreRecord { success, k, score };
+        prop_assert_eq!(BtScoreRecord::decode(&r.encode()), r);
+    }
+
+    /// Origin blocks of any width pack/unpack losslessly.
+    #[test]
+    fn origin_block_roundtrip(cells in proptest::collection::vec(origin(), 1..130)) {
+        let block = pack_origins(&cells);
+        prop_assert_eq!(block.len(), bt_block_bytes(cells.len()));
+        for (n, c) in cells.iter().enumerate() {
+            prop_assert_eq!(unpack_bt_cell(&block, n), *c, "cell {}", n);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! AXI-style bus timing models (Fig. 3: AXI-Full to the memory controller,
+//! AXI-Lite for configuration).
+//!
+//! The AXI-Full model is the one load-bearing piece of SoC timing: the paper's
+//! Table 1 "Reading Cycles", the Eq. 7 `MaxAligners` bound, and the Fig. 10
+//! saturation for short reads all come from the accelerator sharing this one
+//! 16-byte-per-beat port to main memory. The model:
+//!
+//! * transfers move in *bursts* of `burst_beats` beats of `beat_bytes`;
+//! * each burst costs `burst_latency` cycles of memory/controller latency
+//!   plus one cycle per beat;
+//! * the port is a serializing resource — concurrent requesters queue
+//!   (first-come-first-served, which approximates the round-robin arbiter).
+
+use crate::clock::{BusyUnit, Cycle};
+
+/// AXI-Full timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Bytes per beat (the paper's AXI data width: 16 bytes).
+    pub beat_bytes: usize,
+    /// Beats per burst.
+    pub burst_beats: usize,
+    /// Fixed latency per burst (memory controller + DRAM), in cycles.
+    pub burst_latency: Cycle,
+}
+
+impl BusConfig {
+    /// Calibrated to land near the paper's Table 1 "Reading Cycles":
+    /// 256-byte bursts at 27 + 16 cycles each give ~75 cycles for a 100bp
+    /// pair record and ~3420 for a 10Kbp record.
+    pub const WFASIC_DEFAULT: BusConfig = BusConfig {
+        beat_bytes: 16,
+        burst_beats: 16,
+        burst_latency: 27,
+    };
+
+    /// Bytes per burst.
+    pub fn burst_bytes(&self) -> usize {
+        self.beat_bytes * self.burst_beats
+    }
+
+    /// Cycles to move `bytes` (ignoring queueing).
+    pub fn transfer_cycles(&self, bytes: usize) -> Cycle {
+        if bytes == 0 {
+            return 0;
+        }
+        let full = bytes / self.burst_bytes();
+        let rem = bytes % self.burst_bytes();
+        let mut cycles = full as Cycle * (self.burst_latency + self.burst_beats as Cycle);
+        if rem > 0 {
+            let beats = rem.div_ceil(self.beat_bytes) as Cycle;
+            cycles += self.burst_latency + beats;
+        }
+        cycles
+    }
+}
+
+/// Per-direction transfer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Bytes read from memory.
+    pub bytes_read: u64,
+    /// Bytes written to memory.
+    pub bytes_written: u64,
+    /// Read transactions issued.
+    pub reads: u64,
+    /// Write transactions issued.
+    pub writes: u64,
+}
+
+/// The shared AXI-Full port to main memory.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryBus {
+    /// Timing parameters.
+    pub config: BusConfig,
+    unit: BusyUnit,
+    /// Transfer statistics.
+    pub stats: BusStats,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        Self::WFASIC_DEFAULT
+    }
+}
+
+impl MemoryBus {
+    /// A bus with the given configuration.
+    pub fn new(config: BusConfig) -> Self {
+        MemoryBus {
+            config,
+            unit: BusyUnit::default(),
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Issue a read of `bytes`, arriving at cycle `now`. Returns the cycle at
+    /// which the data has fully arrived.
+    pub fn read(&mut self, now: Cycle, bytes: usize) -> Cycle {
+        self.stats.bytes_read += bytes as u64;
+        self.stats.reads += 1;
+        let dur = self.config.transfer_cycles(bytes);
+        self.unit.occupy(now, dur).1
+    }
+
+    /// Issue a write of `bytes`, arriving at cycle `now`. Returns completion.
+    pub fn write(&mut self, now: Cycle, bytes: usize) -> Cycle {
+        self.stats.bytes_written += bytes as u64;
+        self.stats.writes += 1;
+        let dur = self.config.transfer_cycles(bytes);
+        self.unit.occupy(now, dur).1
+    }
+
+    /// First cycle at which the bus is free.
+    pub fn free_at(&self) -> Cycle {
+        self.unit.free_at
+    }
+
+    /// Fraction of `elapsed` the bus was busy.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        self.unit.utilization(elapsed)
+    }
+}
+
+/// AXI-Lite configuration path: single-word accesses with a fixed cost.
+#[derive(Debug, Clone, Copy)]
+pub struct AxiLite {
+    /// Cycles per register access.
+    pub access_cycles: Cycle,
+}
+
+impl Default for AxiLite {
+    fn default() -> Self {
+        AxiLite { access_cycles: 8 }
+    }
+}
+
+impl AxiLite {
+    /// Cycles for `n` register accesses.
+    pub fn cycles_for(&self, n: u64) -> Cycle {
+        self.access_cycles * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cycle_arithmetic() {
+        let c = BusConfig::WFASIC_DEFAULT;
+        assert_eq!(c.burst_bytes(), 256);
+        assert_eq!(c.transfer_cycles(0), 0);
+        // One beat: latency + 1.
+        assert_eq!(c.transfer_cycles(16), 28);
+        // Partial beat rounds up to a full beat.
+        assert_eq!(c.transfer_cycles(1), 28);
+        // Exactly one burst.
+        assert_eq!(c.transfer_cycles(256), 43);
+        // One burst + one beat.
+        assert_eq!(c.transfer_cycles(272), 43 + 28);
+    }
+
+    #[test]
+    fn table1_reading_cycles_ballpark() {
+        // Pair record = 3 header sections + 2 * MAX_READ_LEN bytes.
+        let c = BusConfig::WFASIC_DEFAULT;
+        let rec = |max: usize| 3 * 16 + 2 * max;
+        let cyc_100 = c.transfer_cycles(rec(112));
+        let cyc_1k = c.transfer_cycles(rec(1008));
+        let cyc_10k = c.transfer_cycles(rec(10000));
+        // Paper Table 1: 75 / 376 / 3420. Shapes must match within ~25%.
+        assert!((cyc_100 as f64 - 75.0).abs() / 75.0 < 0.25, "{cyc_100}");
+        assert!((cyc_1k as f64 - 376.0).abs() / 376.0 < 0.25, "{cyc_1k}");
+        assert!((cyc_10k as f64 - 3420.0).abs() / 3420.0 < 0.25, "{cyc_10k}");
+    }
+
+    #[test]
+    fn bus_serializes_requesters() {
+        let mut bus = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
+        let d1 = bus.read(0, 256);
+        assert_eq!(d1, 43);
+        // Second requester arrives during the first transfer.
+        let d2 = bus.read(10, 256);
+        assert_eq!(d2, 86);
+        assert_eq!(bus.stats.reads, 2);
+        assert_eq!(bus.stats.bytes_read, 512);
+    }
+
+    #[test]
+    fn reads_and_writes_share_the_port() {
+        let mut bus = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
+        bus.read(0, 256);
+        let w = bus.write(0, 16);
+        assert_eq!(w, 43 + 28);
+        assert_eq!(bus.stats.bytes_written, 16);
+    }
+
+    #[test]
+    fn utilization_reflects_traffic() {
+        let mut bus = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
+        bus.read(0, 256);
+        assert!(bus.utilization(86) > 0.49);
+    }
+}

@@ -1,0 +1,233 @@
+//! Show-ahead FIFOs and the single-port RAM wrapper (paper §4.6).
+//!
+//! The FPGA prototype used Vivado *show-ahead* FIFOs: the oldest unread entry
+//! is always visible at the output port and is consumed by asserting the read
+//! request. The ASIC replaces them with high-performance **single-port**
+//! register-file macros behind a wrapper that "handles the internal pointers
+//! and read/write procedures to mimic the functionality of a show ahead
+//! FIFO", with the constraint that "read and write requests to a RAM are not
+//! triggered simultaneously".
+//!
+//! [`ShowAheadFifo`] is the functional FIFO; [`SinglePortFifo`] adds the
+//! one-access-per-cycle discipline and *checks* it, so any model that would
+//! have violated the ASIC constraint fails loudly in simulation.
+
+use std::collections::VecDeque;
+
+use crate::clock::Cycle;
+
+/// Error returned when pushing to a full FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFull;
+
+/// A functional show-ahead FIFO with bounded depth.
+#[derive(Debug, Clone)]
+pub struct ShowAheadFifo<T> {
+    depth: usize,
+    items: VecDeque<T>,
+    /// High-water mark (max occupancy seen), for sizing reports.
+    pub high_water: usize,
+}
+
+impl<T> ShowAheadFifo<T> {
+    /// FIFO with the given depth (the paper's input/output FIFOs are
+    /// 16 bytes × 256 words).
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "FIFO depth must be positive");
+        ShowAheadFifo {
+            depth,
+            items: VecDeque::with_capacity(depth),
+            high_water: 0,
+        }
+    }
+
+    /// The configured depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when no more pushes are accepted.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.depth
+    }
+
+    /// The show-ahead output: the oldest unread entry, if any.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Consume the show-ahead entry.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Append an entry.
+    pub fn push(&mut self, item: T) -> Result<(), FifoFull> {
+        if self.is_full() {
+            return Err(FifoFull);
+        }
+        self.items.push_back(item);
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+}
+
+/// Why a single-port access was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortError {
+    /// A second access was attempted in the same cycle (the ASIC wrapper
+    /// must never do this).
+    PortConflict { cycle: Cycle },
+    /// Push on full.
+    Full,
+}
+
+/// A show-ahead FIFO backed by a single-port RAM macro: at most one access
+/// (push *or* pop) per cycle. The wrapper presents dual-port-like semantics
+/// to its users by alternating, exactly as the ASIC wrapper does; this model
+/// verifies the discipline instead of trusting it.
+#[derive(Debug, Clone)]
+pub struct SinglePortFifo<T> {
+    inner: ShowAheadFifo<T>,
+    last_access: Option<Cycle>,
+    /// Total accesses that had to be retried due to the port being taken.
+    pub conflicts_avoided: u64,
+}
+
+impl<T> SinglePortFifo<T> {
+    /// FIFO with the given depth.
+    pub fn new(depth: usize) -> Self {
+        SinglePortFifo {
+            inner: ShowAheadFifo::new(depth),
+            last_access: None,
+            conflicts_avoided: 0,
+        }
+    }
+
+    fn claim_port(&mut self, cycle: Cycle) -> Result<(), PortError> {
+        if self.last_access == Some(cycle) {
+            self.conflicts_avoided += 1;
+            return Err(PortError::PortConflict { cycle });
+        }
+        self.last_access = Some(cycle);
+        Ok(())
+    }
+
+    /// Is the port free this cycle?
+    pub fn port_free(&self, cycle: Cycle) -> bool {
+        self.last_access != Some(cycle)
+    }
+
+    /// Push at `cycle`.
+    pub fn push_at(&mut self, cycle: Cycle, item: T) -> Result<(), PortError> {
+        if self.inner.is_full() {
+            return Err(PortError::Full);
+        }
+        self.claim_port(cycle)?;
+        self.inner.push(item).map_err(|_| PortError::Full)
+    }
+
+    /// Pop at `cycle`.
+    pub fn pop_at(&mut self, cycle: Cycle) -> Result<Option<T>, PortError> {
+        if self.inner.is_empty() {
+            // An empty pop doesn't touch the RAM.
+            return Ok(None);
+        }
+        self.claim_port(cycle)?;
+        Ok(self.inner.pop())
+    }
+
+    /// Show-ahead view (reads the output register, not the RAM).
+    pub fn front(&self) -> Option<&T> {
+        self.inner.front()
+    }
+
+    /// Occupancy.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// True when full.
+    pub fn is_full(&self) -> bool {
+        self.inner.is_full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_show_ahead() {
+        let mut f = ShowAheadFifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert_eq!(f.front(), Some(&1));
+        assert_eq!(f.front(), Some(&1), "show-ahead does not consume");
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.front(), Some(&2));
+    }
+
+    #[test]
+    fn fifo_full_and_high_water() {
+        let mut f = ShowAheadFifo::new(2);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert_eq!(f.push(3), Err(FifoFull));
+        assert_eq!(f.high_water, 2);
+        f.pop();
+        f.push(3).unwrap();
+        assert_eq!(f.high_water, 2);
+    }
+
+    #[test]
+    fn single_port_one_access_per_cycle() {
+        let mut f = SinglePortFifo::new(8);
+        f.push_at(0, 10).unwrap();
+        // Second access in cycle 0 is a port conflict.
+        assert_eq!(f.push_at(0, 11), Err(PortError::PortConflict { cycle: 0 }));
+        assert_eq!(f.pop_at(0), Err(PortError::PortConflict { cycle: 0 }));
+        // Next cycle is fine.
+        f.push_at(1, 11).unwrap();
+        assert_eq!(f.pop_at(2).unwrap(), Some(10));
+        assert_eq!(f.conflicts_avoided, 2);
+    }
+
+    #[test]
+    fn single_port_empty_pop_is_free() {
+        let mut f: SinglePortFifo<u8> = SinglePortFifo::new(2);
+        assert_eq!(f.pop_at(5).unwrap(), None);
+        // The empty pop didn't claim the port.
+        f.push_at(5, 1).unwrap();
+    }
+
+    #[test]
+    fn single_port_full_rejects_before_claiming() {
+        let mut f = SinglePortFifo::new(1);
+        f.push_at(0, 1).unwrap();
+        assert_eq!(f.push_at(1, 2), Err(PortError::Full));
+        // The failed push didn't burn cycle 1's port.
+        assert_eq!(f.pop_at(1).unwrap(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn zero_depth_rejected() {
+        ShowAheadFifo::<u8>::new(0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # wfasic-soc — System-on-Chip substrate models
+//!
+//! Behavioral models of everything in the paper's Fig. 3 that isn't the
+//! accelerator or the CPU core proper:
+//!
+//! * [`mem`] — byte-addressable main memory (functional);
+//! * [`bus`] — AXI-Full burst timing with shared-port contention (the
+//!   mechanism behind Table 1's reading cycles and Fig. 10's saturation) and
+//!   the AXI-Lite configuration path;
+//! * [`dma`] — the accelerator's DMA engine;
+//! * [`fifo`] — show-ahead FIFOs plus the checked single-port RAM wrapper of
+//!   the ASIC memory implementation (§4.6);
+//! * [`cache`] — L1/L2/DRAM hierarchy timing for the CPU models;
+//! * [`mmio`] — the memory-mapped register file;
+//! * [`clock`] — cycle bookkeeping and frequency constants.
+
+pub mod bus;
+pub mod cache;
+pub mod clock;
+pub mod dma;
+pub mod fifo;
+pub mod mem;
+pub mod mmio;
+
+pub use bus::{AxiLite, BusConfig, BusStats, MemoryBus};
+pub use cache::{Cache, MemHierarchy};
+pub use clock::{cycles_to_seconds, BusyUnit, Cycle, SARGANTANA_HZ, WFASIC_ASIC_HZ};
+pub use dma::{DmaEngine, DmaStats};
+pub use fifo::{FifoFull, PortError, ShowAheadFifo, SinglePortFifo};
+pub use mem::MainMemory;
+pub use mmio::RegFile;

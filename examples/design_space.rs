@@ -1,0 +1,63 @@
+//! Design-space exploration (paper §5.4): sweep the number of Aligners and
+//! parallel sections, measuring performance with the cycle model and cost
+//! with the area model — reproducing the paper's argument for choosing
+//! 1 Aligner × 64 parallel sections.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use wfasic::accel::{area_report, AccelConfig};
+use wfasic::driver::codesign::run_experiment;
+use wfasic::seqio::InputSetSpec;
+use wfasic::soc::WFASIC_ASIC_HZ;
+
+fn main() {
+    let short = InputSetSpec { length: 100, error_pct: 10 }.generate(12, 5).pairs;
+    let long = InputSetSpec { length: 1_000, error_pct: 10 }.generate(6, 5).pairs;
+
+    println!(
+        "{:<22} {:>9} {:>7} {:>12} {:>12} {:>12}",
+        "configuration", "area mm2", "macros", "short cyc", "long cyc", "GCUPS/mm2*"
+    );
+    let mut rows = Vec::new();
+    for (aligners, ps) in [(1usize, 64usize), (2, 32), (1, 32), (2, 64), (4, 16), (1, 128)] {
+        let cfg = AccelConfig::wfasic_chip()
+            .with_aligners(aligners)
+            .with_parallel_sections(ps);
+        let area = area_report(&cfg);
+        let r_short = run_experiment(&cfg, &short, false, false);
+        let r_long = run_experiment(&cfg, &long, false, false);
+        let gcups = r_long.gcups(WFASIC_ASIC_HZ);
+        println!(
+            "{:<22} {:>9.2} {:>7} {:>12} {:>12} {:>12.1}",
+            format!("{aligners} x {ps}PS"),
+            area.area_mm2,
+            area.memory_macros,
+            r_short.accel_cycles,
+            r_long.accel_cycles,
+            gcups / area.area_mm2
+        );
+        rows.push((aligners, ps, area.area_mm2, r_short.accel_cycles, r_long.accel_cycles));
+    }
+    println!("* GCUPS on the 1K-10% set at 1.1 GHz, per mm2\n");
+
+    // The paper's §5.4 claims, checked mechanically:
+    let a64 = rows.iter().find(|r| (r.0, r.1) == (1, 64)).unwrap();
+    let a2x32 = rows.iter().find(|r| (r.0, r.1) == (2, 32)).unwrap();
+    println!(
+        "2x32PS needs {:.2} mm2 vs 1x64PS {:.2} mm2 (paper: 32PS is only ~1.5x smaller than 64PS)",
+        a2x32.2, a64.2
+    );
+    assert!(a2x32.2 > a64.2, "two 32PS Aligners cost more area than one 64PS");
+    println!(
+        "short reads: 2x32PS {} cycles vs 1x64PS {} cycles (more Aligners beat wider ones)",
+        a2x32.3, a64.3
+    );
+    assert!(
+        a2x32.3 < a64.3,
+        "for short reads most of 64 sections idle; two Aligners help more"
+    );
+    println!(
+        "long reads: 2x32PS {} vs 1x64PS {} cycles (comparable, as the paper reports)",
+        a2x32.4, a64.4
+    );
+}

@@ -1,0 +1,61 @@
+//! Long-read pipeline: the paper's headline scenario — third-generation
+//! 10Kb reads with 5-10% error, aligned by the full SoC co-design, with the
+//! per-phase cycle breakdown and the speedup over the CPU baselines.
+//!
+//! Run with: `cargo run --release --example long_read_pipeline`
+
+use wfasic::accel::AccelConfig;
+use wfasic::driver::codesign::run_experiment;
+use wfasic::seqio::InputSetSpec;
+use wfasic::soc::{cycles_to_seconds, SARGANTANA_HZ, WFASIC_ASIC_HZ};
+
+fn main() {
+    let cfg = AccelConfig::wfasic_chip();
+    println!(
+        "WFAsic: {} Aligner x {} parallel sections, k_max {}, reads to {} bases\n",
+        cfg.num_aligners, cfg.parallel_sections, cfg.k_max, cfg.max_supported_len
+    );
+
+    for spec in [
+        InputSetSpec { length: 10_000, error_pct: 5 },
+        InputSetSpec { length: 10_000, error_pct: 10 },
+    ] {
+        let pairs = spec.generate(2, 2024).pairs;
+        println!("--- input set {} ({} pairs) ---", spec.name(), pairs.len());
+
+        let nbt = run_experiment(&cfg, &pairs, false, false);
+        let bt = run_experiment(&cfg, &pairs, true, false);
+
+        assert!(nbt.all_success && bt.all_success);
+        println!(
+            "accelerator, backtrace off : {:>12} cycles  ({:.3} ms at 1.1 GHz)",
+            nbt.accel_cycles,
+            cycles_to_seconds(nbt.accel_cycles, WFASIC_ASIC_HZ) * 1e3
+        );
+        println!(
+            "accelerator, backtrace on  : {:>12} cycles  (+ CPU backtrace {} cycles, {:.3} ms at 1.26 GHz)",
+            bt.accel_cycles,
+            bt.cpu_bt_cycles,
+            cycles_to_seconds(bt.cpu_bt_cycles, SARGANTANA_HZ) * 1e3
+        );
+        println!(
+            "CPU scalar WFA baseline    : {:>12} cycles",
+            nbt.cpu_scalar_total
+        );
+        println!(
+            "CPU vector WFA baseline    : {:>12} cycles",
+            nbt.cpu_vector_total
+        );
+        println!(
+            "speedup vs CPU scalar      : {:>8.1}x (backtrace off)   {:>8.1}x (backtrace on)",
+            nbt.speedup_vs_scalar(),
+            bt.speedup_vs_scalar()
+        );
+        println!(
+            "per-pair: {} alignment cycles, {} reading cycles -> Eq.7 max efficient aligners = {}\n",
+            nbt.mean_align_cycles as u64,
+            nbt.read_cycles,
+            nbt.max_efficient_aligners()
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! `wfasic-align` — align FASTA read pairs on the simulated WFAsic SoC.
+//!
+//! ```text
+//! wfasic-align <a.fasta> <b.fasta> [--no-backtrace] [--aligners N] [--cycles]
+//! ```
+//!
+//! Records are paired by position (record `i` of `a.fasta` vs record `i` of
+//! `b.fasta`). Output is one line per pair: id, status, score, and CIGAR
+//! (when backtrace is enabled), plus an optional cycle summary.
+
+use std::fs::File;
+use std::io::BufReader;
+use wfasic::accel::AccelConfig;
+use wfasic::driver::{WaitMode, WfasicDriver};
+use wfasic::seqio::fasta::read_fasta;
+use wfasic::seqio::Pair;
+
+fn usage() -> ! {
+    eprintln!("usage: wfasic-align <a.fasta> <b.fasta> [--no-backtrace] [--aligners N] [--cycles]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&str> = Vec::new();
+    let mut backtrace = true;
+    let mut aligners = 1usize;
+    let mut show_cycles = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-backtrace" => backtrace = false,
+            "--cycles" => show_cycles = true,
+            "--aligners" => {
+                i += 1;
+                aligners = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => files.push(other),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if files.len() != 2 {
+        usage();
+    }
+
+    let read = |path: &str| {
+        let file = File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        });
+        read_fasta(BufReader::new(file)).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let recs_a = read(files[0]);
+    let recs_b = read(files[1]);
+    if recs_a.len() != recs_b.len() {
+        eprintln!(
+            "record count mismatch: {} has {}, {} has {}",
+            files[0],
+            recs_a.len(),
+            files[1],
+            recs_b.len()
+        );
+        std::process::exit(1);
+    }
+    if recs_a.is_empty() {
+        eprintln!("no records");
+        std::process::exit(1);
+    }
+
+    let pairs: Vec<Pair> = recs_a
+        .iter()
+        .zip(&recs_b)
+        .enumerate()
+        .map(|(i, (ra, rb))| Pair {
+            id: i as u32,
+            a: ra.seq.clone(),
+            b: rb.seq.clone(),
+        })
+        .collect();
+
+    let cfg = AccelConfig::wfasic_chip().with_aligners(aligners);
+    let mut drv = WfasicDriver::new(cfg);
+    let job = drv.submit(&pairs, backtrace, WaitMode::PollIdle);
+
+    for ((res, ra), pr) in job.results.iter().zip(&recs_a).zip(&job.report.pairs) {
+        let status = if res.success { "OK" } else { "FAIL" };
+        let cigar = res
+            .cigar
+            .as_ref()
+            .map(|c| c.to_rle_string())
+            .unwrap_or_else(|| "-".to_string());
+        print!("{}\t{}\tscore={}\tcigar={}", ra.name, status, res.score, cigar);
+        if show_cycles {
+            print!("\talign_cycles={}\tread_cycles={}", pr.align_cycles, pr.read_cycles);
+        }
+        println!();
+    }
+    if show_cycles {
+        eprintln!(
+            "job: {} cycles total, {} result bytes, bus utilization {:.1}%, cpu backtrace {} cycles",
+            job.report.total_cycles,
+            job.report.output_bytes,
+            job.report.bus_utilization * 100.0,
+            job.cpu_backtrace_cycles
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! CPU-baseline consistency: the analytic Sargantana cost model and the
+//! instruction-accurate RISC-V kernel must tell the same story.
+
+use wfasic::driver::CpuCosts;
+use wfasic::riscv::kernels::run_wfa_scalar;
+use wfasic::seqio::PairGenerator;
+use wfasic::wfa::{wfa_align, WfaOptions, Penalties};
+
+#[test]
+fn analytic_model_tracks_isa_kernel_within_a_small_factor() {
+    // The analytic model is calibrated for the optimized WFA C code; our
+    // hand-written kernel recomputes full (-d..d) columns every score, so it
+    // does strictly more work. Require agreement within an order of
+    // magnitude and correlation across inputs.
+    let costs = CpuCosts::sargantana_scalar();
+    let mut ratios = Vec::new();
+    for (len, rate, seed) in [(80usize, 0.05, 1u64), (150, 0.08, 2), (200, 0.10, 3)] {
+        let p = PairGenerator::new(len, rate, seed).pair();
+        let isa = run_wfa_scalar(&p.a, &p.b);
+        assert!(isa.score.is_some());
+        let sw = wfa_align(&p.a, &p.b, &WfaOptions::score_only(Penalties::WFASIC_DEFAULT)).unwrap();
+        let analytic = costs.align_cycles(&sw.stats);
+        let ratio = isa.stats.cycles as f64 / analytic as f64;
+        assert!(
+            (0.1..10.0).contains(&ratio),
+            "len={len} rate={rate}: ISA {} vs analytic {} (ratio {ratio:.2})",
+            isa.stats.cycles,
+            analytic
+        );
+        ratios.push((len as f64 * rate, isa.stats.cycles));
+    }
+    // Both models agree on ordering: more edits, more cycles.
+    assert!(ratios.windows(2).all(|w| w[1].1 > w[0].1));
+}
+
+#[test]
+fn isa_kernel_score_agrees_with_software_on_standard_shape() {
+    // A miniature version of the 100bp standard sets through both paths.
+    let mut g = PairGenerator::new(100, 0.05, 42);
+    for _ in 0..5 {
+        let p = g.pair();
+        let sw = wfa_align(&p.a, &p.b, &WfaOptions::score_only(Penalties::WFASIC_DEFAULT)).unwrap();
+        let isa = run_wfa_scalar(&p.a, &p.b);
+        assert_eq!(isa.score, Some(sw.score));
+    }
+}
+
+#[test]
+fn vector_model_strictly_faster_on_real_workloads() {
+    let scalar = CpuCosts::sargantana_scalar();
+    let vector = CpuCosts::sargantana_vector();
+    let mut g = PairGenerator::new(1000, 0.10, 9);
+    let p = g.pair();
+    let sw = wfa_align(&p.a, &p.b, &WfaOptions::score_only(Penalties::WFASIC_DEFAULT)).unwrap();
+    assert!(vector.align_cycles(&sw.stats) < scalar.align_cycles(&sw.stats));
+}

@@ -1,0 +1,133 @@
+//! The paper's broken-data robustness tests (§5.1): "to check that the
+//! WFAsic does not cause the CPU to hang in case of receiving broken data,
+//! we intentionally send data in different unexpected formats ... In these
+//! tests, we did not observe any CPU freeze."
+//!
+//! Here: unsupported reads, over-length reads, garbage-filled images and
+//! empty sequences must all complete with sensible Success flags, never
+//! panic and never corrupt neighbouring results.
+
+use wfasic::accel::regs::offsets;
+use wfasic::accel::{AccelConfig, WfasicDevice};
+use wfasic::driver::{WaitMode, WfasicDriver};
+use wfasic::seqio::memimage::{pair_record_bytes, InputImage};
+use wfasic::seqio::{InputSetSpec, Pair};
+use wfasic::soc::MainMemory;
+
+#[test]
+fn n_bases_flagged_not_hung() {
+    let mut pairs = InputSetSpec { length: 120, error_pct: 5 }.generate(5, 1).pairs;
+    pairs[0].a[3] = b'N';
+    pairs[2].b[100] = b'n';
+    pairs[4].a[0] = b'-';
+    let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+    let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+    assert!(!job.results[0].success);
+    assert!(job.results[1].success);
+    assert!(!job.results[2].success);
+    assert!(job.results[3].success);
+    assert!(!job.results[4].success);
+}
+
+#[test]
+fn over_length_reads_rejected_per_read() {
+    // Build an image whose recorded length exceeds MAX_READ_LEN for one
+    // pair (the Extractor's first unsupported-read check).
+    let good = Pair {
+        id: 0,
+        a: b"ACGTACGTACGTACGT".to_vec(),
+        b: b"ACGTACGAACGTACGT".to_vec(),
+    };
+    let bad = Pair {
+        id: 1,
+        a: vec![b'A'; 64], // longer than MAX_READ_LEN = 16
+        b: b"ACGT".to_vec(),
+    };
+    let img = InputImage::encode_raw(&[good.clone(), bad], 16);
+    let mut mem = MainMemory::with_default_cap();
+    mem.write(0x1000, &img.bytes);
+
+    let mut dev = WfasicDevice::new(AccelConfig::wfasic_chip());
+    dev.mmio_write(offsets::MAX_READ_LEN, 16);
+    dev.mmio_write(offsets::IN_ADDR, 0x1000);
+    dev.mmio_write(offsets::IN_SIZE, img.bytes.len() as u64);
+    dev.mmio_write(offsets::OUT_ADDR, 0x10_0000);
+    dev.mmio_write(offsets::START, 1);
+    let report = dev.run(&mut mem);
+    assert!(report.pairs[0].success);
+    assert!(!report.pairs[1].success);
+    assert_eq!(dev.mmio_read(offsets::IDLE), 1, "device returned to idle");
+}
+
+#[test]
+fn garbage_image_completes_with_failures() {
+    // Fill an input region with pseudo-random bytes and run it as if it
+    // were a job: lengths will be nonsense and bases unsupported; every
+    // result must be Success=0 and the device must reach Idle.
+    let max_read_len = 64usize;
+    let rec = pair_record_bytes(max_read_len);
+    let n_pairs = 4;
+    let mut bytes = vec![0u8; rec * n_pairs];
+    let mut state: u32 = 0xDEAD_BEEF;
+    for b in bytes.iter_mut() {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        *b = (state >> 24) as u8;
+    }
+    // Cap the recorded lengths so they are in-range but the bases are
+    // garbage (non-ACGT): the 'N'-style check must catch them.
+    for i in 0..n_pairs {
+        let base = i * rec;
+        bytes[base + 16..base + 20].copy_from_slice(&(40u32).to_le_bytes());
+        bytes[base + 32..base + 36].copy_from_slice(&(40u32).to_le_bytes());
+    }
+    let mut mem = MainMemory::with_default_cap();
+    mem.write(0x1000, &bytes);
+    let mut dev = WfasicDevice::new(AccelConfig::wfasic_chip());
+    dev.mmio_write(offsets::MAX_READ_LEN, max_read_len as u64);
+    dev.mmio_write(offsets::IN_ADDR, 0x1000);
+    dev.mmio_write(offsets::IN_SIZE, bytes.len() as u64);
+    dev.mmio_write(offsets::OUT_ADDR, 0x10_0000);
+    dev.mmio_write(offsets::BT_ENABLE, 1);
+    dev.mmio_write(offsets::START, 1);
+    let report = dev.run(&mut mem);
+    assert_eq!(report.pairs.len(), n_pairs);
+    assert!(report.pairs.iter().all(|p| !p.success));
+    assert_eq!(dev.mmio_read(offsets::IDLE), 1);
+}
+
+#[test]
+fn empty_and_tiny_sequences_flow_through() {
+    let pairs = vec![
+        Pair { id: 0, a: Vec::new(), b: b"ACGT".to_vec() },
+        Pair { id: 1, a: b"A".to_vec(), b: b"A".to_vec() },
+        Pair { id: 2, a: b"ACGT".to_vec(), b: Vec::new() },
+        Pair { id: 3, a: Vec::new(), b: Vec::new() },
+    ];
+    let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+    let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+    assert!(job.results.iter().all(|r| r.success));
+    assert_eq!(job.results[0].score, 6 + 4 * 2);
+    assert_eq!(job.results[1].score, 0);
+    assert_eq!(job.results[2].score, 6 + 4 * 2);
+    assert_eq!(job.results[3].score, 0);
+    for (res, pair) in job.results.iter().zip(&pairs) {
+        res.cigar.as_ref().unwrap().check(&pair.a, &pair.b).unwrap();
+    }
+}
+
+#[test]
+fn mixed_lengths_in_one_job() {
+    // MAX_READ_LEN is set by the longest read; short reads are padded with
+    // dummy bases that the Extractor must ignore.
+    let pairs = vec![
+        Pair { id: 0, a: b"ACG".to_vec(), b: b"ACG".to_vec() },
+        Pair { id: 1, a: vec![b'G'; 777], b: vec![b'G'; 777] },
+        Pair { id: 2, a: b"GATTACA".to_vec(), b: b"GACTACA".to_vec() },
+    ];
+    let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+    let job = drv.submit(&pairs, false, WaitMode::PollIdle);
+    assert!(job.results.iter().all(|r| r.success));
+    assert_eq!(job.results[0].score, 0);
+    assert_eq!(job.results[1].score, 0);
+    assert_eq!(job.results[2].score, 4);
+}
