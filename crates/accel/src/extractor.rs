@@ -35,14 +35,30 @@ pub enum RejectReason {
     OverSupportedLen { len: usize, max: usize },
     /// The bases contain an 'N' (or any non-ACGT byte).
     UnknownBase,
+    /// The record is not `pair_record_bytes(max_read_len)` long (a truncated
+    /// or torn stream — only reachable with injected faults or a broken DMA).
+    Malformed { len: usize, expected: usize },
 }
 
 /// Decode one pair record from raw input bytes.
 ///
-/// `record` must be exactly `pair_record_bytes(max_read_len)` long.
+/// `record` should be exactly `pair_record_bytes(max_read_len)` long; a
+/// record of any other size is rejected as [`RejectReason::Malformed`]
+/// rather than crashing, matching the hardware's broken-data behavior.
 pub fn extract_pair(cfg: &AccelConfig, record: &[u8], max_read_len: usize) -> ExtractedPair {
-    assert_eq!(record.len(), pair_record_bytes(max_read_len));
-    let decode_cycles = (record.len() / SECTION) as Cycle;
+    let expected = pair_record_bytes(max_read_len);
+    let decode_cycles = (record.len() / SECTION).max(1) as Cycle;
+    if record.len() != expected {
+        return ExtractedPair {
+            id: 0,
+            rams: None,
+            reject: Some(RejectReason::Malformed {
+                len: record.len(),
+                expected,
+            }),
+            decode_cycles,
+        };
+    }
 
     let id = u32::from_le_bytes(record[0..4].try_into().unwrap());
     let len_a = u32::from_le_bytes(record[SECTION..SECTION + 4].try_into().unwrap()) as usize;
@@ -169,6 +185,18 @@ mod tests {
         let ex = extract_pair(&cfg(), &rec, 16);
         assert_eq!(ex.reject, Some(RejectReason::UnknownBase));
         assert_eq!(ex.id, 7, "id still reported for the Success=0 result");
+    }
+
+    #[test]
+    fn rejects_malformed_record_length() {
+        let ex = extract_pair(&cfg(), &[0u8; 7], 16);
+        assert!(matches!(
+            ex.reject,
+            Some(RejectReason::Malformed { len: 7, expected: 80 })
+        ));
+        assert!(ex.rams.is_none());
+        let ex = extract_pair(&cfg(), &[], 16);
+        assert!(matches!(ex.reject, Some(RejectReason::Malformed { .. })));
     }
 
     #[test]

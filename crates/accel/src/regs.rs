@@ -1,12 +1,18 @@
 //! The AXI-Lite register map (paper §3: "The WFAsic accelerator includes a
 //! set of memory-mapped registers, and the CPU writes into these registers
 //! the configuration of the accelerator").
+//!
+//! Error semantics (the §5.1 robustness campaign, made architectural):
+//! malformed configuration never crashes the device. Instead the job is
+//! refused (or aborted), `ERROR_CODE`/`ERROR_INFO` latch the reason, and the
+//! device returns to `IDLE = 1`. The pair of registers is sticky until the
+//! next *accepted* `START`.
 
 /// Byte offsets of the memory-mapped registers.
 pub mod offsets {
     /// Write 1 to start the configured job.
     pub const START: u64 = 0x00;
-    /// Reads 1 while the accelerator is idle (polled by the CPU).
+    /// (RO) Reads 1 while the accelerator is idle (polled by the CPU).
     pub const IDLE: u64 = 0x08;
     /// 1 = backtrace data generation enabled.
     pub const BT_ENABLE: u64 = 0x10;
@@ -24,9 +30,86 @@ pub mod offsets {
     pub const OUT_BYTES: u64 = 0x40;
     /// (RO) Total cycles of the last job.
     pub const JOB_CYCLES: u64 = 0x48;
-    /// (RO) Sticky interrupt pending flag (write 1 to clear).
+    /// (W1C) Sticky interrupt pending flag (write 1 to clear).
     pub const IRQ_PENDING: u64 = 0x50;
+    /// (RO) Why the last job was refused or aborted (see [`super::error_code`]).
+    pub const ERROR_CODE: u64 = 0x58;
+    /// (RO) Detail for `ERROR_CODE` (the offending value or address).
+    pub const ERROR_INFO: u64 = 0x60;
+    /// Size of the output buffer in bytes (0 = unbounded, to end of memory).
+    pub const OUT_SIZE: u64 = 0x68;
 }
+
+/// `ERROR_CODE` values.
+pub mod error_code {
+    /// No error.
+    pub const OK: u64 = 0;
+    /// `MAX_READ_LEN` is zero, not a multiple of 16, or absurdly large.
+    /// `ERROR_INFO` = the programmed value.
+    pub const BAD_MAX_READ_LEN: u64 = 1;
+    /// `IN_SIZE` is not a whole number of pair records.
+    /// `ERROR_INFO` = the programmed size.
+    pub const BAD_IN_SIZE: u64 = 2;
+    /// `START` written while a job is pending or running. The write is
+    /// ignored; the running job is unaffected.
+    pub const START_WHILE_BUSY: u64 = 3;
+    /// The result stream hit the end of the output buffer; the job was
+    /// aborted. `ERROR_INFO` = the overflowing cursor address.
+    pub const OUT_OVERRUN: u64 = 4;
+    /// The input or output window falls outside addressable memory.
+    /// `ERROR_INFO` = the offending address.
+    pub const BAD_ADDR: u64 = 5;
+    /// `run()` invoked without a latched `START`.
+    pub const START_NOT_SET: u64 = 6;
+
+    /// Human-readable name for an error code.
+    pub fn name(code: u64) -> &'static str {
+        match code {
+            OK => "OK",
+            BAD_MAX_READ_LEN => "BAD_MAX_READ_LEN",
+            BAD_IN_SIZE => "BAD_IN_SIZE",
+            START_WHILE_BUSY => "START_WHILE_BUSY",
+            OUT_OVERRUN => "OUT_OVERRUN",
+            BAD_ADDR => "BAD_ADDR",
+            START_NOT_SET => "START_NOT_SET",
+            _ => "UNKNOWN",
+        }
+    }
+
+    /// All codes the hardware can latch (for coherence assertions).
+    pub const ALL: [u64; 7] = [
+        OK,
+        BAD_MAX_READ_LEN,
+        BAD_IN_SIZE,
+        START_WHILE_BUSY,
+        OUT_OVERRUN,
+        BAD_ADDR,
+        START_NOT_SET,
+    ];
+}
+
+/// A latched `ERROR_CODE`/`ERROR_INFO` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceError {
+    /// One of [`error_code`]'s constants.
+    pub code: u64,
+    /// The offending value or address.
+    pub info: u64,
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (code {}, info {:#x})",
+            error_code::name(self.code),
+            self.code,
+            self.info
+        )
+    }
+}
+
+impl std::error::Error for DeviceError {}
 
 /// A decoded job configuration, read from the register file when START is
 /// written.
@@ -42,6 +125,8 @@ pub struct JobConfig {
     pub in_size: u64,
     /// Output base address.
     pub out_addr: u64,
+    /// Output buffer size in bytes (0 = unbounded).
+    pub out_size: u64,
     /// Interrupt on completion?
     pub irq_enable: bool,
 }
@@ -55,6 +140,7 @@ impl JobConfig {
             in_addr: regs.peek(offsets::IN_ADDR),
             in_size: regs.peek(offsets::IN_SIZE),
             out_addr: regs.peek(offsets::OUT_ADDR),
+            out_size: regs.peek(offsets::OUT_SIZE),
             irq_enable: regs.peek(offsets::IRQ_ENABLE) != 0,
         }
     }
@@ -82,6 +168,7 @@ mod tests {
                 in_addr: 0x1000,
                 in_size: 0x2000,
                 out_addr: 0x8000,
+                out_size: 0,
                 irq_enable: false,
             }
         );
@@ -92,11 +179,28 @@ mod tests {
         use offsets::*;
         let all = [
             START, IDLE, BT_ENABLE, MAX_READ_LEN, IN_ADDR, IN_SIZE, OUT_ADDR, IRQ_ENABLE,
-            OUT_BYTES, JOB_CYCLES, IRQ_PENDING,
+            OUT_BYTES, JOB_CYCLES, IRQ_PENDING, ERROR_CODE, ERROR_INFO, OUT_SIZE,
         ];
         let mut sorted = all.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), all.len());
+    }
+
+    #[test]
+    fn error_codes_named_and_distinct() {
+        let mut sorted = error_code::ALL.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), error_code::ALL.len());
+        for &code in &error_code::ALL {
+            assert_ne!(error_code::name(code), "UNKNOWN");
+        }
+        assert_eq!(error_code::name(999), "UNKNOWN");
+        let e = DeviceError {
+            code: error_code::BAD_IN_SIZE,
+            info: 0x30,
+        };
+        assert_eq!(e.to_string(), "BAD_IN_SIZE (code 2, info 0x30)");
     }
 }

@@ -1,37 +1,32 @@
-//! Criterion bench for the Fig. 10 pipeline: the multi-Aligner dispatch
-//! schedule and a real multi-Aligner device job. Regenerate the figure with
+//! Bench for the Fig. 10 pipeline: the multi-Aligner dispatch schedule and
+//! a real multi-Aligner device job. Regenerate the figure with
 //! `cargo run -p wfasic-bench --release --bin report -- fig10`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wfasic_accel::AccelConfig;
 use wfasic_bench::experiments::schedule_multi_aligner;
+use wfasic_bench::timing::bench;
 use wfasic_driver::{WaitMode, WfasicDriver};
 use wfasic_seqio::dataset::InputSetSpec;
 
-fn bench_schedule(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_schedule");
+fn main() {
+    println!("fig10_schedule");
     // Table 1's per-pair cycles: the schedule sweep itself.
     let aligns: Vec<u64> = vec![937_630; 256];
     for n in [1usize, 4, 10] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| schedule_multi_aligner(3_420, &aligns, n))
+        bench(&format!("schedule_{n}_aligners"), 100, || {
+            schedule_multi_aligner(3_420, &aligns, n)
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("fig10_device_multialigner");
-    group.sample_size(10);
+    println!("fig10_device_multialigner");
     let pairs = InputSetSpec { length: 1_000, error_pct: 10 }.generate(8, 5).pairs;
     for n in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip().with_aligners(n));
-                drv.submit(&pairs, false, WaitMode::PollIdle).report.total_cycles
-            })
+        bench(&format!("device_{n}_aligners"), 10, || {
+            let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip().with_aligners(n));
+            drv.submit(&pairs, false, WaitMode::PollIdle)
+                .unwrap()
+                .report
+                .total_cycles
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_schedule);
-criterion_main!(benches);

@@ -1,17 +1,17 @@
-//! Criterion bench for the Fig. 11 pipeline: the two CPU backtrace stream
-//! methods (data separation vs no-separation) over a real accelerator
-//! backtrace stream. Regenerate the figure with
+//! Bench for the Fig. 11 pipeline: the two CPU backtrace stream methods
+//! (data separation vs no-separation) over a real accelerator backtrace
+//! stream. Regenerate the figure with
 //! `cargo run -p wfasic-bench --release --bin report -- fig11`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wfa_core::bitpack::PackedSeq;
 use wfasic_accel::aligner::align_packed;
 use wfasic_accel::collector::{bt_txns_to_bytes, collect_bt};
 use wfasic_accel::{AccelConfig, WavefrontSchedule};
+use wfasic_bench::timing::bench;
 use wfasic_driver::backtrace::{separate_stream, split_consecutive_stream};
 use wfasic_seqio::dataset::InputSetSpec;
 
-fn bench_fig11(c: &mut Criterion) {
+fn main() {
     let cfg = AccelConfig::wfasic_chip();
     let schedule = WavefrontSchedule::for_config(&cfg);
     let pairs = InputSetSpec { length: 1_000, error_pct: 10 }.generate(2, 3).pairs;
@@ -23,15 +23,9 @@ fn bench_fig11(c: &mut Criterion) {
         stream.extend_from_slice(&bt_txns_to_bytes(&collect_bt(&out)));
     }
 
-    let mut group = c.benchmark_group("fig11_stream_methods");
-    group.bench_function("separate", |b| {
-        b.iter(|| separate_stream(&stream).unwrap().len())
+    println!("fig11_stream_methods");
+    bench("separate", 50, || separate_stream(&stream).unwrap().len());
+    bench("no_separation", 50, || {
+        split_consecutive_stream(&stream).unwrap().len()
     });
-    group.bench_function("no_separation", |b| {
-        b.iter(|| split_consecutive_stream(&stream).unwrap().len())
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig11);
-criterion_main!(benches);

@@ -1,15 +1,14 @@
-//! Criterion bench for the Fig. 9 pipeline: the co-design experiment
-//! (accelerator + CPU baselines) with and without backtrace. Regenerate the
-//! figure with `cargo run -p wfasic-bench --release --bin report -- fig9`.
+//! Bench for the Fig. 9 pipeline: the co-design experiment (accelerator +
+//! CPU baselines) with and without backtrace. Regenerate the figure with
+//! `cargo run -p wfasic-bench --release --bin report -- fig9`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wfasic_accel::AccelConfig;
+use wfasic_bench::timing::bench;
 use wfasic_driver::codesign::run_experiment;
 use wfasic_seqio::dataset::InputSetSpec;
 
-fn bench_fig9(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_codesign");
-    group.sample_size(10);
+fn main() {
+    println!("fig9_codesign");
     let cfg = AccelConfig::wfasic_chip();
     for (spec, n) in [
         (InputSetSpec { length: 100, error_pct: 10 }, 8usize),
@@ -18,16 +17,10 @@ fn bench_fig9(c: &mut Criterion) {
         let pairs = spec.generate(n, 9).pairs;
         for bt in [false, true] {
             let label = format!("{}-{}", spec.name(), if bt { "bt" } else { "nbt" });
-            group.bench_with_input(BenchmarkId::from_parameter(label), &pairs, |b, pairs| {
-                b.iter(|| {
-                    let r = run_experiment(&cfg, pairs, bt, false);
-                    (r.wfasic_total, r.cpu_scalar_total)
-                })
+            bench(&label, 10, || {
+                let r = run_experiment(&cfg, &pairs, bt, false);
+                (r.wfasic_total, r.cpu_scalar_total)
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

@@ -1,15 +1,14 @@
-//! Criterion bench for the Table 1 pipeline: one accelerator job (backtrace
-//! off) per input-set shape. Regenerate the full table with
+//! Bench for the Table 1 pipeline: one accelerator job (backtrace off) per
+//! input-set shape. Regenerate the full table with
 //! `cargo run -p wfasic-bench --release --bin report -- table1`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wfasic_accel::AccelConfig;
+use wfasic_bench::timing::bench;
 use wfasic_driver::{WaitMode, WfasicDriver};
 use wfasic_seqio::dataset::InputSetSpec;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_device_job");
-    group.sample_size(10);
+fn main() {
+    println!("table1_device_job");
     for spec in InputSetSpec::ALL {
         let n = match spec.length {
             100 => 8,
@@ -17,16 +16,10 @@ fn bench_table1(c: &mut Criterion) {
             _ => 1,
         };
         let pairs = spec.generate(n, 7).pairs;
-        group.bench_with_input(BenchmarkId::from_parameter(spec.name()), &pairs, |b, pairs| {
-            b.iter(|| {
-                let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-                let job = drv.submit(pairs, false, WaitMode::PollIdle);
-                job.report.total_cycles
-            })
+        bench(&spec.name(), 10, || {
+            let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+            let job = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap();
+            job.report.total_cycles
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

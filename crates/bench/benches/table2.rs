@@ -1,28 +1,21 @@
-//! Criterion bench for the Table 2 pipeline: GCUPS measurement (equivalent
-//! SWG cells over co-design time) plus the area model. Regenerate the table
-//! with `cargo run -p wfasic-bench --release --bin report -- table2`.
+//! Bench for the Table 2 pipeline: GCUPS measurement (equivalent SWG cells
+//! over co-design time) plus the area model. Regenerate the table with
+//! `cargo run -p wfasic-bench --release --bin report -- table2`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wfasic_accel::{area_report, AccelConfig};
+use wfasic_bench::timing::bench;
 use wfasic_driver::codesign::run_experiment;
 use wfasic_seqio::dataset::InputSetSpec;
 use wfasic_soc::clock::WFASIC_ASIC_HZ;
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
     let cfg = AccelConfig::wfasic_chip();
     let pairs = InputSetSpec { length: 10_000, error_pct: 5 }.generate(1, 11).pairs;
 
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
-    group.bench_function("gcups_10k5_nbt", |b| {
-        b.iter(|| {
-            let r = run_experiment(&cfg, &pairs, false, false);
-            r.gcups(WFASIC_ASIC_HZ)
-        })
+    println!("table2");
+    bench("gcups_10k5_nbt", 10, || {
+        let r = run_experiment(&cfg, &pairs, false, false);
+        r.gcups(WFASIC_ASIC_HZ)
     });
-    group.bench_function("area_model", |b| b.iter(|| area_report(&cfg).area_mm2));
-    group.finish();
+    bench("area_model", 100, || area_report(&cfg).area_mm2);
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! cargo run -p wfasic-bench --release --bin report -- [table1|fig8|fig9|fig10|fig11|table2|ablation|all] [--quick] [--seed N]
+//! cargo run -p wfasic-bench --release --bin report -- [table1|fig8|fig9|fig10|fig11|table2|ablation|faults|all] [--quick] [--seed N]
 //! ```
 
 use wfasic_bench::experiments::Sizes;
@@ -39,6 +39,7 @@ fn main() {
             "fig11" => print!("{}", report::fig11_report(&sizes)),
             "table2" => print!("{}", report::table2_report(&sizes)),
             "ablation" => print!("{}", report::ablation_report(&sizes)),
+            "faults" => print!("{}", report::faults_report(&sizes)),
             "all" => {
                 println!("{}", report::table1_report(&sizes));
                 println!("{}", report::fig9_report(&sizes));
@@ -46,11 +47,12 @@ fn main() {
                 println!("{}", report::fig11_report(&sizes));
                 println!("{}", report::table2_report(&sizes));
                 println!("{}", report::ablation_report(&sizes));
+                println!("{}", report::faults_report(&sizes));
                 print!("{}", report::fig8_report());
             }
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("usage: report [table1|fig8|fig9|fig10|fig11|table2|ablation|all] [--quick] [--seed N]");
+                eprintln!("usage: report [table1|fig8|fig9|fig10|fig11|table2|ablation|faults|all] [--quick] [--seed N]");
                 std::process::exit(2);
             }
         }

@@ -5,7 +5,6 @@
 //! for printing next to the paper's reported numbers.
 
 use crate::paper;
-use rayon::prelude::*;
 use wfasic_accel::AccelConfig;
 use wfasic_driver::codesign::{run_experiment, ExperimentResult};
 use wfasic_seqio::dataset::InputSetSpec;
@@ -93,7 +92,7 @@ pub struct Table1Row {
 pub fn table1(sizes: &Sizes) -> Vec<Table1Row> {
     let cfg = AccelConfig::wfasic_chip();
     InputSetSpec::ALL
-        .par_iter()
+        .iter()
         .map(|spec| {
             let r = measure(spec, sizes, &cfg, false, false);
             Table1Row {
@@ -127,7 +126,7 @@ pub struct Fig9Row {
 pub fn fig9(sizes: &Sizes) -> Vec<Fig9Row> {
     let cfg = AccelConfig::wfasic_chip();
     InputSetSpec::ALL
-        .par_iter()
+        .iter()
         .map(|spec| {
             let nbt = measure(spec, sizes, &cfg, false, false);
             let bt = measure(spec, sizes, &cfg, true, false);
@@ -182,11 +181,13 @@ pub fn schedule_multi_aligner(read_cycles: Cycle, aligns: &[Cycle], n_aligners: 
 pub fn fig10(sizes: &Sizes) -> Vec<Fig10Row> {
     let cfg = AccelConfig::wfasic_chip();
     InputSetSpec::ALL
-        .par_iter()
+        .iter()
         .map(|spec| {
             let set = spec.generate(sizes.pairs_for(spec), sizes.seed);
             let mut drv = wfasic_driver::WfasicDriver::new(cfg);
-            let job = drv.submit(&set.pairs, false, wfasic_driver::WaitMode::PollIdle);
+            let job = drv
+                .submit(&set.pairs, false, wfasic_driver::WaitMode::PollIdle)
+                .expect("fault-free job cannot fail");
             let read = job.report.pairs[0].read_cycles;
             // Tile the simulated align durations up to the scheduling size.
             let durations: Vec<Cycle> = job
@@ -231,7 +232,7 @@ pub fn fig11(sizes: &Sizes) -> Vec<Fig11Row> {
         .with_parallel_sections(32)
         .with_aligners(2);
     InputSetSpec::ALL
-        .par_iter()
+        .iter()
         .map(|spec| {
             let sep64 = measure(spec, sizes, &cfg64, true, true);
             let sep2x32 = measure(spec, sizes, &cfg2x32, true, true);
@@ -277,10 +278,8 @@ pub fn table2(sizes: &Sizes) -> Vec<Table2Row> {
             r.accel_cycles as f64 / WFASIC_ASIC_HZ + r.cpu_bt_cycles as f64 / SARGANTANA_HZ;
         r.equivalent_cells as f64 / seconds / 1e9
     };
-    let (bt, nbt) = rayon::join(
-        || measure(&spec, sizes, &cfg, true, false),
-        || measure(&spec, sizes, &cfg, false, false),
-    );
+    let bt = measure(&spec, sizes, &cfg, true, false);
+    let nbt = measure(&spec, sizes, &cfg, false, false);
 
     let mut rows: Vec<Table2Row> = paper::TABLE2_LITERATURE
         .iter()
@@ -316,7 +315,7 @@ mod tests {
         let spec = InputSetSpec { length: 100, error_pct: 10 };
         let set = spec.generate(10, 3);
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-        let job = drv.submit(&set.pairs, false, WaitMode::PollIdle);
+        let job = drv.submit(&set.pairs, false, WaitMode::PollIdle).unwrap();
         let read = job.report.pairs[0].read_cycles;
         let aligns: Vec<Cycle> = job.report.pairs.iter().map(|p| p.align_cycles).collect();
         let sched = schedule_multi_aligner(read, &aligns, 1);
@@ -410,7 +409,7 @@ pub fn ablation(sizes: &Sizes) -> Vec<AblationRow> {
     }
 
     variants
-        .par_iter()
+        .iter()
         .map(|(knob, cfg)| {
             let r = measure(&spec, sizes, cfg, false, false);
             let area = wfasic_accel::area::area_report(cfg);
@@ -423,4 +422,81 @@ pub fn ablation(sizes: &Sizes) -> Vec<AblationRow> {
             }
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection robustness sweep (§5.1 extended)
+// ---------------------------------------------------------------------------
+
+/// One robustness-sweep row: an input-set shape under one injected fault
+/// rate, with the driver's retry + CPU-fallback policy enabled.
+#[derive(Debug, Clone)]
+pub struct FaultSweepRow {
+    /// Input set label.
+    pub set: String,
+    /// Per-opportunity fault probability applied to every fault class.
+    pub rate: f64,
+    /// Pairs submitted.
+    pub pairs: usize,
+    /// Pairs answered by the accelerator itself.
+    pub hw_ok: usize,
+    /// Pairs answered by the CPU fallback.
+    pub recovered: usize,
+    /// Job resubmissions the driver performed.
+    pub retries: u32,
+    /// Faults actually injected (all classes, all attempts).
+    pub faults_injected: u64,
+}
+
+impl FaultSweepRow {
+    /// Fraction of pairs that got an answer (the §5.1 "no CPU freeze"
+    /// criterion, strengthened: with fallback this must be 1.0).
+    pub fn completion_rate(&self) -> f64 {
+        (self.hw_ok + self.recovered) as f64 / self.pairs.max(1) as f64
+    }
+}
+
+/// Sweep fault rates across the short-read input sets and measure how the
+/// retry + CPU-fallback policy holds completion at 100%.
+pub fn fault_sweep(sizes: &Sizes) -> Vec<FaultSweepRow> {
+    use wfasic_driver::{WaitMode, WfasicDriver};
+    use wfasic_soc::fault::FaultPlan;
+
+    const RATES: [f64; 4] = [0.0, 0.001, 0.01, 0.05];
+    let specs = [
+        InputSetSpec { length: 100, error_pct: 5 },
+        InputSetSpec { length: 100, error_pct: 10 },
+        InputSetSpec { length: 1_000, error_pct: 5 },
+        InputSetSpec { length: 1_000, error_pct: 10 },
+    ];
+
+    let mut rows = Vec::new();
+    for spec in specs {
+        let set = spec.generate(sizes.pairs_for(&spec), sizes.seed);
+        for rate in RATES {
+            let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+            drv.cpu_fallback = true;
+            drv.max_retries = 2;
+            if rate > 0.0 {
+                drv.device
+                    .set_fault_plan(FaultPlan::uniform(sizes.seed ^ 0xFA17, rate));
+            }
+            let before = drv.device.fault_counters().total();
+            let job = drv
+                .submit(&set.pairs, false, WaitMode::PollIdle)
+                .expect("fallback-enabled submit always answers");
+            let injected = drv.device.fault_counters().total() - before;
+            let recovered = job.recovered_count();
+            rows.push(FaultSweepRow {
+                set: spec.name(),
+                rate,
+                pairs: set.pairs.len(),
+                hw_ok: job.results.iter().filter(|r| r.success && !r.recovered).count(),
+                recovered,
+                retries: job.retries,
+                faults_injected: injected,
+            });
+        }
+    }
+    rows
 }

@@ -7,10 +7,12 @@
 //! * [`fmt`] — table rendering.
 //!
 //! `cargo run -p wfasic-bench --release --bin report -- all` prints every
-//! regenerated table/figure; the criterion benches under `benches/` track
-//! simulator performance per experiment.
+//! regenerated table/figure; the plain-`main()` benches under `benches/`
+//! (run with `cargo bench`) track simulator performance per experiment on
+//! the in-repo [`timing`] harness.
 
 pub mod experiments;
 pub mod fmt;
 pub mod paper;
 pub mod report;
+pub mod timing;

@@ -1,0 +1,27 @@
+//! Minimal wall-clock timing harness for the `benches/` entry points
+//! (`harness = false`). The offline build environment has no external bench
+//! framework, so each bench is a plain `main()` reporting mean/best
+//! per-iteration times via [`bench`].
+
+use std::time::Instant;
+
+/// Run `f` for `iters` timed iterations (after one warmup call) and print
+/// mean and best wall-clock per iteration.
+pub fn bench<T, F: FnMut() -> T>(label: &str, iters: usize, mut f: F) {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
+    }
+    println!(
+        "{label:<44} mean {:>9.3} ms  best {:>9.3} ms  ({} iters)",
+        total / iters.max(1) as f64 * 1e3,
+        best * 1e3,
+        iters.max(1)
+    );
+}

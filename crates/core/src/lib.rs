@@ -37,6 +37,8 @@ pub mod bitpack;
 pub mod cigar;
 pub mod gap_linear;
 pub mod penalties;
+pub mod prop;
+pub mod rng;
 pub mod swg;
 pub mod wavefront;
 pub mod wfa;
@@ -46,6 +48,7 @@ pub use bitpack::PackedSeq;
 pub use cigar::{Cigar, CigarError, EditStats, Op};
 pub use gap_linear::{gap_linear_wavefront, GapLinearAlignment};
 pub use penalties::{Penalties, PenaltyError};
+pub use rng::SmallRng;
 pub use swg::{gap_linear_score, swg_align, swg_score, DpAlignment};
 pub use wavefront::{Wavefront, WavefrontSet, OFFSET_NULL};
 pub use wfa::{align, wfa_align, WfaAlignment, WfaError, WfaOptions, WfaStats};

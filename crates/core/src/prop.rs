@@ -1,0 +1,93 @@
+//! Minimal property-testing harness.
+//!
+//! The build container cannot reach crates.io, so the workspace's
+//! property-style tests run on this tiny harness instead of `proptest`:
+//! a seeded loop of randomized cases with per-case derived seeds. There is
+//! no shrinking — on failure the harness reports the case index and seed so
+//! the exact case can be replayed with [`replay`].
+
+use crate::rng::SmallRng;
+
+/// Run `body` for `n` randomized cases derived from `seed`.
+///
+/// Each case gets an independent [`SmallRng`] whose seed mixes the master
+/// seed with the case index, so inserting or removing cases does not perturb
+/// the others. Panics from `body` are annotated with the case index and seed.
+pub fn cases<F>(n: usize, seed: u64, mut body: F)
+where
+    F: FnMut(&mut SmallRng, usize),
+{
+    for i in 0..n {
+        let case_seed = derive_seed(seed, i);
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(&mut rng, i);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "property failed at case {i}/{n} (master seed {seed:#x}, \
+                 case seed {case_seed:#x}); replay with \
+                 wfa_core::prop::replay({seed:#x}, {i}, ..)"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Re-run a single case from a [`cases`] loop (for debugging a failure).
+pub fn replay<F>(seed: u64, case: usize, mut body: F)
+where
+    F: FnMut(&mut SmallRng, usize),
+{
+    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, case));
+    body(&mut rng, case);
+}
+
+fn derive_seed(seed: u64, case: usize) -> u64 {
+    // One SplitMix64 step over (seed ^ golden-ratio-scrambled index).
+    SmallRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_cases() {
+        let mut count = 0;
+        cases(25, 0xC0FFEE, |_, _| count += 1);
+        assert_eq!(count, 25);
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Vec::new();
+        cases(10, 7, |rng, _| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        cases(10, 7, |rng, _| b.push(rng.next_u64()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_matches_case() {
+        let mut from_loop = None;
+        cases(5, 99, |rng, i| {
+            if i == 3 {
+                from_loop = Some(rng.next_u64());
+            }
+        });
+        let mut from_replay = None;
+        replay(99, 3, |rng, _| from_replay = Some(rng.next_u64()));
+        assert_eq!(from_loop, from_replay);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn failures_propagate() {
+        cases(10, 1, |_, i| {
+            if i == 4 {
+                panic!("deliberate");
+            }
+        });
+    }
+}

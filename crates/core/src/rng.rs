@@ -1,0 +1,163 @@
+//! Small deterministic PRNG used across the workspace.
+//!
+//! The container this repo builds in has no network access to crates.io, so
+//! the workspace carries its own generator instead of depending on `rand`.
+//! The generator is SplitMix64 (Steele et al., "Fast Splittable Pseudorandom
+//! Number Generators", OOPSLA 2014): a 64-bit counter passed through a
+//! mixing function. It is not cryptographic, but it is fast, has a full
+//! 2^64 period, passes BigCrush when used as a mixer, and — crucially for
+//! reproducible experiments — is trivially seedable and portable.
+
+/// Deterministic 64-bit PRNG (SplitMix64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Generator seeded from a 64-bit value. Equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit output).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased sampling.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        let span = hi - lo;
+        if span == 0 {
+            // hi - lo wrapped: the range covers the full u64 space.
+            return self.next_u64();
+        }
+        // Lemire rejection: draw until the 128-bit product's low word is
+        // outside the biased zone.
+        let zone = span.wrapping_neg() % span; // 2^64 mod span
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= zone {
+                return lo + (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. Panics if the range is empty.
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "gen_range_f64: empty range {lo}..{hi}");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to [0, 1]).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.gen_range_f64(0.0, 1.0) < p
+    }
+
+    /// Uniformly pick an element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick: empty slice");
+        &items[self.gen_range(0, items.len())]
+    }
+
+    /// Fill a byte buffer with random data.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3, 17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range_f64(-1.0, 2.0);
+            assert!((-1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_of_one_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(5, 6), 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0, 8)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket {i} has {c} hits, expected ~10000"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+        assert!(!SmallRng::seed_from_u64(0).gen_bool(0.0));
+        assert!(SmallRng::seed_from_u64(0).gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

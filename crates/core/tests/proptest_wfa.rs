@@ -1,123 +1,150 @@
 //! Property-based tests for the WFA core: the exactness invariants the paper
 //! relies on ("identical results to the SWG algorithm", §2.3).
+//!
+//! Runs on the in-repo harness (`wfa_core::prop`) — the build environment is
+//! offline, so `proptest` is not available.
 
-use proptest::prelude::*;
 use wfa_core::bitpack::{extend_matches_packed, PackedSeq};
+use wfa_core::prop::cases;
+use wfa_core::rng::SmallRng;
 use wfa_core::wfa::{extend_matches, wfa_align, WfaOptions};
 use wfa_core::{align, swg_align, swg_score, Penalties};
 
+const CASES: usize = 200;
+const BASES: &[u8] = b"ACGT";
+
 /// Random DNA of length 0..=max.
-fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..=max)
+fn dna(rng: &mut SmallRng, max: usize) -> Vec<u8> {
+    let len = rng.gen_range(0, max + 1);
+    (0..len).map(|_| *rng.pick(BASES)).collect()
 }
 
 /// A mutated copy of a sequence (bounded random edits) — keeps the pair
 /// similar so scores stay small and the WFA advantage is realistic.
-fn dna_pair(max: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
-    (dna(max), proptest::collection::vec((0usize..3, any::<u8>(), any::<u16>()), 0..8)).prop_map(
-        |(a, edits)| {
-            let mut b = a.clone();
-            for (kind, base, pos) in edits {
-                if b.is_empty() {
-                    b.push(b"ACGT"[base as usize % 4]);
-                    continue;
-                }
-                let p = pos as usize % b.len();
-                match kind {
-                    0 => b[p] = b"ACGT"[base as usize % 4],
-                    1 => b.insert(p, b"ACGT"[base as usize % 4]),
-                    _ => {
-                        b.remove(p);
-                    }
-                }
+fn dna_pair(rng: &mut SmallRng, max: usize) -> (Vec<u8>, Vec<u8>) {
+    let a = dna(rng, max);
+    let mut b = a.clone();
+    for _ in 0..rng.gen_range(0, 8) {
+        let base = *rng.pick(BASES);
+        if b.is_empty() {
+            b.push(base);
+            continue;
+        }
+        let p = rng.gen_range(0, b.len());
+        match rng.gen_range(0, 3) {
+            0 => b[p] = base,
+            1 => b.insert(p, base),
+            _ => {
+                b.remove(p);
             }
-            (a, b)
-        },
-    )
+        }
+    }
+    (a, b)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// WFA score equals the full-DP SWG score on arbitrary pairs.
-    #[test]
-    fn wfa_equals_swg_arbitrary((a, b) in (dna(48), dna(48))) {
+/// WFA score equals the full-DP SWG score on arbitrary pairs.
+#[test]
+fn wfa_equals_swg_arbitrary() {
+    cases(CASES, 0x57FA_0001, |rng, _| {
+        let (a, b) = (dna(rng, 48), dna(rng, 48));
         let p = Penalties::WFASIC_DEFAULT;
         let wfa = align(&a, &b, p).unwrap();
-        prop_assert_eq!(wfa.score as u64, swg_align(&a, &b, &p).score);
-    }
+        assert_eq!(wfa.score as u64, swg_align(&a, &b, &p).score);
+    });
+}
 
-    /// WFA score equals SWG on realistic mutated pairs, and the CIGAR is a
-    /// valid transcript that costs exactly the score.
-    #[test]
-    fn wfa_cigar_valid_and_optimal((a, b) in dna_pair(96)) {
+/// WFA score equals SWG on realistic mutated pairs, and the CIGAR is a
+/// valid transcript that costs exactly the score.
+#[test]
+fn wfa_cigar_valid_and_optimal() {
+    cases(CASES, 0x57FA_0002, |rng, _| {
+        let (a, b) = dna_pair(rng, 96);
         let p = Penalties::WFASIC_DEFAULT;
         let wfa = align(&a, &b, p).unwrap();
         let cigar = wfa.cigar.unwrap();
         cigar.check(&a, &b).unwrap();
-        prop_assert_eq!(cigar.score(&p), wfa.score as u64);
-        prop_assert_eq!(wfa.score as u64, swg_score(&a, &b, &p));
-    }
+        assert_eq!(cigar.score(&p), wfa.score as u64);
+        assert_eq!(wfa.score as u64, swg_score(&a, &b, &p));
+    });
+}
 
-    /// Exactness holds for other penalty sets too.
-    #[test]
-    fn wfa_equals_swg_other_penalties(
-        (a, b) in dna_pair(40),
-        x in 1u32..8, o in 0u32..10, e in 1u32..5,
-    ) {
+/// Exactness holds for other penalty sets too.
+#[test]
+fn wfa_equals_swg_other_penalties() {
+    cases(CASES, 0x57FA_0003, |rng, _| {
+        let (a, b) = dna_pair(rng, 40);
+        let x = rng.gen_range(1, 8) as u32;
+        let o = rng.gen_range(0, 10) as u32;
+        let e = rng.gen_range(1, 5) as u32;
         let p = Penalties::new(x, o, e).unwrap();
         let wfa = align(&a, &b, p).unwrap();
-        prop_assert_eq!(wfa.score as u64, swg_score(&a, &b, &p));
+        assert_eq!(wfa.score as u64, swg_score(&a, &b, &p));
         let cigar = wfa.cigar.unwrap();
         cigar.check(&a, &b).unwrap();
-        prop_assert_eq!(cigar.score(&p), wfa.score as u64);
-    }
+        assert_eq!(cigar.score(&p), wfa.score as u64);
+    });
+}
 
-    /// Score-only mode agrees with CIGAR mode.
-    #[test]
-    fn score_only_agrees((a, b) in dna_pair(96)) {
+/// Score-only mode agrees with CIGAR mode.
+#[test]
+fn score_only_agrees() {
+    cases(CASES, 0x57FA_0004, |rng, _| {
+        let (a, b) = dna_pair(rng, 96);
         let p = Penalties::WFASIC_DEFAULT;
         let full = align(&a, &b, p).unwrap();
         let so = wfa_align(&a, &b, &WfaOptions::score_only(p)).unwrap();
-        prop_assert_eq!(full.score, so.score);
-    }
+        assert_eq!(full.score, so.score);
+    });
+}
 
-    /// The packed-word extend equals the byte-wise extend at every position.
-    #[test]
-    fn packed_extend_equals_naive((a, b) in (dna(80), dna(80)), i in 0usize..80, j in 0usize..80) {
-        prop_assume!(i <= a.len() && j <= b.len());
+/// The packed-word extend equals the byte-wise extend at every position.
+#[test]
+fn packed_extend_equals_naive() {
+    cases(CASES, 0x57FA_0005, |rng, _| {
+        let (a, b) = (dna(rng, 80), dna(rng, 80));
+        let i = rng.gen_range(0, a.len() + 1);
+        let j = rng.gen_range(0, b.len() + 1);
         let pa = PackedSeq::from_ascii(&a).unwrap();
         let pb = PackedSeq::from_ascii(&b).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             extend_matches_packed(&pa, &pb, i, j),
             extend_matches(&a, &b, i, j)
         );
-    }
+    });
+}
 
-    /// Packing round-trips.
-    #[test]
-    fn pack_roundtrip(a in dna(200)) {
+/// Packing round-trips.
+#[test]
+fn pack_roundtrip() {
+    cases(CASES, 0x57FA_0006, |rng, _| {
+        let a = dna(rng, 200);
         let p = PackedSeq::from_ascii(&a).unwrap();
-        prop_assert_eq!(p.to_ascii(), a);
-    }
+        assert_eq!(p.to_ascii(), a);
+    });
+}
 
-    /// The score is symmetric in (a, b) up to swapping I and D.
-    #[test]
-    fn score_symmetric((a, b) in dna_pair(64)) {
+/// The score is symmetric in (a, b) up to swapping I and D.
+#[test]
+fn score_symmetric() {
+    cases(CASES, 0x57FA_0007, |rng, _| {
+        let (a, b) = dna_pair(rng, 64);
         let p = Penalties::WFASIC_DEFAULT;
         let fwd = align(&a, &b, p).unwrap();
         let rev = align(&b, &a, p).unwrap();
-        prop_assert_eq!(fwd.score, rev.score);
-    }
+        assert_eq!(fwd.score, rev.score);
+    });
+}
 
-    /// Triangle-ish sanity: score is bounded by the all-gaps alignment.
-    #[test]
-    fn score_bounded_by_all_gaps((a, b) in (dna(60), dna(60))) {
+/// Triangle-ish sanity: score is bounded by the all-gaps alignment.
+#[test]
+fn score_bounded_by_all_gaps() {
+    cases(CASES, 0x57FA_0008, |rng, _| {
+        let (a, b) = (dna(rng, 60), dna(rng, 60));
         let p = Penalties::WFASIC_DEFAULT;
         let r = align(&a, &b, p).unwrap();
         let bound = p.gap_cost(a.len() as u32) as u64 + p.gap_cost(b.len() as u32) as u64;
-        prop_assert!(r.score as u64 <= bound);
-    }
+        assert!(r.score as u64 <= bound);
+    });
 }
 
 #[test]

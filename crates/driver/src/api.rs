@@ -6,14 +6,25 @@
 //! memory-mapped registers over AXI-Lite, start the job, wait (polling Idle
 //! or taking the interrupt), then parse results — including the CPU-side
 //! backtrace when enabled.
+//!
+//! Robustness (paper §5.1, made a driver contract): [`WfasicDriver::submit`]
+//! returns a [`Result`] instead of asserting. A watchdog bounds how long the
+//! driver will wait on a job; device-refused jobs, watchdog timeouts, and
+//! unparseable result streams are retried up to [`WfasicDriver::max_retries`]
+//! times (injected faults are transients, so a resubmission can succeed).
+//! With [`WfasicDriver::cpu_fallback`] enabled, pairs the hardware could not
+//! complete — and whole jobs that exhaust their retries — are re-run through
+//! the software WFA ([`wfa_core::wfa_align`]) and marked
+//! [`AlignmentResult::recovered`], so the application always gets answers.
 
 use crate::backtrace::{
     backtrace_alignment, separate_stream, split_consecutive_stream, BtAlignment, BtError,
 };
 use crate::cpu_model::BacktraceCosts;
 use wfa_core::cigar::Cigar;
+use wfa_core::{wfa_align, WfaOptions};
 use wfasic_accel::device::{RunReport, WfasicDevice};
-use wfasic_accel::regs::offsets;
+use wfasic_accel::regs::{offsets, DeviceError};
 use wfasic_accel::schedule::WavefrontSchedule;
 use wfasic_accel::AccelConfig;
 use wfasic_seqio::dataset::round_up_16;
@@ -34,13 +45,15 @@ const OUT_ADDR: u64 = 0x0100_0000;
 pub struct AlignmentResult {
     /// Alignment ID.
     pub id: u32,
-    /// Completed within hardware limits?
+    /// Completed (by hardware, or by CPU fallback)?
     pub success: bool,
     /// Alignment score (valid when `success`).
     pub score: u32,
     /// CIGAR from the CPU backtrace (when backtrace was enabled and the
     /// alignment succeeded).
     pub cigar: Option<Cigar>,
+    /// This result came from the CPU fallback path, not the accelerator.
+    pub recovered: bool,
 }
 
 /// The outcome of one submitted job.
@@ -48,14 +61,24 @@ pub struct AlignmentResult {
 pub struct JobResult {
     /// Per-alignment results, in submission order.
     pub results: Vec<AlignmentResult>,
-    /// The accelerator's run report (cycles, bus stats, per-pair details).
+    /// The accelerator's run report (cycles, bus stats, per-pair details)
+    /// from the last attempt.
     pub report: RunReport,
-    /// AXI-Lite configuration cycles spent by the driver.
+    /// AXI-Lite configuration cycles spent by the driver (all attempts).
     pub config_cycles: Cycle,
     /// Modeled CPU cycles for the backtrace step (0 when disabled).
     pub cpu_backtrace_cycles: Cycle,
     /// Whether the multi-Aligner data-separation method was used.
     pub separated: bool,
+    /// How many times the job was resubmitted after a failure.
+    pub retries: u32,
+}
+
+impl JobResult {
+    /// Pairs answered by the CPU fallback rather than the accelerator.
+    pub fn recovered_count(&self) -> usize {
+        self.results.iter().filter(|r| r.recovered).count()
+    }
 }
 
 /// Wait strategy after starting a job.
@@ -66,6 +89,45 @@ pub enum WaitMode {
     /// Enable and take the completion interrupt.
     Interrupt,
 }
+
+/// Why a submission failed (after exhausting retries, with CPU fallback
+/// disabled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The device refused or aborted the job (`ERROR_CODE` latched).
+    Device(DeviceError),
+    /// The job outran the driver's watchdog.
+    Timeout {
+        /// Cycles the job actually took.
+        waited: Cycle,
+        /// The configured watchdog bound.
+        watchdog: Cycle,
+    },
+    /// The result stream in memory did not parse (corrupted output).
+    Stream(BtError),
+    /// The input image would overlap the result region; split the batch.
+    BatchTooLarge {
+        /// Encoded image size in bytes.
+        bytes: usize,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Device(e) => write!(f, "device error: {e}"),
+            DriverError::Timeout { waited, watchdog } => {
+                write!(f, "watchdog timeout: job ran {waited} cycles (bound {watchdog})")
+            }
+            DriverError::Stream(e) => write!(f, "result stream unparseable: {e:?}"),
+            DriverError::BatchTooLarge { bytes } => {
+                write!(f, "input image ({bytes} bytes) would overlap the result region")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
 
 /// The driver: device + memory + policy.
 #[derive(Debug)]
@@ -81,6 +143,17 @@ pub struct WfasicDriver {
     /// Force the data-separation method even with one Aligner (Fig. 11's
     /// `[Sep]` configurations). Multi-Aligner jobs always separate.
     pub force_separation: bool,
+    /// Give up on a job whose cycle count exceeds this bound (the driver's
+    /// watchdog timer against a wedged device).
+    pub watchdog_cycles: Cycle,
+    /// Resubmit a failed job this many times before giving up (injected
+    /// faults are transient, so retries genuinely help).
+    pub max_retries: u32,
+    /// Re-run failed pairs (and fully-failed jobs) through the software WFA
+    /// so the application always gets answers.
+    pub cpu_fallback: bool,
+    /// Output-buffer size programmed into `OUT_SIZE` (0 = unbounded).
+    pub out_size: u64,
     schedule: WavefrontSchedule,
 }
 
@@ -94,12 +167,26 @@ impl WfasicDriver {
             axi_lite: AxiLite::default(),
             bt_costs: BacktraceCosts::default(),
             force_separation: false,
+            watchdog_cycles: 1 << 40,
+            max_retries: 1,
+            cpu_fallback: false,
+            out_size: 0,
             schedule,
         }
     }
 
     /// Submit a batch of pairs and run to completion.
-    pub fn submit(&mut self, pairs: &[Pair], backtrace: bool, wait: WaitMode) -> JobResult {
+    ///
+    /// Failures (device refusal, watchdog timeout, unparseable results) are
+    /// retried up to [`Self::max_retries`] times; if every attempt fails the
+    /// job is either recovered entirely on the CPU
+    /// (when [`Self::cpu_fallback`] is set) or reported as an error.
+    pub fn submit(
+        &mut self,
+        pairs: &[Pair],
+        backtrace: bool,
+        wait: WaitMode,
+    ) -> Result<JobResult, DriverError> {
         let max_read_len = round_up_16(
             pairs
                 .iter()
@@ -111,78 +198,163 @@ impl WfasicDriver {
         // The CPU parses the input and stores it in main memory (Fig. 4
         // step 1), padding every sequence to MAX_READ_LEN with dummy bases.
         let img = InputImage::encode_raw(pairs, max_read_len);
-        assert!(
-            IN_ADDR + img.bytes.len() as u64 <= OUT_ADDR,
-            "input image ({} bytes) would overlap the result region; split the batch",
-            img.bytes.len()
-        );
-        self.mem.write(IN_ADDR, &img.bytes);
-
-        // Program the registers over AXI-Lite.
-        let mut writes = 0u64;
-        let mut w = |dev: &mut WfasicDevice, off, val| {
-            dev.mmio_write(off, val);
-            writes += 1;
-        };
-        w(&mut self.device, offsets::BT_ENABLE, backtrace as u64);
-        w(&mut self.device, offsets::MAX_READ_LEN, max_read_len as u64);
-        w(&mut self.device, offsets::IN_ADDR, IN_ADDR);
-        w(&mut self.device, offsets::IN_SIZE, img.bytes.len() as u64);
-        w(&mut self.device, offsets::OUT_ADDR, OUT_ADDR);
-        w(
-            &mut self.device,
-            offsets::IRQ_ENABLE,
-            matches!(wait, WaitMode::Interrupt) as u64,
-        );
-        w(&mut self.device, offsets::START, 1);
-        let config_cycles = self.axi_lite.cycles_for(writes);
-
-        let report = self.device.run(&mut self.mem);
-
-        // Completion: poll Idle or take the interrupt.
-        match wait {
-            WaitMode::PollIdle => {
-                assert_eq!(self.device.mmio_read(offsets::IDLE), 1);
-            }
-            WaitMode::Interrupt => {
-                assert!(report.interrupt_raised);
-                assert_eq!(self.device.mmio_read(offsets::IRQ_PENDING), 1);
-                self.device.mmio_write(offsets::IRQ_PENDING, 0);
-            }
+        if IN_ADDR + img.bytes.len() as u64 > OUT_ADDR {
+            return Err(DriverError::BatchTooLarge { bytes: img.bytes.len() });
         }
 
         let separated = self.force_separation || self.device.cfg.num_aligners > 1;
-        let (results, cpu_backtrace_cycles) = if backtrace {
-            self.parse_bt_results(pairs, &report, separated)
-                .expect("device-produced stream must parse")
-        } else {
-            (self.parse_nbt_results(pairs, &report), 0)
-        };
+        let mut config_cycles: Cycle = 0;
+        let mut last_err = DriverError::Timeout { waited: 0, watchdog: self.watchdog_cycles };
+        let mut last_report: Option<RunReport> = None;
 
-        JobResult {
-            results,
-            report,
-            config_cycles,
-            cpu_backtrace_cycles,
-            separated,
+        for attempt in 0..=self.max_retries {
+            // (Re)stage the image and program the registers over AXI-Lite —
+            // a retry reprograms everything in case a fault corrupted the
+            // configuration path.
+            self.mem.write(IN_ADDR, &img.bytes);
+            let mut writes = 0u64;
+            let mut w = |dev: &mut WfasicDevice, off, val| {
+                dev.mmio_write(off, val);
+                writes += 1;
+            };
+            w(&mut self.device, offsets::BT_ENABLE, backtrace as u64);
+            w(&mut self.device, offsets::MAX_READ_LEN, max_read_len as u64);
+            w(&mut self.device, offsets::IN_ADDR, IN_ADDR);
+            w(&mut self.device, offsets::IN_SIZE, img.bytes.len() as u64);
+            w(&mut self.device, offsets::OUT_ADDR, OUT_ADDR);
+            w(&mut self.device, offsets::OUT_SIZE, self.out_size);
+            w(
+                &mut self.device,
+                offsets::IRQ_ENABLE,
+                matches!(wait, WaitMode::Interrupt) as u64,
+            );
+            w(&mut self.device, offsets::START, 1);
+            config_cycles += self.axi_lite.cycles_for(writes);
+
+            let report = self.device.run(&mut self.mem);
+
+            // Completion: take the interrupt, falling back to polling Idle
+            // if the interrupt was lost (e.g. a corrupted IRQ_ENABLE write).
+            let irq_seen = matches!(wait, WaitMode::Interrupt)
+                && self.device.mmio_read(offsets::IRQ_PENDING) != 0;
+            debug_assert_eq!(self.device.mmio_read(offsets::IDLE), 1);
+
+            // Acknowledge the interrupt (write-1-to-clear) once the status
+            // registers have been collected.
+            let error = report.error;
+            let waited = report.total_cycles;
+            if irq_seen {
+                self.device.mmio_write(offsets::IRQ_PENDING, 1);
+            }
+
+            if waited > self.watchdog_cycles {
+                last_err = DriverError::Timeout { waited, watchdog: self.watchdog_cycles };
+                last_report = Some(report);
+                continue;
+            }
+            if let Some(e) = error {
+                last_err = DriverError::Device(e);
+                last_report = Some(report);
+                continue;
+            }
+
+            let parsed = if backtrace {
+                self.parse_bt_results(pairs, &report, separated)
+            } else {
+                Ok((self.parse_nbt_results(pairs, &report), 0))
+            };
+            match parsed {
+                Ok((mut results, cpu_backtrace_cycles)) => {
+                    if self.cpu_fallback {
+                        for (res, pair) in results.iter_mut().zip(pairs) {
+                            if !res.success {
+                                *res = self.cpu_align(pair, backtrace);
+                            }
+                        }
+                    }
+                    return Ok(JobResult {
+                        results,
+                        report,
+                        config_cycles,
+                        cpu_backtrace_cycles,
+                        separated,
+                        retries: attempt,
+                    });
+                }
+                Err(e) => {
+                    last_err = DriverError::Stream(e);
+                    last_report = Some(report);
+                }
+            }
+        }
+
+        // Every attempt failed. Recover the whole batch on the CPU, or
+        // surface the last failure.
+        if self.cpu_fallback {
+            let results: Vec<AlignmentResult> =
+                pairs.iter().map(|p| self.cpu_align(p, backtrace)).collect();
+            let report = last_report.expect("at least one attempt ran");
+            return Ok(JobResult {
+                results,
+                report,
+                config_cycles,
+                cpu_backtrace_cycles: 0,
+                separated,
+                retries: self.max_retries,
+            });
+        }
+        Err(last_err)
+    }
+
+    /// Software WFA for one pair — the recovery path of last resort.
+    fn cpu_align(&self, pair: &Pair, backtrace: bool) -> AlignmentResult {
+        let p = self.device.cfg.penalties;
+        let opts = if backtrace {
+            WfaOptions::exact(p)
+        } else {
+            WfaOptions::score_only(p)
+        };
+        match wfa_align(&pair.a, &pair.b, &opts) {
+            Ok(al) => AlignmentResult {
+                id: pair.id,
+                success: true,
+                score: al.score,
+                cigar: al.cigar,
+                recovered: true,
+            },
+            Err(_) => AlignmentResult {
+                id: pair.id,
+                success: false,
+                score: 0,
+                cigar: None,
+                recovered: true,
+            },
         }
     }
 
     fn parse_nbt_results(&self, pairs: &[Pair], report: &RunReport) -> Vec<AlignmentResult> {
         let bytes = self.mem.read(OUT_ADDR, report.output_bytes as usize);
         let recs = wfasic_accel::collector::parse_nbt_records(&bytes, pairs.len());
-        recs.iter()
-            .zip(pairs)
-            .map(|(rec, pair)| {
-                debug_assert_eq!(rec.id as u32, pair.id & 0xFFFF);
-                AlignmentResult {
-                    id: pair.id,
-                    success: rec.success,
-                    score: rec.score as u32,
-                    cigar: None,
-                }
+        // A short or ID-mismatched record set (torn/corrupted output) leaves
+        // the affected pairs marked failed rather than crashing; the CPU
+        // fallback can then recover them.
+        let mut results: Vec<AlignmentResult> = pairs
+            .iter()
+            .map(|pair| AlignmentResult {
+                id: pair.id,
+                success: false,
+                score: 0,
+                cigar: None,
+                recovered: false,
             })
-            .collect()
+            .collect();
+        for (i, rec) in recs.iter().enumerate().take(pairs.len()) {
+            if rec.id as u32 == pairs[i].id & 0xFFFF {
+                results[i].success = rec.success;
+                results[i].score = rec.score as u32;
+            }
+        }
+        results
     }
 
     fn parse_bt_results(
@@ -214,6 +386,7 @@ impl WfasicDriver {
                     success: false,
                     score: 0,
                     cigar: None,
+                    recovered: false,
                 });
                 continue;
             }
@@ -233,6 +406,7 @@ impl WfasicDriver {
                 success: true,
                 score: bt.record.score as u32,
                 cigar: Some(cigar),
+                recovered: false,
             });
         }
         let _ = report;
@@ -244,17 +418,21 @@ impl WfasicDriver {
 mod tests {
     use super::*;
     use wfa_core::{swg_score, Penalties};
+    use wfasic_accel::regs::error_code;
     use wfasic_seqio::dataset::InputSetSpec;
+    use wfasic_soc::fault::FaultPlan;
 
     #[test]
     fn nbt_job_results_match_software() {
         let pairs = InputSetSpec { length: 100, error_pct: 10 }.generate(5, 42).pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-        let job = drv.submit(&pairs, false, WaitMode::PollIdle);
+        let job = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap();
         assert_eq!(job.results.len(), 5);
         assert!(job.config_cycles > 0);
+        assert_eq!(job.retries, 0);
         for (res, pair) in job.results.iter().zip(&pairs) {
             assert!(res.success);
+            assert!(!res.recovered);
             assert_eq!(
                 res.score as u64,
                 swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT)
@@ -267,7 +445,7 @@ mod tests {
     fn bt_job_produces_valid_cigars() {
         let pairs = InputSetSpec { length: 100, error_pct: 10 }.generate(4, 7).pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-        let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+        let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
         assert!(job.cpu_backtrace_cycles > 0);
         assert!(!job.separated, "single aligner defaults to no separation");
         for (res, pair) in job.results.iter().zip(&pairs) {
@@ -282,7 +460,7 @@ mod tests {
     fn multi_aligner_bt_separates_and_still_works() {
         let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(6, 3).pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip().with_aligners(3));
-        let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+        let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
         assert!(job.separated);
         for (res, pair) in job.results.iter().zip(&pairs) {
             assert!(res.success);
@@ -295,11 +473,11 @@ mod tests {
         let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(2, 5).pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         drv.force_separation = true;
-        let sep_job = drv.submit(&pairs, true, WaitMode::PollIdle);
+        let sep_job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
         assert!(sep_job.separated);
 
         let mut drv2 = WfasicDriver::new(AccelConfig::wfasic_chip());
-        let nosep_job = drv2.submit(&pairs, true, WaitMode::PollIdle);
+        let nosep_job = drv2.submit(&pairs, true, WaitMode::PollIdle).unwrap();
         assert!(
             sep_job.cpu_backtrace_cycles > nosep_job.cpu_backtrace_cycles,
             "separation must cost more CPU cycles"
@@ -315,7 +493,7 @@ mod tests {
     fn interrupt_wait_mode() {
         let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(1, 1).pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-        let job = drv.submit(&pairs, false, WaitMode::Interrupt);
+        let job = drv.submit(&pairs, false, WaitMode::Interrupt).unwrap();
         assert!(job.report.interrupt_raised);
         assert_eq!(drv.device.mmio_read(offsets::IRQ_PENDING), 0, "driver cleared the irq");
     }
@@ -325,10 +503,119 @@ mod tests {
         let mut pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(3, 8).pairs;
         pairs[1].b[5] = b'N';
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-        let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+        let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
         assert!(job.results[0].success);
         assert!(!job.results[1].success);
         assert!(job.results[1].cigar.is_none());
         assert!(job.results[2].success);
+    }
+
+    #[test]
+    fn cpu_fallback_recovers_unsupported_pairs() {
+        let mut pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(3, 8).pairs;
+        pairs[1].b[5] = b'N';
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        drv.cpu_fallback = true;
+        let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
+        assert_eq!(job.recovered_count(), 1);
+        for res in &job.results {
+            assert!(res.success, "fallback answers every pair");
+            assert!(res.cigar.is_some());
+        }
+        assert!(job.results[1].recovered);
+        let pair = &pairs[1];
+        assert_eq!(
+            job.results[1].score as u64,
+            swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT),
+            "recovered score is the software optimum"
+        );
+    }
+
+    #[test]
+    fn watchdog_timeout_surfaces_after_retries() {
+        let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(2, 9).pairs;
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        drv.watchdog_cycles = 1; // everything times out
+        let err = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap_err();
+        assert!(matches!(err, DriverError::Timeout { watchdog: 1, .. }), "{err}");
+        // Device is still usable afterwards.
+        drv.watchdog_cycles = 1 << 40;
+        assert!(drv.submit(&pairs, false, WaitMode::PollIdle).is_ok());
+    }
+
+    #[test]
+    fn watchdog_timeout_with_fallback_still_answers() {
+        let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(2, 9).pairs;
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        drv.watchdog_cycles = 1;
+        drv.cpu_fallback = true;
+        let job = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap();
+        assert_eq!(job.recovered_count(), 2);
+        assert_eq!(job.retries, drv.max_retries);
+        for (res, pair) in job.results.iter().zip(&pairs) {
+            assert!(res.success);
+            assert_eq!(
+                res.score as u64,
+                swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT)
+            );
+        }
+    }
+
+    #[test]
+    fn device_error_surfaces_as_driver_error() {
+        let pairs = InputSetSpec { length: 400, error_pct: 10 }.generate(4, 11).pairs;
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        drv.out_size = 32; // too small for a BT stream -> OUT_OVERRUN
+        let err = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap_err();
+        match err {
+            DriverError::Device(e) => assert_eq!(e.code, error_code::OUT_OVERRUN),
+            other => panic!("expected a device error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn heavy_faults_with_fallback_always_complete() {
+        // The headline robustness property: under aggressive injected
+        // faults, retry + CPU fallback still answers every pair with the
+        // exact software score, and the device ends Idle.
+        let pairs = InputSetSpec { length: 100, error_pct: 10 }.generate(6, 21).pairs;
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        drv.cpu_fallback = true;
+        drv.device.set_fault_plan(FaultPlan {
+            bit_flip_per_beat: 0.2,
+            drop_beat: 0.02,
+            bus_stall: 0.05,
+            ..FaultPlan::none()
+        });
+        for wait in [WaitMode::PollIdle, WaitMode::Interrupt] {
+            let job = drv.submit(&pairs, false, wait).unwrap();
+            assert_eq!(job.results.len(), pairs.len());
+            for (res, pair) in job.results.iter().zip(&pairs) {
+                assert!(res.success, "every pair is answered");
+                if res.recovered {
+                    // CPU-recovered pairs realign the original input, so
+                    // they are exact. (A bit flip that maps one valid base
+                    // to another can leave a hardware pair "successful" but
+                    // silently corrupted — exactly like ECC-less silicon.)
+                    assert_eq!(
+                        res.score as u64,
+                        swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT)
+                    );
+                }
+            }
+            assert_eq!(drv.device.mmio_read(offsets::IDLE), 1);
+            assert_eq!(drv.device.mmio_read(offsets::IRQ_PENDING), 0);
+        }
+        assert!(drv.device.fault_counters().total() > 0, "faults were injected");
+    }
+
+    #[test]
+    fn oversized_batch_is_refused_not_asserted() {
+        let pairs: Vec<Pair> = (0..16)
+            .map(|i| Pair { id: i, a: vec![b'A'; 600_000], b: vec![b'C'; 600_000] })
+            .collect();
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        let err = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap_err();
+        assert!(matches!(err, DriverError::BatchTooLarge { .. }));
     }
 }

@@ -95,7 +95,9 @@ pub fn run_experiment(
 ) -> ExperimentResult {
     let mut drv = WfasicDriver::new(*cfg);
     drv.force_separation = force_separation;
-    let job = drv.submit(pairs, backtrace, WaitMode::PollIdle);
+    let job = drv
+        .submit(pairs, backtrace, WaitMode::PollIdle)
+        .expect("fault-free experiment job cannot fail");
 
     // CPU baselines from real software-WFA work measurements.
     let scalar = CpuCosts::sargantana_scalar();

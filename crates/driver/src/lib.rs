@@ -17,7 +17,7 @@ pub mod backtrace;
 pub mod codesign;
 pub mod cpu_model;
 
-pub use api::{AlignmentResult, JobResult, WaitMode, WfasicDriver};
+pub use api::{AlignmentResult, DriverError, JobResult, WaitMode, WfasicDriver};
 pub use backtrace::{backtrace_alignment, BtAlignment, BtError, Edit};
 pub use codesign::{run_experiment, ExperimentResult};
 pub use cpu_model::{software_backtrace_cycles, BacktraceCosts, CpuCosts};

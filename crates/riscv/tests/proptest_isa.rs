@@ -1,137 +1,154 @@
 //! Property tests for the RISC-V substrate: encode/decode round trips over
 //! randomized instructions, and interpreter arithmetic vs native Rust
 //! semantics.
+//!
+//! Runs on the in-repo harness (`wfa_core::prop`) — the build environment is
+//! offline, so `proptest` is not available.
 
-use proptest::prelude::*;
+use wfa_core::prop::cases;
+use wfa_core::rng::SmallRng;
 use wfasic_riscv::asm::assemble;
 use wfasic_riscv::cpu::{Machine, Stop};
 use wfasic_riscv::isa::{AluOp, BranchOp, Instr, LoadOp, MulOp, StoreOp};
 use wfasic_riscv::vector::VInstr;
 
-fn reg() -> impl Strategy<Value = u8> {
-    0u8..32
+fn reg(rng: &mut SmallRng) -> u8 {
+    rng.gen_range(0, 32) as u8
 }
 
-fn imm12() -> impl Strategy<Value = i64> {
-    -2048i64..=2047
+fn imm12(rng: &mut SmallRng) -> i64 {
+    rng.gen_range(0, 4096) as i64 - 2048
 }
 
-fn any_scalar_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (reg(), -(1i64 << 31)..(1i64 << 31)).prop_map(|(rd, v)| Instr::Lui {
-            rd,
-            imm: (v >> 12) << 12
+fn any_scalar_instr(rng: &mut SmallRng) -> Instr {
+    const BRANCH_OPS: [BranchOp; 6] = [
+        BranchOp::Eq,
+        BranchOp::Ne,
+        BranchOp::Lt,
+        BranchOp::Ge,
+        BranchOp::Ltu,
+        BranchOp::Geu,
+    ];
+    const LOAD_OPS: [LoadOp; 7] = [
+        LoadOp::B,
+        LoadOp::H,
+        LoadOp::W,
+        LoadOp::D,
+        LoadOp::Bu,
+        LoadOp::Hu,
+        LoadOp::Wu,
+    ];
+    const STORE_OPS: [StoreOp; 4] = [StoreOp::B, StoreOp::H, StoreOp::W, StoreOp::D];
+    const IMM_ALU_OPS: [AluOp; 6] = [
+        AluOp::Add,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Or,
+        AluOp::And,
+    ];
+    const REG_ALU_OPS: [AluOp; 10] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+    ];
+    const MUL_OPS: [MulOp; 5] = [
+        MulOp::Mul,
+        MulOp::Div,
+        MulOp::Divu,
+        MulOp::Rem,
+        MulOp::Remu,
+    ];
+    match rng.gen_range(0, 13) {
+        0 => Instr::Lui {
+            rd: reg(rng),
+            imm: ((rng.gen_range_u64(0, 1 << 32) as i64 - (1 << 31)) >> 12) << 12,
+        },
+        1 => Instr::Jal {
+            rd: reg(rng),
+            offset: (rng.gen_range_u64(0, 1 << 20) as i64 - (1 << 19)) * 2,
+        },
+        2 => Instr::Jalr {
+            rd: reg(rng),
+            rs1: reg(rng),
+            offset: imm12(rng),
+        },
+        3 => Instr::Branch {
+            op: *rng.pick(&BRANCH_OPS),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            offset: imm12(rng) * 2,
+        },
+        4 => Instr::Load {
+            op: *rng.pick(&LOAD_OPS),
+            rd: reg(rng),
+            rs1: reg(rng),
+            offset: imm12(rng),
+        },
+        5 => Instr::Store {
+            op: *rng.pick(&STORE_OPS),
+            rs2: reg(rng),
+            rs1: reg(rng),
+            offset: imm12(rng),
+        },
+        6 => Instr::OpImm {
+            op: *rng.pick(&IMM_ALU_OPS),
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: imm12(rng),
+            word: rng.gen_bool(0.5),
+        },
+        7 => Instr::Op {
+            op: *rng.pick(&REG_ALU_OPS),
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            word: rng.gen_bool(0.5),
+        },
+        8 => Instr::MulDiv {
+            op: *rng.pick(&MUL_OPS),
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            word: rng.gen_bool(0.5),
+        },
+        9 => Instr::Vector(VInstr::VmvVX {
+            vd: reg(rng),
+            rs1: reg(rng),
         }),
-        (reg(), (-(1i64 << 19)..(1i64 << 19))).prop_map(|(rd, v)| Instr::Jal {
-            rd,
-            offset: v * 2
+        10 => Instr::Vector(VInstr::VmaxVV {
+            vd: reg(rng),
+            vs2: reg(rng),
+            vs1: reg(rng),
         }),
-        (reg(), reg(), imm12()).prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
-        (
-            prop_oneof![
-                Just(BranchOp::Eq),
-                Just(BranchOp::Ne),
-                Just(BranchOp::Lt),
-                Just(BranchOp::Ge),
-                Just(BranchOp::Ltu),
-                Just(BranchOp::Geu)
-            ],
-            reg(),
-            reg(),
-            -2048i64..=2047
-        )
-            .prop_map(|(op, rs1, rs2, o)| Instr::Branch { op, rs1, rs2, offset: o * 2 }),
-        (
-            prop_oneof![
-                Just(LoadOp::B),
-                Just(LoadOp::H),
-                Just(LoadOp::W),
-                Just(LoadOp::D),
-                Just(LoadOp::Bu),
-                Just(LoadOp::Hu),
-                Just(LoadOp::Wu)
-            ],
-            reg(),
-            reg(),
-            imm12()
-        )
-            .prop_map(|(op, rd, rs1, offset)| Instr::Load { op, rd, rs1, offset }),
-        (
-            prop_oneof![Just(StoreOp::B), Just(StoreOp::H), Just(StoreOp::W), Just(StoreOp::D)],
-            reg(),
-            reg(),
-            imm12()
-        )
-            .prop_map(|(op, rs2, rs1, offset)| Instr::Store { op, rs2, rs1, offset }),
-        (
-            prop_oneof![
-                Just(AluOp::Add),
-                Just(AluOp::Slt),
-                Just(AluOp::Sltu),
-                Just(AluOp::Xor),
-                Just(AluOp::Or),
-                Just(AluOp::And)
-            ],
-            reg(),
-            reg(),
-            imm12(),
-            any::<bool>()
-        )
-            .prop_map(|(op, rd, rs1, imm, word)| Instr::OpImm { op, rd, rs1, imm, word }),
-        (
-            prop_oneof![
-                Just(AluOp::Add),
-                Just(AluOp::Sub),
-                Just(AluOp::Sll),
-                Just(AluOp::Slt),
-                Just(AluOp::Sltu),
-                Just(AluOp::Xor),
-                Just(AluOp::Srl),
-                Just(AluOp::Sra),
-                Just(AluOp::Or),
-                Just(AluOp::And)
-            ],
-            reg(),
-            reg(),
-            reg(),
-            any::<bool>()
-        )
-            .prop_map(|(op, rd, rs1, rs2, word)| Instr::Op { op, rd, rs1, rs2, word }),
-        (
-            prop_oneof![
-                Just(MulOp::Mul),
-                Just(MulOp::Div),
-                Just(MulOp::Divu),
-                Just(MulOp::Rem),
-                Just(MulOp::Remu)
-            ],
-            reg(),
-            reg(),
-            reg(),
-            any::<bool>()
-        )
-            .prop_map(|(op, rd, rs1, rs2, word)| Instr::MulDiv { op, rd, rs1, rs2, word }),
-        (reg(), reg()).prop_map(|(vd, rs1)| Instr::Vector(VInstr::VmvVX { vd, rs1 })),
-        (reg(), reg(), reg())
-            .prop_map(|(vd, vs2, vs1)| Instr::Vector(VInstr::VmaxVV { vd, vs2, vs1 })),
-        Just(Instr::Ecall),
-        Just(Instr::Fence),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(500))]
-
-    /// Every representable instruction survives encode -> decode.
-    #[test]
-    fn encode_decode_roundtrip(instr in any_scalar_instr()) {
-        let word = instr.encode();
-        prop_assert_eq!(Instr::decode(word), Some(instr), "word 0x{:08x}", word);
+        11 => Instr::Ecall,
+        _ => Instr::Fence,
     }
+}
 
-    /// The interpreter's add/sub/mul/div match native i64 semantics.
-    #[test]
-    fn alu_matches_native(a in any::<i64>(), b in any::<i64>()) {
+/// Every representable instruction survives encode -> decode.
+#[test]
+fn encode_decode_roundtrip() {
+    cases(500, 0x15A_0001, |rng, _| {
+        let instr = any_scalar_instr(rng);
+        let word = instr.encode();
+        assert_eq!(Instr::decode(word), Some(instr), "word 0x{word:08x}");
+    });
+}
+
+/// The interpreter's add/sub/mul/div match native i64 semantics.
+#[test]
+fn alu_matches_native() {
+    cases(500, 0x15A_0002, |rng, _| {
+        let a = rng.next_u64() as i64;
+        let b = rng.next_u64() as i64;
         let text = "
   ld a0, 0(zero)
   ld a1, 8(zero)
@@ -151,22 +168,31 @@ proptest! {
         let mut m = Machine::new(4096);
         m.ram[0..8].copy_from_slice(&a.to_le_bytes());
         m.ram[8..16].copy_from_slice(&b.to_le_bytes());
-        prop_assert_eq!(m.run(&p, 1000), Stop::Ecall);
+        assert_eq!(m.run(&p, 1000), Stop::Ecall);
         let rd = |off: usize| i64::from_le_bytes(m.ram[off..off + 8].try_into().unwrap());
-        prop_assert_eq!(rd(16), a.wrapping_add(b));
-        prop_assert_eq!(rd(24), a.wrapping_sub(b));
-        prop_assert_eq!(rd(32), a.wrapping_mul(b));
-        prop_assert_eq!(rd(40), a ^ b);
-        prop_assert_eq!(rd(48), ((a as u64) < (b as u64)) as i64);
-    }
+        assert_eq!(rd(16), a.wrapping_add(b));
+        assert_eq!(rd(24), a.wrapping_sub(b));
+        assert_eq!(rd(32), a.wrapping_mul(b));
+        assert_eq!(rd(40), a ^ b);
+        assert_eq!(rd(48), ((a as u64) < (b as u64)) as i64);
+    });
+}
 
-    /// Vector extend (vmsne + vfirst) agrees with a byte loop for arbitrary
-    /// buffers.
-    #[test]
-    fn vector_mismatch_scan_matches_scalar(
-        data_a in proptest::collection::vec(any::<u8>(), 16),
-        data_b in proptest::collection::vec(any::<u8>(), 16),
-    ) {
+/// Vector extend (vmsne + vfirst) agrees with a byte loop for arbitrary
+/// buffers.
+#[test]
+fn vector_mismatch_scan_matches_scalar() {
+    cases(500, 0x15A_0003, |rng, _| {
+        let mut data_a = [0u8; 16];
+        let mut data_b = [0u8; 16];
+        rng.fill_bytes(&mut data_a);
+        rng.fill_bytes(&mut data_b);
+        // Half the cases: force long shared prefixes so vfirst's -1 and
+        // late-mismatch paths both get exercised.
+        if rng.gen_bool(0.5) {
+            let n = rng.gen_range(0, 17);
+            data_b[..n].copy_from_slice(&data_a[..n]);
+        }
         let text = "
   li t0, 0
   li t1, 16
@@ -182,13 +208,13 @@ proptest! {
         let mut m = Machine::new(4096);
         m.ram[0..16].copy_from_slice(&data_a);
         m.ram[256..272].copy_from_slice(&data_b);
-        prop_assert_eq!(m.run(&p, 1000), Stop::Ecall);
+        assert_eq!(m.run(&p, 1000), Stop::Ecall);
         let expected = data_a
             .iter()
             .zip(&data_b)
             .position(|(x, y)| x != y)
             .map(|i| i as i64)
             .unwrap_or(-1);
-        prop_assert_eq!(m.reg(10) as i64, expected);
-    }
+        assert_eq!(m.reg(10) as i64, expected);
+    });
 }

@@ -10,8 +10,7 @@
 //! default follows the common ⅓ mismatch / ⅓ insertion / ⅓ deletion split.
 
 use crate::dna::BASES;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use wfa_core::rng::SmallRng;
 
 /// One input pair for alignment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,7 +89,7 @@ pub struct PairGenerator {
     /// sets cap at the nominal read length so every read fits the
     /// accelerator's supported maximum.
     pub max_len: Option<usize>,
-    rng: StdRng,
+    rng: SmallRng,
     next_id: u32,
 }
 
@@ -103,7 +102,7 @@ impl PairGenerator {
             error_rate,
             profile: ErrorProfile::default(),
             max_len: None,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             next_id: 0,
         }
     }
@@ -123,7 +122,7 @@ impl PairGenerator {
     /// Uniform random sequence of the nominal length.
     fn random_seq(&mut self) -> Vec<u8> {
         (0..self.length)
-            .map(|_| BASES[self.rng.random_range(0..4)])
+            .map(|_| BASES[self.rng.gen_range(0, 4)])
             .collect()
     }
 
@@ -144,7 +143,7 @@ impl PairGenerator {
 }
 
 /// Apply `num_edits` uniform random edits to `seq`.
-pub fn mutate(seq: &[u8], num_edits: usize, profile: &ErrorProfile, rng: &mut StdRng) -> Vec<u8> {
+pub fn mutate(seq: &[u8], num_edits: usize, profile: &ErrorProfile, rng: &mut SmallRng) -> Vec<u8> {
     mutate_capped(seq, num_edits, profile, None, rng)
 }
 
@@ -156,7 +155,7 @@ pub fn mutate_capped(
     num_edits: usize,
     profile: &ErrorProfile,
     max_len: Option<usize>,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
 ) -> Vec<u8> {
     let mut out = seq.to_vec();
     let total = profile.mismatch + profile.insertion + profile.deletion;
@@ -168,12 +167,12 @@ pub fn mutate_capped(
         Del,
     }
     for _ in 0..num_edits {
-        let roll = rng.random_range(0.0..total);
+        let roll = rng.gen_range_f64(0.0, total);
         if out.is_empty() {
-            out.push(BASES[rng.random_range(0..4)]);
+            out.push(BASES[rng.gen_range(0, 4)]);
             continue;
         }
-        let pos = rng.random_range(0..out.len());
+        let pos = rng.gen_range(0, out.len());
         let mut kind = if roll < profile.mismatch {
             Kind::Sub
         } else if roll < profile.mismatch + profile.insertion {
@@ -188,13 +187,13 @@ pub fn mutate_capped(
         if kind == Kind::Sub {
             // Substitute with a *different* base so the edit is real.
             let cur = out[pos];
-            let mut nb = BASES[rng.random_range(0..4)];
+            let mut nb = BASES[rng.gen_range(0, 4)];
             while nb == cur {
-                nb = BASES[rng.random_range(0..4)];
+                nb = BASES[rng.gen_range(0, 4)];
             }
             out[pos] = nb;
         } else if kind == Kind::Ins {
-            out.insert(pos, BASES[rng.random_range(0..4)]);
+            out.insert(pos, BASES[rng.gen_range(0, 4)]);
         } else {
             out.remove(pos);
         }

@@ -1,37 +1,44 @@
 //! Property tests for the wire formats: arbitrary values must round-trip
 //! through every encoding the hardware and driver share.
+//!
+//! Runs on the in-repo harness (`wfa_core::prop`) — the build environment is
+//! offline, so `proptest` is not available.
 
-use proptest::prelude::*;
+use wfa_core::prop::cases;
+use wfa_core::rng::SmallRng;
 use wfasic_seqio::generate::Pair;
 use wfasic_seqio::memimage::{
     bt_block_bytes, pack_origins, unpack_bt_cell, BtScoreRecord, BtTxn, CellOrigin, InputImage,
     MOrigin, NbtRecord,
 };
 
-fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..=max)
+const CASES: usize = 200;
+const BASES: &[u8] = b"ACGT";
+
+fn dna(rng: &mut SmallRng, max: usize) -> Vec<u8> {
+    let len = rng.gen_range(0, max + 1);
+    (0..len).map(|_| *rng.pick(BASES)).collect()
 }
 
-fn origin() -> impl Strategy<Value = CellOrigin> {
-    (0u8..6, any::<bool>(), any::<bool>()).prop_map(|(m, i_ext, d_ext)| CellOrigin {
-        m: MOrigin::from_code(m),
-        i_ext,
-        d_ext,
-    })
+fn origin(rng: &mut SmallRng) -> CellOrigin {
+    CellOrigin {
+        m: MOrigin::from_code(rng.gen_range(0, 6) as u8),
+        i_ext: rng.gen_bool(0.5),
+        d_ext: rng.gen_bool(0.5),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Input images round-trip arbitrary pair batches.
-    #[test]
-    fn input_image_roundtrip(
-        seqs in proptest::collection::vec((dna(40), dna(40)), 1..5),
-    ) {
-        let pairs: Vec<Pair> = seqs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (a, b))| Pair { id: i as u32 * 7, a, b })
+/// Input images round-trip arbitrary pair batches.
+#[test]
+fn input_image_roundtrip() {
+    cases(CASES, 0x5E10_0001, |rng, _| {
+        let n_pairs = rng.gen_range(1, 5);
+        let pairs: Vec<Pair> = (0..n_pairs)
+            .map(|i| Pair {
+                id: i as u32 * 7,
+                a: dna(rng, 40),
+                b: dna(rng, 40),
+            })
             .collect();
         let max = pairs
             .iter()
@@ -44,45 +51,65 @@ proptest! {
         let img = InputImage::encode(&pairs, max);
         for (n, p) in pairs.iter().enumerate() {
             let (id, a, b) = img.decode(n);
-            prop_assert_eq!(id, p.id);
-            prop_assert_eq!(&a, &p.a);
-            prop_assert_eq!(&b, &p.b);
+            assert_eq!(id, p.id);
+            assert_eq!(&a, &p.a);
+            assert_eq!(&b, &p.b);
         }
-    }
+    });
+}
 
-    /// NBT records round-trip over the whole field space.
-    #[test]
-    fn nbt_roundtrip(success in any::<bool>(), score in 0u16..0x8000, id in any::<u16>()) {
-        let r = NbtRecord { success, score, id };
-        prop_assert_eq!(NbtRecord::decode(r.encode()), r);
-    }
+/// NBT records round-trip over the whole field space.
+#[test]
+fn nbt_roundtrip() {
+    cases(CASES, 0x5E10_0002, |rng, _| {
+        let r = NbtRecord {
+            success: rng.gen_bool(0.5),
+            score: rng.gen_range(0, 0x8000) as u16,
+            id: rng.next_u32() as u16,
+        };
+        assert_eq!(NbtRecord::decode(r.encode()), r);
+    });
+}
 
-    /// BT transactions round-trip over the whole field space.
-    #[test]
-    fn bt_txn_roundtrip(
-        payload in proptest::array::uniform10(any::<u8>()),
-        counter in 0u32..(1 << 24),
-        last in any::<bool>(),
-        id in 0u32..(1 << 23),
-    ) {
-        let t = BtTxn { payload, counter, last, id };
-        prop_assert_eq!(BtTxn::decode(&t.encode()), t);
-    }
+/// BT transactions round-trip over the whole field space.
+#[test]
+fn bt_txn_roundtrip() {
+    cases(CASES, 0x5E10_0003, |rng, _| {
+        let mut payload = [0u8; 10];
+        rng.fill_bytes(&mut payload);
+        let t = BtTxn {
+            payload,
+            counter: rng.gen_range_u64(0, 1 << 24) as u32,
+            last: rng.gen_bool(0.5),
+            id: rng.gen_range_u64(0, 1 << 23) as u32,
+        };
+        assert_eq!(BtTxn::decode(&t.encode()), t);
+    });
+}
 
-    /// Score records round-trip including negative diagonals.
-    #[test]
-    fn score_record_roundtrip(success in any::<bool>(), k in any::<i16>(), score in any::<u16>()) {
-        let r = BtScoreRecord { success, k, score };
-        prop_assert_eq!(BtScoreRecord::decode(&r.encode()), r);
-    }
+/// Score records round-trip including negative diagonals.
+#[test]
+fn score_record_roundtrip() {
+    cases(CASES, 0x5E10_0004, |rng, _| {
+        let r = BtScoreRecord {
+            success: rng.gen_bool(0.5),
+            k: rng.next_u32() as u16 as i16,
+            score: rng.next_u32() as u16,
+        };
+        assert_eq!(BtScoreRecord::decode(&r.encode()), r);
+    });
+}
 
-    /// Origin blocks of any width pack/unpack losslessly.
-    #[test]
-    fn origin_block_roundtrip(cells in proptest::collection::vec(origin(), 1..130)) {
+/// Origin blocks of any width pack/unpack losslessly.
+#[test]
+fn origin_block_roundtrip() {
+    cases(CASES, 0x5E10_0005, |rng, _| {
+        let n_cells = rng.gen_range(1, 130);
+        let cells: Vec<CellOrigin> = (0..n_cells).map(|_| origin(rng)).collect();
         let block = pack_origins(&cells);
-        prop_assert_eq!(block.len(), bt_block_bytes(cells.len()));
+        assert_eq!(block.len(), bt_block_bytes(cells.len()));
         for (n, c) in cells.iter().enumerate() {
-            prop_assert_eq!(unpack_bt_cell(&block, n), *c, "cell {}", n);
+            assert_eq!(unpack_bt_cell(&block, n), *c, "cell {n}");
         }
-    }
+    });
 }

@@ -13,6 +13,7 @@
 //!   (first-come-first-served, which approximates the round-robin arbiter).
 
 use crate::clock::{BusyUnit, Cycle};
+use crate::fault::FaultInjector;
 
 /// AXI-Full timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +78,9 @@ pub struct MemoryBus {
     unit: BusyUnit,
     /// Transfer statistics.
     pub stats: BusStats,
+    /// Optional fault injector: adds transfer stalls here, and is consulted
+    /// by [`crate::dma::DmaEngine`] for per-beat data corruption.
+    pub fault: Option<FaultInjector>,
 }
 
 impl Default for BusConfig {
@@ -92,7 +96,16 @@ impl MemoryBus {
             config,
             unit: BusyUnit::default(),
             stats: BusStats::default(),
+            fault: None,
         }
+    }
+
+    /// Extra stall cycles injected on a transfer issued at `now`, if a fault
+    /// plan is installed.
+    fn injected_stall(&mut self, now: Cycle) -> Cycle {
+        self.fault
+            .as_mut()
+            .map_or(0, |fault| fault.transfer_stall(now))
     }
 
     /// Issue a read of `bytes`, arriving at cycle `now`. Returns the cycle at
@@ -100,7 +113,7 @@ impl MemoryBus {
     pub fn read(&mut self, now: Cycle, bytes: usize) -> Cycle {
         self.stats.bytes_read += bytes as u64;
         self.stats.reads += 1;
-        let dur = self.config.transfer_cycles(bytes);
+        let dur = self.config.transfer_cycles(bytes) + self.injected_stall(now);
         self.unit.occupy(now, dur).1
     }
 
@@ -108,7 +121,7 @@ impl MemoryBus {
     pub fn write(&mut self, now: Cycle, bytes: usize) -> Cycle {
         self.stats.bytes_written += bytes as u64;
         self.stats.writes += 1;
-        let dur = self.config.transfer_cycles(bytes);
+        let dur = self.config.transfer_cycles(bytes) + self.injected_stall(now);
         self.unit.occupy(now, dur).1
     }
 

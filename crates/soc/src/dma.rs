@@ -48,7 +48,12 @@ impl DmaEngine {
         let done = bus.read(now, len);
         self.stats.bytes_in += len as u64;
         self.stats.in_cycles += done.saturating_sub(now);
-        (mem.read(addr, len), done)
+        let beat_bytes = bus.config.beat_bytes;
+        let mut data = mem.read(addr, len);
+        if let Some(fault) = bus.fault.as_mut() {
+            fault.corrupt_beats(now, &mut data, beat_bytes);
+        }
+        (data, done)
     }
 
     /// Write `bytes` at `addr`, starting no earlier than `now`.
@@ -64,7 +69,15 @@ impl DmaEngine {
         let done = bus.write(now, bytes.len());
         self.stats.bytes_out += bytes.len() as u64;
         self.stats.out_cycles += done.saturating_sub(now);
-        mem.write(addr, bytes);
+        let beat_bytes = bus.config.beat_bytes;
+        match bus.fault.as_mut() {
+            Some(fault) if !fault.plan.is_noop() => {
+                let mut data = bytes.to_vec();
+                fault.corrupt_beats(now, &mut data, beat_bytes);
+                mem.write(addr, &data);
+            }
+            _ => mem.write(addr, bytes),
+        }
         done
     }
 }
@@ -99,5 +112,41 @@ mod tests {
         let t = dma.write(&mut mem, &mut bus, 0, 0, &[0u8; 16]);
         assert_eq!(t, 43 + 28, "queued behind the earlier burst");
         assert!(dma.stats.out_cycles >= 28);
+    }
+
+    #[test]
+    fn injected_faults_corrupt_reads_and_stall_transfers() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut mem = MainMemory::new(1 << 16);
+        let mut bus = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
+        let mut dma = DmaEngine::new();
+        mem.write(0x100, &[0xFFu8; 64]);
+
+        let mut plan = FaultPlan::none().with_stall_cycles(10);
+        plan.drop_beat = 1.0;
+        plan.bus_stall = 1.0;
+        bus.fault = Some(FaultInjector::new(plan));
+
+        let (data, done) = dma.read(&mem, &mut bus, 0, 0x100, 64);
+        assert_eq!(data, vec![0u8; 64], "every beat dropped");
+        assert_eq!(done, 27 + 4 + 10, "transfer + injected stall");
+        let counters = bus.fault.as_ref().unwrap().counters;
+        assert_eq!(counters.dropped_beats, 4);
+        assert_eq!(counters.bus_stalls, 1);
+        // Memory itself is untouched — corruption is in flight.
+        assert_eq!(mem.read(0x100, 64), vec![0xFFu8; 64]);
+    }
+
+    #[test]
+    fn injected_faults_corrupt_writes_in_flight() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut mem = MainMemory::new(1 << 16);
+        let mut bus = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
+        let mut dma = DmaEngine::new();
+        let mut plan = FaultPlan::none();
+        plan.drop_beat = 1.0;
+        bus.fault = Some(FaultInjector::new(plan));
+        dma.write(&mut mem, &mut bus, 0, 0x200, &[0xABu8; 32]);
+        assert_eq!(mem.read(0x200, 32), vec![0u8; 32], "dropped before landing");
     }
 }

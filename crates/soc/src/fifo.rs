@@ -15,6 +15,7 @@
 use std::collections::VecDeque;
 
 use crate::clock::Cycle;
+use crate::fault::FaultInjector;
 
 /// Error returned when pushing to a full FIFO.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +103,9 @@ pub struct SinglePortFifo<T> {
     last_access: Option<Cycle>,
     /// Total accesses that had to be retried due to the port being taken.
     pub conflicts_avoided: u64,
+    /// Optional fault injector consulted for stuck-output stalls.
+    pub fault: Option<FaultInjector>,
+    stuck_until: Cycle,
 }
 
 impl<T> SinglePortFifo<T> {
@@ -111,7 +115,26 @@ impl<T> SinglePortFifo<T> {
             inner: ShowAheadFifo::new(depth),
             last_access: None,
             conflicts_avoided: 0,
+            fault: None,
+            stuck_until: 0,
         }
+    }
+
+    /// First cycle at or after `now` when the show-ahead output is valid.
+    ///
+    /// Normally that is `now` itself; with a fault plan installed the output
+    /// can stick for the plan's stall length (the stuck-FIFO fault), and
+    /// overlapping stalls extend each other.
+    pub fn output_ready(&mut self, now: Cycle) -> Cycle {
+        let mut ready = now.max(self.stuck_until);
+        if let Some(fault) = self.fault.as_mut() {
+            let extra = fault.fifo_stall(now);
+            if extra > 0 {
+                ready += extra;
+                self.stuck_until = ready;
+            }
+        }
+        ready
     }
 
     fn claim_port(&mut self, cycle: Cycle) -> Result<(), PortError> {
@@ -229,5 +252,18 @@ mod tests {
     #[should_panic(expected = "depth")]
     fn zero_depth_rejected() {
         ShowAheadFifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn stuck_output_stalls_and_recovers() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut f: SinglePortFifo<u8> = SinglePortFifo::new(4);
+        assert_eq!(f.output_ready(10), 10, "no fault plan: ready immediately");
+        let mut plan = FaultPlan::none().with_stall_cycles(20);
+        plan.fifo_stuck = 1.0;
+        f.fault = Some(FaultInjector::new(plan));
+        assert_eq!(f.output_ready(10), 30, "stuck for the stall length");
+        assert_eq!(f.output_ready(12), 50, "overlapping stalls extend");
+        assert_eq!(f.fault.as_ref().unwrap().counters.fifo_stalls, 2);
     }
 }

@@ -10,6 +10,9 @@
 //! * [`dma`] — the accelerator's DMA engine;
 //! * [`fifo`] — show-ahead FIFOs plus the checked single-port RAM wrapper of
 //!   the ASIC memory implementation (§4.6);
+//! * [`fault`] — seeded deterministic fault injection (bit flips, dropped/
+//!   duplicated beats, stalls, MMIO corruption) consulted by the bus, DMA
+//!   and FIFOs, reproducing the paper's §5.1 broken-data campaign;
 //! * [`cache`] — L1/L2/DRAM hierarchy timing for the CPU models;
 //! * [`mmio`] — the memory-mapped register file;
 //! * [`clock`] — cycle bookkeeping and frequency constants.
@@ -18,11 +21,13 @@ pub mod bus;
 pub mod cache;
 pub mod clock;
 pub mod dma;
+pub mod fault;
 pub mod fifo;
 pub mod mem;
 pub mod mmio;
 
 pub use bus::{AxiLite, BusConfig, BusStats, MemoryBus};
+pub use fault::{FaultCounters, FaultInjector, FaultPlan};
 pub use cache::{Cache, MemHierarchy};
 pub use clock::{cycles_to_seconds, BusyUnit, Cycle, SARGANTANA_HZ, WFASIC_ASIC_HZ};
 pub use dma::{DmaEngine, DmaStats};

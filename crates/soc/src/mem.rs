@@ -23,6 +23,11 @@ impl MainMemory {
         Self::new(256 << 20)
     }
 
+    /// The capacity cap, in bytes (devices validate DMA ranges against it).
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
     fn ensure(&mut self, end: usize) {
         assert!(end <= self.cap, "memory access beyond the {}B cap", self.cap);
         if end > self.data.len() {

@@ -2,12 +2,20 @@
 //! of the accelerator, paper §3: Start, Idle, backtrace enable,
 //! MAX_READ_LEN, and the DMA addresses/sizes).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A sparse 64-bit register file indexed by byte offset.
+///
+/// Registers default to plain read/write; offsets can be marked *read-only*
+/// (CPU writes are ignored — hardware status registers) or *write-1-to-clear*
+/// (writing clears exactly the bits set in the written value — sticky
+/// interrupt flags). The hardware side uses [`RegFile::poke`], which bypasses
+/// both.
 #[derive(Debug, Clone, Default)]
 pub struct RegFile {
     regs: BTreeMap<u64, u64>,
+    w1c: BTreeSet<u64>,
+    ro: BTreeSet<u64>,
     /// Number of writes performed (driver-traffic accounting).
     pub write_count: u64,
     /// Number of reads performed.
@@ -20,9 +28,27 @@ impl RegFile {
         Self::default()
     }
 
-    /// Write a register.
+    /// Mark an offset write-1-to-clear.
+    pub fn mark_w1c(&mut self, offset: u64) {
+        self.w1c.insert(offset);
+    }
+
+    /// Mark an offset read-only from the CPU side.
+    pub fn mark_ro(&mut self, offset: u64) {
+        self.ro.insert(offset);
+    }
+
+    /// Write a register, honoring read-only and W1C semantics.
     pub fn write(&mut self, offset: u64, value: u64) {
         self.write_count += 1;
+        if self.ro.contains(&offset) {
+            return;
+        }
+        if self.w1c.contains(&offset) {
+            let old = self.regs.get(&offset).copied().unwrap_or(0);
+            self.regs.insert(offset, old & !value);
+            return;
+        }
         self.regs.insert(offset, value);
     }
 
@@ -69,5 +95,31 @@ mod tests {
         assert_eq!(r.peek(0x0), 1);
         assert_eq!(r.write_count, 0);
         assert_eq!(r.read_count, 0);
+    }
+
+    #[test]
+    fn w1c_clears_only_written_bits() {
+        let mut r = RegFile::new();
+        r.mark_w1c(0x50);
+        r.poke(0x50, 0b1011);
+        r.write(0x50, 0b0010); // clears bit 1 only
+        assert_eq!(r.peek(0x50), 0b1001);
+        r.write(0x50, 0); // writing 0 clears nothing
+        assert_eq!(r.peek(0x50), 0b1001);
+        r.write(0x50, u64::MAX);
+        assert_eq!(r.peek(0x50), 0);
+        // Hardware can still set it directly.
+        r.poke(0x50, 1);
+        assert_eq!(r.peek(0x50), 1);
+    }
+
+    #[test]
+    fn read_only_ignores_cpu_writes() {
+        let mut r = RegFile::new();
+        r.mark_ro(0x8);
+        r.poke(0x8, 7);
+        r.write(0x8, 99);
+        assert_eq!(r.peek(0x8), 7, "CPU write ignored");
+        assert_eq!(r.write_count, 1, "but still counted as bus traffic");
     }
 }

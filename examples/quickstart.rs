@@ -37,7 +37,9 @@ fn main() {
     // 3. The WFAsic co-design: device + driver + CPU backtrace.
     let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
     let pairs = vec![Pair { id: 0, a: a.clone(), b: b.clone() }];
-    let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+    let job = drv
+        .submit(&pairs, true, WaitMode::PollIdle)
+        .expect("fault-free job cannot fail");
     let res = &job.results[0];
     let hw_cigar = res.cigar.as_ref().unwrap();
     println!(

@@ -88,7 +88,9 @@ fn main() {
 
     // Seed extension on the accelerator (backtrace on: mappers need CIGARs).
     let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-    let job = drv.submit(&jobs, true, WaitMode::PollIdle);
+    let job = drv
+        .submit(&jobs, true, WaitMode::PollIdle)
+        .expect("fault-free job cannot fail");
 
     // Pick the best-scoring candidate per read.
     let mut best: HashMap<usize, (u32, usize, String)> = HashMap::new();
@@ -136,7 +138,6 @@ fn main() {
 }
 
 /// Seeded RNG helper for the mutator.
-fn rand_rng(seed: u64) -> rand::rngs::StdRng {
-    use rand::SeedableRng;
-    rand::rngs::StdRng::seed_from_u64(seed)
+fn rand_rng(seed: u64) -> wfasic::wfa::SmallRng {
+    wfasic::wfa::SmallRng::seed_from_u64(seed)
 }

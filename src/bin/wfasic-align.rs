@@ -85,7 +85,12 @@ fn main() {
 
     let cfg = AccelConfig::wfasic_chip().with_aligners(aligners);
     let mut drv = WfasicDriver::new(cfg);
-    let job = drv.submit(&pairs, backtrace, WaitMode::PollIdle);
+    let job = drv
+        .submit(&pairs, backtrace, WaitMode::PollIdle)
+        .unwrap_or_else(|e| {
+            eprintln!("alignment job failed: {e}");
+            std::process::exit(1);
+        });
 
     for ((res, ra), pr) in job.results.iter().zip(&recs_a).zip(&job.report.pairs) {
         let status = if res.success { "OK" } else { "FAIL" };

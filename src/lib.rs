@@ -23,7 +23,7 @@
 //! // accelerator with backtrace enabled.
 //! let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(4, 42).pairs;
 //! let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-//! let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+//! let job = drv.submit(&pairs, true, WaitMode::PollIdle).expect("job failed");
 //! for (res, pair) in job.results.iter().zip(&pairs) {
 //!     assert!(res.success);
 //!     res.cigar.as_ref().unwrap().check(&pair.a, &pair.b).unwrap();

@@ -1,89 +1,99 @@
 //! System-level property tests: the whole co-design (device + driver + CPU
 //! backtrace) must agree with the software oracles for arbitrary inputs.
+//!
+//! Runs on the in-repo harness (`wfa_core::prop`) — the build environment is
+//! offline, so `proptest` is not available.
 
-use proptest::prelude::*;
 use wfasic::accel::AccelConfig;
 use wfasic::driver::{WaitMode, WfasicDriver};
 use wfasic::seqio::Pair;
+use wfasic::wfa::prop::cases;
+use wfasic::wfa::rng::SmallRng;
 use wfasic::wfa::{swg_score, Penalties};
 
-fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..=max)
+const BASES: &[u8] = b"ACGT";
+
+fn dna(rng: &mut SmallRng, max: usize) -> Vec<u8> {
+    let len = rng.gen_range(0, max + 1);
+    (0..len).map(|_| *rng.pick(BASES)).collect()
 }
 
-/// Mutated pair strategy: realistic similarity plus arbitrary edits.
-fn pair(max: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
-    (dna(max), proptest::collection::vec((0usize..3, any::<u8>(), any::<u16>()), 0..10)).prop_map(
-        |(a, edits)| {
-            let mut b = a.clone();
-            for (kind, base, pos) in edits {
-                if b.is_empty() {
-                    b.push(b"ACGT"[base as usize % 4]);
-                    continue;
-                }
-                let p = pos as usize % b.len();
-                match kind {
-                    0 => b[p] = b"ACGT"[base as usize % 4],
-                    1 => b.insert(p, b"ACGT"[base as usize % 4]),
-                    _ => {
-                        b.remove(p);
-                    }
-                }
+/// Mutated pair: realistic similarity plus arbitrary edits.
+fn pair(rng: &mut SmallRng, max: usize) -> (Vec<u8>, Vec<u8>) {
+    let a = dna(rng, max);
+    let mut b = a.clone();
+    let n_edits = rng.gen_range(0, 10);
+    for _ in 0..n_edits {
+        if b.is_empty() {
+            b.push(*rng.pick(BASES));
+            continue;
+        }
+        let p = rng.gen_range(0, b.len());
+        match rng.gen_range(0, 3) {
+            0 => b[p] = *rng.pick(BASES),
+            1 => b.insert(p, *rng.pick(BASES)),
+            _ => {
+                b.remove(p);
             }
-            (a, b)
-        },
-    )
+        }
+    }
+    (a, b)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Device scores equal the SWG oracle; backtrace CIGARs are valid and
-    /// cost exactly the score.
-    #[test]
-    fn codesign_matches_oracle((a, b) in pair(120)) {
+/// Device scores equal the SWG oracle; backtrace CIGARs are valid and cost
+/// exactly the score.
+#[test]
+fn codesign_matches_oracle() {
+    cases(40, 0x5151_0001, |rng, _| {
+        let (a, b) = pair(rng, 120);
         let p = Penalties::WFASIC_DEFAULT;
         let pairs = vec![Pair { id: 0, a: a.clone(), b: b.clone() }];
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-        let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+        let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
         let res = &job.results[0];
-        prop_assert!(res.success);
-        prop_assert_eq!(res.score as u64, swg_score(&a, &b, &p));
+        assert!(res.success);
+        assert_eq!(res.score as u64, swg_score(&a, &b, &p));
         let cigar = res.cigar.as_ref().unwrap();
         cigar.check(&a, &b).unwrap();
-        prop_assert_eq!(cigar.score(&p), res.score as u64);
-    }
+        assert_eq!(cigar.score(&p), res.score as u64);
+    });
+}
 
-    /// Multi-aligner jobs return the same scores as single-aligner jobs,
-    /// for batches of arbitrary pairs.
-    #[test]
-    fn aligner_count_never_changes_results(
-        seqs in proptest::collection::vec(pair(60), 2..6),
-        n_aligners in 2usize..5,
-    ) {
-        let pairs: Vec<Pair> = seqs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (a, b))| Pair { id: i as u32, a, b })
+/// Multi-aligner jobs return the same scores as single-aligner jobs, for
+/// batches of arbitrary pairs.
+#[test]
+fn aligner_count_never_changes_results() {
+    cases(40, 0x5151_0002, |rng, _| {
+        let n_pairs = rng.gen_range(2, 6);
+        let pairs: Vec<Pair> = (0..n_pairs)
+            .map(|i| {
+                let (a, b) = pair(rng, 60);
+                Pair { id: i as u32, a, b }
+            })
             .collect();
+        let n_aligners = rng.gen_range(2, 5);
         let mut d1 = WfasicDriver::new(AccelConfig::wfasic_chip());
-        let j1 = d1.submit(&pairs, false, WaitMode::PollIdle);
+        let j1 = d1.submit(&pairs, false, WaitMode::PollIdle).unwrap();
         let mut dn = WfasicDriver::new(AccelConfig::wfasic_chip().with_aligners(n_aligners));
-        let jn = dn.submit(&pairs, false, WaitMode::PollIdle);
+        let jn = dn.submit(&pairs, false, WaitMode::PollIdle).unwrap();
         let s1: Vec<u32> = j1.results.iter().map(|r| r.score).collect();
         let sn: Vec<u32> = jn.results.iter().map(|r| r.score).collect();
-        prop_assert_eq!(s1, sn);
-    }
+        assert_eq!(s1, sn);
+    });
+}
 
-    /// Parallel-section count never changes results (only cycles).
-    #[test]
-    fn parallel_sections_never_change_results((a, b) in pair(80), ps in 1usize..9) {
-        let pairs = vec![Pair { id: 0, a: a.clone(), b: b.clone() }];
+/// Parallel-section count never changes results (only cycles).
+#[test]
+fn parallel_sections_never_change_results() {
+    cases(40, 0x5151_0003, |rng, _| {
+        let (a, b) = pair(rng, 80);
+        let ps = rng.gen_range(1, 9) * 8;
+        let pairs = vec![Pair { id: 0, a, b }];
         let mut d64 = WfasicDriver::new(AccelConfig::wfasic_chip());
-        let mut dp = WfasicDriver::new(AccelConfig::wfasic_chip().with_parallel_sections(ps * 8));
-        let r64 = d64.submit(&pairs, true, WaitMode::PollIdle);
-        let rp = dp.submit(&pairs, true, WaitMode::PollIdle);
-        prop_assert_eq!(r64.results[0].score, rp.results[0].score);
-        prop_assert_eq!(&r64.results[0].cigar, &rp.results[0].cigar);
-    }
+        let mut dp = WfasicDriver::new(AccelConfig::wfasic_chip().with_parallel_sections(ps));
+        let r64 = d64.submit(&pairs, true, WaitMode::PollIdle).unwrap();
+        let rp = dp.submit(&pairs, true, WaitMode::PollIdle).unwrap();
+        assert_eq!(r64.results[0].score, rp.results[0].score);
+        assert_eq!(&r64.results[0].cigar, &rp.results[0].cigar);
+    });
 }

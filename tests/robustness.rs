@@ -21,7 +21,7 @@ fn n_bases_flagged_not_hung() {
     pairs[2].b[100] = b'n';
     pairs[4].a[0] = b'-';
     let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-    let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+    let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
     assert!(!job.results[0].success);
     assert!(job.results[1].success);
     assert!(!job.results[2].success);
@@ -104,7 +104,7 @@ fn empty_and_tiny_sequences_flow_through() {
         Pair { id: 3, a: Vec::new(), b: Vec::new() },
     ];
     let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-    let job = drv.submit(&pairs, true, WaitMode::PollIdle);
+    let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
     assert!(job.results.iter().all(|r| r.success));
     assert_eq!(job.results[0].score, 6 + 4 * 2);
     assert_eq!(job.results[1].score, 0);
@@ -125,9 +125,85 @@ fn mixed_lengths_in_one_job() {
         Pair { id: 2, a: b"GATTACA".to_vec(), b: b"GACTACA".to_vec() },
     ];
     let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-    let job = drv.submit(&pairs, false, WaitMode::PollIdle);
+    let job = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap();
     assert!(job.results.iter().all(|r| r.success));
     assert_eq!(job.results[0].score, 0);
     assert_eq!(job.results[1].score, 0);
     assert_eq!(job.results[2].score, 4);
+}
+
+/// Satellite property fuzz: drive the device with arbitrary MMIO write
+/// sequences over arbitrary memory contents. Whatever the sequence, `run()`
+/// must never panic, must leave the device Idle, and must leave a coherent
+/// `ERROR_CODE` (one of the architecturally defined values).
+#[test]
+fn fuzz_arbitrary_mmio_sequences_never_panic() {
+    use wfasic::accel::regs::error_code;
+    use wfasic::wfa::prop::cases;
+
+    const KNOWN_OFFSETS: [u64; 14] = [
+        offsets::START,
+        offsets::IDLE,
+        offsets::BT_ENABLE,
+        offsets::MAX_READ_LEN,
+        offsets::IN_ADDR,
+        offsets::IN_SIZE,
+        offsets::OUT_ADDR,
+        offsets::IRQ_ENABLE,
+        offsets::OUT_BYTES,
+        offsets::JOB_CYCLES,
+        offsets::IRQ_PENDING,
+        offsets::ERROR_CODE,
+        offsets::ERROR_INFO,
+        offsets::OUT_SIZE,
+    ];
+
+    cases(150, 0xF022_0001, |rng, _| {
+        let mem_cap = 1usize << 18;
+        let mut mem = MainMemory::new(mem_cap);
+        // Arbitrary garbage in the low memory the device might read.
+        let mut junk = vec![0u8; 4096];
+        rng.fill_bytes(&mut junk);
+        mem.write(rng.gen_range_u64(0, 1024), &junk);
+
+        let mut dev = WfasicDevice::new(AccelConfig::wfasic_chip());
+        let n_writes = rng.gen_range(0, 24);
+        for _ in 0..n_writes {
+            // Mostly known registers, sometimes wild offsets.
+            let off = if rng.gen_bool(0.8) {
+                *rng.pick(&KNOWN_OFFSETS)
+            } else {
+                rng.gen_range_u64(0, 0x200) & !7
+            };
+            // Mostly small values (so jobs that do start stay fast), with
+            // occasional extreme ones to probe the validators.
+            let val = match rng.gen_range(0, 4) {
+                0 => rng.gen_range_u64(0, 64),
+                1 => rng.gen_range_u64(0, 1 << 14),
+                2 => rng.next_u64(),
+                _ => *rng.pick(&[0, 1, 16, 0xFFFF, u64::MAX]),
+            };
+            dev.mmio_write(off, val);
+        }
+        // Constrain the job so arbitrary IN_SIZE values cannot make the
+        // fuzz quadratic: window the input into the small memory.
+        dev.mmio_write(offsets::IN_ADDR, rng.gen_range_u64(0, mem_cap as u64));
+        dev.mmio_write(offsets::IN_SIZE, rng.gen_range_u64(0, 8192));
+        if rng.gen_bool(0.7) {
+            dev.mmio_write(offsets::START, 1);
+        }
+        let report = dev.run(&mut mem);
+
+        assert_eq!(dev.mmio_read(offsets::IDLE), 1, "device always returns to Idle");
+        let code = dev.mmio_read(offsets::ERROR_CODE);
+        assert!(
+            error_code::ALL.contains(&code),
+            "latched ERROR_CODE {code} is not an architectural value"
+        );
+        if let Some(e) = report.error {
+            assert_ne!(e.code, error_code::OK, "an error report carries a real code");
+            // The register mirror agrees with the report when the job errored.
+            assert_eq!(code, e.code);
+        }
+    });
 }

@@ -26,7 +26,7 @@ fn verify_config(cfg: AccelConfig, backtrace: bool, pairs_per_set: usize, seed: 
     for spec in test_sets() {
         let pairs = spec.generate(pairs_per_set, seed).pairs;
         let mut drv = WfasicDriver::new(cfg);
-        let job = drv.submit(&pairs, backtrace, WaitMode::PollIdle);
+        let job = drv.submit(&pairs, backtrace, WaitMode::PollIdle).unwrap();
         assert_eq!(job.results.len(), pairs.len(), "{}", spec.name());
         let mut failed = 0;
         for (res, pair) in job.results.iter().zip(&pairs) {
@@ -94,7 +94,7 @@ fn small_k_max_flags_failures_honestly() {
     let p = Penalties::WFASIC_DEFAULT;
     let pairs = InputSetSpec { length: 100, error_pct: 10 }.generate(8, 6).pairs;
     let mut drv = WfasicDriver::new(cfg);
-    let job = drv.submit(&pairs, false, WaitMode::PollIdle);
+    let job = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap();
     let mut seen_fail = false;
     for (res, pair) in job.results.iter().zip(&pairs) {
         let expected = swg_score(&pair.a, &pair.b, &p);
