@@ -59,6 +59,43 @@ pub struct AlignerOutcome {
     pub stats: AlignerStats,
 }
 
+impl AlignerOutcome {
+    /// Decompose this alignment's busy interval `[t0, t0 + cycles)` into
+    /// its three pipeline phases for perf attribution: compute, extend,
+    /// then per-score loop overhead, laid out back to back. The phase
+    /// lengths are the outcome's exact cycle accounting, so the spans
+    /// always cover the busy interval with no gap or overlap.
+    pub fn phase_spans(&self, t0: Cycle, aligner: usize) -> [wfasic_soc::perf::Span; 3] {
+        use wfasic_soc::perf::{track, Span, Stage};
+        let t1 = t0 + self.compute_cycles;
+        let t2 = t1 + self.extend_cycles;
+        let tr = track::ALIGNER0 + aligner as u16;
+        [
+            Span {
+                stage: Stage::Compute,
+                track: tr,
+                start: t0,
+                end: t1,
+                id: self.id,
+            },
+            Span {
+                stage: Stage::Extend,
+                track: tr,
+                start: t1,
+                end: t2,
+                id: self.id,
+            },
+            Span {
+                stage: Stage::ScoreLoop,
+                track: tr,
+                start: t2,
+                end: t0 + self.cycles,
+                id: self.id,
+            },
+        ]
+    }
+}
+
 /// One score's wavefront storage inside the Aligner window.
 #[derive(Debug, Clone)]
 struct WfSet {
@@ -301,9 +338,8 @@ pub fn align_packed(
         );
     }
 
-    out.cycles = out.extend_cycles
-        + out.compute_cycles
-        + out.stats.score_steps * cfg.score_loop_overhead;
+    out.cycles =
+        out.extend_cycles + out.compute_cycles + out.stats.score_steps * cfg.score_loop_overhead;
     out
 }
 
@@ -396,7 +432,10 @@ mod tests {
         );
         // Every block is P*5 bits.
         for blk in &out.bt_blocks {
-            assert_eq!(blk.len(), wfasic_seqio::memimage::bt_block_bytes(c.parallel_sections));
+            assert_eq!(
+                blk.len(),
+                wfasic_seqio::memimage::bt_block_bytes(c.parallel_sections)
+            );
         }
     }
 
@@ -407,11 +446,37 @@ mod tests {
     }
 
     #[test]
+    fn phase_spans_tile_the_busy_interval_exactly() {
+        for (a, b) in [
+            (b"GATTACAGATTACA".as_slice(), b"GATCACAGATAACA".as_slice()),
+            (b"ACGT".as_slice(), b"ACGT".as_slice()), // score-0 early return
+        ] {
+            let out = run(a, b, false);
+            let t0 = 1000;
+            let spans = out.phase_spans(t0, 2);
+            assert_eq!(spans[0].start, t0);
+            assert_eq!(spans[0].end, spans[1].start);
+            assert_eq!(spans[1].end, spans[2].start);
+            assert_eq!(spans[2].end, t0 + out.cycles, "no gap, no overlap");
+            assert!(spans
+                .iter()
+                .all(|s| s.track == wfasic_soc::perf::track::ALIGNER0 + 2));
+            assert!(spans.iter().all(|s| s.id == out.id));
+        }
+    }
+
+    #[test]
     fn cycle_accounting_is_consistent() {
-        let out = run(b"GATTACAGATTACAGATTACAGATTACA", b"GATCACAGATAACAGATTACAGATTACA", false);
+        let out = run(
+            b"GATTACAGATTACAGATTACAGATTACA",
+            b"GATCACAGATAACAGATTACAGATTACA",
+            false,
+        );
         assert_eq!(
             out.cycles,
-            out.extend_cycles + out.compute_cycles + out.stats.score_steps * cfg().score_loop_overhead
+            out.extend_cycles
+                + out.compute_cycles
+                + out.stats.score_steps * cfg().score_loop_overhead
         );
         assert!(out.stats.cells > 0);
         assert!(out.stats.batches > 0);
@@ -430,7 +495,14 @@ mod tests {
         let c8 = cfg().with_parallel_sections(8);
         let pa = PackedSeq::from_ascii(&a).unwrap();
         let pb = PackedSeq::from_ascii(&b).unwrap();
-        let o64 = align_packed(&c64, &WavefrontSchedule::for_config(&c64), 0, &pa, &pb, false);
+        let o64 = align_packed(
+            &c64,
+            &WavefrontSchedule::for_config(&c64),
+            0,
+            &pa,
+            &pb,
+            false,
+        );
         let o8 = align_packed(&c8, &WavefrontSchedule::for_config(&c8), 0, &pa, &pb, false);
         assert!(o64.success && o8.success);
         assert_eq!(o64.score, o8.score, "parallelism must not change results");

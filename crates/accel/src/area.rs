@@ -105,8 +105,8 @@ pub fn area_report(cfg: &AccelConfig) -> AreaReport {
     let chip_b = memory_breakdown(&chip);
     let chip_bytes = chip_b.input_seq + chip_b.wavefront_m + chip_b.wavefront_id + chip_b.fifos;
 
-    let macro_area = anchors::AREA_MM2 * anchors::MACRO_AREA_FRACTION * memory_bytes as f64
-        / chip_bytes as f64;
+    let macro_area =
+        anchors::AREA_MM2 * anchors::MACRO_AREA_FRACTION * memory_bytes as f64 / chip_bytes as f64;
     let logic_scale = (cfg.num_aligners * cfg.parallel_sections) as f64
         / (chip.num_aligners * chip.parallel_sections) as f64;
     let logic_area = anchors::AREA_MM2 * (1.0 - anchors::MACRO_AREA_FRACTION) * logic_scale;
@@ -166,7 +166,9 @@ mod tests {
         );
         // Hence 2×32PS costs more area than 1×64PS.
         let two32 = area_report(
-            &AccelConfig::wfasic_chip().with_parallel_sections(32).with_aligners(2),
+            &AccelConfig::wfasic_chip()
+                .with_parallel_sections(32)
+                .with_aligners(2),
         );
         assert!(two32.area_mm2 > a64.area_mm2);
     }

@@ -6,7 +6,7 @@
 //! I/D paths), 1 bit each for the I and D sources (open vs extend).
 
 use wfa_core::wavefront::{offset_is_valid, OFFSET_NULL};
-use wfa_core::wfa::{validated_offset};
+use wfa_core::wfa::validated_offset;
 use wfasic_seqio::memimage::{CellOrigin, MOrigin};
 
 /// Inputs to one cell's computation: the window values Eq. 3 reads.
@@ -196,8 +196,16 @@ mod tests {
         for (idx, s) in cases.iter().enumerate() {
             for k in [-2, 0, 3] {
                 let c = compute_cell(s, k, 50, 60);
-                assert_eq!(c.i, compute_cell_i(s.m_open_ins, s.i_ext, k, 50, 60), "i case {idx} k {k}");
-                assert_eq!(c.d, compute_cell_d(s.m_open_del, s.d_ext, k, 50, 60), "d case {idx} k {k}");
+                assert_eq!(
+                    c.i,
+                    compute_cell_i(s.m_open_ins, s.i_ext, k, 50, 60),
+                    "i case {idx} k {k}"
+                );
+                assert_eq!(
+                    c.d,
+                    compute_cell_d(s.m_open_del, s.d_ext, k, 50, 60),
+                    "d case {idx} k {k}"
+                );
                 assert_eq!(
                     c.m,
                     compute_cell_m(s.m_sub, c.i, c.d, k, 50, 60),

@@ -160,7 +160,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = AccelConfig::wfasic_chip().with_aligners(2).with_parallel_sections(32);
+        let c = AccelConfig::wfasic_chip()
+            .with_aligners(2)
+            .with_parallel_sections(32);
         assert_eq!(c.num_aligners, 2);
         assert_eq!(c.parallel_sections, 32);
     }

@@ -10,7 +10,7 @@
 //! multi-Aligner scaling for short reads (Table 1 / Fig. 10 / Eq. 7).
 //!
 //! Malformed configuration never panics (the paper's §5.1 campaign: broken
-//! data "did not [cause] any CPU freeze"). Invalid jobs are refused with a
+//! data "did not \[cause\] any CPU freeze"). Invalid jobs are refused with a
 //! latched [`offsets::ERROR_CODE`]/[`offsets::ERROR_INFO`] pair and the
 //! device returns to `IDLE = 1`; corrupted records degrade to per-pair
 //! `Success = 0`. A [`FaultPlan`] can be installed to exercise those paths
@@ -31,6 +31,7 @@ use wfasic_soc::fault::{streams, FaultCounters, FaultInjector, FaultPlan};
 use wfasic_soc::fifo::SinglePortFifo;
 use wfasic_soc::mem::MainMemory;
 use wfasic_soc::mmio::RegFile;
+use wfasic_soc::perf::{track, JobPerf, Stage, TraceSink};
 
 /// Per-pair timing/result record.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +80,11 @@ pub struct RunReport {
     pub error: Option<DeviceError>,
     /// Faults injected during this job (bus + FIFO streams).
     pub faults: FaultCounters,
+    /// Per-stage cycle attribution and the raw hardware spans, collected
+    /// when `PERF_CTRL` was set for this job (`None` otherwise). The
+    /// attribution sums exactly to `total_cycles` — see
+    /// [`wfasic_soc::perf::attribute_timeline`].
+    pub perf: Option<JobPerf>,
 }
 
 /// Output chunking granularity for the backtrace stream: one bus burst.
@@ -122,6 +128,9 @@ impl WfasicDevice {
             offsets::ERROR_CODE,
             offsets::ERROR_INFO,
         ] {
+            regs.mark_ro(ro);
+        }
+        for ro in offsets::PERF_COUNTERS {
             regs.mark_ro(ro);
         }
         regs.mark_w1c(offsets::IRQ_PENDING);
@@ -173,6 +182,21 @@ impl WfasicDevice {
         self.regs.poke(offsets::ERROR_INFO, info);
     }
 
+    /// Is per-stage cycle attribution enabled for the next job?
+    fn perf_enabled(&self) -> bool {
+        self.regs.peek(offsets::PERF_CTRL) & 1 != 0
+    }
+
+    /// Publish a job's per-stage counters into the read-only MMIO bank
+    /// (zeros when attribution was disabled), mirroring the RISC-V
+    /// `mhpmcounter` style: the CPU reads them back after `IDLE` returns.
+    fn publish_perf(&mut self, perf: Option<&JobPerf>) {
+        for stage in Stage::ALL {
+            let cycles = perf.map_or(0, |p| p.counters.get(stage));
+            self.regs.poke(offsets::perf_counter(stage), cycles);
+        }
+    }
+
     /// CPU-side register write over AXI-Lite.
     pub fn mmio_write(&mut self, offset: u64, value: u64) {
         let value = match self.mmio_fault.as_mut() {
@@ -208,6 +232,16 @@ impl WfasicDevice {
         if irq_enable {
             self.regs.poke(offsets::IRQ_PENDING, 1);
         }
+        // A refused job still accounts its cycles: decode-and-refuse is
+        // control-FSM time.
+        let perf = self.perf_enabled().then(|| {
+            let mut sink = TraceSink::new(true);
+            sink.record(Stage::Ctrl, track::DEVICE, 0, REFUSE_CYCLES, 0);
+            let mut spans = Vec::new();
+            sink.drain_into(&mut spans);
+            JobPerf::from_spans(spans, REFUSE_CYCLES)
+        });
+        self.publish_perf(perf.as_ref());
         RunReport {
             total_cycles: REFUSE_CYCLES,
             pairs: Vec::new(),
@@ -218,6 +252,7 @@ impl WfasicDevice {
             interrupt_raised: irq_enable,
             error: Some(DeviceError { code, info }),
             faults: FaultCounters::default(),
+            perf,
         }
     }
 
@@ -278,8 +313,15 @@ impl WfasicDevice {
         let n_aligners = self.cfg.num_aligners;
 
         self.jobs_run += 1;
+        // Perf tracing is purely observational: the sinks record spans the
+        // timing model already produces, so enabling PERF_CTRL can never
+        // change a job's cycle results.
+        let perf_on = self.perf_enabled();
+        let mut dev_perf = TraceSink::new(perf_on);
         let mut bus = MemoryBus::new(self.cfg.bus);
+        bus.perf.enabled = perf_on;
         let mut in_fifo: SinglePortFifo<()> = SinglePortFifo::new(self.cfg.fifo_depth.max(1));
+        in_fifo.perf.enabled = perf_on;
         if let Some(plan) = self.fault_plan {
             // Per-job nonce: a retried job draws fresh fault sequences, so
             // injected faults behave as transients.
@@ -312,8 +354,13 @@ impl WfasicDevice {
                 0
             };
             let read_start = read_free.max(gate);
-            let (record, read_done) =
-                dma.read(mem, &mut bus, read_start, job.in_addr + (i * rec_bytes) as u64, rec_bytes);
+            let (record, read_done) = dma.read(
+                mem,
+                &mut bus,
+                read_start,
+                job.in_addr + (i * rec_bytes) as u64,
+                rec_bytes,
+            );
             read_free = read_done;
 
             // The record parks in the Input FIFO on its way to the
@@ -321,11 +368,23 @@ impl WfasicDevice {
             let ingest = in_fifo.output_ready(read_done);
 
             let ex = extract_pair(&self.cfg, &record, job.max_read_len);
+            dev_perf.record(
+                Stage::Extract,
+                track::DEVICE,
+                ingest,
+                ingest + ex.decode_cycles,
+                ex.id,
+            );
 
             // Dispatch to the earliest-idle Aligner.
-            let w = (0..n_aligners).min_by_key(|&w| aligner_free[w]).unwrap_or(0);
+            let w = (0..n_aligners)
+                .min_by_key(|&w| aligner_free[w])
+                .unwrap_or(0);
             let t0 = ingest.max(aligner_free[w]);
             let outcome = align_extracted(&self.cfg, &self.schedule, &ex, job.backtrace);
+            if dev_perf.enabled {
+                dev_perf.spans.extend(outcome.phase_spans(t0, w));
+            }
             let mut done = t0 + outcome.cycles;
             aligner_busy[w] += outcome.cycles;
 
@@ -417,6 +476,18 @@ impl WfasicDevice {
         self.fault_counters.merge(&job_faults);
 
         let total_cycles = last_event.max(read_free);
+        // Assemble the per-stage timeline: every span the bus, the input
+        // FIFO, and the device recorded, attributed over [0, total_cycles).
+        // An aborted job (OUT_OVERRUN) lands here too, so partial jobs get
+        // partial — but still exactly-summing — attribution.
+        let perf = perf_on.then(|| {
+            let mut spans = Vec::new();
+            bus.perf.drain_into(&mut spans);
+            in_fifo.perf.drain_into(&mut spans);
+            dev_perf.drain_into(&mut spans);
+            JobPerf::from_spans(spans, total_cycles)
+        });
+        self.publish_perf(perf.as_ref());
         self.regs.poke(offsets::IDLE, 1);
         self.regs.poke(offsets::OUT_BYTES, output_bytes);
         self.regs.poke(offsets::JOB_CYCLES, total_cycles);
@@ -438,6 +509,7 @@ impl WfasicDevice {
             interrupt_raised,
             error,
             faults: job_faults,
+            perf,
         }
     }
 }
@@ -485,7 +557,10 @@ mod tests {
 
     #[test]
     fn nbt_job_end_to_end() {
-        let spec = InputSetSpec { length: 100, error_pct: 5 };
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        };
         let (mut dev, mut mem, _max, input) = setup(spec, 6, 1, false, AccelConfig::wfasic_chip());
         let report = dev.run(&mut mem);
         assert_eq!(report.pairs.len(), 6);
@@ -509,7 +584,10 @@ mod tests {
 
     #[test]
     fn bt_job_writes_stream_and_score_records() {
-        let spec = InputSetSpec { length: 100, error_pct: 10 };
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        };
         let (mut dev, mut mem, _max, input) = setup(spec, 2, 7, true, AccelConfig::wfasic_chip());
         let report = dev.run(&mut mem);
         assert!(report.output_bytes > 0);
@@ -532,7 +610,10 @@ mod tests {
 
     #[test]
     fn bt_costs_more_cycles_than_nbt() {
-        let spec = InputSetSpec { length: 1000, error_pct: 10 };
+        let spec = InputSetSpec {
+            length: 1000,
+            error_pct: 10,
+        };
         let (mut d1, mut m1, _, _) = setup(spec, 2, 3, false, AccelConfig::wfasic_chip());
         let (mut d2, mut m2, _, _) = setup(spec, 2, 3, true, AccelConfig::wfasic_chip());
         let r_nbt = d1.run(&mut m1);
@@ -548,10 +629,18 @@ mod tests {
 
     #[test]
     fn more_aligners_scale_long_reads() {
-        let spec = InputSetSpec { length: 1000, error_pct: 10 };
+        let spec = InputSetSpec {
+            length: 1000,
+            error_pct: 10,
+        };
         let (mut d1, mut m1, _, _) = setup(spec, 8, 5, false, AccelConfig::wfasic_chip());
-        let (mut d4, mut m4, _, _) =
-            setup(spec, 8, 5, false, AccelConfig::wfasic_chip().with_aligners(4));
+        let (mut d4, mut m4, _, _) = setup(
+            spec,
+            8,
+            5,
+            false,
+            AccelConfig::wfasic_chip().with_aligners(4),
+        );
         let r1 = d1.run(&mut m1);
         let r4 = d4.run(&mut m4);
         let speedup = r1.total_cycles as f64 / r4.total_cycles as f64;
@@ -569,7 +658,12 @@ mod tests {
     fn unsupported_reads_do_not_hang_and_flag_failure() {
         // The paper's robustness test: broken/unexpected data must not hang
         // the device; the affected pair reports Success = 0.
-        let mut pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(3, 2).pairs;
+        let mut pairs = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        }
+        .generate(3, 2)
+        .pairs;
         pairs[1].a[10] = b'N';
         let max = 128;
         let img = InputImage::encode(&pairs, max);
@@ -590,7 +684,10 @@ mod tests {
 
     #[test]
     fn interrupt_raised_when_enabled() {
-        let spec = InputSetSpec { length: 100, error_pct: 5 };
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        };
         let (mut dev, mut mem, _, _) = setup(spec, 1, 9, false, AccelConfig::wfasic_chip());
         dev.mmio_write(offsets::IRQ_ENABLE, 1);
         dev.mmio_write(offsets::START, 1);
@@ -606,7 +703,10 @@ mod tests {
 
     #[test]
     fn job_cycles_register_matches_report() {
-        let spec = InputSetSpec { length: 100, error_pct: 10 };
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        };
         let (mut dev, mut mem, _, _) = setup(spec, 4, 11, false, AccelConfig::wfasic_chip());
         let report = dev.run(&mut mem);
         assert_eq!(dev.mmio_read(offsets::JOB_CYCLES), report.total_cycles);
@@ -618,7 +718,10 @@ mod tests {
         // Satellite check: the queued-latency read_cycles fix keeps the
         // unqueued first pair inside the paper's Table 1 calibration band
         // (75 reading cycles for a 100bp record, within 25%).
-        let spec = InputSetSpec { length: 100, error_pct: 5 };
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        };
         let (mut dev, mut mem, max, _) = setup(spec, 4, 13, false, AccelConfig::wfasic_chip());
         let report = dev.run(&mut mem);
         let first = report.pairs[0].read_cycles;
@@ -646,9 +749,15 @@ mod tests {
             let report = dev.run(&mut mem);
             assert_eq!(
                 report.error,
-                Some(DeviceError { code: error_code::BAD_MAX_READ_LEN, info: bad })
+                Some(DeviceError {
+                    code: error_code::BAD_MAX_READ_LEN,
+                    info: bad
+                })
             );
-            assert_eq!(dev.mmio_read(offsets::ERROR_CODE), error_code::BAD_MAX_READ_LEN);
+            assert_eq!(
+                dev.mmio_read(offsets::ERROR_CODE),
+                error_code::BAD_MAX_READ_LEN
+            );
             assert_eq!(dev.mmio_read(offsets::ERROR_INFO), bad);
             assert_eq!(dev.mmio_read(offsets::IDLE), 1, "device returns to Idle");
         }
@@ -664,7 +773,10 @@ mod tests {
         let report = dev.run(&mut mem);
         assert_eq!(
             report.error,
-            Some(DeviceError { code: error_code::BAD_IN_SIZE, info: 273 })
+            Some(DeviceError {
+                code: error_code::BAD_IN_SIZE,
+                info: 273
+            })
         );
         assert_eq!(dev.mmio_read(offsets::IDLE), 1);
     }
@@ -691,17 +803,26 @@ mod tests {
 
     #[test]
     fn start_while_busy_latches_error_and_keeps_job() {
-        let spec = InputSetSpec { length: 100, error_pct: 5 };
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        };
         let (mut dev, mut mem, _, _) = setup(spec, 2, 17, false, AccelConfig::wfasic_chip());
         // START is already latched; a second START must be refused.
         dev.mmio_write(offsets::START, 1);
-        assert_eq!(dev.mmio_read(offsets::ERROR_CODE), error_code::START_WHILE_BUSY);
+        assert_eq!(
+            dev.mmio_read(offsets::ERROR_CODE),
+            error_code::START_WHILE_BUSY
+        );
         // The original job still runs to completion.
         let report = dev.run(&mut mem);
         assert!(report.error.is_none(), "the in-flight job is unaffected");
         assert_eq!(report.pairs.len(), 2);
         // The sticky error survives the job (cleared on the next START).
-        assert_eq!(dev.mmio_read(offsets::ERROR_CODE), error_code::START_WHILE_BUSY);
+        assert_eq!(
+            dev.mmio_read(offsets::ERROR_CODE),
+            error_code::START_WHILE_BUSY
+        );
         dev.mmio_write(offsets::START, 1);
         assert_eq!(dev.mmio_read(offsets::ERROR_CODE), error_code::OK);
     }
@@ -711,27 +832,40 @@ mod tests {
         let mut mem = MainMemory::with_default_cap();
         let mut dev = WfasicDevice::new(AccelConfig::wfasic_chip());
         let report = dev.run(&mut mem);
-        assert_eq!(report.error.map(|e| e.code), Some(error_code::START_NOT_SET));
+        assert_eq!(
+            report.error.map(|e| e.code),
+            Some(error_code::START_NOT_SET)
+        );
         assert_eq!(dev.mmio_read(offsets::IDLE), 1);
     }
 
     #[test]
     fn output_overrun_aborts_and_returns_to_idle() {
-        let spec = InputSetSpec { length: 100, error_pct: 10 };
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        };
         let (mut dev, mut mem, _, _) = setup(spec, 6, 19, true, AccelConfig::wfasic_chip());
         dev.mmio_write(offsets::OUT_SIZE, 64); // far too small for a BT stream
         dev.mmio_write(offsets::START, 1);
         let report = dev.run(&mut mem);
         assert_eq!(report.error.map(|e| e.code), Some(error_code::OUT_OVERRUN));
         assert_eq!(dev.mmio_read(offsets::ERROR_CODE), error_code::OUT_OVERRUN);
-        assert_eq!(dev.mmio_read(offsets::IDLE), 1, "abort still returns to Idle");
+        assert_eq!(
+            dev.mmio_read(offsets::IDLE),
+            1,
+            "abort still returns to Idle"
+        );
         assert!(report.output_bytes <= 64);
         assert!(report.pairs.len() < 6, "the job aborted early");
     }
 
     #[test]
     fn status_registers_are_read_only() {
-        let spec = InputSetSpec { length: 100, error_pct: 5 };
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        };
         let (mut dev, mut mem, _, _) = setup(spec, 1, 23, false, AccelConfig::wfasic_chip());
         let report = dev.run(&mut mem);
         dev.mmio_write(offsets::JOB_CYCLES, 0);
@@ -747,7 +881,10 @@ mod tests {
         // A high bit-flip rate corrupts records in flight: bases decode to
         // non-ACGT values or lengths go wild, and the affected pairs come
         // back Success = 0 — never a panic, always back to Idle.
-        let spec = InputSetSpec { length: 100, error_pct: 5 };
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        };
         let (mut dev, mut mem, _, _) = setup(spec, 8, 29, false, AccelConfig::wfasic_chip());
         dev.set_fault_plan(FaultPlan {
             bit_flip_per_beat: 0.4,
@@ -766,7 +903,10 @@ mod tests {
         // Faults are transient: two identical submissions draw different
         // fault sequences, so a retry can succeed where the first try lost
         // pairs to corruption.
-        let spec = InputSetSpec { length: 100, error_pct: 5 };
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        };
         let (mut dev, mut mem, _, _) = setup(spec, 4, 31, false, AccelConfig::wfasic_chip());
         dev.set_fault_plan(FaultPlan {
             bit_flip_per_beat: 0.05,
@@ -787,8 +927,96 @@ mod tests {
     }
 
     #[test]
+    fn perf_attribution_sums_to_total_and_fills_the_mmio_bank() {
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        };
+        let (mut dev, mut mem, _, _) = setup(spec, 6, 41, false, AccelConfig::wfasic_chip());
+        dev.mmio_write(offsets::PERF_CTRL, 1);
+        dev.mmio_write(offsets::START, 1);
+        let report = dev.run(&mut mem);
+        let perf = report.perf.as_ref().expect("PERF_CTRL was set");
+        // The load-bearing invariant: per-stage cycles sum exactly to the
+        // job's total cycles.
+        assert_eq!(perf.counters.total(), report.total_cycles);
+        assert!(perf.counters.get(Stage::Compute) > 0);
+        assert!(perf.counters.get(Stage::DmaIn) > 0);
+        // The MMIO counter bank mirrors the breakdown.
+        let mut mmio_sum = 0;
+        for stage in Stage::ALL {
+            let v = dev.mmio_read(offsets::perf_counter(stage));
+            assert_eq!(v, perf.counters.get(stage), "{}", stage.name());
+            mmio_sum += v;
+        }
+        assert_eq!(mmio_sum, dev.mmio_read(offsets::JOB_CYCLES));
+    }
+
+    #[test]
+    fn perf_disabled_changes_no_cycle_results_and_reads_zero() {
+        let spec = InputSetSpec {
+            length: 1000,
+            error_pct: 10,
+        };
+        let (mut plain, mut m1, _, _) = setup(spec, 4, 43, true, AccelConfig::wfasic_chip());
+        let (mut traced, mut m2, _, _) = setup(spec, 4, 43, true, AccelConfig::wfasic_chip());
+        traced.mmio_write(offsets::PERF_CTRL, 1);
+        traced.mmio_write(offsets::START, 1);
+        let r1 = plain.run(&mut m1);
+        let r2 = traced.run(&mut m2);
+        assert_eq!(r1.total_cycles, r2.total_cycles, "tracing is observational");
+        let times = |r: &RunReport| {
+            r.pairs
+                .iter()
+                .map(|p| (p.start, p.done))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(times(&r1), times(&r2));
+        assert!(r1.perf.is_none());
+        for stage in Stage::ALL {
+            assert_eq!(plain.mmio_read(offsets::perf_counter(stage)), 0);
+        }
+        // The counter bank is read-only to the CPU.
+        plain.mmio_write(offsets::PERF_COMPUTE, 999);
+        assert_eq!(plain.mmio_read(offsets::PERF_COMPUTE), 0);
+    }
+
+    #[test]
+    fn refused_job_attributes_its_cycles_to_the_control_fsm() {
+        let mut mem = MainMemory::with_default_cap();
+        let mut dev = WfasicDevice::new(AccelConfig::wfasic_chip());
+        dev.mmio_write(offsets::PERF_CTRL, 1);
+        dev.mmio_write(offsets::MAX_READ_LEN, 7); // not a multiple of 16
+        dev.mmio_write(offsets::START, 1);
+        let report = dev.run(&mut mem);
+        let perf = report.perf.expect("attribution enabled");
+        assert_eq!(perf.counters.get(Stage::Ctrl), REFUSE_CYCLES);
+        assert_eq!(perf.counters.total(), report.total_cycles);
+        assert_eq!(dev.mmio_read(offsets::PERF_CTRL_FSM), REFUSE_CYCLES);
+    }
+
+    #[test]
+    fn aborted_job_reports_partial_attribution() {
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        };
+        let (mut dev, mut mem, _, _) = setup(spec, 6, 19, true, AccelConfig::wfasic_chip());
+        dev.mmio_write(offsets::OUT_SIZE, 64); // forces OUT_OVERRUN mid-job
+        dev.mmio_write(offsets::PERF_CTRL, 1);
+        dev.mmio_write(offsets::START, 1);
+        let report = dev.run(&mut mem);
+        assert_eq!(report.error.map(|e| e.code), Some(error_code::OUT_OVERRUN));
+        let perf = report.perf.expect("partial attribution survives the abort");
+        assert_eq!(perf.counters.total(), report.total_cycles);
+    }
+
+    #[test]
     fn stuck_fifo_and_bus_stalls_slow_the_job_down() {
-        let spec = InputSetSpec { length: 100, error_pct: 5 };
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        };
         let (mut clean, mut m1, _, _) = setup(spec, 4, 37, false, AccelConfig::wfasic_chip());
         let baseline = clean.run(&mut m1).total_cycles;
 

@@ -171,7 +171,10 @@ mod tests {
         };
         let rec = record_for(&pair, 10_016);
         let ex = extract_pair(&cfg(), &rec, 10_016);
-        assert!(matches!(ex.reject, Some(RejectReason::OverSupportedLen { .. })));
+        assert!(matches!(
+            ex.reject,
+            Some(RejectReason::OverSupportedLen { .. })
+        ));
     }
 
     #[test]
@@ -192,7 +195,10 @@ mod tests {
         let ex = extract_pair(&cfg(), &[0u8; 7], 16);
         assert!(matches!(
             ex.reject,
-            Some(RejectReason::Malformed { len: 7, expected: 80 })
+            Some(RejectReason::Malformed {
+                len: 7,
+                expected: 80
+            })
         ));
         assert!(ex.rams.is_none());
         let ex = extract_pair(&cfg(), &[], 16);

@@ -38,6 +38,53 @@ pub mod offsets {
     pub const ERROR_INFO: u64 = 0x60;
     /// Size of the output buffer in bytes (0 = unbounded, to end of memory).
     pub const OUT_SIZE: u64 = 0x68;
+    /// Bit 0 = enable per-stage cycle attribution for subsequent jobs
+    /// (the `mcountinhibit`-style control for the counter bank below).
+    pub const PERF_CTRL: u64 = 0x70;
+    /// (RO) Cycles attributed to Aligner frame-column computation.
+    pub const PERF_COMPUTE: u64 = 0x78;
+    /// (RO) Cycles attributed to the Aligner extend phase.
+    pub const PERF_EXTEND: u64 = 0x80;
+    /// (RO) Cycles attributed to per-score loop overhead.
+    pub const PERF_SCORE_LOOP: u64 = 0x88;
+    /// (RO) Cycles attributed to Extractor record decode.
+    pub const PERF_EXTRACT: u64 = 0x90;
+    /// (RO) Cycles attributed to device FSM control (refuse/abort).
+    pub const PERF_CTRL_FSM: u64 = 0x98;
+    /// (RO) Cycles attributed to result drain (DMA out).
+    pub const PERF_DMA_OUT: u64 = 0xA0;
+    /// (RO) Cycles attributed to input record transfer (DMA in).
+    pub const PERF_DMA_IN: u64 = 0xA8;
+    /// (RO) Cycles attributed to waiting for the shared bus grant.
+    pub const PERF_BUS_WAIT: u64 = 0xB0;
+    /// (RO) Cycles attributed to input-FIFO stalls.
+    pub const PERF_FIFO_STALL: u64 = 0xB8;
+    /// (RO) Cycles no unit was active.
+    pub const PERF_IDLE: u64 = 0xC0;
+
+    /// The read-only per-stage counter bank, in [`Stage`] priority order.
+    /// After a job run with `PERF_CTRL` set, these sum exactly to
+    /// `JOB_CYCLES` (the hardware-style accounting invariant); with
+    /// `PERF_CTRL` clear they read 0.
+    pub const PERF_COUNTERS: [u64; 10] = [
+        PERF_COMPUTE,
+        PERF_EXTEND,
+        PERF_SCORE_LOOP,
+        PERF_EXTRACT,
+        PERF_CTRL_FSM,
+        PERF_DMA_OUT,
+        PERF_DMA_IN,
+        PERF_BUS_WAIT,
+        PERF_FIFO_STALL,
+        PERF_IDLE,
+    ];
+
+    use wfasic_soc::perf::Stage;
+
+    /// The MMIO counter register holding a stage's attributed cycles.
+    pub fn perf_counter(stage: Stage) -> u64 {
+        PERF_COUNTERS[stage as usize]
+    }
 }
 
 /// `ERROR_CODE` values.
@@ -177,14 +224,42 @@ mod tests {
     #[test]
     fn offsets_are_distinct() {
         use offsets::*;
-        let all = [
-            START, IDLE, BT_ENABLE, MAX_READ_LEN, IN_ADDR, IN_SIZE, OUT_ADDR, IRQ_ENABLE,
-            OUT_BYTES, JOB_CYCLES, IRQ_PENDING, ERROR_CODE, ERROR_INFO, OUT_SIZE,
+        let mut all = vec![
+            START,
+            IDLE,
+            BT_ENABLE,
+            MAX_READ_LEN,
+            IN_ADDR,
+            IN_SIZE,
+            OUT_ADDR,
+            IRQ_ENABLE,
+            OUT_BYTES,
+            JOB_CYCLES,
+            IRQ_PENDING,
+            ERROR_CODE,
+            ERROR_INFO,
+            OUT_SIZE,
+            PERF_CTRL,
         ];
-        let mut sorted = all.to_vec();
+        all.extend(PERF_COUNTERS);
+        let mut sorted = all.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), all.len());
+    }
+
+    #[test]
+    fn perf_counter_bank_covers_every_stage() {
+        use wfasic_soc::perf::Stage;
+        let mut offs: Vec<u64> = Stage::ALL
+            .iter()
+            .map(|&s| offsets::perf_counter(s))
+            .collect();
+        offs.sort_unstable();
+        offs.dedup();
+        assert_eq!(offs.len(), Stage::COUNT);
+        assert_eq!(offsets::perf_counter(Stage::Compute), offsets::PERF_COMPUTE);
+        assert_eq!(offsets::perf_counter(Stage::Idle), offsets::PERF_IDLE);
     }
 
     #[test]

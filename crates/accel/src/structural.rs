@@ -41,8 +41,12 @@ impl BankedStore {
         let bank_words = rows_per_bank * cols;
         BankedStore {
             primary: vec![vec![OFFSET_NULL; bank_words]; p],
-            dup_first: window.duplicated_edges.then(|| vec![OFFSET_NULL; bank_words]),
-            dup_last: window.duplicated_edges.then(|| vec![OFFSET_NULL; bank_words]),
+            dup_first: window
+                .duplicated_edges
+                .then(|| vec![OFFSET_NULL; bank_words]),
+            dup_last: window
+                .duplicated_edges
+                .then(|| vec![OFFSET_NULL; bank_words]),
             cols,
             window,
         }
@@ -71,7 +75,10 @@ impl BankedStore {
             None
         };
         let v = dup.expect("duplicate read from a non-edge bank")[a];
-        debug_assert_eq!(v, self.primary[b][a], "duplicate banks must mirror primaries");
+        debug_assert_eq!(
+            v, self.primary[b][a],
+            "duplicate banks must mirror primaries"
+        );
         v
     }
 
@@ -112,7 +119,8 @@ pub fn align_structural(
     let rows = cfg.wavefront_rows();
 
     let m_cols = cfg.m_window_columns() + 1;
-    let mut m_store = BankedStore::new(BankedWindow::m_window(p, cfg.k_max, cfg.m_window_columns()));
+    let mut m_store =
+        BankedStore::new(BankedWindow::m_window(p, cfg.k_max, cfg.m_window_columns()));
     // I and D windows: one previous column + the frame column.
     let mut i_store = BankedStore::new(BankedWindow::id_window(p, cfg.k_max));
     let mut d_store = BankedStore::new(BankedWindow::id_window(p, cfg.k_max));
@@ -338,9 +346,8 @@ pub fn align_structural(
         }
     }
 
-    out.cycles = out.extend_cycles
-        + out.compute_cycles
-        + out.stats.score_steps * cfg.score_loop_overhead;
+    out.cycles =
+        out.extend_cycles + out.compute_cycles + out.stats.score_steps * cfg.score_loop_overhead;
     out
 }
 
@@ -361,7 +368,10 @@ mod tests {
         assert_eq!(structural.extend_cycles, behavioral.extend_cycles);
         assert_eq!(structural.compute_cycles, behavioral.compute_cycles);
         assert_eq!(structural.stats, behavioral.stats);
-        assert_eq!(structural.bt_blocks, behavioral.bt_blocks, "origin streams equal");
+        assert_eq!(
+            structural.bt_blocks, behavioral.bt_blocks,
+            "origin streams equal"
+        );
     }
 
     /// A small config keeps the banked stores cheap in tests.

@@ -197,10 +197,19 @@ mod tests {
             // M substitution read: rows start..start+P (same k).
             assert!(w.plan_parallel_reads(start, p).is_some(), "sub @{start}");
             // M gap-open read: rows start-1..start+P (k-1 and k+1 together).
-            assert!(w.plan_parallel_reads(start - 1, p + 2).is_some(), "open @{start}");
+            assert!(
+                w.plan_parallel_reads(start - 1, p + 2).is_some(),
+                "open @{start}"
+            );
             // I reads rows start-1..start+P-2; D reads start+1..start+P.
-            assert!(idw.plan_parallel_reads(start - 1, p).is_some(), "I @{start}");
-            assert!(idw.plan_parallel_reads(start + 1, p).is_some(), "D @{start}");
+            assert!(
+                idw.plan_parallel_reads(start - 1, p).is_some(),
+                "I @{start}"
+            );
+            assert!(
+                idw.plan_parallel_reads(start + 1, p).is_some(),
+                "D @{start}"
+            );
         }
     }
 

@@ -19,7 +19,12 @@ fn main() {
     }
 
     println!("fig10_device_multialigner");
-    let pairs = InputSetSpec { length: 1_000, error_pct: 10 }.generate(8, 5).pairs;
+    let pairs = InputSetSpec {
+        length: 1_000,
+        error_pct: 10,
+    }
+    .generate(8, 5)
+    .pairs;
     for n in [1usize, 4] {
         bench(&format!("device_{n}_aligners"), 10, || {
             let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip().with_aligners(n));

@@ -14,7 +14,12 @@ use wfasic_seqio::dataset::InputSetSpec;
 fn main() {
     let cfg = AccelConfig::wfasic_chip();
     let schedule = WavefrontSchedule::for_config(&cfg);
-    let pairs = InputSetSpec { length: 1_000, error_pct: 10 }.generate(2, 3).pairs;
+    let pairs = InputSetSpec {
+        length: 1_000,
+        error_pct: 10,
+    }
+    .generate(2, 3)
+    .pairs;
     let mut stream = Vec::new();
     for p in &pairs {
         let a = PackedSeq::from_ascii(&p.a).unwrap();

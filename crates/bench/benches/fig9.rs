@@ -11,8 +11,20 @@ fn main() {
     println!("fig9_codesign");
     let cfg = AccelConfig::wfasic_chip();
     for (spec, n) in [
-        (InputSetSpec { length: 100, error_pct: 10 }, 8usize),
-        (InputSetSpec { length: 1_000, error_pct: 10 }, 2),
+        (
+            InputSetSpec {
+                length: 100,
+                error_pct: 10,
+            },
+            8usize,
+        ),
+        (
+            InputSetSpec {
+                length: 1_000,
+                error_pct: 10,
+            },
+            2,
+        ),
     ] {
         let pairs = spec.generate(n, 9).pairs;
         for bt in [false, true] {

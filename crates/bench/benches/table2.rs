@@ -10,7 +10,12 @@ use wfasic_soc::clock::WFASIC_ASIC_HZ;
 
 fn main() {
     let cfg = AccelConfig::wfasic_chip();
-    let pairs = InputSetSpec { length: 10_000, error_pct: 5 }.generate(1, 11).pairs;
+    let pairs = InputSetSpec {
+        length: 10_000,
+        error_pct: 5,
+    }
+    .generate(1, 11)
+    .pairs;
 
     println!("table2");
     bench("gcups_10k5_nbt", 10, || {

@@ -1,0 +1,238 @@
+//! The CI cycle-regression gate: checked-in baseline cycle counts and the
+//! drift comparison behind `report -- ci-check`.
+//!
+//! The baseline (`bench/baselines/cycles.json` at the repo root) records the
+//! deterministic Table 1 / Fig. 9 cycle metrics at [`Sizes::quick`] and the
+//! fixed seed. CI re-measures them and fails on more than
+//! [`TOLERANCE_PCT`] percent drift in either direction, so timing-model
+//! changes must be intentional: regenerate with `report -- ci-check --bless`
+//! and commit the diff.
+//!
+//! The file format is deliberately trivial (hand-rolled, no serde): a JSON
+//! object whose `"metrics"` map holds one `"name": value` pair per line.
+//! [`parse_json`] accepts exactly what [`render_json`] writes.
+
+use crate::experiments::{measure, Sizes};
+use wfasic_accel::AccelConfig;
+use wfasic_seqio::dataset::InputSetSpec;
+
+/// Allowed relative drift, in percent, before `ci-check` fails.
+pub const TOLERANCE_PCT: f64 = 2.0;
+
+/// Default baseline location: `bench/baselines/cycles.json` at the repo
+/// root (two levels up from this crate's manifest).
+pub fn default_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench/baselines/cycles.json")
+}
+
+/// One named cycle metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable name, e.g. `table1/100-5%/align_cycles`.
+    pub name: String,
+    /// Measured value (cycles, possibly a per-pair mean).
+    pub value: f64,
+}
+
+/// Measure the gated metrics. Always runs at [`Sizes::quick`] with the
+/// fixed seed — the whole point is determinism, so the workload is not
+/// configurable here.
+pub fn collect() -> Vec<Metric> {
+    let sizes = Sizes::quick();
+    let cfg = AccelConfig::wfasic_chip();
+    let mut metrics = Vec::new();
+    for spec in &InputSetSpec::ALL {
+        let set = spec.name();
+        let nbt = measure(spec, &sizes, &cfg, false, false);
+        let bt = measure(spec, &sizes, &cfg, true, false);
+        metrics.push(Metric {
+            name: format!("table1/{set}/align_cycles"),
+            value: nbt.mean_align_cycles,
+        });
+        metrics.push(Metric {
+            name: format!("table1/{set}/read_cycles"),
+            value: nbt.read_cycles as f64,
+        });
+        metrics.push(Metric {
+            name: format!("fig9/{set}/nbt_accel_cycles"),
+            value: nbt.accel_cycles as f64,
+        });
+        metrics.push(Metric {
+            name: format!("fig9/{set}/bt_total_cycles"),
+            value: bt.wfasic_total as f64,
+        });
+    }
+    metrics
+}
+
+/// Render metrics as the baseline JSON document.
+pub fn render_json(metrics: &[Metric]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"workload\": \"quick\",\n");
+    s.push_str(&format!("  \"tolerance_pct\": {TOLERANCE_PCT},\n"));
+    s.push_str("  \"metrics\": {\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        s.push_str(&format!("    \"{}\": {}{}\n", m.name, m.value, comma));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Parse a baseline document written by [`render_json`]: every
+/// `"name": value` line inside the `"metrics"` object.
+pub fn parse_json(text: &str) -> Result<Vec<Metric>, String> {
+    let (_, tail) = text
+        .split_once("\"metrics\"")
+        .ok_or_else(|| "no \"metrics\" object in baseline".to_string())?;
+    let body = tail
+        .split_once('{')
+        .map(|(_, b)| b)
+        .and_then(|b| b.split_once('}'))
+        .map(|(b, _)| b)
+        .ok_or_else(|| "malformed \"metrics\" object".to_string())?;
+    let mut metrics = Vec::new();
+    for line in body.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed metric line: {line}"))?;
+        let name = name.trim().trim_matches('"').to_string();
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad value for {name}: {e}"))?;
+        metrics.push(Metric { name, value });
+    }
+    if metrics.is_empty() {
+        return Err("baseline holds no metrics".to_string());
+    }
+    Ok(metrics)
+}
+
+/// One comparison outcome.
+#[derive(Debug, Clone)]
+pub struct Drift {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value (`None` = metric is new, not in the baseline).
+    pub baseline: Option<f64>,
+    /// Measured value (`None` = metric vanished from the measurement).
+    pub measured: Option<f64>,
+    /// Relative drift in percent (0 when either side is missing).
+    pub pct: f64,
+}
+
+impl Drift {
+    /// Does this entry fail the gate?
+    pub fn fails(&self, tolerance_pct: f64) -> bool {
+        self.baseline.is_none() || self.measured.is_none() || self.pct.abs() > tolerance_pct
+    }
+}
+
+/// Compare measured metrics against the baseline. Returns every metric's
+/// drift (callers filter with [`Drift::fails`]); missing or new metrics
+/// always fail, so renaming a metric forces a bless.
+pub fn compare(baseline: &[Metric], measured: &[Metric]) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    for b in baseline {
+        match measured.iter().find(|m| m.name == b.name) {
+            Some(m) => {
+                let pct = if b.value == 0.0 {
+                    if m.value == 0.0 {
+                        0.0
+                    } else {
+                        100.0
+                    }
+                } else {
+                    (m.value / b.value - 1.0) * 100.0
+                };
+                drifts.push(Drift {
+                    name: b.name.clone(),
+                    baseline: Some(b.value),
+                    measured: Some(m.value),
+                    pct,
+                });
+            }
+            None => drifts.push(Drift {
+                name: b.name.clone(),
+                baseline: Some(b.value),
+                measured: None,
+                pct: 0.0,
+            }),
+        }
+    }
+    for m in measured {
+        if !baseline.iter().any(|b| b.name == m.name) {
+            drifts.push(Drift {
+                name: m.name.clone(),
+                baseline: None,
+                measured: Some(m.value),
+                pct: 0.0,
+            });
+        }
+    }
+    drifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(name: &str, value: f64) -> Metric {
+        Metric {
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let metrics = vec![
+            metric("table1/100-5%/align_cycles", 214.25),
+            metric("fig9/10K-10%/bt_total_cycles", 1_234_567.0),
+        ];
+        let parsed = parse_json(&render_json(&metrics)).unwrap();
+        assert_eq!(parsed, metrics);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json("{}").is_err());
+        assert!(parse_json("{\"metrics\": {}}").is_err());
+        assert!(parse_json("{\"metrics\": {\"a\": what}}").is_err());
+    }
+
+    #[test]
+    fn small_drift_passes_large_drift_fails() {
+        let base = vec![metric("a", 100.0), metric("b", 1000.0)];
+        let meas = vec![metric("a", 101.0), metric("b", 1030.0)];
+        let drifts = compare(&base, &meas);
+        assert!(!drifts[0].fails(TOLERANCE_PCT), "1% is inside the gate");
+        assert!(drifts[1].fails(TOLERANCE_PCT), "3% is a regression");
+        // Improvements beyond the band also fail — drift is two-sided.
+        let faster = vec![metric("a", 100.0), metric("b", 900.0)];
+        let drifts = compare(&base, &faster);
+        assert!(drifts[1].fails(TOLERANCE_PCT), "-10% must be blessed too");
+    }
+
+    #[test]
+    fn missing_and_new_metrics_fail() {
+        let base = vec![metric("gone", 5.0)];
+        let meas = vec![metric("new", 7.0)];
+        let drifts = compare(&base, &meas);
+        assert_eq!(drifts.len(), 2);
+        assert!(drifts.iter().all(|d| d.fails(TOLERANCE_PCT)));
+    }
+
+    #[test]
+    fn collected_metrics_are_deterministic() {
+        let a = collect();
+        let b = collect();
+        assert_eq!(a, b, "two identical runs must measure identical cycles");
+        assert_eq!(a.len(), 24, "4 metrics per input set");
+    }
+}

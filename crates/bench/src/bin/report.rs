@@ -1,16 +1,29 @@
-//! Regenerate the paper's tables and figures.
+//! Regenerate the paper's tables and figures, and run the CI gates.
 //!
 //! ```text
-//! cargo run -p wfasic-bench --release --bin report -- [table1|fig8|fig9|fig10|fig11|table2|ablation|faults|all] [--quick] [--seed N]
+//! cargo run -p wfasic-bench --release --bin report -- \
+//!     [table1|fig8|fig9|fig10|fig11|table2|ablation|faults|perf|all] [--quick] [--seed N]
+//! cargo run -p wfasic-bench --release --bin report -- trace [set]
+//! cargo run -p wfasic-bench --release --bin report -- ci-check [--bless] [--baseline PATH]
 //! ```
+//!
+//! `trace` prints Chrome `trace_event` JSON for one input set (default
+//! `1K-10%`) — redirect to a file and load it in `chrome://tracing` or
+//! Perfetto. `ci-check` measures the baseline cycle metrics at the fixed
+//! quick workload and fails (exit 1) on more than 2% drift against
+//! `bench/baselines/cycles.json`; `--bless` regenerates the baseline
+//! instead.
 
-use wfasic_bench::experiments::Sizes;
-use wfasic_bench::report;
+use wfasic_bench::experiments::{trace_json, Sizes};
+use wfasic_bench::{baseline, report};
+use wfasic_seqio::dataset::InputSetSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut what: Vec<String> = Vec::new();
     let mut sizes = Sizes::default_report();
+    let mut bless = false;
+    let mut baseline_path = baseline::default_path();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -22,12 +35,40 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--seed needs a number");
             }
+            "--bless" => bless = true,
+            "--baseline" => {
+                i += 1;
+                baseline_path = args.get(i).expect("--baseline needs a path").into();
+            }
             other => what.push(other.to_string()),
         }
         i += 1;
     }
     if what.is_empty() {
         what.push("all".to_string());
+    }
+
+    // `trace [set]` consumes the next positional as an input-set name.
+    if what[0] == "trace" {
+        let spec = match what.get(1).map(String::as_str) {
+            None => InputSetSpec {
+                length: 1_000,
+                error_pct: 10,
+            },
+            Some(name) => InputSetSpec::ALL
+                .iter()
+                .copied()
+                .find(|s| s.name() == name)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown input set '{name}'; one of:");
+                    for s in &InputSetSpec::ALL {
+                        eprintln!("  {}", s.name());
+                    }
+                    std::process::exit(2);
+                }),
+        };
+        print!("{}", trace_json(&spec, &sizes));
+        return;
     }
 
     for w in &what {
@@ -40,6 +81,8 @@ fn main() {
             "table2" => print!("{}", report::table2_report(&sizes)),
             "ablation" => print!("{}", report::ablation_report(&sizes)),
             "faults" => print!("{}", report::faults_report(&sizes)),
+            "perf" => print!("{}", report::perf_report(&sizes)),
+            "ci-check" => ci_check(bless, &baseline_path),
             "all" => {
                 println!("{}", report::table1_report(&sizes));
                 println!("{}", report::fig9_report(&sizes));
@@ -48,14 +91,72 @@ fn main() {
                 println!("{}", report::table2_report(&sizes));
                 println!("{}", report::ablation_report(&sizes));
                 println!("{}", report::faults_report(&sizes));
+                println!("{}", report::perf_report(&sizes));
                 print!("{}", report::fig8_report());
             }
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("usage: report [table1|fig8|fig9|fig10|fig11|table2|ablation|faults|all] [--quick] [--seed N]");
+                eprintln!(
+                    "usage: report [table1|fig8|fig9|fig10|fig11|table2|ablation|faults|perf|all] [--quick] [--seed N]"
+                );
+                eprintln!("       report trace [set]");
+                eprintln!("       report ci-check [--bless] [--baseline PATH]");
                 std::process::exit(2);
             }
         }
         println!();
     }
+}
+
+/// The CI cycle-regression gate: measure, compare, exit non-zero on drift.
+fn ci_check(bless: bool, path: &std::path::Path) {
+    let measured = baseline::collect();
+    if bless {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create baseline directory");
+        }
+        std::fs::write(path, baseline::render_json(&measured)).expect("write baseline");
+        println!("blessed {} metrics into {}", measured.len(), path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {}: {e}", path.display());
+        eprintln!("generate it with: report -- ci-check --bless");
+        std::process::exit(1);
+    });
+    let base = baseline::parse_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse baseline {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let drifts = baseline::compare(&base, &measured);
+    let mut failures = 0;
+    for d in &drifts {
+        let status = if d.fails(baseline::TOLERANCE_PCT) {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.2}"));
+        println!(
+            "{status:>4}  {:<32} baseline {:>12}  measured {:>12}  drift {:+.2}%",
+            d.name,
+            fmt(d.baseline),
+            fmt(d.measured),
+            d.pct
+        );
+    }
+    if failures > 0 {
+        eprintln!(
+            "ci-check: {failures} metric(s) drifted more than {}% — \
+             if intentional, rerun with --bless and commit the baseline",
+            baseline::TOLERANCE_PCT
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ci-check: {} metrics within {}% of baseline",
+        drifts.len(),
+        baseline::TOLERANCE_PCT
+    );
 }

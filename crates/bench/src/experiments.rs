@@ -270,7 +270,10 @@ pub struct Table2Row {
 /// 390 GCUPS), so that is the set used here.
 pub fn table2(sizes: &Sizes) -> Vec<Table2Row> {
     let cfg = AccelConfig::wfasic_chip();
-    let spec = InputSetSpec { length: 10_000, error_pct: 5 };
+    let spec = InputSetSpec {
+        length: 10_000,
+        error_pct: 5,
+    };
     let area = wfasic_accel::area::area_report(&cfg);
 
     let gcups_of = |r: &ExperimentResult| -> f64 {
@@ -312,7 +315,10 @@ mod tests {
 
     #[test]
     fn scheduler_matches_device_for_one_aligner() {
-        let spec = InputSetSpec { length: 100, error_pct: 10 };
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        };
         let set = spec.generate(10, 3);
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         let job = drv.submit(&set.pairs, false, WaitMode::PollIdle).unwrap();
@@ -344,7 +350,10 @@ mod tests {
         let aligns = vec![937_630u64; 60];
         let base = schedule_multi_aligner(3_420, &aligns, 1);
         let s10 = base as f64 / schedule_multi_aligner(3_420, &aligns, 10) as f64;
-        assert!(s10 > 9.0, "10K-10%-like scaling should be near-linear, got {s10:.2}");
+        assert!(
+            s10 > 9.0,
+            "10K-10%-like scaling should be near-linear, got {s10:.2}"
+        );
     }
 
     #[test]
@@ -360,6 +369,60 @@ mod tests {
         assert_eq!(rows[0].reading_cycles, rows[1].reading_cycles);
         assert!(rows[2].reading_cycles > rows[0].reading_cycles);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Per-stage cycle attribution (the perf subsystem)
+// ---------------------------------------------------------------------------
+
+/// One per-stage breakdown row: where every cycle of an input set's job
+/// went, as attributed by the device's perf counters.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Input set label.
+    pub set: String,
+    /// Per-stage cycle attribution; sums exactly to `total`.
+    pub counters: wfasic_soc::perf::PerfCounters,
+    /// Total job cycles.
+    pub total: Cycle,
+}
+
+/// Run every input set with `PERF_CTRL` enabled (backtrace off) and return
+/// the per-stage breakdown for each.
+pub fn perf_breakdown(sizes: &Sizes) -> Vec<PerfRow> {
+    use wfasic_driver::{WaitMode, WfasicDriver};
+    let cfg = AccelConfig::wfasic_chip();
+    InputSetSpec::ALL
+        .iter()
+        .map(|spec| {
+            let set = spec.generate(sizes.pairs_for(spec), sizes.seed);
+            let mut drv = WfasicDriver::new(cfg);
+            drv.collect_perf = true;
+            let job = drv
+                .submit(&set.pairs, false, WaitMode::PollIdle)
+                .expect("fault-free job cannot fail");
+            let perf = job.perf().expect("collect_perf was set");
+            PerfRow {
+                set: spec.name(),
+                counters: perf.counters,
+                total: perf.total,
+            }
+        })
+        .collect()
+}
+
+/// Chrome `trace_event` JSON for one input set's job (backtrace off),
+/// viewable in `chrome://tracing` or Perfetto. Uses a 2-Aligner device so
+/// the per-Aligner tracks show the dispatch interleaving.
+pub fn trace_json(spec: &InputSetSpec, sizes: &Sizes) -> String {
+    use wfasic_driver::{WaitMode, WfasicDriver};
+    let set = spec.generate(sizes.pairs_for(spec), sizes.seed);
+    let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip().with_aligners(2));
+    drv.collect_perf = true;
+    let job = drv
+        .submit(&set.pairs, false, WaitMode::PollIdle)
+        .expect("fault-free job cannot fail");
+    job.chrome_trace().expect("collect_perf was set")
 }
 
 // ---------------------------------------------------------------------------
@@ -385,7 +448,10 @@ pub struct AblationRow {
 /// width, compute batch cost, parallel sections, memory-port burst latency)
 /// and measure each one's effect on the 1K-10% workload.
 pub fn ablation(sizes: &Sizes) -> Vec<AblationRow> {
-    let spec = InputSetSpec { length: 1_000, error_pct: 10 };
+    let spec = InputSetSpec {
+        length: 1_000,
+        error_pct: 10,
+    };
     let base = AccelConfig::wfasic_chip();
 
     let mut variants: Vec<(String, AccelConfig)> = vec![("baseline 1x64PS".into(), base)];
@@ -400,7 +466,10 @@ pub fn ablation(sizes: &Sizes) -> Vec<AblationRow> {
         variants.push((format!("compute batch {b} cycles"), c));
     }
     for p in [16usize, 32, 128] {
-        variants.push((format!("{p} parallel sections"), base.with_parallel_sections(p)));
+        variants.push((
+            format!("{p} parallel sections"),
+            base.with_parallel_sections(p),
+        ));
     }
     for lat in [10u64, 60] {
         let mut c = base;
@@ -464,10 +533,22 @@ pub fn fault_sweep(sizes: &Sizes) -> Vec<FaultSweepRow> {
 
     const RATES: [f64; 4] = [0.0, 0.001, 0.01, 0.05];
     let specs = [
-        InputSetSpec { length: 100, error_pct: 5 },
-        InputSetSpec { length: 100, error_pct: 10 },
-        InputSetSpec { length: 1_000, error_pct: 5 },
-        InputSetSpec { length: 1_000, error_pct: 10 },
+        InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        },
+        InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        },
+        InputSetSpec {
+            length: 1_000,
+            error_pct: 5,
+        },
+        InputSetSpec {
+            length: 1_000,
+            error_pct: 10,
+        },
     ];
 
     let mut rows = Vec::new();
@@ -491,7 +572,11 @@ pub fn fault_sweep(sizes: &Sizes) -> Vec<FaultSweepRow> {
                 set: spec.name(),
                 rate,
                 pairs: set.pairs.len(),
-                hw_ok: job.results.iter().filter(|r| r.success && !r.recovered).count(),
+                hw_ok: job
+                    .results
+                    .iter()
+                    .filter(|r| r.success && !r.recovered)
+                    .count(),
                 recovered,
                 retries: job.retries,
                 faults_injected: injected,

@@ -1,7 +1,10 @@
 //! # wfasic-bench — experiment harnesses for every table and figure
 //!
 //! * [`experiments`] — runners regenerating Table 1, Fig. 9, Fig. 10,
-//!   Fig. 11 and Table 2 from the full co-design simulation;
+//!   Fig. 11 and Table 2 from the full co-design simulation, plus the
+//!   per-stage perf breakdown and Chrome trace emission;
+//! * [`baseline`] — the CI cycle-regression gate behind
+//!   `report -- ci-check`;
 //! * [`paper`] — the paper's reported numbers for side-by-side printing;
 //! * [`report`] — the formatted reports (also used by the `report` binary);
 //! * [`fmt`] — table rendering.
@@ -11,6 +14,7 @@
 //! (run with `cargo bench`) track simulator performance per experiment on
 //! the in-repo [`timing`] harness.
 
+pub mod baseline;
 pub mod experiments;
 pub mod fmt;
 pub mod paper;

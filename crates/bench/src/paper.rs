@@ -17,12 +17,42 @@ pub struct PaperTable1Row {
 
 /// Table 1 (paper §5.3).
 pub const TABLE1: [PaperTable1Row; 6] = [
-    PaperTable1Row { set: "100-5%", alignment_cycles: 214, reading_cycles: 75, max_aligners: 4 },
-    PaperTable1Row { set: "100-10%", alignment_cycles: 327, reading_cycles: 75, max_aligners: 6 },
-    PaperTable1Row { set: "1K-5%", alignment_cycles: 2_541, reading_cycles: 376, max_aligners: 8 },
-    PaperTable1Row { set: "1K-10%", alignment_cycles: 8_461, reading_cycles: 376, max_aligners: 24 },
-    PaperTable1Row { set: "10K-5%", alignment_cycles: 278_083, reading_cycles: 3_420, max_aligners: 83 },
-    PaperTable1Row { set: "10K-10%", alignment_cycles: 937_630, reading_cycles: 3_420, max_aligners: 276 },
+    PaperTable1Row {
+        set: "100-5%",
+        alignment_cycles: 214,
+        reading_cycles: 75,
+        max_aligners: 4,
+    },
+    PaperTable1Row {
+        set: "100-10%",
+        alignment_cycles: 327,
+        reading_cycles: 75,
+        max_aligners: 6,
+    },
+    PaperTable1Row {
+        set: "1K-5%",
+        alignment_cycles: 2_541,
+        reading_cycles: 376,
+        max_aligners: 8,
+    },
+    PaperTable1Row {
+        set: "1K-10%",
+        alignment_cycles: 8_461,
+        reading_cycles: 376,
+        max_aligners: 24,
+    },
+    PaperTable1Row {
+        set: "10K-5%",
+        alignment_cycles: 278_083,
+        reading_cycles: 3_420,
+        max_aligners: 83,
+    },
+    PaperTable1Row {
+        set: "10K-10%",
+        alignment_cycles: 937_630,
+        reading_cycles: 3_420,
+        max_aligners: 276,
+    },
 ];
 
 /// Fig. 9 headline ranges: speedup over the CPU scalar code.
@@ -73,10 +103,26 @@ impl PaperTable2Row {
 
 /// Table 2's literature rows (the WFAsic rows are measured by us).
 pub const TABLE2_LITERATURE: [PaperTable2Row; 4] = [
-    PaperTable2Row { platform: "GACT-ASIC [Heuristic]", gcups: 2129.0, area_mm2: 85.6 },
-    PaperTable2Row { platform: "WFA-CPU AMD EPYC [1 thread]", gcups: 7.5, area_mm2: 1008.0 },
-    PaperTable2Row { platform: "WFA-CPU AMD EPYC [64 threads]", gcups: 98.0, area_mm2: 1008.0 },
-    PaperTable2Row { platform: "WFA-GPU [GeForce 3080]", gcups: 476.0, area_mm2: 628.0 },
+    PaperTable2Row {
+        platform: "GACT-ASIC [Heuristic]",
+        gcups: 2129.0,
+        area_mm2: 85.6,
+    },
+    PaperTable2Row {
+        platform: "WFA-CPU AMD EPYC [1 thread]",
+        gcups: 7.5,
+        area_mm2: 1008.0,
+    },
+    PaperTable2Row {
+        platform: "WFA-CPU AMD EPYC [64 threads]",
+        gcups: 98.0,
+        area_mm2: 1008.0,
+    },
+    PaperTable2Row {
+        platform: "WFA-GPU [GeForce 3080]",
+        gcups: 476.0,
+        area_mm2: 628.0,
+    },
 ];
 
 /// Paper-reported WFAsic Table 2 rows.

@@ -211,9 +211,45 @@ pub fn ablation_report(sizes: &crate::experiments::Sizes) -> String {
         .collect();
     render_table(
         "Ablation: design-knob sensitivity (1K-10%, BT off)",
-        &["knob", "align cyc", "vs base", "read cyc", "maxAlign", "area mm2"],
+        &[
+            "knob",
+            "align cyc",
+            "vs base",
+            "read cyc",
+            "maxAlign",
+            "area mm2",
+        ],
         &body,
     )
+}
+
+/// Per-stage cycle attribution: where every cycle of each input set's job
+/// went (the `mhpmcounter`-style breakdown; columns sum to the total).
+pub fn perf_report(sizes: &Sizes) -> String {
+    use wfasic_soc::perf::Stage;
+    let rows = experiments::perf_breakdown(sizes);
+    let mut header: Vec<&str> = vec!["input"];
+    header.extend(Stage::ALL.iter().map(|s| s.name()));
+    header.push("total");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.set.clone()];
+            row.extend(Stage::ALL.iter().map(|&s| r.counters.get(s).to_string()));
+            row.push(r.total.to_string());
+            row
+        })
+        .collect();
+    let mut s = render_table(
+        "Perf: per-stage cycle attribution (BT off; stages sum to total)",
+        &header,
+        &body,
+    );
+    for r in &rows {
+        assert_eq!(r.counters.total(), r.total, "attribution invariant broken");
+    }
+    s.push_str("every cycle is attributed to exactly one stage (priority on overlap)\n");
+    s
 }
 
 /// Fault-injection robustness sweep: completion/recovery rates per fault
@@ -237,12 +273,19 @@ pub fn faults_report(sizes: &Sizes) -> String {
         .collect();
     let mut s = render_table(
         "Robustness sweep: retry + CPU fallback under injected faults (BT off)",
-        &["input", "rate", "pairs", "hw ok", "recovered", "retries", "faults", "answered"],
+        &[
+            "input",
+            "rate",
+            "pairs",
+            "hw ok",
+            "recovered",
+            "retries",
+            "faults",
+            "answered",
+        ],
         &body,
     );
-    s.push_str(
-        "paper §5.1: broken-data tests caused no CPU freeze; here every pair is answered\n",
-    );
+    s.push_str("paper §5.1: broken-data tests caused no CPU freeze; here every pair is answered\n");
     s
 }
 

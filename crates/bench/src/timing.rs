@@ -1,7 +1,7 @@
 //! Minimal wall-clock timing harness for the `benches/` entry points
 //! (`harness = false`). The offline build environment has no external bench
 //! framework, so each bench is a plain `main()` reporting mean/best
-//! per-iteration times via [`bench`].
+//! per-iteration times via [`bench()`].
 
 use std::time::Instant;
 

@@ -166,7 +166,11 @@ mod tests {
         let r = align(a, b, P).unwrap();
         let cigar = r.cigar.unwrap();
         cigar.check(a, b).unwrap();
-        assert_eq!(cigar.score(&P), r.score as u64, "cigar must cost the WFA score");
+        assert_eq!(
+            cigar.score(&P),
+            r.score as u64,
+            "cigar must cost the WFA score"
+        );
         assert_eq!(r.score as u64, swg_align(a, b, &P).score);
     }
 

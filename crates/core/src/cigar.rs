@@ -282,20 +282,32 @@ pub enum CigarError {
     /// The transcript consumes more bases than a sequence has.
     Overrun { pos: usize },
     /// The transcript ends before consuming both sequences fully.
-    Underrun { consumed_a: usize, consumed_b: usize },
+    Underrun {
+        consumed_a: usize,
+        consumed_b: usize,
+    },
 }
 
 impl std::fmt::Display for CigarError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CigarError::FalseMatch { pos, i, j } => {
-                write!(f, "op {pos}: claimed match at a[{i}]/b[{j}] but bases differ")
+                write!(
+                    f,
+                    "op {pos}: claimed match at a[{i}]/b[{j}] but bases differ"
+                )
             }
             CigarError::FalseMismatch { pos, i, j } => {
-                write!(f, "op {pos}: claimed mismatch at a[{i}]/b[{j}] but bases agree")
+                write!(
+                    f,
+                    "op {pos}: claimed mismatch at a[{i}]/b[{j}] but bases agree"
+                )
             }
             CigarError::Overrun { pos } => write!(f, "op {pos}: ran past the end of a sequence"),
-            CigarError::Underrun { consumed_a, consumed_b } => write!(
+            CigarError::Underrun {
+                consumed_a,
+                consumed_b,
+            } => write!(
                 f,
                 "transcript ended early (consumed a={consumed_a}, b={consumed_b})"
             ),
@@ -317,7 +329,10 @@ mod tests {
         c.push(Op::Mismatch);
         c.push_run(Op::Match, 3);
         c.push_run(Op::Match, 0);
-        assert_eq!(c.runs(), &[(2, Op::Match), (1, Op::Mismatch), (3, Op::Match)]);
+        assert_eq!(
+            c.runs(),
+            &[(2, Op::Match), (1, Op::Mismatch), (3, Op::Match)]
+        );
         assert_eq!(c.to_rle_string(), "2M1X3M");
         assert_eq!(c.to_op_string(), "MMXMMM");
         assert_eq!(c.len(), 6);
@@ -351,10 +366,16 @@ mod tests {
         assert!(good.check(a, b).is_ok());
 
         let false_match = Cigar::from_str_ops("MMMMMMM").unwrap();
-        assert!(matches!(false_match.check(a, b), Err(CigarError::FalseMatch { pos: 2, .. })));
+        assert!(matches!(
+            false_match.check(a, b),
+            Err(CigarError::FalseMatch { pos: 2, .. })
+        ));
 
         let short = Cigar::from_str_ops("MM").unwrap();
-        assert!(matches!(short.check(a, b), Err(CigarError::Underrun { .. })));
+        assert!(matches!(
+            short.check(a, b),
+            Err(CigarError::Underrun { .. })
+        ));
 
         let over = Cigar::from_str_ops("MMXMMMMI").unwrap();
         assert!(matches!(over.check(a, b), Err(CigarError::Overrun { .. })));

@@ -82,7 +82,9 @@ pub fn gap_linear_wavefront(
         }
         let src = |fronts: &Vec<Option<Wavefront>>, back: u32| -> Option<usize> {
             let back = back as usize;
-            (s >= back).then(|| s - back).filter(|&i| fronts[i].is_some())
+            (s >= back)
+                .then(|| s - back)
+                .filter(|&i| fronts[i].is_some())
         };
         let sub = src(&fronts, x);
         let gap = src(&fronts, g);

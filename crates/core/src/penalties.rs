@@ -69,9 +69,7 @@ impl Penalties {
     /// first extension of each gap into the `(6+2)` opening term, so here
     /// `num_e` is the number of *additional* extensions beyond the first.
     pub fn fits_budget(&self, num_x: u64, num_o: u64, num_e: u64, score_budget: u64) -> bool {
-        let cost = num_x * self.x as u64
-            + num_o * (self.o + self.e) as u64
-            + num_e * self.e as u64;
+        let cost = num_x * self.x as u64 + num_o * (self.o + self.e) as u64 + num_e * self.e as u64;
         cost <= score_budget
     }
 
@@ -135,7 +133,10 @@ mod tests {
     fn validation_rejects_zero_x_and_e() {
         assert_eq!(Penalties::new(0, 6, 2), Err(PenaltyError::ZeroMismatch));
         assert_eq!(Penalties::new(4, 6, 0), Err(PenaltyError::ZeroGapExtension));
-        assert!(Penalties::new(4, 0, 2).is_ok(), "o = 0 degrades to gap-linear and is legal");
+        assert!(
+            Penalties::new(4, 0, 2).is_ok(),
+            "o = 0 degrades to gap-linear and is legal"
+        );
     }
 
     #[test]
@@ -162,6 +163,9 @@ mod tests {
         assert_eq!(Penalties::hardware_score_max(3998), 8000);
         assert_eq!(Penalties::k_max_for_score(8000), 3998);
         // Round trip for odd budgets floors to the supported k.
-        assert_eq!(Penalties::hardware_score_max(Penalties::k_max_for_score(8001)), 8000);
+        assert_eq!(
+            Penalties::hardware_score_max(Penalties::k_max_for_score(8001)),
+            8000
+        );
     }
 }

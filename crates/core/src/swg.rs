@@ -87,7 +87,11 @@ pub fn swg_align(a: &[u8], b: &[u8], p: &Penalties) -> DpAlignment {
             Mat::M => {
                 let v = mm[idx(i, j)];
                 let sub_ok = i > 0 && j > 0;
-                let sub = if sub_ok && a[i - 1] == b[j - 1] { 0 } else { p.x as u64 };
+                let sub = if sub_ok && a[i - 1] == b[j - 1] {
+                    0
+                } else {
+                    p.x as u64
+                };
                 if sub_ok && mm[idx(i - 1, j - 1)] + sub == v {
                     cigar.push(if sub == 0 { Op::Match } else { Op::Mismatch });
                     i -= 1;

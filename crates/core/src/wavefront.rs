@@ -67,7 +67,12 @@ impl Wavefront {
     /// Set the offset at diagonal `k` (must be within range).
     #[inline]
     pub fn set(&mut self, k: i32, off: i32) {
-        debug_assert!(k >= self.lo && k <= self.hi, "k={k} out of [{}, {}]", self.lo, self.hi);
+        debug_assert!(
+            k >= self.lo && k <= self.hi,
+            "k={k} out of [{}, {}]",
+            self.lo,
+            self.hi
+        );
         self.offsets[(k - self.lo) as usize] = off;
     }
 

@@ -125,7 +125,10 @@ impl std::fmt::Display for WfaError {
                 write!(f, "alignment score exceeds the configured limit {limit}")
             }
             WfaError::BandExceeded { band, needed } => {
-                write!(f, "end diagonal {needed} outside the configured band ±{band}")
+                write!(
+                    f,
+                    "end diagonal {needed} outside the configured band ±{band}"
+                )
             }
             WfaError::BadPenalties(e) => write!(f, "invalid penalties: {e}"),
         }

@@ -33,6 +33,7 @@ use wfasic_seqio::memimage::InputImage;
 use wfasic_soc::bus::AxiLite;
 use wfasic_soc::clock::Cycle;
 use wfasic_soc::mem::MainMemory;
+use wfasic_soc::perf::{JobPerf, PerfCounters};
 
 /// Default memory layout for jobs: input image at 1 MiB, results at 16 MiB
 /// (the backing store grows on demand; a modest output base keeps the
@@ -79,6 +80,24 @@ impl JobResult {
     pub fn recovered_count(&self) -> usize {
         self.results.iter().filter(|r| r.recovered).count()
     }
+
+    /// Per-stage cycle attribution for the last attempt, when the driver was
+    /// configured with [`WfasicDriver::collect_perf`]. The counters sum
+    /// exactly to `report.total_cycles`.
+    pub fn perf_breakdown(&self) -> Option<&PerfCounters> {
+        self.report.perf.as_ref().map(|p| &p.counters)
+    }
+
+    /// The full per-stage trace for the last attempt (spans + counters).
+    pub fn perf(&self) -> Option<&JobPerf> {
+        self.report.perf.as_ref()
+    }
+
+    /// Chrome `trace_event` JSON for the last attempt, viewable in
+    /// `chrome://tracing` or Perfetto (1 simulated cycle = 1 µs).
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.report.perf.as_ref().map(|p| p.chrome_trace_json())
+    }
 }
 
 /// Wait strategy after starting a job.
@@ -117,11 +136,17 @@ impl std::fmt::Display for DriverError {
         match self {
             DriverError::Device(e) => write!(f, "device error: {e}"),
             DriverError::Timeout { waited, watchdog } => {
-                write!(f, "watchdog timeout: job ran {waited} cycles (bound {watchdog})")
+                write!(
+                    f,
+                    "watchdog timeout: job ran {waited} cycles (bound {watchdog})"
+                )
             }
             DriverError::Stream(e) => write!(f, "result stream unparseable: {e:?}"),
             DriverError::BatchTooLarge { bytes } => {
-                write!(f, "input image ({bytes} bytes) would overlap the result region")
+                write!(
+                    f,
+                    "input image ({bytes} bytes) would overlap the result region"
+                )
             }
         }
     }
@@ -154,6 +179,10 @@ pub struct WfasicDriver {
     pub cpu_fallback: bool,
     /// Output-buffer size programmed into `OUT_SIZE` (0 = unbounded).
     pub out_size: u64,
+    /// Program `PERF_CTRL` so every job collects per-stage cycle
+    /// attribution, readable via [`JobResult::perf_breakdown`]. Attribution
+    /// is observational: it never changes cycle results.
+    pub collect_perf: bool,
     schedule: WavefrontSchedule,
 }
 
@@ -171,6 +200,7 @@ impl WfasicDriver {
             max_retries: 1,
             cpu_fallback: false,
             out_size: 0,
+            collect_perf: false,
             schedule,
         }
     }
@@ -199,12 +229,17 @@ impl WfasicDriver {
         // step 1), padding every sequence to MAX_READ_LEN with dummy bases.
         let img = InputImage::encode_raw(pairs, max_read_len);
         if IN_ADDR + img.bytes.len() as u64 > OUT_ADDR {
-            return Err(DriverError::BatchTooLarge { bytes: img.bytes.len() });
+            return Err(DriverError::BatchTooLarge {
+                bytes: img.bytes.len(),
+            });
         }
 
         let separated = self.force_separation || self.device.cfg.num_aligners > 1;
         let mut config_cycles: Cycle = 0;
-        let mut last_err = DriverError::Timeout { waited: 0, watchdog: self.watchdog_cycles };
+        let mut last_err = DriverError::Timeout {
+            waited: 0,
+            watchdog: self.watchdog_cycles,
+        };
         let mut last_report: Option<RunReport> = None;
 
         for attempt in 0..=self.max_retries {
@@ -225,6 +260,11 @@ impl WfasicDriver {
             w(&mut self.device, offsets::OUT_SIZE, self.out_size);
             w(
                 &mut self.device,
+                offsets::PERF_CTRL,
+                self.collect_perf as u64,
+            );
+            w(
+                &mut self.device,
                 offsets::IRQ_ENABLE,
                 matches!(wait, WaitMode::Interrupt) as u64,
             );
@@ -235,20 +275,28 @@ impl WfasicDriver {
 
             // Completion: take the interrupt, falling back to polling Idle
             // if the interrupt was lost (e.g. a corrupted IRQ_ENABLE write).
-            let irq_seen = matches!(wait, WaitMode::Interrupt)
-                && self.device.mmio_read(offsets::IRQ_PENDING) != 0;
             debug_assert_eq!(self.device.mmio_read(offsets::IDLE), 1);
 
-            // Acknowledge the interrupt (write-1-to-clear) once the status
-            // registers have been collected.
+            // Acknowledge any pending interrupt (write-1-to-clear) once the
+            // status registers have been collected. Always check, even when
+            // polling: a corrupted IRQ_ENABLE write can raise an interrupt
+            // the driver never asked for. The ack value itself travels over
+            // MMIO too and can arrive corrupted (a flipped bit 0 drops the
+            // clear), so verify the pending bit dropped and re-arm if not.
             let error = report.error;
             let waited = report.total_cycles;
-            if irq_seen {
+            for _ in 0..4 {
+                if self.device.mmio_read(offsets::IRQ_PENDING) == 0 {
+                    break;
+                }
                 self.device.mmio_write(offsets::IRQ_PENDING, 1);
             }
 
             if waited > self.watchdog_cycles {
-                last_err = DriverError::Timeout { waited, watchdog: self.watchdog_cycles };
+                last_err = DriverError::Timeout {
+                    waited,
+                    watchdog: self.watchdog_cycles,
+                };
                 last_report = Some(report);
                 continue;
             }
@@ -424,7 +472,12 @@ mod tests {
 
     #[test]
     fn nbt_job_results_match_software() {
-        let pairs = InputSetSpec { length: 100, error_pct: 10 }.generate(5, 42).pairs;
+        let pairs = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        }
+        .generate(5, 42)
+        .pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         let job = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap();
         assert_eq!(job.results.len(), 5);
@@ -443,7 +496,12 @@ mod tests {
 
     #[test]
     fn bt_job_produces_valid_cigars() {
-        let pairs = InputSetSpec { length: 100, error_pct: 10 }.generate(4, 7).pairs;
+        let pairs = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        }
+        .generate(4, 7)
+        .pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
         assert!(job.cpu_backtrace_cycles > 0);
@@ -458,7 +516,12 @@ mod tests {
 
     #[test]
     fn multi_aligner_bt_separates_and_still_works() {
-        let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(6, 3).pairs;
+        let pairs = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        }
+        .generate(6, 3)
+        .pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip().with_aligners(3));
         let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
         assert!(job.separated);
@@ -470,7 +533,12 @@ mod tests {
 
     #[test]
     fn forced_separation_single_aligner() {
-        let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(2, 5).pairs;
+        let pairs = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        }
+        .generate(2, 5)
+        .pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         drv.force_separation = true;
         let sep_job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
@@ -491,16 +559,30 @@ mod tests {
 
     #[test]
     fn interrupt_wait_mode() {
-        let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(1, 1).pairs;
+        let pairs = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        }
+        .generate(1, 1)
+        .pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         let job = drv.submit(&pairs, false, WaitMode::Interrupt).unwrap();
         assert!(job.report.interrupt_raised);
-        assert_eq!(drv.device.mmio_read(offsets::IRQ_PENDING), 0, "driver cleared the irq");
+        assert_eq!(
+            drv.device.mmio_read(offsets::IRQ_PENDING),
+            0,
+            "driver cleared the irq"
+        );
     }
 
     #[test]
     fn unsupported_pair_flows_through_with_success_false() {
-        let mut pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(3, 8).pairs;
+        let mut pairs = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        }
+        .generate(3, 8)
+        .pairs;
         pairs[1].b[5] = b'N';
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
@@ -512,7 +594,12 @@ mod tests {
 
     #[test]
     fn cpu_fallback_recovers_unsupported_pairs() {
-        let mut pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(3, 8).pairs;
+        let mut pairs = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        }
+        .generate(3, 8)
+        .pairs;
         pairs[1].b[5] = b'N';
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         drv.cpu_fallback = true;
@@ -533,11 +620,19 @@ mod tests {
 
     #[test]
     fn watchdog_timeout_surfaces_after_retries() {
-        let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(2, 9).pairs;
+        let pairs = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        }
+        .generate(2, 9)
+        .pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         drv.watchdog_cycles = 1; // everything times out
         let err = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap_err();
-        assert!(matches!(err, DriverError::Timeout { watchdog: 1, .. }), "{err}");
+        assert!(
+            matches!(err, DriverError::Timeout { watchdog: 1, .. }),
+            "{err}"
+        );
         // Device is still usable afterwards.
         drv.watchdog_cycles = 1 << 40;
         assert!(drv.submit(&pairs, false, WaitMode::PollIdle).is_ok());
@@ -545,7 +640,12 @@ mod tests {
 
     #[test]
     fn watchdog_timeout_with_fallback_still_answers() {
-        let pairs = InputSetSpec { length: 100, error_pct: 5 }.generate(2, 9).pairs;
+        let pairs = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        }
+        .generate(2, 9)
+        .pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         drv.watchdog_cycles = 1;
         drv.cpu_fallback = true;
@@ -563,7 +663,12 @@ mod tests {
 
     #[test]
     fn device_error_surfaces_as_driver_error() {
-        let pairs = InputSetSpec { length: 400, error_pct: 10 }.generate(4, 11).pairs;
+        let pairs = InputSetSpec {
+            length: 400,
+            error_pct: 10,
+        }
+        .generate(4, 11)
+        .pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         drv.out_size = 32; // too small for a BT stream -> OUT_OVERRUN
         let err = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap_err();
@@ -578,7 +683,12 @@ mod tests {
         // The headline robustness property: under aggressive injected
         // faults, retry + CPU fallback still answers every pair with the
         // exact software score, and the device ends Idle.
-        let pairs = InputSetSpec { length: 100, error_pct: 10 }.generate(6, 21).pairs;
+        let pairs = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        }
+        .generate(6, 21)
+        .pairs;
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         drv.cpu_fallback = true;
         drv.device.set_fault_plan(FaultPlan {
@@ -606,13 +716,44 @@ mod tests {
             assert_eq!(drv.device.mmio_read(offsets::IDLE), 1);
             assert_eq!(drv.device.mmio_read(offsets::IRQ_PENDING), 0);
         }
-        assert!(drv.device.fault_counters().total() > 0, "faults were injected");
+        assert!(
+            drv.device.fault_counters().total() > 0,
+            "faults were injected"
+        );
+    }
+
+    #[test]
+    fn perf_breakdown_flows_through_the_driver() {
+        let pairs = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        }
+        .generate(4, 13)
+        .pairs;
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        drv.collect_perf = true;
+        let job = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap();
+        let counters = job.perf_breakdown().expect("collect_perf was set");
+        assert_eq!(counters.total(), job.report.total_cycles);
+        let trace = job.chrome_trace().unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("aligner-0"));
+
+        // Same job without perf: identical cycles, no breakdown.
+        let mut plain = WfasicDriver::new(AccelConfig::wfasic_chip());
+        let job2 = plain.submit(&pairs, false, WaitMode::PollIdle).unwrap();
+        assert!(job2.perf_breakdown().is_none());
+        assert_eq!(job2.report.total_cycles, job.report.total_cycles);
     }
 
     #[test]
     fn oversized_batch_is_refused_not_asserted() {
         let pairs: Vec<Pair> = (0..16)
-            .map(|i| Pair { id: i, a: vec![b'A'; 600_000], b: vec![b'C'; 600_000] })
+            .map(|i| Pair {
+                id: i,
+                a: vec![b'A'; 600_000],
+                b: vec![b'C'; 600_000],
+            })
             .collect();
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         let err = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap_err();

@@ -20,7 +20,9 @@
 use wfa_core::cigar::{Cigar, Op};
 use wfa_core::Penalties;
 use wfasic_accel::schedule::WavefrontSchedule;
-use wfasic_seqio::memimage::{unpack_bt_cell, BtScoreRecord, BtTxn, MOrigin, BT_PAYLOAD_BYTES, SECTION};
+use wfasic_seqio::memimage::{
+    unpack_bt_cell, BtScoreRecord, BtTxn, MOrigin, BT_PAYLOAD_BYTES, SECTION,
+};
 
 /// One alignment's reassembled backtrace data.
 #[derive(Debug, Clone)]
@@ -54,12 +56,17 @@ pub enum BtError {
 impl std::fmt::Display for BtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BtError::TruncatedStream => write!(f, "backtrace stream ended without a Last transaction"),
+            BtError::TruncatedStream => {
+                write!(f, "backtrace stream ended without a Last transaction")
+            }
             BtError::BadCounters { id } => {
                 write!(f, "non-contiguous transaction counters for alignment {id}")
             }
             BtError::WalkOutOfSchedule { score, k } => {
-                write!(f, "origin walk left the schedule at score {score}, diagonal {k}")
+                write!(
+                    f,
+                    "origin walk left the schedule at score {score}, diagonal {k}"
+                )
             }
             BtError::BadOrigin { score, k } => {
                 write!(f, "inconsistent origin code at score {score}, diagonal {k}")
@@ -188,10 +195,7 @@ pub fn walk_origins(
     let e = p.e as i64;
 
     while s > 0 {
-        let bad = BtError::BadOrigin {
-            score: s as u32,
-            k,
-        };
+        let bad = BtError::BadOrigin { score: s as u32, k };
         match comp {
             Comp::M => {
                 let o = origin_at(s as u32, k)?;
@@ -509,8 +513,15 @@ mod tests {
         )
         .unwrap();
         c1.check(b"GATTACAGATTACA", b"GATCACAGATAACA").unwrap();
-        let c2 = backtrace_alignment(&schedule, by_id[&2], b"CCCCAAAATTTT", b"CCCCTTTT", &cfg.penalties, 64)
-            .unwrap();
+        let c2 = backtrace_alignment(
+            &schedule,
+            by_id[&2],
+            b"CCCCAAAATTTT",
+            b"CCCCTTTT",
+            &cfg.penalties,
+            64,
+        )
+        .unwrap();
         c2.check(b"CCCCAAAATTTT", b"CCCCTTTT").unwrap();
     }
 }

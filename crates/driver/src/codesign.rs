@@ -11,7 +11,7 @@
 //! * per-pair alignment/reading cycles (Table 1's columns) and Eq. 7's
 //!   `MaxAligners`.
 
-use crate::api::{WfasicDriver, WaitMode};
+use crate::api::{WaitMode, WfasicDriver};
 use crate::cpu_model::{software_backtrace_cycles, CpuCosts};
 use wfa_core::wfa::{wfa_align, WfaOptions};
 use wfasic_accel::AccelConfig;
@@ -160,7 +160,12 @@ mod tests {
     use wfasic_seqio::dataset::InputSetSpec;
 
     fn pairs(len: usize, pct: u32, n: usize, seed: u64) -> Vec<Pair> {
-        InputSetSpec { length: len, error_pct: pct }.generate(n, seed).pairs
+        InputSetSpec {
+            length: len,
+            error_pct: pct,
+        }
+        .generate(n, seed)
+        .pairs
     }
 
     #[test]
@@ -198,8 +203,18 @@ mod tests {
 
     #[test]
     fn eq7_max_aligners_grows_with_length_and_error() {
-        let short = run_experiment(&AccelConfig::wfasic_chip(), &pairs(100, 5, 4, 4), false, false);
-        let long = run_experiment(&AccelConfig::wfasic_chip(), &pairs(1000, 10, 4, 4), false, false);
+        let short = run_experiment(
+            &AccelConfig::wfasic_chip(),
+            &pairs(100, 5, 4, 4),
+            false,
+            false,
+        );
+        let long = run_experiment(
+            &AccelConfig::wfasic_chip(),
+            &pairs(1000, 10, 4, 4),
+            false,
+            false,
+        );
         assert!(
             long.max_efficient_aligners() > short.max_efficient_aligners(),
             "long {} vs short {}",

@@ -157,8 +157,10 @@ impl BacktraceCosts {
 pub fn software_backtrace_cycles(stats: &WfaStats, edits: u64, seq_bases: u64) -> Cycle {
     // Full-history memory is roughly steps/lookback times the score-only
     // peak; each walk step touches a previous wavefront.
-    let full_history_bytes =
-        stats.peak_memory_bytes.saturating_mul(stats.score_steps.max(1)) / 9;
+    let full_history_bytes = stats
+        .peak_memory_bytes
+        .saturating_mul(stats.score_steps.max(1))
+        / 9;
     let per_step: f64 = if full_history_bytes > (512 << 10) {
         140.0 // DRAM-latency bound
     } else if full_history_bytes > (32 << 10) {
@@ -214,7 +216,10 @@ mod tests {
         let sv = scalar.align_cycles(&long);
         let vv = vector.align_cycles(&long);
         let speedup = sv as f64 / vv as f64;
-        assert!(speedup > 2.0 && speedup < 8.0, "vector speedup {speedup:.2}");
+        assert!(
+            speedup > 2.0 && speedup < 8.0,
+            "vector speedup {speedup:.2}"
+        );
 
         // On tiny reads the setup dominates and vectorization barely helps.
         let short = stats(400, 500, 12, 2_000);
@@ -248,7 +253,8 @@ mod tests {
     #[test]
     fn software_backtrace_scales_with_history() {
         let small = software_backtrace_cycles(&stats(400, 0, 12, 2_000), 5, 200);
-        let large = software_backtrace_cycles(&stats(1_000_000, 0, 3_000, 600 << 10), 6_000, 20_000);
+        let large =
+            software_backtrace_cycles(&stats(1_000_000, 0, 3_000, 600 << 10), 6_000, 20_000);
         assert!(large > small * 50);
     }
 }

@@ -112,15 +112,27 @@ fn parse_imm(s: &str) -> Option<i64> {
 enum Pending {
     Ready(Instr),
     /// jal rd, label
-    Jal { rd: Reg, label: String, line: usize },
+    Jal {
+        rd: Reg,
+        label: String,
+        line: usize,
+    },
     /// branch with a label target (operands possibly pre-swapped).
-    Branch { op: BranchOp, rs1: Reg, rs2: Reg, label: String, line: usize },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+        line: usize,
+    },
 }
 
 /// Split "off(reg)" into (offset, reg).
 fn parse_mem_operand(s: &str, line: usize) -> Result<(i64, Reg), AsmError> {
     let s = s.trim();
-    let open = s.find('(').ok_or_else(|| err(line, format!("expected off(reg), got '{s}'")))?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected off(reg), got '{s}'")))?;
     if !s.ends_with(')') {
         return Err(err(line, format!("unterminated memory operand '{s}'")));
     }
@@ -154,7 +166,11 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
         // Labels (possibly several, possibly followed by an instruction).
         while let Some(colon) = src.find(':') {
             let name = src[..colon].trim();
-            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
                 return Err(err(line, format!("bad label '{name}'")));
             }
             if labels
@@ -179,14 +195,20 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
             rest.split(',').map(str::trim).collect()
         };
         let reg = |i: usize| -> Result<Reg, AsmError> {
-            ops.get(i)
-                .and_then(|s| parse_reg(s))
-                .ok_or_else(|| err(line, format!("operand {i} of '{mnemonic}' must be a register")))
+            ops.get(i).and_then(|s| parse_reg(s)).ok_or_else(|| {
+                err(
+                    line,
+                    format!("operand {i} of '{mnemonic}' must be a register"),
+                )
+            })
         };
         let imm = |i: usize| -> Result<i64, AsmError> {
-            ops.get(i)
-                .and_then(|s| parse_imm(s))
-                .ok_or_else(|| err(line, format!("operand {i} of '{mnemonic}' must be an immediate")))
+            ops.get(i).and_then(|s| parse_imm(s)).ok_or_else(|| {
+                err(
+                    line,
+                    format!("operand {i} of '{mnemonic}' must be an immediate"),
+                )
+            })
         };
         let label_op = |i: usize| -> Result<String, AsmError> {
             ops.get(i)
@@ -197,7 +219,10 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
             if ops.len() == n {
                 Ok(())
             } else {
-                Err(err(line, format!("'{mnemonic}' takes {n} operands, got {}", ops.len())))
+                Err(err(
+                    line,
+                    format!("'{mnemonic}' takes {n} operands, got {}", ops.len()),
+                ))
             }
         };
 
@@ -248,7 +273,12 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
             }
             let rd = parse_reg(ops[0]).ok_or_else(|| err(line, "bad rd"))?;
             let (offset, rs1) = parse_mem_operand(ops[1], line)?;
-            Ok(Instr::Load { op, rd, rs1, offset })
+            Ok(Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            })
         };
         let store = |op: StoreOp, ops: &[&str]| -> Result<Instr, AsmError> {
             if ops.len() != 2 {
@@ -256,9 +286,18 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
             }
             let rs2 = parse_reg(ops[0]).ok_or_else(|| err(line, "bad rs2"))?;
             let (offset, rs1) = parse_mem_operand(ops[1], line)?;
-            Ok(Instr::Store { op, rs2, rs1, offset })
+            Ok(Instr::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            })
         };
-        let branch = |op: BranchOp, swap: bool, ops: &[&str], pending: &mut Vec<Pending>| -> Result<(), AsmError> {
+        let branch = |op: BranchOp,
+                      swap: bool,
+                      ops: &[&str],
+                      pending: &mut Vec<Pending>|
+         -> Result<(), AsmError> {
             if ops.len() != 3 {
                 return Err(err(line, format!("'{mnemonic}' takes 3 operands")));
             }
@@ -276,7 +315,11 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
             });
             Ok(())
         };
-        let branch_zero = |op: BranchOp, swap: bool, ops: &[&str], pending: &mut Vec<Pending>| -> Result<(), AsmError> {
+        let branch_zero = |op: BranchOp,
+                           swap: bool,
+                           ops: &[&str],
+                           pending: &mut Vec<Pending>|
+         -> Result<(), AsmError> {
             if ops.len() != 2 {
                 return Err(err(line, format!("'{mnemonic}' takes 2 operands")));
             }
@@ -296,44 +339,82 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
             // --- U/J/I jumps ---
             "lui" => {
                 nops(2)?;
-                push!(Instr::Lui { rd: reg(0)?, imm: imm(1)? << 12 });
+                push!(Instr::Lui {
+                    rd: reg(0)?,
+                    imm: imm(1)? << 12
+                });
             }
             "auipc" => {
                 nops(2)?;
-                push!(Instr::Auipc { rd: reg(0)?, imm: imm(1)? << 12 });
+                push!(Instr::Auipc {
+                    rd: reg(0)?,
+                    imm: imm(1)? << 12
+                });
             }
             "jal" => {
                 if ops.len() == 1 {
-                    pending.push(Pending::Jal { rd: 1, label: label_op(0)?, line });
+                    pending.push(Pending::Jal {
+                        rd: 1,
+                        label: label_op(0)?,
+                        line,
+                    });
                 } else {
                     nops(2)?;
-                    pending.push(Pending::Jal { rd: reg(0)?, label: label_op(1)?, line });
+                    pending.push(Pending::Jal {
+                        rd: reg(0)?,
+                        label: label_op(1)?,
+                        line,
+                    });
                 }
             }
             "jalr" => {
                 if ops.len() == 1 {
-                    push!(Instr::Jalr { rd: 1, rs1: reg(0)?, offset: 0 });
+                    push!(Instr::Jalr {
+                        rd: 1,
+                        rs1: reg(0)?,
+                        offset: 0
+                    });
                 } else {
                     nops(2)?;
                     let (offset, rs1) = parse_mem_operand(ops[1], line)?;
-                    push!(Instr::Jalr { rd: reg(0)?, rs1, offset });
+                    push!(Instr::Jalr {
+                        rd: reg(0)?,
+                        rs1,
+                        offset
+                    });
                 }
             }
             "j" => {
                 nops(1)?;
-                pending.push(Pending::Jal { rd: 0, label: label_op(0)?, line });
+                pending.push(Pending::Jal {
+                    rd: 0,
+                    label: label_op(0)?,
+                    line,
+                });
             }
             "call" => {
                 nops(1)?;
-                pending.push(Pending::Jal { rd: 1, label: label_op(0)?, line });
+                pending.push(Pending::Jal {
+                    rd: 1,
+                    label: label_op(0)?,
+                    line,
+                });
             }
             "jr" => {
                 nops(1)?;
-                push!(Instr::Jalr { rd: 0, rs1: reg(0)?, offset: 0 });
+                push!(Instr::Jalr {
+                    rd: 0,
+                    rs1: reg(0)?,
+                    offset: 0
+                });
             }
             "ret" => {
                 nops(0)?;
-                push!(Instr::Jalr { rd: 0, rs1: 1, offset: 0 });
+                push!(Instr::Jalr {
+                    rd: 0,
+                    rs1: 1,
+                    offset: 0
+                });
             }
 
             // --- branches ---
@@ -417,41 +498,92 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
             // --- pseudo ---
             "nop" => {
                 nops(0)?;
-                push!(Instr::OpImm { op: AluOp::Add, rd: 0, rs1: 0, imm: 0, word: false });
+                push!(Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: 0,
+                    rs1: 0,
+                    imm: 0,
+                    word: false
+                });
             }
             "mv" => {
                 nops(2)?;
-                push!(Instr::OpImm { op: AluOp::Add, rd: reg(0)?, rs1: reg(1)?, imm: 0, word: false });
+                push!(Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    imm: 0,
+                    word: false
+                });
             }
             "not" => {
                 nops(2)?;
-                push!(Instr::OpImm { op: AluOp::Xor, rd: reg(0)?, rs1: reg(1)?, imm: -1, word: false });
+                push!(Instr::OpImm {
+                    op: AluOp::Xor,
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    imm: -1,
+                    word: false
+                });
             }
             "neg" => {
                 nops(2)?;
-                push!(Instr::Op { op: AluOp::Sub, rd: reg(0)?, rs1: 0, rs2: reg(1)?, word: false });
+                push!(Instr::Op {
+                    op: AluOp::Sub,
+                    rd: reg(0)?,
+                    rs1: 0,
+                    rs2: reg(1)?,
+                    word: false
+                });
             }
             "seqz" => {
                 nops(2)?;
-                push!(Instr::OpImm { op: AluOp::Sltu, rd: reg(0)?, rs1: reg(1)?, imm: 1, word: false });
+                push!(Instr::OpImm {
+                    op: AluOp::Sltu,
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    imm: 1,
+                    word: false
+                });
             }
             "snez" => {
                 nops(2)?;
-                push!(Instr::Op { op: AluOp::Sltu, rd: reg(0)?, rs1: 0, rs2: reg(1)?, word: false });
+                push!(Instr::Op {
+                    op: AluOp::Sltu,
+                    rd: reg(0)?,
+                    rs1: 0,
+                    rs2: reg(1)?,
+                    word: false
+                });
             }
             "li" => {
                 nops(2)?;
                 let rd = reg(0)?;
                 let v = imm(1)?;
                 if (-2048..=2047).contains(&v) {
-                    push!(Instr::OpImm { op: AluOp::Add, rd, rs1: 0, imm: v, word: false });
+                    push!(Instr::OpImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: 0,
+                        imm: v,
+                        word: false
+                    });
                 } else if (-(1 << 31)..(1 << 31)).contains(&v) {
                     // lui + addiw with carry correction.
                     let lo = (v << 52) >> 52; // sign-extended low 12
                     let hi = v - lo;
-                    push!(Instr::Lui { rd, imm: ((hi as u32) as i32) as i64 });
+                    push!(Instr::Lui {
+                        rd,
+                        imm: ((hi as u32) as i32) as i64
+                    });
                     if lo != 0 {
-                        push!(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: lo, word: true });
+                        push!(Instr::OpImm {
+                            op: AluOp::Add,
+                            rd,
+                            rs1: rd,
+                            imm: lo,
+                            word: true
+                        });
                     }
                 } else {
                     return Err(err(line, format!("li immediate {v} beyond 32-bit support")));
@@ -479,7 +611,11 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
                     "e64" => 64,
                     other => return Err(err(line, format!("bad SEW '{other}'"))),
                 };
-                push!(Instr::Vector(VInstr::Vsetvli { rd: reg(0)?, rs1: reg(1)?, sew }));
+                push!(Instr::Vector(VInstr::Vsetvli {
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    sew
+                }));
             }
             "vle8.v" | "vle32.v" | "vse8.v" | "vse32.v" => {
                 nops(2)?;
@@ -515,7 +651,11 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
                 if !(-16..=15).contains(&v) {
                     return Err(err(line, "vadd.vi immediate must fit 5 bits"));
                 }
-                push!(Instr::Vector(VInstr::VaddVI { vd, vs2, imm: v as i8 }));
+                push!(Instr::Vector(VInstr::VaddVI {
+                    vd,
+                    vs2,
+                    imm: v as i8
+                }));
             }
             "vadd.vx" | "vmslt.vx" | "vmsgt.vx" => {
                 nops(3)?;
@@ -573,7 +713,13 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
                 rd: *rd,
                 offset: resolve(label, *line)?,
             },
-            Pending::Branch { op, rs1, rs2, label, line } => Instr::Branch {
+            Pending::Branch {
+                op,
+                rs1,
+                rs2,
+                label,
+                line,
+            } => Instr::Branch {
                 op: *op,
                 rs1: *rs1,
                 rs2: *rs2,
@@ -603,24 +749,27 @@ mod tests {
 
     #[test]
     fn basic_program() {
-        let p = assemble(
-            "start:\n  addi a0, zero, 5\n  addi a1, zero, 7\n  add a0, a0, a1\n  ecall\n",
-        )
-        .unwrap();
+        let p =
+            assemble("start:\n  addi a0, zero, 5\n  addi a1, zero, 7\n  add a0, a0, a1\n  ecall\n")
+                .unwrap();
         assert_eq!(p.instrs.len(), 4);
         assert_eq!(p.labels["start"], 0);
         assert_eq!(
             p.instrs[2],
-            Instr::Op { op: crate::isa::AluOp::Add, rd: 10, rs1: 10, rs2: 11, word: false }
+            Instr::Op {
+                op: crate::isa::AluOp::Add,
+                rd: 10,
+                rs1: 10,
+                rs2: 11,
+                word: false
+            }
         );
     }
 
     #[test]
     fn labels_and_branches() {
-        let p = assemble(
-            "  li t0, 3\nloop:\n  addi t0, t0, -1\n  bnez t0, loop\n  ecall\n",
-        )
-        .unwrap();
+        let p =
+            assemble("  li t0, 3\nloop:\n  addi t0, t0, -1\n  bnez t0, loop\n  ecall\n").unwrap();
         // bnez at index 2 -> loop at index 1: offset -4.
         match p.instrs[2] {
             Instr::Branch { offset, .. } => assert_eq!(offset, -4),
@@ -648,11 +797,21 @@ mod tests {
         let p = assemble("  lw a0, -8(sp)\n  sd a1, 16(s0)\n  lbu t0, (a2)\n").unwrap();
         assert_eq!(
             p.instrs[0],
-            Instr::Load { op: crate::isa::LoadOp::W, rd: 10, rs1: 2, offset: -8 }
+            Instr::Load {
+                op: crate::isa::LoadOp::W,
+                rd: 10,
+                rs1: 2,
+                offset: -8
+            }
         );
         assert_eq!(
             p.instrs[2],
-            Instr::Load { op: crate::isa::LoadOp::Bu, rd: 5, rs1: 12, offset: 0 }
+            Instr::Load {
+                op: crate::isa::LoadOp::Bu,
+                rd: 5,
+                rs1: 12,
+                offset: 0
+            }
         );
     }
 
@@ -666,13 +825,23 @@ mod tests {
     fn swapped_branch_pseudos() {
         let p = assemble("top:\n  bgt a0, a1, top\n  ble a2, a3, top\n").unwrap();
         match p.instrs[0] {
-            Instr::Branch { op: crate::isa::BranchOp::Lt, rs1, rs2, .. } => {
+            Instr::Branch {
+                op: crate::isa::BranchOp::Lt,
+                rs1,
+                rs2,
+                ..
+            } => {
                 assert_eq!((rs1, rs2), (11, 10), "bgt swaps operands");
             }
             ref other => panic!("{other:?}"),
         }
         match p.instrs[1] {
-            Instr::Branch { op: crate::isa::BranchOp::Ge, rs1, rs2, .. } => {
+            Instr::Branch {
+                op: crate::isa::BranchOp::Ge,
+                rs1,
+                rs2,
+                ..
+            } => {
                 assert_eq!((rs1, rs2), (13, 12));
             }
             ref other => panic!("{other:?}"),

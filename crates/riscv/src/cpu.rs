@@ -172,7 +172,12 @@ impl Machine {
                 self.stats.cycles += self.redirect_penalty;
                 self.stats.redirects += 1;
             }
-            Branch { op, rs1, rs2, offset } => {
+            Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
                 let taken = match op {
                     BranchOp::Eq => a == b,
@@ -188,7 +193,12 @@ impl Machine {
                     self.stats.redirects += 1;
                 }
             }
-            Load { op, rd, rs1, offset } => {
+            Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u64);
                 self.stats.mem_ops += 1;
                 // Data-side latency beyond the 1-cycle base; L1 hits cost 1
@@ -205,7 +215,12 @@ impl Machine {
                 };
                 self.set_reg(rd, v);
             }
-            Store { op, rs2, rs1, offset } => {
+            Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u64);
                 self.stats.mem_ops += 1;
                 self.stats.cycles += self.data.access(addr).saturating_sub(2);
@@ -217,15 +232,33 @@ impl Machine {
                     StoreOp::D => self.store(addr, 8, v)?,
                 }
             }
-            OpImm { op, rd, rs1, imm, word } => {
+            OpImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                word,
+            } => {
                 let v = alu(op, self.reg(rs1), imm as u64, word);
                 self.set_reg(rd, v);
             }
-            Op { op, rd, rs1, rs2, word } => {
+            Op {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let v = alu(op, self.reg(rs1), self.reg(rs2), word);
                 self.set_reg(rd, v);
             }
-            MulDiv { op, rd, rs1, rs2, word } => {
+            MulDiv {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
                 self.stats.cycles += match op {
                     MulOp::Mul | MulOp::Mulh | MulOp::Mulhsu | MulOp::Mulhu => self.mul_penalty,
@@ -333,7 +366,11 @@ impl Machine {
             VInstr::VmergeVXM { vd, vs2, rs1 } => {
                 let x = self.reg(rs1) as i64;
                 for i in 0..vl {
-                    let r = if self.vec.mask_bit(0, i) { x } else { self.vec.lane(vs2, i) };
+                    let r = if self.vec.mask_bit(0, i) {
+                        x
+                    } else {
+                        self.vec.lane(vs2, i)
+                    };
                     self.vec.set_lane(vd, i, r);
                 }
             }
@@ -505,7 +542,10 @@ mod tests {
         );
         assert_eq!(stop, Stop::Ecall);
         assert_eq!(m.reg(10), 5050);
-        assert!(m.stats.cycles > m.stats.instret, "taken branches cost extra");
+        assert!(
+            m.stats.cycles > m.stats.instret,
+            "taken branches cost extra"
+        );
     }
 
     #[test]
@@ -524,7 +564,8 @@ mod tests {
     fn word_ops_sign_extend() {
         let (m, _) = run("  li a0, 0x7FFFFFFF\n  addiw a0, a0, 1\n  ecall\n");
         assert_eq!(m.reg(10) as i64, i32::MIN as i64);
-        let (m, _) = run("  li a0, -8\n  li a1, 2\n  divw a2, a0, a1\n  remw a3, a0, a1\n  ecall\n");
+        let (m, _) =
+            run("  li a0, -8\n  li a1, 2\n  divw a2, a0, a1\n  remw a3, a0, a1\n  ecall\n");
         assert_eq!(m.reg(12) as i64, -4);
         assert_eq!(m.reg(13) as i64, 0);
     }
@@ -538,17 +579,15 @@ mod tests {
 
     #[test]
     fn function_call_and_return() {
-        let (m, stop) = run(
-            "  li a0, 10\n  call double\n  ecall\ndouble:\n  slli a0, a0, 1\n  ret\n",
-        );
+        let (m, stop) =
+            run("  li a0, 10\n  call double\n  ecall\ndouble:\n  slli a0, a0, 1\n  ret\n");
         assert_eq!(stop, Stop::Ecall);
         assert_eq!(m.reg(10), 20);
     }
 
     #[test]
     fn fibonacci_iterative() {
-        let (m, stop) = run(
-            "
+        let (m, stop) = run("
   li t0, 20      # n
   li a0, 0       # fib(0)
   li a1, 1       # fib(1)
@@ -561,8 +600,7 @@ fib:
   j fib
 done:
   ecall
-",
-        );
+");
         assert_eq!(stop, Stop::Ecall);
         assert_eq!(m.reg(10), 6765);
     }

@@ -13,9 +13,9 @@ use std::fmt;
 /// ABI register name.
 pub fn reg_name(r: u8) -> &'static str {
     const NAMES: [&str; 32] = [
-        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
-        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
-        "t3", "t4", "t5", "t6",
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
     ];
     NAMES[r as usize]
 }
@@ -45,7 +45,12 @@ impl fmt::Display for Instr {
             Jalr { rd, rs1, offset } => {
                 write!(f, "jalr {}, {}({})", reg_name(rd), offset, reg_name(rs1))
             }
-            Branch { op, rs1, rs2, offset } => {
+            Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let name = match op {
                     BranchOp::Eq => "beq",
                     BranchOp::Ne => "bne",
@@ -54,9 +59,19 @@ impl fmt::Display for Instr {
                     BranchOp::Ltu => "bltu",
                     BranchOp::Geu => "bgeu",
                 };
-                write!(f, "{name} {}, {}, . {offset:+}", reg_name(rs1), reg_name(rs2))
+                write!(
+                    f,
+                    "{name} {}, {}, . {offset:+}",
+                    reg_name(rs1),
+                    reg_name(rs2)
+                )
             }
-            Load { op, rd, rs1, offset } => {
+            Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let name = match op {
                     LoadOp::B => "lb",
                     LoadOp::H => "lh",
@@ -68,7 +83,12 @@ impl fmt::Display for Instr {
                 };
                 write!(f, "{name} {}, {}({})", reg_name(rd), offset, reg_name(rs1))
             }
-            Store { op, rs2, rs1, offset } => {
+            Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let name = match op {
                     StoreOp::B => "sb",
                     StoreOp::H => "sh",
@@ -77,7 +97,13 @@ impl fmt::Display for Instr {
                 };
                 write!(f, "{name} {}, {}({})", reg_name(rs2), offset, reg_name(rs1))
             }
-            OpImm { op, rd, rs1, imm, word } => {
+            OpImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                word,
+            } => {
                 let base = match op {
                     AluOp::Add => "addi",
                     AluOp::Slt => "slti",
@@ -93,7 +119,13 @@ impl fmt::Display for Instr {
                 let w = if word { "w" } else { "" };
                 write!(f, "{base}{w} {}, {}, {}", reg_name(rd), reg_name(rs1), imm)
             }
-            Op { op, rd, rs1, rs2, word } => {
+            Op {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let w = if word { "w" } else { "" };
                 write!(
                     f,
@@ -104,7 +136,13 @@ impl fmt::Display for Instr {
                     reg_name(rs2)
                 )
             }
-            MulDiv { op, rd, rs1, rs2, word } => {
+            MulDiv {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let base = match op {
                     MulOp::Mul => "mul",
                     MulOp::Mulh => "mulh",
@@ -197,10 +235,44 @@ mod tests {
     #[test]
     fn scalar_rendering() {
         let cases = [
-            (Instr::OpImm { op: AluOp::Add, rd: 10, rs1: 0, imm: 5, word: false }, "addi a0, zero, 5"),
-            (Instr::Op { op: AluOp::Sub, rd: 5, rs1: 6, rs2: 7, word: true }, "subw t0, t1, t2"),
-            (Instr::Load { op: LoadOp::Bu, rd: 5, rs1: 10, offset: -4 }, "lbu t0, -4(a0)"),
-            (Instr::Store { op: StoreOp::D, rs2: 1, rs1: 2, offset: 16 }, "sd ra, 16(sp)"),
+            (
+                Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: 10,
+                    rs1: 0,
+                    imm: 5,
+                    word: false,
+                },
+                "addi a0, zero, 5",
+            ),
+            (
+                Instr::Op {
+                    op: AluOp::Sub,
+                    rd: 5,
+                    rs1: 6,
+                    rs2: 7,
+                    word: true,
+                },
+                "subw t0, t1, t2",
+            ),
+            (
+                Instr::Load {
+                    op: LoadOp::Bu,
+                    rd: 5,
+                    rs1: 10,
+                    offset: -4,
+                },
+                "lbu t0, -4(a0)",
+            ),
+            (
+                Instr::Store {
+                    op: StoreOp::D,
+                    rs2: 1,
+                    rs1: 2,
+                    offset: 16,
+                },
+                "sd ra, 16(sp)",
+            ),
             (Instr::Ecall, "ecall"),
         ];
         for (i, expect) in cases {
@@ -211,12 +283,30 @@ mod tests {
     #[test]
     fn vector_rendering() {
         assert_eq!(
-            VInstr::Vsetvli { rd: 5, rs1: 11, sew: 8 }.to_string(),
+            VInstr::Vsetvli {
+                rd: 5,
+                rs1: 11,
+                sew: 8
+            }
+            .to_string(),
             "vsetvli t0, a1, e8"
         );
-        assert_eq!(VInstr::Vle { width: 8, vd: 1, rs1: 10 }.to_string(), "vle8.v v1, (a0)");
         assert_eq!(
-            VInstr::VmergeVXM { vd: 3, vs2: 4, rs1: 5 }.to_string(),
+            VInstr::Vle {
+                width: 8,
+                vd: 1,
+                rs1: 10
+            }
+            .to_string(),
+            "vle8.v v1, (a0)"
+        );
+        assert_eq!(
+            VInstr::VmergeVXM {
+                vd: 3,
+                vs2: 4,
+                rs1: 5
+            }
+            .to_string(),
             "vmerge.vxm v3, v4, t0, v0"
         );
     }
@@ -237,7 +327,9 @@ mod tests {
         // Label-free, branch-free programs round-trip through the
         // assembler (branches print `.`-relative which the assembler does
         // not parse; those are covered by the encode/decode roundtrip).
-        let p = assemble("  li t0, 300\n  slli t1, t0, 4\n  mul a0, t0, t1\n  sd a0, 8(sp)\n  ecall\n").unwrap();
+        let p =
+            assemble("  li t0, 300\n  slli t1, t0, 4\n  mul a0, t0, t1\n  sd a0, 8(sp)\n  ecall\n")
+                .unwrap();
         let text: String = p.instrs.iter().map(|i| format!("  {i}\n")).collect();
         let p2 = assemble(&text).unwrap();
         assert_eq!(p.instrs, p2.instrs);

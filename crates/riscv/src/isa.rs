@@ -116,17 +116,50 @@ pub enum Instr {
     /// jalr rd, offset(rs1).
     Jalr { rd: Reg, rs1: Reg, offset: i64 },
     /// Conditional branch by byte offset.
-    Branch { op: BranchOp, rs1: Reg, rs2: Reg, offset: i64 },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i64,
+    },
     /// Load rd <- [rs1 + offset].
-    Load { op: LoadOp, rd: Reg, rs1: Reg, offset: i64 },
+    Load {
+        op: LoadOp,
+        rd: Reg,
+        rs1: Reg,
+        offset: i64,
+    },
     /// Store [rs1 + offset] <- rs2.
-    Store { op: StoreOp, rs2: Reg, rs1: Reg, offset: i64 },
+    Store {
+        op: StoreOp,
+        rs2: Reg,
+        rs1: Reg,
+        offset: i64,
+    },
     /// ALU with immediate; `word` selects the *W (32-bit) form.
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i64, word: bool },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i64,
+        word: bool,
+    },
     /// ALU register-register; `word` selects the *W form.
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg, word: bool },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        word: bool,
+    },
     /// M extension; `word` selects mulw/divw/divuw/remw/remuw.
-    MulDiv { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg, word: bool },
+    MulDiv {
+        op: MulOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        word: bool,
+    },
     /// A vector instruction (the RVV subset in [`crate::vector`]).
     Vector(crate::vector::VInstr),
     /// Environment call (the runtime's halt).
@@ -167,7 +200,10 @@ fn enc_s(imm: i64, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
 }
 
 fn enc_b(imm: i64, rs2: Reg, rs1: Reg, funct3: u32) -> u32 {
-    debug_assert!(imm % 2 == 0 && (-4096..=4094).contains(&imm), "B-imm: {imm}");
+    debug_assert!(
+        imm % 2 == 0 && (-4096..=4094).contains(&imm),
+        "B-imm: {imm}"
+    );
     let imm = (imm as u32) & 0x1FFF;
     (((imm >> 12) & 1) << 31)
         | (((imm >> 5) & 0x3F) << 25)
@@ -180,7 +216,10 @@ fn enc_b(imm: i64, rs2: Reg, rs1: Reg, funct3: u32) -> u32 {
 }
 
 fn enc_j(imm: i64, rd: Reg) -> u32 {
-    debug_assert!(imm % 2 == 0 && (-(1 << 20)..(1 << 20)).contains(&imm), "J-imm: {imm}");
+    debug_assert!(
+        imm % 2 == 0 && (-(1 << 20)..(1 << 20)).contains(&imm),
+        "J-imm: {imm}"
+    );
     let imm = (imm as u32) & 0x1F_FFFF;
     (((imm >> 20) & 1) << 31)
         | (((imm >> 1) & 0x3FF) << 21)
@@ -199,7 +238,12 @@ impl Instr {
             Auipc { rd, imm } => (((imm as u32) >> 12) << 12) | ((rd as u32) << 7) | 0b0010111,
             Jal { rd, offset } => enc_j(offset, rd),
             Jalr { rd, rs1, offset } => enc_i(offset, rs1, 0, rd, 0b1100111),
-            Branch { op, rs1, rs2, offset } => {
+            Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let f3 = match op {
                     BranchOp::Eq => 0b000,
                     BranchOp::Ne => 0b001,
@@ -210,7 +254,12 @@ impl Instr {
                 };
                 enc_b(offset, rs2, rs1, f3)
             }
-            Load { op, rd, rs1, offset } => {
+            Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let f3 = match op {
                     LoadOp::B => 0b000,
                     LoadOp::H => 0b001,
@@ -222,7 +271,12 @@ impl Instr {
                 };
                 enc_i(offset, rs1, f3, rd, 0b0000011)
             }
-            Store { op, rs2, rs1, offset } => {
+            Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let f3 = match op {
                     StoreOp::B => 0b000,
                     StoreOp::H => 0b001,
@@ -231,7 +285,13 @@ impl Instr {
                 };
                 enc_s(offset, rs2, rs1, f3, 0b0100011)
             }
-            OpImm { op, rd, rs1, imm, word } => {
+            OpImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                word,
+            } => {
                 let opcode = if word { 0b0011011 } else { 0b0010011 };
                 let shamt_mask: i64 = if word { 0x1F } else { 0x3F };
                 match op {
@@ -247,7 +307,13 @@ impl Instr {
                     AluOp::Sub => unreachable!("subi does not exist"),
                 }
             }
-            Op { op, rd, rs1, rs2, word } => {
+            Op {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let opcode = if word { 0b0111011 } else { 0b0110011 };
                 let (f7, f3) = match op {
                     AluOp::Add => (0b0000000, 0b000),
@@ -263,7 +329,13 @@ impl Instr {
                 };
                 enc_r(f7, rs2, rs1, f3, rd, opcode)
             }
-            MulDiv { op, rd, rs1, rs2, word } => {
+            MulDiv {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let opcode = if word { 0b0111011 } else { 0b0110011 };
                 let f3 = match op {
                     MulOp::Mul => 0b000,
@@ -316,7 +388,11 @@ impl Instr {
             0b0110111 => Instr::Lui { rd, imm: imm_u },
             0b0010111 => Instr::Auipc { rd, imm: imm_u },
             0b1101111 => Instr::Jal { rd, offset: imm_j },
-            0b1100111 if f3 == 0 => Instr::Jalr { rd, rs1, offset: imm_i },
+            0b1100111 if f3 == 0 => Instr::Jalr {
+                rd,
+                rs1,
+                offset: imm_i,
+            },
             0b1100011 => {
                 let op = match f3 {
                     0b000 => BranchOp::Eq,
@@ -327,7 +403,12 @@ impl Instr {
                     0b111 => BranchOp::Geu,
                     _ => return None,
                 };
-                Instr::Branch { op, rs1, rs2, offset: imm_b }
+                Instr::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    offset: imm_b,
+                }
             }
             0b0000011 => {
                 let op = match f3 {
@@ -340,7 +421,12 @@ impl Instr {
                     0b110 => LoadOp::Wu,
                     _ => return None,
                 };
-                Instr::Load { op, rd, rs1, offset: imm_i }
+                Instr::Load {
+                    op,
+                    rd,
+                    rs1,
+                    offset: imm_i,
+                }
             }
             0b0100011 => {
                 let op = match f3 {
@@ -350,18 +436,75 @@ impl Instr {
                     0b011 => StoreOp::D,
                     _ => return None,
                 };
-                Instr::Store { op, rs2, rs1, offset: imm_s }
+                Instr::Store {
+                    op,
+                    rs2,
+                    rs1,
+                    offset: imm_s,
+                }
             }
             0b0010011 | 0b0011011 => {
                 let word_form = opcode == 0b0011011;
-                let shamt = if word_form { imm_i & 0x1F } else { imm_i & 0x3F };
+                let shamt = if word_form {
+                    imm_i & 0x1F
+                } else {
+                    imm_i & 0x3F
+                };
                 let op = match f3 {
-                    0b000 => return Some(Instr::OpImm { op: AluOp::Add, rd, rs1, imm: imm_i, word: word_form }),
-                    0b010 => return Some(Instr::OpImm { op: AluOp::Slt, rd, rs1, imm: imm_i, word: word_form }),
-                    0b011 => return Some(Instr::OpImm { op: AluOp::Sltu, rd, rs1, imm: imm_i, word: word_form }),
-                    0b100 => return Some(Instr::OpImm { op: AluOp::Xor, rd, rs1, imm: imm_i, word: word_form }),
-                    0b110 => return Some(Instr::OpImm { op: AluOp::Or, rd, rs1, imm: imm_i, word: word_form }),
-                    0b111 => return Some(Instr::OpImm { op: AluOp::And, rd, rs1, imm: imm_i, word: word_form }),
+                    0b000 => {
+                        return Some(Instr::OpImm {
+                            op: AluOp::Add,
+                            rd,
+                            rs1,
+                            imm: imm_i,
+                            word: word_form,
+                        })
+                    }
+                    0b010 => {
+                        return Some(Instr::OpImm {
+                            op: AluOp::Slt,
+                            rd,
+                            rs1,
+                            imm: imm_i,
+                            word: word_form,
+                        })
+                    }
+                    0b011 => {
+                        return Some(Instr::OpImm {
+                            op: AluOp::Sltu,
+                            rd,
+                            rs1,
+                            imm: imm_i,
+                            word: word_form,
+                        })
+                    }
+                    0b100 => {
+                        return Some(Instr::OpImm {
+                            op: AluOp::Xor,
+                            rd,
+                            rs1,
+                            imm: imm_i,
+                            word: word_form,
+                        })
+                    }
+                    0b110 => {
+                        return Some(Instr::OpImm {
+                            op: AluOp::Or,
+                            rd,
+                            rs1,
+                            imm: imm_i,
+                            word: word_form,
+                        })
+                    }
+                    0b111 => {
+                        return Some(Instr::OpImm {
+                            op: AluOp::And,
+                            rd,
+                            rs1,
+                            imm: imm_i,
+                            word: word_form,
+                        })
+                    }
                     0b001 => AluOp::Sll,
                     0b101 => {
                         if (imm_i >> 10) & 1 == 1 {
@@ -372,7 +515,13 @@ impl Instr {
                     }
                     _ => return None,
                 };
-                Instr::OpImm { op, rd, rs1, imm: shamt, word: word_form }
+                Instr::OpImm {
+                    op,
+                    rd,
+                    rs1,
+                    imm: shamt,
+                    word: word_form,
+                }
             }
             0b0110011 | 0b0111011 => {
                 let word_form = opcode == 0b0111011;
@@ -388,7 +537,13 @@ impl Instr {
                         0b111 => MulOp::Remu,
                         _ => return None,
                     };
-                    Instr::MulDiv { op, rd, rs1, rs2, word: word_form }
+                    Instr::MulDiv {
+                        op,
+                        rd,
+                        rs1,
+                        rs2,
+                        word: word_form,
+                    }
                 } else {
                     let op = match (f7, f3) {
                         (0b0000000, 0b000) => AluOp::Add,
@@ -403,7 +558,13 @@ impl Instr {
                         (0b0000000, 0b111) => AluOp::And,
                         _ => return None,
                     };
-                    Instr::Op { op, rd, rs1, rs2, word: word_form }
+                    Instr::Op {
+                        op,
+                        rd,
+                        rs1,
+                        rs2,
+                        word: word_form,
+                    }
                 }
             }
             0b1110011 => match word >> 20 {
@@ -434,40 +595,141 @@ mod tests {
     fn known_encodings() {
         // addi x1, x0, 42 => 0x02A00093
         assert_eq!(
-            Instr::OpImm { op: AluOp::Add, rd: 1, rs1: 0, imm: 42, word: false }.encode(),
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 0,
+                imm: 42,
+                word: false
+            }
+            .encode(),
             0x02A0_0093
         );
         // add x3, x1, x2 => 0x002081B3
         assert_eq!(
-            Instr::Op { op: AluOp::Add, rd: 3, rs1: 1, rs2: 2, word: false }.encode(),
+            Instr::Op {
+                op: AluOp::Add,
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+                word: false
+            }
+            .encode(),
             0x0020_81B3
         );
         // ecall
         assert_eq!(Instr::Ecall.encode(), 0x0000_0073);
         // lui x5, 0x12345000
-        assert_eq!(Instr::Lui { rd: 5, imm: 0x1234_5000 }.encode(), 0x1234_52B7);
+        assert_eq!(
+            Instr::Lui {
+                rd: 5,
+                imm: 0x1234_5000
+            }
+            .encode(),
+            0x1234_52B7
+        );
     }
 
     #[test]
     fn roundtrip_representative_set() {
         let cases = vec![
             Instr::Lui { rd: 10, imm: -4096 },
-            Instr::Auipc { rd: 1, imm: 0x7FFF_F000 },
-            Instr::Jal { rd: 1, offset: -2048 },
-            Instr::Jal { rd: 0, offset: 1 << 19 },
-            Instr::Jalr { rd: 0, rs1: 1, offset: 0 },
-            Instr::Branch { op: BranchOp::Ltu, rs1: 5, rs2: 6, offset: -4096 },
-            Instr::Branch { op: BranchOp::Ge, rs1: 31, rs2: 0, offset: 4094 },
-            Instr::Load { op: LoadOp::Bu, rd: 7, rs1: 8, offset: -1 },
-            Instr::Load { op: LoadOp::D, rd: 9, rs1: 2, offset: 2047 },
-            Instr::Store { op: StoreOp::W, rs2: 3, rs1: 4, offset: -2048 },
-            Instr::OpImm { op: AluOp::Sra, rd: 1, rs1: 2, imm: 63, word: false },
-            Instr::OpImm { op: AluOp::Sll, rd: 1, rs1: 2, imm: 31, word: true },
-            Instr::OpImm { op: AluOp::Xor, rd: 1, rs1: 2, imm: -1, word: false },
-            Instr::Op { op: AluOp::Sub, rd: 1, rs1: 2, rs2: 3, word: true },
-            Instr::Op { op: AluOp::Sltu, rd: 1, rs1: 2, rs2: 3, word: false },
-            Instr::MulDiv { op: MulOp::Mul, rd: 4, rs1: 5, rs2: 6, word: false },
-            Instr::MulDiv { op: MulOp::Remu, rd: 4, rs1: 5, rs2: 6, word: true },
+            Instr::Auipc {
+                rd: 1,
+                imm: 0x7FFF_F000,
+            },
+            Instr::Jal {
+                rd: 1,
+                offset: -2048,
+            },
+            Instr::Jal {
+                rd: 0,
+                offset: 1 << 19,
+            },
+            Instr::Jalr {
+                rd: 0,
+                rs1: 1,
+                offset: 0,
+            },
+            Instr::Branch {
+                op: BranchOp::Ltu,
+                rs1: 5,
+                rs2: 6,
+                offset: -4096,
+            },
+            Instr::Branch {
+                op: BranchOp::Ge,
+                rs1: 31,
+                rs2: 0,
+                offset: 4094,
+            },
+            Instr::Load {
+                op: LoadOp::Bu,
+                rd: 7,
+                rs1: 8,
+                offset: -1,
+            },
+            Instr::Load {
+                op: LoadOp::D,
+                rd: 9,
+                rs1: 2,
+                offset: 2047,
+            },
+            Instr::Store {
+                op: StoreOp::W,
+                rs2: 3,
+                rs1: 4,
+                offset: -2048,
+            },
+            Instr::OpImm {
+                op: AluOp::Sra,
+                rd: 1,
+                rs1: 2,
+                imm: 63,
+                word: false,
+            },
+            Instr::OpImm {
+                op: AluOp::Sll,
+                rd: 1,
+                rs1: 2,
+                imm: 31,
+                word: true,
+            },
+            Instr::OpImm {
+                op: AluOp::Xor,
+                rd: 1,
+                rs1: 2,
+                imm: -1,
+                word: false,
+            },
+            Instr::Op {
+                op: AluOp::Sub,
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+                word: true,
+            },
+            Instr::Op {
+                op: AluOp::Sltu,
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+                word: false,
+            },
+            Instr::MulDiv {
+                op: MulOp::Mul,
+                rd: 4,
+                rs1: 5,
+                rs2: 6,
+                word: false,
+            },
+            Instr::MulDiv {
+                op: MulOp::Remu,
+                rd: 4,
+                rs1: 5,
+                rs2: 6,
+                word: true,
+            },
             Instr::Ecall,
             Instr::Ebreak,
             Instr::Fence,

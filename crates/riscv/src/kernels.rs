@@ -301,7 +301,6 @@ pub fn wfa_scalar_program() -> &'static Program {
     PROG.get_or_init(|| assemble(WFA_SCALAR_ASM).expect("the bundled kernel must assemble"))
 }
 
-
 /// The vectorized score-only WFA kernel: the Extend phase compares 16 bases
 /// per `vmsne.vv`/`vfirst.m` pair (the RVV analogue of the paper's "CPU
 /// vector code"), and wavefront clearing streams NULLs with `vse32.v`.
@@ -619,7 +618,11 @@ pub fn run_wfa_vector(a: &[u8], b: &[u8]) -> KernelRun {
     m.set_reg(12, SEQ_B_BASE);
     m.set_reg(13, b.len() as u64);
     let stop = m.run(program, 500_000_000);
-    assert_eq!(stop, Stop::Ecall, "kernel must halt via ecall, got {stop:?}");
+    assert_eq!(
+        stop,
+        Stop::Ecall,
+        "kernel must halt via ecall, got {stop:?}"
+    );
     let a0 = m.reg(10) as i64;
     KernelRun {
         score: (a0 >= 0).then_some(a0 as u32),
@@ -652,7 +655,11 @@ pub fn run_wfa_scalar(a: &[u8], b: &[u8]) -> KernelRun {
     m.set_reg(12, SEQ_B_BASE);
     m.set_reg(13, b.len() as u64);
     let stop = m.run(program, 500_000_000);
-    assert_eq!(stop, Stop::Ecall, "kernel must halt via ecall, got {stop:?}");
+    assert_eq!(
+        stop,
+        Stop::Ecall,
+        "kernel must halt via ecall, got {stop:?}"
+    );
     let a0 = m.reg(10) as i64;
     KernelRun {
         score: (a0 >= 0).then_some(a0 as u32),

@@ -168,10 +168,26 @@ impl VInstr {
                     sew: vtype_to_sew((word >> 20) & 0x7FF)?,
                 }),
                 0b000 => match funct6 {
-                    0b000000 => Some(VInstr::VaddVV { vd: rd, vs2, vs1: rs1 }),
-                    0b000111 => Some(VInstr::VmaxVV { vd: rd, vs2, vs1: rs1 }),
-                    0b011000 => Some(VInstr::VmseqVV { vd: rd, vs2, vs1: rs1 }),
-                    0b011001 => Some(VInstr::VmsneVV { vd: rd, vs2, vs1: rs1 }),
+                    0b000000 => Some(VInstr::VaddVV {
+                        vd: rd,
+                        vs2,
+                        vs1: rs1,
+                    }),
+                    0b000111 => Some(VInstr::VmaxVV {
+                        vd: rd,
+                        vs2,
+                        vs1: rs1,
+                    }),
+                    0b011000 => Some(VInstr::VmseqVV {
+                        vd: rd,
+                        vs2,
+                        vs1: rs1,
+                    }),
+                    0b011001 => Some(VInstr::VmsneVV {
+                        vd: rd,
+                        vs2,
+                        vs1: rs1,
+                    }),
                     _ => None,
                 },
                 0b011 => match funct6 {
@@ -279,20 +295,76 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let cases = [
-            VInstr::Vsetvli { rd: 5, rs1: 6, sew: 8 },
-            VInstr::Vsetvli { rd: 0, rs1: 10, sew: 32 },
-            VInstr::Vle { width: 8, vd: 1, rs1: 11 },
-            VInstr::Vle { width: 32, vd: 2, rs1: 12 },
-            VInstr::Vse { width: 32, vs3: 3, rs1: 13 },
-            VInstr::VaddVV { vd: 1, vs2: 2, vs1: 3 },
-            VInstr::VaddVI { vd: 1, vs2: 2, imm: -5 },
-            VInstr::VaddVX { vd: 1, vs2: 2, rs1: 7 },
-            VInstr::VmaxVV { vd: 4, vs2: 5, vs1: 6 },
-            VInstr::VmseqVV { vd: 0, vs2: 1, vs1: 2 },
-            VInstr::VmsneVV { vd: 0, vs2: 1, vs1: 2 },
-            VInstr::VmsltVX { vd: 0, vs2: 1, rs1: 8 },
-            VInstr::VmsgtVX { vd: 0, vs2: 1, rs1: 9 },
-            VInstr::VmergeVXM { vd: 3, vs2: 4, rs1: 10 },
+            VInstr::Vsetvli {
+                rd: 5,
+                rs1: 6,
+                sew: 8,
+            },
+            VInstr::Vsetvli {
+                rd: 0,
+                rs1: 10,
+                sew: 32,
+            },
+            VInstr::Vle {
+                width: 8,
+                vd: 1,
+                rs1: 11,
+            },
+            VInstr::Vle {
+                width: 32,
+                vd: 2,
+                rs1: 12,
+            },
+            VInstr::Vse {
+                width: 32,
+                vs3: 3,
+                rs1: 13,
+            },
+            VInstr::VaddVV {
+                vd: 1,
+                vs2: 2,
+                vs1: 3,
+            },
+            VInstr::VaddVI {
+                vd: 1,
+                vs2: 2,
+                imm: -5,
+            },
+            VInstr::VaddVX {
+                vd: 1,
+                vs2: 2,
+                rs1: 7,
+            },
+            VInstr::VmaxVV {
+                vd: 4,
+                vs2: 5,
+                vs1: 6,
+            },
+            VInstr::VmseqVV {
+                vd: 0,
+                vs2: 1,
+                vs1: 2,
+            },
+            VInstr::VmsneVV {
+                vd: 0,
+                vs2: 1,
+                vs1: 2,
+            },
+            VInstr::VmsltVX {
+                vd: 0,
+                vs2: 1,
+                rs1: 8,
+            },
+            VInstr::VmsgtVX {
+                vd: 0,
+                vs2: 1,
+                rs1: 9,
+            },
+            VInstr::VmergeVXM {
+                vd: 3,
+                vs2: 4,
+                rs1: 10,
+            },
             VInstr::VmvVX { vd: 3, rs1: 10 },
             VInstr::VfirstM { rd: 14, vs2: 7 },
             VInstr::VidV { vd: 9 },

@@ -59,13 +59,7 @@ fn any_scalar_instr(rng: &mut SmallRng) -> Instr {
         AluOp::Or,
         AluOp::And,
     ];
-    const MUL_OPS: [MulOp; 5] = [
-        MulOp::Mul,
-        MulOp::Div,
-        MulOp::Divu,
-        MulOp::Rem,
-        MulOp::Remu,
-    ];
+    const MUL_OPS: [MulOp; 5] = [MulOp::Mul, MulOp::Div, MulOp::Divu, MulOp::Rem, MulOp::Remu];
     match rng.gen_range(0, 13) {
         0 => Instr::Lui {
             rd: reg(rng),

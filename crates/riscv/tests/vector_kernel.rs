@@ -19,7 +19,11 @@ fn vector_kernel_matches_swg_on_random_pairs() {
             let p = g.pair();
             let expect = swg_score(&p.a, &p.b, &Penalties::WFASIC_DEFAULT);
             let got = run_wfa_vector(&p.a, &p.b);
-            assert_eq!(got.score.map(u64::from), Some(expect), "len={len} rate={rate}");
+            assert_eq!(
+                got.score.map(u64::from),
+                Some(expect),
+                "len={len} rate={rate}"
+            );
         }
     }
 }

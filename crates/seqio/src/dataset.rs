@@ -18,12 +18,30 @@ pub struct InputSetSpec {
 impl InputSetSpec {
     /// The six paper input sets, in Table 1 order.
     pub const ALL: [InputSetSpec; 6] = [
-        InputSetSpec { length: 100, error_pct: 5 },
-        InputSetSpec { length: 100, error_pct: 10 },
-        InputSetSpec { length: 1_000, error_pct: 5 },
-        InputSetSpec { length: 1_000, error_pct: 10 },
-        InputSetSpec { length: 10_000, error_pct: 5 },
-        InputSetSpec { length: 10_000, error_pct: 10 },
+        InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        },
+        InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        },
+        InputSetSpec {
+            length: 1_000,
+            error_pct: 5,
+        },
+        InputSetSpec {
+            length: 1_000,
+            error_pct: 10,
+        },
+        InputSetSpec {
+            length: 10_000,
+            error_pct: 5,
+        },
+        InputSetSpec {
+            length: 10_000,
+            error_pct: 10,
+        },
     ];
 
     /// The paper's label, e.g. `"1K-10%"`.
@@ -110,7 +128,11 @@ mod tests {
 
     #[test]
     fn generated_set_shape() {
-        let set = InputSetSpec { length: 100, error_pct: 10 }.generate(8, 3);
+        let set = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        }
+        .generate(8, 3);
         assert_eq!(set.pairs.len(), 8);
         assert!(set.max_seq_len() >= 100);
         assert_eq!(set.max_read_len() % 16, 0);

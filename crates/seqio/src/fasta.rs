@@ -35,7 +35,9 @@ pub fn read_fasta<R: BufRead>(reader: R) -> io::Result<Vec<Record>> {
             });
         } else {
             match current.as_mut() {
-                Some(rec) => rec.seq.extend(line.bytes().filter(|b| !b.is_ascii_whitespace())),
+                Some(rec) => rec
+                    .seq
+                    .extend(line.bytes().filter(|b| !b.is_ascii_whitespace())),
                 None => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,

@@ -96,7 +96,10 @@ pub struct PairGenerator {
 impl PairGenerator {
     /// Deterministic generator from a seed.
     pub fn new(length: usize, error_rate: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&error_rate), "error rate must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&error_rate),
+            "error rate must be in [0, 1]"
+        );
         PairGenerator {
             length,
             error_rate,

@@ -24,7 +24,11 @@ pub const HEADER_SECTIONS: usize = 3;
 
 /// Bytes of one pair record in the input image.
 pub fn pair_record_bytes(max_read_len: usize) -> usize {
-    assert_eq!(max_read_len % SECTION, 0, "MAX_READ_LEN must be divisible by 16");
+    assert_eq!(
+        max_read_len % SECTION,
+        0,
+        "MAX_READ_LEN must be divisible by 16"
+    );
     HEADER_SECTIONS * SECTION + 2 * max_read_len
 }
 
@@ -94,10 +98,14 @@ impl InputImage {
         let base = n * rec;
         let id = u32::from_le_bytes(self.bytes[base..base + 4].try_into().unwrap());
         let len_a = u32::from_le_bytes(
-            self.bytes[base + SECTION..base + SECTION + 4].try_into().unwrap(),
+            self.bytes[base + SECTION..base + SECTION + 4]
+                .try_into()
+                .unwrap(),
         ) as usize;
         let len_b = u32::from_le_bytes(
-            self.bytes[base + 2 * SECTION..base + 2 * SECTION + 4].try_into().unwrap(),
+            self.bytes[base + 2 * SECTION..base + 2 * SECTION + 4]
+                .try_into()
+                .unwrap(),
         ) as usize;
         let a_off = base + HEADER_SECTIONS * SECTION;
         let a = self.bytes[a_off..a_off + len_a.min(self.max_read_len)].to_vec();
@@ -443,7 +451,12 @@ mod tests {
         };
         let enc = t.encode();
         assert_eq!(BtTxn::decode(&enc), t);
-        let t2 = BtTxn { last: false, id: 0, counter: 0, ..t };
+        let t2 = BtTxn {
+            last: false,
+            id: 0,
+            counter: 0,
+            ..t
+        };
         assert_eq!(BtTxn::decode(&t2.encode()), t2);
     }
 

@@ -14,6 +14,7 @@
 
 use crate::clock::{BusyUnit, Cycle};
 use crate::fault::FaultInjector;
+use crate::perf::{track, Stage, TraceSink};
 
 /// AXI-Full timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +82,10 @@ pub struct MemoryBus {
     /// Optional fault injector: adds transfer stalls here, and is consulted
     /// by [`crate::dma::DmaEngine`] for per-beat data corruption.
     pub fault: Option<FaultInjector>,
+    /// Perf trace sink: when enabled, every transfer records a
+    /// [`Stage::BusWait`] span for its queueing delay and a
+    /// [`Stage::DmaIn`]/[`Stage::DmaOut`] span for its occupancy.
+    pub perf: TraceSink,
 }
 
 impl Default for BusConfig {
@@ -97,6 +102,7 @@ impl MemoryBus {
             unit: BusyUnit::default(),
             stats: BusStats::default(),
             fault: None,
+            perf: TraceSink::default(),
         }
     }
 
@@ -114,7 +120,10 @@ impl MemoryBus {
         self.stats.bytes_read += bytes as u64;
         self.stats.reads += 1;
         let dur = self.config.transfer_cycles(bytes) + self.injected_stall(now);
-        self.unit.occupy(now, dur).1
+        let (start, done) = self.unit.occupy(now, dur);
+        self.perf.record(Stage::BusWait, track::BUS, now, start, 0);
+        self.perf.record(Stage::DmaIn, track::BUS, start, done, 0);
+        done
     }
 
     /// Issue a write of `bytes`, arriving at cycle `now`. Returns completion.
@@ -122,7 +131,10 @@ impl MemoryBus {
         self.stats.bytes_written += bytes as u64;
         self.stats.writes += 1;
         let dur = self.config.transfer_cycles(bytes) + self.injected_stall(now);
-        self.unit.occupy(now, dur).1
+        let (start, done) = self.unit.occupy(now, dur);
+        self.perf.record(Stage::BusWait, track::BUS, now, start, 0);
+        self.perf.record(Stage::DmaOut, track::BUS, start, done, 0);
+        done
     }
 
     /// First cycle at which the bus is free.
@@ -215,5 +227,40 @@ mod tests {
         let mut bus = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
         bus.read(0, 256);
         assert!(bus.utilization(86) > 0.49);
+    }
+
+    #[test]
+    fn perf_spans_cover_queueing_and_occupancy() {
+        let mut bus = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
+        bus.perf.enabled = true;
+        bus.read(0, 256); // occupies [0, 43)
+        bus.write(10, 16); // waits [10, 43), occupies [43, 71)
+        let spans = &bus.perf.spans;
+        assert_eq!(spans.len(), 3, "no empty wait span for the unqueued read");
+        assert_eq!(
+            (spans[0].stage, spans[0].start, spans[0].end),
+            (Stage::DmaIn, 0, 43)
+        );
+        assert_eq!(
+            (spans[1].stage, spans[1].start, spans[1].end),
+            (Stage::BusWait, 10, 43)
+        );
+        assert_eq!(
+            (spans[2].stage, spans[2].start, spans[2].end),
+            (Stage::DmaOut, 43, 71)
+        );
+    }
+
+    #[test]
+    fn disabled_perf_changes_nothing_and_records_nothing() {
+        let mut traced = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
+        traced.perf.enabled = true;
+        let mut plain = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
+        for now in [0u64, 5, 100] {
+            assert_eq!(traced.read(now, 300), plain.read(now, 300));
+            assert_eq!(traced.write(now, 48), plain.write(now, 48));
+        }
+        assert!(plain.perf.spans.is_empty());
+        assert!(!traced.perf.spans.is_empty());
     }
 }

@@ -30,9 +30,15 @@ pub struct Cache {
 impl Cache {
     /// Build from total capacity.
     pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize, hit_latency: Cycle) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = capacity_bytes / line_bytes;
-        assert!(lines >= ways && lines.is_multiple_of(ways), "capacity/ways mismatch");
+        assert!(
+            lines >= ways && lines.is_multiple_of(ways),
+            "capacity/ways mismatch"
+        );
         let sets = lines / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
@@ -124,6 +130,10 @@ pub struct MemHierarchy {
     pub l2: Cache,
     /// Cycles for an access that misses both levels.
     pub dram_latency: Cycle,
+    /// Total access latency handed out so far, split by the level that
+    /// served the access (`[l1, l2, dram]`) — the CPU-side analogue of the
+    /// accelerator's per-stage cycle attribution.
+    pub level_cycles: [Cycle; 3],
 }
 
 impl MemHierarchy {
@@ -134,18 +144,30 @@ impl MemHierarchy {
             l1: Cache::sargantana_l1d(),
             l2: Cache::soc_l2(),
             dram_latency: 110,
+            level_cycles: [0; 3],
         }
     }
 
     /// Latency of a data access at `addr`.
     pub fn access(&mut self, addr: u64) -> Cycle {
-        if self.l1.access(addr) {
-            self.l1.hit_latency
+        let (level, latency) = if self.l1.access(addr) {
+            (0, self.l1.hit_latency)
         } else if self.l2.access(addr) {
-            self.l1.hit_latency + self.l2.hit_latency
+            (1, self.l1.hit_latency + self.l2.hit_latency)
         } else {
-            self.l1.hit_latency + self.l2.hit_latency + self.dram_latency
-        }
+            (
+                2,
+                self.l1.hit_latency + self.l2.hit_latency + self.dram_latency,
+            )
+        };
+        self.level_cycles[level] += latency;
+        latency
+    }
+
+    /// All memory-access cycles handed out so far; always equals the sum of
+    /// [`Self::level_cycles`] — the hierarchy's own sum-to-total invariant.
+    pub fn total_cycles(&self) -> Cycle {
+        self.level_cycles.iter().sum()
     }
 }
 
@@ -196,7 +218,11 @@ mod tests {
                 c.access(addr as u64);
             }
         }
-        assert!(c.hit_rate() < 0.1, "thrashing working set, rate={}", c.hit_rate());
+        assert!(
+            c.hit_rate() < 0.1,
+            "thrashing working set, rate={}",
+            c.hit_rate()
+        );
     }
 
     #[test]
@@ -209,6 +235,9 @@ mod tests {
         h.l1.flush();
         let l2_hit = h.access(0x4_0000);
         assert_eq!(l2_hit, 2 + 12);
+        // Per-level attribution sums exactly to the cycles handed out.
+        assert_eq!(h.level_cycles, [2, 14, 124]);
+        assert_eq!(h.total_cycles(), cold + warm + l2_hit);
     }
 
     #[test]

@@ -3,7 +3,12 @@
 //! them in the Input FIFO"; results flow back through the Output FIFO).
 //!
 //! Functionally the DMA is a memcpy; its contribution to the model is timing
-//! (it occupies the shared [`MemoryBus`]) and statistics.
+//! (it occupies the shared [`MemoryBus`]) and statistics. Perf attribution
+//! for DMA traffic is recorded by the bus itself (see
+//! [`crate::perf::Stage::DmaIn`]/[`crate::perf::Stage::DmaOut`] and the
+//! bus-grant [`crate::perf::Stage::BusWait`] spans): every transfer this
+//! engine issues lands on the bus's [`crate::perf::TraceSink`] when tracing
+//! is enabled.
 
 use crate::bus::MemoryBus;
 use crate::clock::Cycle;

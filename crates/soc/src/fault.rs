@@ -1,6 +1,6 @@
 //! Deterministic fault injection for the SoC substrate.
 //!
-//! The paper's §5.1 verification campaign "intentionally send[s] data in
+//! The paper's §5.1 verification campaign "intentionally send\[s\] data in
 //! different unexpected formats" and checks that the accelerator never
 //! freezes the CPU. This module makes that campaign reproducible in
 //! simulation: a seeded [`FaultPlan`] describes *what* can go wrong and how

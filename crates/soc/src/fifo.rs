@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 
 use crate::clock::Cycle;
 use crate::fault::FaultInjector;
+use crate::perf::{track, Stage, TraceSink};
 
 /// Error returned when pushing to a full FIFO.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +106,9 @@ pub struct SinglePortFifo<T> {
     pub conflicts_avoided: u64,
     /// Optional fault injector consulted for stuck-output stalls.
     pub fault: Option<FaultInjector>,
+    /// Perf trace sink: stuck-output stalls record [`Stage::FifoStall`]
+    /// spans when enabled.
+    pub perf: TraceSink,
     stuck_until: Cycle,
 }
 
@@ -116,6 +120,7 @@ impl<T> SinglePortFifo<T> {
             last_access: None,
             conflicts_avoided: 0,
             fault: None,
+            perf: TraceSink::default(),
             stuck_until: 0,
         }
     }
@@ -134,6 +139,8 @@ impl<T> SinglePortFifo<T> {
                 self.stuck_until = ready;
             }
         }
+        self.perf
+            .record(Stage::FifoStall, track::FIFO, now, ready, 0);
         ready
     }
 
@@ -265,5 +272,21 @@ mod tests {
         assert_eq!(f.output_ready(10), 30, "stuck for the stall length");
         assert_eq!(f.output_ready(12), 50, "overlapping stalls extend");
         assert_eq!(f.fault.as_ref().unwrap().counters.fifo_stalls, 2);
+    }
+
+    #[test]
+    fn stall_spans_recorded_when_perf_enabled() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut f: SinglePortFifo<u8> = SinglePortFifo::new(4);
+        f.perf.enabled = true;
+        assert_eq!(f.output_ready(5), 5);
+        assert!(f.perf.spans.is_empty(), "no stall, no span");
+        let mut plan = FaultPlan::none().with_stall_cycles(8);
+        plan.fifo_stuck = 1.0;
+        f.fault = Some(FaultInjector::new(plan));
+        assert_eq!(f.output_ready(10), 18);
+        assert_eq!(f.perf.spans.len(), 1);
+        let s = f.perf.spans[0];
+        assert_eq!((s.stage, s.start, s.end), (Stage::FifoStall, 10, 18));
     }
 }

@@ -15,6 +15,10 @@
 //!   and FIFOs, reproducing the paper's §5.1 broken-data campaign;
 //! * [`cache`] — L1/L2/DRAM hierarchy timing for the CPU models;
 //! * [`mmio`] — the memory-mapped register file;
+//! * [`perf`] — cycle-attribution performance counters ([`perf::Stage`],
+//!   [`perf::TraceSink`], the timeline attribution) and Chrome
+//!   `trace_event` export, consulted by the bus, FIFOs and every device
+//!   model when tracing is enabled;
 //! * [`clock`] — cycle bookkeeping and frequency constants.
 
 pub mod bus;
@@ -25,12 +29,14 @@ pub mod fault;
 pub mod fifo;
 pub mod mem;
 pub mod mmio;
+pub mod perf;
 
 pub use bus::{AxiLite, BusConfig, BusStats, MemoryBus};
-pub use fault::{FaultCounters, FaultInjector, FaultPlan};
 pub use cache::{Cache, MemHierarchy};
 pub use clock::{cycles_to_seconds, BusyUnit, Cycle, SARGANTANA_HZ, WFASIC_ASIC_HZ};
 pub use dma::{DmaEngine, DmaStats};
+pub use fault::{FaultCounters, FaultInjector, FaultPlan};
 pub use fifo::{FifoFull, PortError, ShowAheadFifo, SinglePortFifo};
 pub use mem::MainMemory;
 pub use mmio::RegFile;
+pub use perf::{attribute_timeline, JobPerf, PerfCounters, Span, Stage, TraceSink};

@@ -29,7 +29,11 @@ impl MainMemory {
     }
 
     fn ensure(&mut self, end: usize) {
-        assert!(end <= self.cap, "memory access beyond the {}B cap", self.cap);
+        assert!(
+            end <= self.cap,
+            "memory access beyond the {}B cap",
+            self.cap
+        );
         if end > self.data.len() {
             self.data.resize(end, 0);
         }

@@ -11,15 +11,32 @@ use wfasic::seqio::InputSetSpec;
 use wfasic::soc::WFASIC_ASIC_HZ;
 
 fn main() {
-    let short = InputSetSpec { length: 100, error_pct: 10 }.generate(12, 5).pairs;
-    let long = InputSetSpec { length: 1_000, error_pct: 10 }.generate(6, 5).pairs;
+    let short = InputSetSpec {
+        length: 100,
+        error_pct: 10,
+    }
+    .generate(12, 5)
+    .pairs;
+    let long = InputSetSpec {
+        length: 1_000,
+        error_pct: 10,
+    }
+    .generate(6, 5)
+    .pairs;
 
     println!(
         "{:<22} {:>9} {:>7} {:>12} {:>12} {:>12}",
         "configuration", "area mm2", "macros", "short cyc", "long cyc", "GCUPS/mm2*"
     );
     let mut rows = Vec::new();
-    for (aligners, ps) in [(1usize, 64usize), (2, 32), (1, 32), (2, 64), (4, 16), (1, 128)] {
+    for (aligners, ps) in [
+        (1usize, 64usize),
+        (2, 32),
+        (1, 32),
+        (2, 64),
+        (4, 16),
+        (1, 128),
+    ] {
         let cfg = AccelConfig::wfasic_chip()
             .with_aligners(aligners)
             .with_parallel_sections(ps);
@@ -36,7 +53,13 @@ fn main() {
             r_long.accel_cycles,
             gcups / area.area_mm2
         );
-        rows.push((aligners, ps, area.area_mm2, r_short.accel_cycles, r_long.accel_cycles));
+        rows.push((
+            aligners,
+            ps,
+            area.area_mm2,
+            r_short.accel_cycles,
+            r_long.accel_cycles,
+        ));
     }
     println!("* GCUPS on the 1K-10% set at 1.1 GHz, per mm2\n");
 
@@ -47,7 +70,10 @@ fn main() {
         "2x32PS needs {:.2} mm2 vs 1x64PS {:.2} mm2 (paper: 32PS is only ~1.5x smaller than 64PS)",
         a2x32.2, a64.2
     );
-    assert!(a2x32.2 > a64.2, "two 32PS Aligners cost more area than one 64PS");
+    assert!(
+        a2x32.2 > a64.2,
+        "two 32PS Aligners cost more area than one 64PS"
+    );
     println!(
         "short reads: 2x32PS {} cycles vs 1x64PS {} cycles (more Aligners beat wider ones)",
         a2x32.3, a64.3

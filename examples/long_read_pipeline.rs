@@ -17,8 +17,14 @@ fn main() {
     );
 
     for spec in [
-        InputSetSpec { length: 10_000, error_pct: 5 },
-        InputSetSpec { length: 10_000, error_pct: 10 },
+        InputSetSpec {
+            length: 10_000,
+            error_pct: 5,
+        },
+        InputSetSpec {
+            length: 10_000,
+            error_pct: 10,
+        },
     ] {
         let pairs = spec.generate(2, 2024).pairs;
         println!("--- input set {} ({} pairs) ---", spec.name(), pairs.len());

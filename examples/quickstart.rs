@@ -36,7 +36,11 @@ fn main() {
 
     // 3. The WFAsic co-design: device + driver + CPU backtrace.
     let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-    let pairs = vec![Pair { id: 0, a: a.clone(), b: b.clone() }];
+    let pairs = vec![Pair {
+        id: 0,
+        a: a.clone(),
+        b: b.clone(),
+    }];
     let job = drv
         .submit(&pairs, true, WaitMode::PollIdle)
         .expect("fault-free job cannot fail");
@@ -44,13 +48,13 @@ fn main() {
     let hw_cigar = res.cigar.as_ref().unwrap();
     println!(
         "WFAsic       : score {:>3}  cigar {}  ({} accelerator cycles)",
-        res.score,
-        hw_cigar,
-        job.report.pairs[0].align_cycles
+        res.score, hw_cigar, job.report.pairs[0].align_cycles
     );
     assert!(res.success);
     assert_eq!(res.score, wfa.score);
-    hw_cigar.check(&a, &b).expect("hardware CIGAR must be valid");
+    hw_cigar
+        .check(&a, &b)
+        .expect("hardware CIGAR must be valid");
     assert_eq!(hw_cigar.score(&p), res.score as u64);
 
     println!("\nall three agree.");

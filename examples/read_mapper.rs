@@ -100,11 +100,7 @@ fn main() {
         }
         let entry = best.entry(read_idx).or_insert((u32::MAX, 0, String::new()));
         if res.score < entry.0 {
-            *entry = (
-                res.score,
-                pos,
-                res.cigar.as_ref().unwrap().to_rle_string(),
-            );
+            *entry = (res.score, pos, res.cigar.as_ref().unwrap().to_rle_string());
         }
     }
 
@@ -119,7 +115,11 @@ fn main() {
             println!(
                 "read {r:>2}: mapped at {pos:>6} (truth {:>6}, score {score:>3})  {}",
                 truths[r],
-                if cigar.len() > 40 { &cigar[..40] } else { cigar }
+                if cigar.len() > 40 {
+                    &cigar[..40]
+                } else {
+                    cigar
+                }
             );
         } else {
             println!("read {r:>2}: unmapped");
@@ -129,7 +129,10 @@ fn main() {
         "\n{mapped_close}/{n_reads} reads mapped within 32 bp of the truth; accelerator spent {} cycles",
         job.report.total_cycles
     );
-    assert!(mapped_close * 10 >= n_reads * 8, "mapper should place most reads");
+    assert!(
+        mapped_close * 10 >= n_reads * 8,
+        "mapper should place most reads"
+    );
 
     // Scores are exact: spot-check one against SWG.
     let check = &jobs[0];

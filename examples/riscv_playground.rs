@@ -49,7 +49,10 @@ done:
     let p = g.pair();
     let scalar = run_wfa_scalar(&p.a, &p.b);
     let vector = run_wfa_vector(&p.a, &p.b);
-    println!("WFA kernels on a 200bp / 6% pair (score {:?}):", scalar.score.unwrap());
+    println!(
+        "WFA kernels on a 200bp / 6% pair (score {:?}):",
+        scalar.score.unwrap()
+    );
     println!(
         "  scalar RV64IM : {:>9} instructions, {:>9} cycles",
         scalar.stats.instret, scalar.stats.cycles

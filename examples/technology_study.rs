@@ -25,7 +25,9 @@ fn main() {
     );
     for (name, profile, rate) in technologies {
         let len = if rate < 0.05 { 150 } else { 1_000 };
-        let mut g = PairGenerator::new(len, rate, 77).with_profile(profile).with_max_len(len);
+        let mut g = PairGenerator::new(len, rate, 77)
+            .with_profile(profile)
+            .with_max_len(len);
         let pairs = g.pairs(6);
 
         // Edit-mix statistics from exact alignments.
@@ -71,16 +73,26 @@ fn main() {
         let adaptive = wfa_align(
             &p.a,
             &p.b,
-            &WfaOptions { adaptive: Some(tight), ..WfaOptions::score_only(penalties) },
+            &WfaOptions {
+                adaptive: Some(tight),
+                ..WfaOptions::score_only(penalties)
+            },
         )
         .unwrap();
-        assert!(adaptive.score >= exact.score, "heuristic can never be better than exact");
+        assert!(
+            adaptive.score >= exact.score,
+            "heuristic can never be better than exact"
+        );
         if adaptive.score > exact.score {
             inflated += 1;
         }
         println!(
             "  pair {}: exact {}, adaptive {} ({} cells vs {})",
-            p.id, exact.score, adaptive.score, exact.stats.cells_computed, adaptive.stats.cells_computed
+            p.id,
+            exact.score,
+            adaptive.score,
+            exact.stats.cells_computed,
+            adaptive.stats.cells_computed
         );
     }
     println!("aggressively-pruned heuristic inflated {inflated}/8 scores; WFAsic is exact by construction");

@@ -33,7 +33,10 @@ fn main() {
             "--cycles" => show_cycles = true,
             "--aligners" => {
                 i += 1;
-                aligners = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                aligners = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => files.push(other),
@@ -99,9 +102,15 @@ fn main() {
             .as_ref()
             .map(|c| c.to_rle_string())
             .unwrap_or_else(|| "-".to_string());
-        print!("{}\t{}\tscore={}\tcigar={}", ra.name, status, res.score, cigar);
+        print!(
+            "{}\t{}\tscore={}\tcigar={}",
+            ra.name, status, res.score, cigar
+        );
         if show_cycles {
-            print!("\talign_cycles={}\tread_cycles={}", pr.align_cycles, pr.read_cycles);
+            print!(
+                "\talign_cycles={}\tread_cycles={}",
+                pr.align_cycles, pr.read_cycles
+            );
         }
         println!();
     }

@@ -4,7 +4,7 @@
 use wfasic::driver::CpuCosts;
 use wfasic::riscv::kernels::run_wfa_scalar;
 use wfasic::seqio::PairGenerator;
-use wfasic::wfa::{wfa_align, WfaOptions, Penalties};
+use wfasic::wfa::{wfa_align, Penalties, WfaOptions};
 
 #[test]
 fn analytic_model_tracks_isa_kernel_within_a_small_factor() {
@@ -18,7 +18,12 @@ fn analytic_model_tracks_isa_kernel_within_a_small_factor() {
         let p = PairGenerator::new(len, rate, seed).pair();
         let isa = run_wfa_scalar(&p.a, &p.b);
         assert!(isa.score.is_some());
-        let sw = wfa_align(&p.a, &p.b, &WfaOptions::score_only(Penalties::WFASIC_DEFAULT)).unwrap();
+        let sw = wfa_align(
+            &p.a,
+            &p.b,
+            &WfaOptions::score_only(Penalties::WFASIC_DEFAULT),
+        )
+        .unwrap();
         let analytic = costs.align_cycles(&sw.stats);
         let ratio = isa.stats.cycles as f64 / analytic as f64;
         assert!(
@@ -39,7 +44,12 @@ fn isa_kernel_score_agrees_with_software_on_standard_shape() {
     let mut g = PairGenerator::new(100, 0.05, 42);
     for _ in 0..5 {
         let p = g.pair();
-        let sw = wfa_align(&p.a, &p.b, &WfaOptions::score_only(Penalties::WFASIC_DEFAULT)).unwrap();
+        let sw = wfa_align(
+            &p.a,
+            &p.b,
+            &WfaOptions::score_only(Penalties::WFASIC_DEFAULT),
+        )
+        .unwrap();
         let isa = run_wfa_scalar(&p.a, &p.b);
         assert_eq!(isa.score, Some(sw.score));
     }
@@ -51,6 +61,11 @@ fn vector_model_strictly_faster_on_real_workloads() {
     let vector = CpuCosts::sargantana_vector();
     let mut g = PairGenerator::new(1000, 0.10, 9);
     let p = g.pair();
-    let sw = wfa_align(&p.a, &p.b, &WfaOptions::score_only(Penalties::WFASIC_DEFAULT)).unwrap();
+    let sw = wfa_align(
+        &p.a,
+        &p.b,
+        &WfaOptions::score_only(Penalties::WFASIC_DEFAULT),
+    )
+    .unwrap();
     assert!(vector.align_cycles(&sw.stats) < scalar.align_cycles(&sw.stats));
 }

@@ -18,7 +18,12 @@ use wfasic::soc::MainMemory;
 use wfasic::wfa::{swg_score, Penalties};
 
 fn pairs(n: usize, seed: u64) -> Vec<wfasic::seqio::Pair> {
-    InputSetSpec { length: 100, error_pct: 5 }.generate(n, seed).pairs
+    InputSetSpec {
+        length: 100,
+        error_pct: 5,
+    }
+    .generate(n, seed)
+    .pairs
 }
 
 fn recovering_driver() -> WfasicDriver {
@@ -56,17 +61,30 @@ fn scenario_bit_flips_on_bus_reads() {
     let mut drv = recovering_driver();
     assert_recovered(
         &mut drv,
-        FaultPlan { bit_flip_per_beat: 0.25, ..FaultPlan::none() },
+        FaultPlan {
+            bit_flip_per_beat: 0.25,
+            ..FaultPlan::none()
+        },
         101,
     );
-    assert!(drv.device.fault_counters().bit_flips > 0, "flips were injected");
+    assert!(
+        drv.device.fault_counters().bit_flips > 0,
+        "flips were injected"
+    );
 }
 
 /// Scenario 2: dropped DMA beats (a burst loses a 16-byte beat).
 #[test]
 fn scenario_dropped_dma_beats() {
     let mut drv = recovering_driver();
-    assert_recovered(&mut drv, FaultPlan { drop_beat: 0.1, ..FaultPlan::none() }, 102);
+    assert_recovered(
+        &mut drv,
+        FaultPlan {
+            drop_beat: 0.1,
+            ..FaultPlan::none()
+        },
+        102,
+    );
     assert!(drv.device.fault_counters().dropped_beats > 0);
 }
 
@@ -116,7 +134,10 @@ fn scenario_start_while_busy() {
     dev.mmio_write(offsets::OUT_ADDR, 0x10_0000);
     dev.mmio_write(offsets::START, 1);
     dev.mmio_write(offsets::START, 1); // double start: refused
-    assert_eq!(dev.mmio_read(offsets::ERROR_CODE), error_code::START_WHILE_BUSY);
+    assert_eq!(
+        dev.mmio_read(offsets::ERROR_CODE),
+        error_code::START_WHILE_BUSY
+    );
     let report = dev.run(&mut mem);
     assert!(report.error.is_none(), "the original job is unaffected");
     assert_eq!(report.pairs.len(), 2);
@@ -145,7 +166,10 @@ fn scenario_over_length_in_size() {
     dev.mmio_write(offsets::MAX_READ_LEN, (1 << 24) as u64); // absurd
     dev.mmio_write(offsets::START, 1);
     let report = dev.run(&mut mem);
-    assert_eq!(report.error.map(|e| e.code), Some(error_code::BAD_MAX_READ_LEN));
+    assert_eq!(
+        report.error.map(|e| e.code),
+        Some(error_code::BAD_MAX_READ_LEN)
+    );
     assert_eq!(dev.mmio_read(offsets::IDLE), 1);
 }
 
@@ -197,12 +221,20 @@ fn scenario_combined_storm_with_interrupts() {
         ..FaultPlan::none()
     });
     for round in 0..4 {
-        let wait = if round % 2 == 0 { WaitMode::PollIdle } else { WaitMode::Interrupt };
+        let wait = if round % 2 == 0 {
+            WaitMode::PollIdle
+        } else {
+            WaitMode::Interrupt
+        };
         let job = drv.submit(&input, false, wait).unwrap();
         assert_eq!(job.results.len(), input.len());
         assert!(job.results.iter().all(|r| r.success));
         assert_eq!(drv.device.mmio_read(offsets::IDLE), 1);
-        assert_eq!(drv.device.mmio_read(offsets::IRQ_PENDING), 0, "irq acknowledged");
+        assert_eq!(
+            drv.device.mmio_read(offsets::IRQ_PENDING),
+            0,
+            "irq acknowledged"
+        );
     }
     assert!(drv.device.fault_counters().total() > 0);
 }
@@ -221,5 +253,8 @@ fn scenario_watchdog_timeout_recovery() {
     // Without fallback, the timeout is an error the caller sees.
     drv.cpu_fallback = false;
     let err = drv.submit(&input, false, WaitMode::PollIdle).unwrap_err();
-    assert!(matches!(err, DriverError::Timeout { watchdog: 10, .. }), "{err}");
+    assert!(
+        matches!(err, DriverError::Timeout { watchdog: 10, .. }),
+        "{err}"
+    );
 }

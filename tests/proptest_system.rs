@@ -47,7 +47,11 @@ fn codesign_matches_oracle() {
     cases(40, 0x5151_0001, |rng, _| {
         let (a, b) = pair(rng, 120);
         let p = Penalties::WFASIC_DEFAULT;
-        let pairs = vec![Pair { id: 0, a: a.clone(), b: b.clone() }];
+        let pairs = vec![Pair {
+            id: 0,
+            a: a.clone(),
+            b: b.clone(),
+        }];
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
         let res = &job.results[0];

@@ -16,7 +16,12 @@ use wfasic::soc::MainMemory;
 
 #[test]
 fn n_bases_flagged_not_hung() {
-    let mut pairs = InputSetSpec { length: 120, error_pct: 5 }.generate(5, 1).pairs;
+    let mut pairs = InputSetSpec {
+        length: 120,
+        error_pct: 5,
+    }
+    .generate(5, 1)
+    .pairs;
     pairs[0].a[3] = b'N';
     pairs[2].b[100] = b'n';
     pairs[4].a[0] = b'-';
@@ -98,10 +103,26 @@ fn garbage_image_completes_with_failures() {
 #[test]
 fn empty_and_tiny_sequences_flow_through() {
     let pairs = vec![
-        Pair { id: 0, a: Vec::new(), b: b"ACGT".to_vec() },
-        Pair { id: 1, a: b"A".to_vec(), b: b"A".to_vec() },
-        Pair { id: 2, a: b"ACGT".to_vec(), b: Vec::new() },
-        Pair { id: 3, a: Vec::new(), b: Vec::new() },
+        Pair {
+            id: 0,
+            a: Vec::new(),
+            b: b"ACGT".to_vec(),
+        },
+        Pair {
+            id: 1,
+            a: b"A".to_vec(),
+            b: b"A".to_vec(),
+        },
+        Pair {
+            id: 2,
+            a: b"ACGT".to_vec(),
+            b: Vec::new(),
+        },
+        Pair {
+            id: 3,
+            a: Vec::new(),
+            b: Vec::new(),
+        },
     ];
     let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
     let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
@@ -120,9 +141,21 @@ fn mixed_lengths_in_one_job() {
     // MAX_READ_LEN is set by the longest read; short reads are padded with
     // dummy bases that the Extractor must ignore.
     let pairs = vec![
-        Pair { id: 0, a: b"ACG".to_vec(), b: b"ACG".to_vec() },
-        Pair { id: 1, a: vec![b'G'; 777], b: vec![b'G'; 777] },
-        Pair { id: 2, a: b"GATTACA".to_vec(), b: b"GACTACA".to_vec() },
+        Pair {
+            id: 0,
+            a: b"ACG".to_vec(),
+            b: b"ACG".to_vec(),
+        },
+        Pair {
+            id: 1,
+            a: vec![b'G'; 777],
+            b: vec![b'G'; 777],
+        },
+        Pair {
+            id: 2,
+            a: b"GATTACA".to_vec(),
+            b: b"GACTACA".to_vec(),
+        },
     ];
     let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
     let job = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap();
@@ -194,14 +227,22 @@ fn fuzz_arbitrary_mmio_sequences_never_panic() {
         }
         let report = dev.run(&mut mem);
 
-        assert_eq!(dev.mmio_read(offsets::IDLE), 1, "device always returns to Idle");
+        assert_eq!(
+            dev.mmio_read(offsets::IDLE),
+            1,
+            "device always returns to Idle"
+        );
         let code = dev.mmio_read(offsets::ERROR_CODE);
         assert!(
             error_code::ALL.contains(&code),
             "latched ERROR_CODE {code} is not an architectural value"
         );
         if let Some(e) = report.error {
-            assert_ne!(e.code, error_code::OK, "an error report carries a real code");
+            assert_ne!(
+                e.code,
+                error_code::OK,
+                "an error report carries a real code"
+            );
             // The register mirror agrees with the report when the job errored.
             assert_eq!(code, e.code);
         }

@@ -12,12 +12,30 @@ use wfasic::wfa::{swg_score, Penalties};
 /// and shorter pairs so the suite stays fast: lengths 100/250/600).
 fn test_sets() -> Vec<InputSetSpec> {
     vec![
-        InputSetSpec { length: 100, error_pct: 5 },
-        InputSetSpec { length: 100, error_pct: 10 },
-        InputSetSpec { length: 250, error_pct: 5 },
-        InputSetSpec { length: 250, error_pct: 10 },
-        InputSetSpec { length: 600, error_pct: 5 },
-        InputSetSpec { length: 600, error_pct: 10 },
+        InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        },
+        InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        },
+        InputSetSpec {
+            length: 250,
+            error_pct: 5,
+        },
+        InputSetSpec {
+            length: 250,
+            error_pct: 10,
+        },
+        InputSetSpec {
+            length: 600,
+            error_pct: 5,
+        },
+        InputSetSpec {
+            length: 600,
+            error_pct: 10,
+        },
     ]
 }
 
@@ -92,7 +110,12 @@ fn small_k_max_flags_failures_honestly() {
     let mut cfg = AccelConfig::wfasic_chip();
     cfg.k_max = 12; // Score_max = 28
     let p = Penalties::WFASIC_DEFAULT;
-    let pairs = InputSetSpec { length: 100, error_pct: 10 }.generate(8, 6).pairs;
+    let pairs = InputSetSpec {
+        length: 100,
+        error_pct: 10,
+    }
+    .generate(8, 6)
+    .pairs;
     let mut drv = WfasicDriver::new(cfg);
     let job = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap();
     let mut seen_fail = false;
@@ -106,5 +129,8 @@ fn small_k_max_flags_failures_honestly() {
             seen_fail = true;
         }
     }
-    assert!(seen_fail, "10% error over 100bp should exceed score 28 somewhere");
+    assert!(
+        seen_fail,
+        "10% error over 100bp should exceed score 28 somewhere"
+    );
 }
