@@ -23,7 +23,10 @@ use crate::config::AccelConfig;
 use crate::extractor::extract_pair;
 use crate::regs::{error_code, offsets, DeviceError, JobConfig};
 use crate::schedule::WavefrontSchedule;
+use std::cell::RefCell;
+use std::rc::Rc;
 use wfasic_seqio::memimage::{pair_record_bytes, NbtRecord, SECTION};
+use wfasic_soc::arbiter::BusArbiter;
 use wfasic_soc::bus::{BusStats, MemoryBus};
 use wfasic_soc::clock::Cycle;
 use wfasic_soc::dma::DmaEngine;
@@ -61,8 +64,17 @@ pub struct PairReport {
 /// The report of one accelerator job.
 #[derive(Debug, Clone)]
 pub struct RunReport {
-    /// Total job cycles (everything complete).
+    /// Absolute cycle at which everything completed. For a job launched at
+    /// cycle 0 (the single-device path) this is the job duration; for a
+    /// lane job launched mid-batch, subtract [`RunReport::start`] — see
+    /// [`RunReport::duration`].
     pub total_cycles: Cycle,
+    /// Absolute cycle at which the job was launched (0 on the single-device
+    /// path).
+    pub start: Cycle,
+    /// Absolute cycle at which the last input record finished arriving: the
+    /// earliest point the next job's DMA-in may begin on this lane.
+    pub input_done: Cycle,
     /// Per-pair details, in input order (may be truncated if the job
     /// aborted — see `error`).
     pub pairs: Vec<PairReport>,
@@ -82,9 +94,18 @@ pub struct RunReport {
     pub faults: FaultCounters,
     /// Per-stage cycle attribution and the raw hardware spans, collected
     /// when `PERF_CTRL` was set for this job (`None` otherwise). The
-    /// attribution sums exactly to `total_cycles` — see
+    /// attribution covers the job window `[start, total_cycles)` exactly,
+    /// so the counters sum to [`RunReport::duration`] — see
     /// [`wfasic_soc::perf::attribute_timeline`].
     pub perf: Option<JobPerf>,
+}
+
+impl RunReport {
+    /// Cycles the job itself took (`total_cycles - start`; mirrors the
+    /// `JOB_CYCLES` register).
+    pub fn duration(&self) -> Cycle {
+        self.total_cycles - self.start
+    }
 }
 
 /// Output chunking granularity for the backtrace stream: one bus burst.
@@ -113,6 +134,13 @@ pub struct WfasicDevice {
     /// Injector for the MMIO configuration path.
     mmio_fault: Option<FaultInjector>,
     jobs_run: u64,
+    /// This device's lane ID in a multi-lane SoC (0 for a lone device).
+    /// Namespaces the fault-injection streams and perf trace tracks so
+    /// lanes sharing a fault plan do not draw correlated fault sequences.
+    lane: usize,
+    /// The shared memory-controller arbiter, when this device is one lane
+    /// of a multi-lane SoC.
+    shared_bus: Option<Rc<RefCell<BusArbiter>>>,
 }
 
 impl WfasicDevice {
@@ -143,14 +171,55 @@ impl WfasicDevice {
             fault_counters: FaultCounters::default(),
             mmio_fault: None,
             jobs_run: 0,
+            lane: 0,
+            shared_bus: None,
         }
+    }
+
+    /// Give this device a lane identity in a multi-lane SoC. Lane 0 is
+    /// bit-identical to a lone device.
+    pub fn with_lane(mut self, lane: usize) -> Self {
+        self.set_lane(lane);
+        self
+    }
+
+    /// Set the lane ID (see [`WfasicDevice::with_lane`]).
+    pub fn set_lane(&mut self, lane: usize) {
+        self.lane = lane;
+        // The MMIO fault stream is per-device state: re-key it so lanes
+        // sharing a plan do not draw the same configuration-path faults.
+        if let Some(plan) = self.fault_plan {
+            self.clear_fault_plan();
+            self.set_fault_plan(plan);
+        }
+    }
+
+    /// This device's lane ID.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Attach this device's DMA port to a shared memory-controller arbiter
+    /// (as lane [`WfasicDevice::lane`]). Transfers then contend with the
+    /// other lanes' traffic.
+    pub fn attach_shared_bus(&mut self, arbiter: Rc<RefCell<BusArbiter>>) {
+        self.shared_bus = Some(arbiter);
+    }
+
+    /// Stream-key nonce for this device: varies per job (faults behave as
+    /// transients across retries) and per lane (lanes sharing a plan draw
+    /// independent sequences). Lane 0's first job keys exactly as a lone
+    /// device's.
+    fn fault_nonce(&self) -> u64 {
+        (self.jobs_run ^ ((self.lane as u64) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 
     /// Install a fault plan. Takes effect on subsequent MMIO writes and jobs;
     /// each job draws fresh per-stream fault sequences, so an identical
     /// resubmission sees a *different* (transient) fault pattern.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.mmio_fault = Some(FaultInjector::with_stream(plan, streams::MMIO));
+        let key = streams::MMIO ^ ((self.lane as u64) << 32);
+        self.mmio_fault = Some(FaultInjector::with_stream(plan, key));
         self.fault_plan = Some(plan);
     }
 
@@ -222,9 +291,10 @@ impl WfasicDevice {
         self.regs.read(offset)
     }
 
-    /// Refuse the latched job: latch the error, return to Idle, raise the
-    /// interrupt if enabled (so waiters wake and see the error).
-    fn refuse(&mut self, code: u64, info: u64, irq_enable: bool) -> RunReport {
+    /// Refuse the job latched at cycle `start`: latch the error, return to
+    /// Idle, raise the interrupt if enabled (so waiters wake and see the
+    /// error).
+    fn refuse(&mut self, start: Cycle, code: u64, info: u64, irq_enable: bool) -> RunReport {
         self.latch_error(code, info);
         self.regs.poke(offsets::IDLE, 1);
         self.regs.poke(offsets::OUT_BYTES, 0);
@@ -234,16 +304,19 @@ impl WfasicDevice {
         }
         // A refused job still accounts its cycles: decode-and-refuse is
         // control-FSM time.
+        let total = start + REFUSE_CYCLES;
         let perf = self.perf_enabled().then(|| {
             let mut sink = TraceSink::new(true);
-            sink.record(Stage::Ctrl, track::DEVICE, 0, REFUSE_CYCLES, 0);
+            sink.record(Stage::Ctrl, self.lane_track(track::DEVICE), start, total, 0);
             let mut spans = Vec::new();
             sink.drain_into(&mut spans);
-            JobPerf::from_spans(spans, REFUSE_CYCLES)
+            JobPerf::from_spans_window(spans, start, total)
         });
         self.publish_perf(perf.as_ref());
         RunReport {
-            total_cycles: REFUSE_CYCLES,
+            total_cycles: total,
+            start,
+            input_done: start,
             pairs: Vec::new(),
             output_bytes: 0,
             bus: BusStats::default(),
@@ -256,6 +329,12 @@ impl WfasicDevice {
         }
     }
 
+    /// The lane-namespaced ID of module track `base` (see
+    /// [`track::on_lane`]).
+    fn lane_track(&self, base: u16) -> u16 {
+        track::on_lane(base, self.lane)
+    }
+
     /// Execute the job described by the registers. The CPU writes START = 1
     /// and this simulates until completion (IDLE returns to 1; the interrupt
     /// is raised if enabled).
@@ -265,9 +344,27 @@ impl WfasicDevice {
     /// overrun aborts the job mid-flight, and corrupted records degrade to
     /// per-pair `Success = 0`.
     pub fn run(&mut self, mem: &mut MainMemory) -> RunReport {
+        self.run_at(mem, 0, 0)
+    }
+
+    /// Execute the latched job with a timeline offset: input DMA may begin
+    /// no earlier than `dma_start`, Aligners no earlier than
+    /// `compute_start`. `run_at(mem, 0, 0)` is exactly [`WfasicDevice::run`].
+    ///
+    /// This is the batch-overlap primitive: a lane that finished reading
+    /// job *k*'s input at [`RunReport::input_done`] can start job *k+1*'s
+    /// DMA there while job *k* is still computing (`compute_start` = job
+    /// *k*'s completion).
+    pub fn run_at(
+        &mut self,
+        mem: &mut MainMemory,
+        dma_start: Cycle,
+        compute_start: Cycle,
+    ) -> RunReport {
+        let start = dma_start.min(compute_start);
         if self.regs.peek(offsets::START) != 1 {
             let irq = self.regs.peek(offsets::IRQ_ENABLE) != 0;
-            return self.refuse(error_code::START_NOT_SET, 0, irq);
+            return self.refuse(start, error_code::START_NOT_SET, 0, irq);
         }
         self.regs.poke(offsets::START, 0);
         self.regs.poke(offsets::IDLE, 0);
@@ -280,6 +377,7 @@ impl WfasicDevice {
             || job.max_read_len > MAX_READ_LEN_SANITY
         {
             return self.refuse(
+                start,
                 error_code::BAD_MAX_READ_LEN,
                 job.max_read_len as u64,
                 job.irq_enable,
@@ -287,7 +385,7 @@ impl WfasicDevice {
         }
         let rec_bytes = pair_record_bytes(job.max_read_len);
         if !job.in_size.is_multiple_of(rec_bytes as u64) {
-            return self.refuse(error_code::BAD_IN_SIZE, job.in_size, job.irq_enable);
+            return self.refuse(start, error_code::BAD_IN_SIZE, job.in_size, job.irq_enable);
         }
         let mem_cap = mem.cap() as u64;
         let in_window_ok = job
@@ -295,12 +393,12 @@ impl WfasicDevice {
             .checked_add(job.in_size)
             .is_some_and(|end| end <= mem_cap);
         if !in_window_ok {
-            return self.refuse(error_code::BAD_ADDR, job.in_addr, job.irq_enable);
+            return self.refuse(start, error_code::BAD_ADDR, job.in_addr, job.irq_enable);
         }
         let out_window_ok =
             job.out_addr <= mem_cap && job.out_addr.checked_add(job.out_size).is_some();
         if !out_window_ok {
-            return self.refuse(error_code::BAD_ADDR, job.out_addr, job.irq_enable);
+            return self.refuse(start, error_code::BAD_ADDR, job.out_addr, job.irq_enable);
         }
         // End of the output window (OUT_SIZE = 0 means "to end of memory").
         let out_limit = if job.out_size == 0 {
@@ -320,18 +418,22 @@ impl WfasicDevice {
         let mut dev_perf = TraceSink::new(perf_on);
         let mut bus = MemoryBus::new(self.cfg.bus);
         bus.perf.enabled = perf_on;
+        if let Some(arbiter) = &self.shared_bus {
+            bus.attach_shared(arbiter.clone(), self.lane);
+        }
         let mut in_fifo: SinglePortFifo<()> = SinglePortFifo::new(self.cfg.fifo_depth.max(1));
         in_fifo.perf.enabled = perf_on;
         if let Some(plan) = self.fault_plan {
-            // Per-job nonce: a retried job draws fresh fault sequences, so
-            // injected faults behave as transients.
-            let nonce = self.jobs_run.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            // Per-job, per-lane nonce: a retried job draws fresh fault
+            // sequences (faults behave as transients), and lanes sharing a
+            // plan draw independent ones.
+            let nonce = self.fault_nonce();
             bus.fault = Some(FaultInjector::with_stream(plan, streams::BUS ^ nonce));
             in_fifo.fault = Some(FaultInjector::with_stream(plan, streams::FIFO ^ nonce));
         }
         let mut dma = DmaEngine::new();
 
-        let mut aligner_free: Vec<Cycle> = vec![0; n_aligners];
+        let mut aligner_free: Vec<Cycle> = vec![compute_start; n_aligners];
         let mut aligner_busy: Vec<Cycle> = vec![0; n_aligners];
         let mut completion: Vec<Cycle> = Vec::with_capacity(num_pairs);
         let mut pairs: Vec<PairReport> = Vec::with_capacity(num_pairs);
@@ -344,7 +446,7 @@ impl WfasicDevice {
         // Pending NBT records (flushed four per transaction).
         let mut nbt_pending: Vec<(NbtRecord, Cycle)> = Vec::new();
 
-        let mut read_free: Cycle = 0;
+        let mut read_free: Cycle = dma_start;
         'job: for i in 0..num_pairs {
             // The Extractor starts ingesting a pair only when an Aligner is
             // (about to be) idle: gate on the (i - N)-th completion.
@@ -477,20 +579,29 @@ impl WfasicDevice {
 
         let total_cycles = last_event.max(read_free);
         // Assemble the per-stage timeline: every span the bus, the input
-        // FIFO, and the device recorded, attributed over [0, total_cycles).
-        // An aborted job (OUT_OVERRUN) lands here too, so partial jobs get
-        // partial — but still exactly-summing — attribution.
+        // FIFO, and the device recorded, attributed over the job window
+        // [start, total_cycles). An aborted job (OUT_OVERRUN) lands here
+        // too, so partial jobs get partial — but still exactly-summing —
+        // attribution.
         let perf = perf_on.then(|| {
             let mut spans = Vec::new();
             bus.perf.drain_into(&mut spans);
             in_fifo.perf.drain_into(&mut spans);
             dev_perf.drain_into(&mut spans);
-            JobPerf::from_spans(spans, total_cycles)
+            // The module sinks record on bare module tracks; namespace them
+            // to this device's lane (a no-op for lane 0).
+            if self.lane != 0 {
+                let offset = self.lane as u16 * track::LANE_STRIDE;
+                for s in &mut spans {
+                    s.track += offset;
+                }
+            }
+            JobPerf::from_spans_window(spans, start, total_cycles)
         });
         self.publish_perf(perf.as_ref());
         self.regs.poke(offsets::IDLE, 1);
         self.regs.poke(offsets::OUT_BYTES, output_bytes);
-        self.regs.poke(offsets::JOB_CYCLES, total_cycles);
+        self.regs.poke(offsets::JOB_CYCLES, total_cycles - start);
         if let Some(e) = error {
             self.latch_error(e.code, e.info);
         }
@@ -501,10 +612,12 @@ impl WfasicDevice {
 
         RunReport {
             total_cycles,
+            start,
+            input_done: read_free,
             pairs,
             output_bytes,
             bus: bus.stats,
-            bus_utilization: bus.utilization(total_cycles.max(1)),
+            bus_utilization: bus.utilization((total_cycles - start).max(1)),
             aligner_busy,
             interrupt_raised,
             error,
@@ -1009,6 +1122,109 @@ mod tests {
         assert_eq!(report.error.map(|e| e.code), Some(error_code::OUT_OVERRUN));
         let perf = report.perf.expect("partial attribution survives the abort");
         assert_eq!(perf.counters.total(), report.total_cycles);
+    }
+
+    #[test]
+    fn run_at_shifts_the_timeline_and_job_cycles_stays_a_duration() {
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        };
+        let (mut base, mut m1, _, _) = setup(spec, 5, 47, false, AccelConfig::wfasic_chip());
+        let (mut offset, mut m2, _, _) = setup(spec, 5, 47, false, AccelConfig::wfasic_chip());
+        let r0 = base.run(&mut m1);
+        const S: Cycle = 10_000;
+        let rs = offset.run_at(&mut m2, S, S);
+        assert_eq!(rs.start, S);
+        assert_eq!(rs.total_cycles, r0.total_cycles + S, "uniform shift");
+        assert_eq!(rs.duration(), r0.duration());
+        assert_eq!(rs.input_done, r0.input_done + S);
+        for (a, b) in r0.pairs.iter().zip(&rs.pairs) {
+            assert_eq!((a.id, a.score, a.success), (b.id, b.score, b.success));
+            assert_eq!(a.start + S, b.start);
+            assert_eq!(a.done + S, b.done);
+            assert_eq!(a.read_cycles, b.read_cycles);
+        }
+        // JOB_CYCLES reports the duration, not the absolute completion.
+        assert_eq!(offset.mmio_read(offsets::JOB_CYCLES), rs.duration());
+        assert_eq!(base.mmio_read(offsets::JOB_CYCLES), r0.total_cycles);
+    }
+
+    #[test]
+    fn run_at_overlaps_dma_with_prior_compute() {
+        // The batch-overlap primitive: job k+1's DMA may start at job k's
+        // input_done while compute waits for job k's completion.
+        let spec = InputSetSpec {
+            length: 1000,
+            error_pct: 10,
+        };
+        let (mut dev, mut mem, _, _) = setup(spec, 3, 53, false, AccelConfig::wfasic_chip());
+        let r1 = dev.run(&mut mem);
+        assert!(r1.input_done < r1.total_cycles, "compute outlasts DMA-in");
+        dev.mmio_write(offsets::START, 1);
+        let r2 = dev.run_at(&mut mem, r1.input_done, r1.total_cycles);
+        // The second job's first read started before the first job's
+        // compute finished — and nothing in the second job precedes its
+        // own launch window.
+        assert!(r2.start == r1.input_done);
+        assert!(r2.pairs[0].start >= r1.total_cycles, "compute gated");
+        assert!(r2.total_cycles < r1.total_cycles + r2.duration() + 1);
+    }
+
+    #[test]
+    fn run_at_perf_attribution_covers_exactly_the_job_window() {
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        };
+        let (mut dev, mut mem, _, _) = setup(spec, 4, 59, false, AccelConfig::wfasic_chip());
+        dev.mmio_write(offsets::PERF_CTRL, 1);
+        dev.mmio_write(offsets::START, 1);
+        let report = dev.run_at(&mut mem, 5_000, 7_000);
+        let perf = report.perf.as_ref().expect("PERF_CTRL set");
+        assert_eq!(perf.counters.total(), report.duration());
+        assert_eq!(dev.mmio_read(offsets::JOB_CYCLES), report.duration());
+        // The MMIO bank still sums to JOB_CYCLES under an offset launch.
+        let mmio_sum: Cycle = Stage::ALL
+            .iter()
+            .map(|&s| dev.mmio_read(offsets::perf_counter(s)))
+            .sum();
+        assert_eq!(mmio_sum, dev.mmio_read(offsets::JOB_CYCLES));
+    }
+
+    #[test]
+    fn lanes_sharing_a_fault_plan_draw_independent_streams() {
+        // Regression for a latent single-instance assumption: the per-job
+        // fault nonce depended only on jobs_run, so two lanes with the same
+        // plan replayed identical fault sequences. The nonce now mixes in
+        // the lane ID.
+        let spec = InputSetSpec {
+            length: 100,
+            error_pct: 5,
+        };
+        let plan = FaultPlan {
+            bit_flip_per_beat: 0.1,
+            ..FaultPlan::none()
+        };
+        let run_lane = |lane: usize| {
+            let (mut dev, mut mem, _, _) = setup(spec, 8, 61, false, AccelConfig::wfasic_chip());
+            dev.set_lane(lane);
+            dev.set_fault_plan(plan);
+            dev.mmio_write(offsets::START, 1);
+            let r = dev.run(&mut mem);
+            (
+                r.faults,
+                r.pairs.iter().map(|p| p.success).collect::<Vec<_>>(),
+            )
+        };
+        let (f0, s0) = run_lane(0);
+        let (f0b, s0b) = run_lane(0);
+        assert_eq!((f0, s0.clone()), (f0b, s0b), "lane 0 is deterministic");
+        let (f1, s1) = run_lane(1);
+        assert!(
+            f0 != f1 || s0 != s1,
+            "lane 1 must not replay lane 0's fault stream"
+        );
     }
 
     #[test]

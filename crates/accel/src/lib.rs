@@ -19,6 +19,8 @@
 //! * [`collector`] — BT/NBT output packaging;
 //! * [`device`] — the top level: DMA, dispatch, shared-bus contention,
 //!   Start/Idle/interrupt protocol;
+//! * [`multilane`] — N device instances (lanes) behind a shared memory
+//!   controller with per-lane MMIO windows;
 //! * [`area`] — the GF22FDX area/frequency/power budget model (Fig. 8,
 //!   Table 2).
 
@@ -31,6 +33,7 @@ pub mod device;
 pub mod extend;
 pub mod extractor;
 pub mod input_ram;
+pub mod multilane;
 pub mod regs;
 pub mod schedule;
 pub mod structural;
@@ -40,6 +43,7 @@ pub use aligner::{align_packed, AlignerOutcome, AlignerStats};
 pub use area::{area_report, AreaReport};
 pub use config::AccelConfig;
 pub use device::{PairReport, RunReport, WfasicDevice};
+pub use multilane::MultiLaneSoc;
 pub use regs::{offsets, JobConfig};
 pub use schedule::WavefrontSchedule;
 pub use structural::align_structural;

@@ -62,6 +62,15 @@ pub fn collect() -> Vec<Metric> {
             value: bt.wfasic_total as f64,
         });
     }
+    // Multi-lane batch throughput: batch completion cycles per lane count,
+    // so a scheduler or arbiter regression that slows (or falsely speeds
+    // up) batched execution trips the gate like any other cycle drift.
+    for row in crate::experiments::batch_scaling(&sizes) {
+        metrics.push(Metric {
+            name: format!("batch/lanes{}/total_cycles", row.lanes),
+            value: row.total_cycles as f64,
+        });
+    }
     metrics
 }
 
@@ -233,6 +242,6 @@ mod tests {
         let a = collect();
         let b = collect();
         assert_eq!(a, b, "two identical runs must measure identical cycles");
-        assert_eq!(a.len(), 24, "4 metrics per input set");
+        assert_eq!(a.len(), 28, "4 metrics per input set + 4 batch lane counts");
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p wfasic-bench --release --bin report -- \
-//!     [table1|fig8|fig9|fig10|fig11|table2|ablation|faults|perf|all] [--quick] [--seed N]
+//!     [table1|fig8|fig9|fig10|fig11|table2|ablation|faults|perf|batch|all] [--quick] [--seed N]
 //! cargo run -p wfasic-bench --release --bin report -- trace [set]
 //! cargo run -p wfasic-bench --release --bin report -- ci-check [--bless] [--baseline PATH]
 //! ```
@@ -81,6 +81,7 @@ fn main() {
             "table2" => print!("{}", report::table2_report(&sizes)),
             "ablation" => print!("{}", report::ablation_report(&sizes)),
             "faults" => print!("{}", report::faults_report(&sizes)),
+            "batch" => print!("{}", report::batch_report(&sizes)),
             "perf" => print!("{}", report::perf_report(&sizes)),
             "ci-check" => ci_check(bless, &baseline_path),
             "all" => {
@@ -91,13 +92,14 @@ fn main() {
                 println!("{}", report::table2_report(&sizes));
                 println!("{}", report::ablation_report(&sizes));
                 println!("{}", report::faults_report(&sizes));
+                println!("{}", report::batch_report(&sizes));
                 println!("{}", report::perf_report(&sizes));
                 print!("{}", report::fig8_report());
             }
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "usage: report [table1|fig8|fig9|fig10|fig11|table2|ablation|faults|perf|all] [--quick] [--seed N]"
+                    "usage: report [table1|fig8|fig9|fig10|fig11|table2|ablation|faults|perf|batch|all] [--quick] [--seed N]"
                 );
                 eprintln!("       report trace [set]");
                 eprintln!("       report ci-check [--bless] [--baseline PATH]");

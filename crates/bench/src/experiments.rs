@@ -314,6 +314,28 @@ mod tests {
     use wfasic_driver::{WaitMode, WfasicDriver};
 
     #[test]
+    fn batch_scaling_reaches_3x_at_4_lanes_on_the_quick_queue() {
+        let rows = batch_scaling(&Sizes::quick());
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].lanes, 1);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-9);
+        let four = rows.iter().find(|r| r.lanes == 4).unwrap();
+        assert!(
+            four.speedup >= 3.0,
+            "4 lanes must buy at least 3x aggregate throughput, got {:.2}x",
+            four.speedup
+        );
+        // Same queue, same alignment count at every sweep point.
+        assert!(rows.iter().all(|r| r.alignments == rows[0].alignments));
+        // More lanes never lose throughput, but the shared port saturates:
+        // 8 lanes pay real arbitration waits.
+        for w in rows.windows(2) {
+            assert!(w[1].total_cycles <= w[0].total_cycles);
+        }
+        assert!(rows[3].arb_wait > rows[1].arb_wait);
+    }
+
+    #[test]
     fn scheduler_matches_device_for_one_aligner() {
         let spec = InputSetSpec {
             length: 100,
@@ -582,6 +604,75 @@ pub fn fault_sweep(sizes: &Sizes) -> Vec<FaultSweepRow> {
                 faults_injected: injected,
             });
         }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Batch scaling (multi-lane throughput)
+// ---------------------------------------------------------------------------
+
+/// One lane-count point of the multi-lane batch throughput sweep.
+#[derive(Debug, Clone)]
+pub struct BatchScaleRow {
+    /// Number of WFAsic lanes on the SoC.
+    pub lanes: usize,
+    /// Jobs in the queue (fixed across lane counts).
+    pub jobs: usize,
+    /// Alignments completed.
+    pub alignments: usize,
+    /// Cycle at which the whole batch finished (the slowest lane).
+    pub total_cycles: Cycle,
+    /// Aggregate throughput, alignments per 1,000 device cycles.
+    pub throughput_kcyc: f64,
+    /// Throughput relative to the 1-lane point.
+    pub speedup: f64,
+    /// Cycles lanes spent waiting on shared-port arbitration.
+    pub arb_wait: Cycle,
+}
+
+/// The fixed job queue used by the batch sweep: short-read jobs, one seed
+/// per job, enough jobs to keep the widest sweep point (8 lanes) busy.
+fn batch_queue(sizes: &Sizes) -> Vec<wfasic_driver::BatchJob> {
+    let spec = InputSetSpec {
+        length: 100,
+        error_pct: 10,
+    };
+    (0..32u64)
+        .map(|j| {
+            let set = spec.generate(sizes.pairs_100.max(2), sizes.seed ^ (j << 16));
+            wfasic_driver::BatchJob::score_only(set.pairs)
+        })
+        .collect()
+}
+
+/// Sweep the same job queue across 1/2/4/8-lane SoCs and measure aggregate
+/// throughput. The queue is identical at every point, so the speedup column
+/// isolates what the extra lanes buy (and what shared-port arbitration
+/// costs).
+pub fn batch_scaling(sizes: &Sizes) -> Vec<BatchScaleRow> {
+    use wfasic_driver::BatchScheduler;
+
+    let jobs = batch_queue(sizes);
+    let mut rows: Vec<BatchScaleRow> = Vec::new();
+    for lanes in [1usize, 2, 4, 8] {
+        let mut sched = BatchScheduler::new(AccelConfig::wfasic_chip(), lanes);
+        let batch = sched.submit_batch(&jobs);
+        let alignments = batch.alignments();
+        let tput = batch.throughput();
+        let speedup = match rows.first() {
+            Some(base) if base.throughput_kcyc > 0.0 => tput * 1_000.0 / base.throughput_kcyc,
+            _ => 1.0,
+        };
+        rows.push(BatchScaleRow {
+            lanes,
+            jobs: jobs.len(),
+            alignments,
+            total_cycles: batch.total_cycles,
+            throughput_kcyc: tput * 1_000.0,
+            speedup,
+            arb_wait: batch.arbiter.wait_cycles(),
+        });
     }
     rows
 }

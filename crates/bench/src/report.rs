@@ -289,6 +289,39 @@ pub fn faults_report(sizes: &Sizes) -> String {
     s
 }
 
+/// Multi-lane batch throughput scaling (no paper counterpart: the paper
+/// tapes out one instance; this sweeps the SoC topology beyond it).
+pub fn batch_report(sizes: &Sizes) -> String {
+    let rows = experiments::batch_scaling(sizes);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.lanes.to_string(),
+                r.jobs.to_string(),
+                r.alignments.to_string(),
+                r.total_cycles.to_string(),
+                f(r.throughput_kcyc),
+                f(r.speedup),
+                r.arb_wait.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "Batch scaling: one job queue across 1/2/4/8 WFAsic lanes",
+        &[
+            "lanes",
+            "jobs",
+            "aligns",
+            "batch cycles",
+            "align/Kcyc",
+            "speedup",
+            "arb wait",
+        ],
+        &body,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,11 +35,45 @@ use wfasic_soc::clock::Cycle;
 use wfasic_soc::mem::MainMemory;
 use wfasic_soc::perf::{JobPerf, PerfCounters};
 
-/// Default memory layout for jobs: input image at 1 MiB, results at 16 MiB
-/// (the backing store grows on demand; a modest output base keeps the
-/// simulated-DRAM allocation small for typical jobs).
-const IN_ADDR: u64 = 0x0010_0000;
-const OUT_ADDR: u64 = 0x0100_0000;
+/// Where a driver stages a job in main memory. The defaults put the input
+/// image at 1 MiB and results at 16 MiB (the backing store grows on demand;
+/// a modest output base keeps the simulated-DRAM allocation small for
+/// typical jobs). A multi-lane batch gives every lane its own layout so
+/// concurrent jobs never collide — the driver used to hardcode one global
+/// pair of addresses, a latent single-instance assumption.
+///
+/// `in_addr` must be below `out_addr`; the gap bounds the largest input
+/// image ([`DriverError::BatchTooLarge`] guards it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLayout {
+    /// Base address of the staged input image.
+    pub in_addr: u64,
+    /// Base address where the device writes results.
+    pub out_addr: u64,
+}
+
+impl Default for MemLayout {
+    fn default() -> Self {
+        MemLayout {
+            in_addr: 0x0010_0000,
+            out_addr: 0x0100_0000,
+        }
+    }
+}
+
+impl MemLayout {
+    /// The layout of lane `lane` in a multi-lane SoC: each lane's windows
+    /// are the default layout shifted up by `lane * 32 MiB`, so lanes never
+    /// share a byte of staging memory.
+    pub fn for_lane(lane: usize) -> Self {
+        let stride = lane as u64 * 0x0200_0000;
+        let base = MemLayout::default();
+        MemLayout {
+            in_addr: base.in_addr + stride,
+            out_addr: base.out_addr + stride,
+        }
+    }
+}
 
 /// One alignment's final result as the application sees it.
 #[derive(Debug, Clone)]
@@ -183,6 +217,8 @@ pub struct WfasicDriver {
     /// attribution, readable via [`JobResult::perf_breakdown`]. Attribution
     /// is observational: it never changes cycle results.
     pub collect_perf: bool,
+    /// Where jobs are staged in main memory.
+    pub layout: MemLayout,
     schedule: WavefrontSchedule,
 }
 
@@ -201,6 +237,7 @@ impl WfasicDriver {
             cpu_fallback: false,
             out_size: 0,
             collect_perf: false,
+            layout: MemLayout::default(),
             schedule,
         }
     }
@@ -228,7 +265,7 @@ impl WfasicDriver {
         // The CPU parses the input and stores it in main memory (Fig. 4
         // step 1), padding every sequence to MAX_READ_LEN with dummy bases.
         let img = InputImage::encode_raw(pairs, max_read_len);
-        if IN_ADDR + img.bytes.len() as u64 > OUT_ADDR {
+        if self.layout.in_addr + img.bytes.len() as u64 > self.layout.out_addr {
             return Err(DriverError::BatchTooLarge {
                 bytes: img.bytes.len(),
             });
@@ -246,7 +283,7 @@ impl WfasicDriver {
             // (Re)stage the image and program the registers over AXI-Lite —
             // a retry reprograms everything in case a fault corrupted the
             // configuration path.
-            self.mem.write(IN_ADDR, &img.bytes);
+            self.mem.write(self.layout.in_addr, &img.bytes);
             let mut writes = 0u64;
             let mut w = |dev: &mut WfasicDevice, off, val| {
                 dev.mmio_write(off, val);
@@ -254,9 +291,9 @@ impl WfasicDriver {
             };
             w(&mut self.device, offsets::BT_ENABLE, backtrace as u64);
             w(&mut self.device, offsets::MAX_READ_LEN, max_read_len as u64);
-            w(&mut self.device, offsets::IN_ADDR, IN_ADDR);
+            w(&mut self.device, offsets::IN_ADDR, self.layout.in_addr);
             w(&mut self.device, offsets::IN_SIZE, img.bytes.len() as u64);
-            w(&mut self.device, offsets::OUT_ADDR, OUT_ADDR);
+            w(&mut self.device, offsets::OUT_ADDR, self.layout.out_addr);
             w(&mut self.device, offsets::OUT_SIZE, self.out_size);
             w(
                 &mut self.device,
@@ -356,53 +393,11 @@ impl WfasicDriver {
 
     /// Software WFA for one pair — the recovery path of last resort.
     fn cpu_align(&self, pair: &Pair, backtrace: bool) -> AlignmentResult {
-        let p = self.device.cfg.penalties;
-        let opts = if backtrace {
-            WfaOptions::exact(p)
-        } else {
-            WfaOptions::score_only(p)
-        };
-        match wfa_align(&pair.a, &pair.b, &opts) {
-            Ok(al) => AlignmentResult {
-                id: pair.id,
-                success: true,
-                score: al.score,
-                cigar: al.cigar,
-                recovered: true,
-            },
-            Err(_) => AlignmentResult {
-                id: pair.id,
-                success: false,
-                score: 0,
-                cigar: None,
-                recovered: true,
-            },
-        }
+        cpu_align_pair(self.device.cfg.penalties, pair, backtrace)
     }
 
     fn parse_nbt_results(&self, pairs: &[Pair], report: &RunReport) -> Vec<AlignmentResult> {
-        let bytes = self.mem.read(OUT_ADDR, report.output_bytes as usize);
-        let recs = wfasic_accel::collector::parse_nbt_records(&bytes, pairs.len());
-        // A short or ID-mismatched record set (torn/corrupted output) leaves
-        // the affected pairs marked failed rather than crashing; the CPU
-        // fallback can then recover them.
-        let mut results: Vec<AlignmentResult> = pairs
-            .iter()
-            .map(|pair| AlignmentResult {
-                id: pair.id,
-                success: false,
-                score: 0,
-                cigar: None,
-                recovered: false,
-            })
-            .collect();
-        for (i, rec) in recs.iter().enumerate().take(pairs.len()) {
-            if rec.id as u32 == pairs[i].id & 0xFFFF {
-                results[i].success = rec.success;
-                results[i].score = rec.score as u32;
-            }
-        }
-        results
+        parse_nbt_results_at(&self.mem, self.layout.out_addr, pairs, report)
     }
 
     fn parse_bt_results(
@@ -411,55 +406,140 @@ impl WfasicDriver {
         report: &RunReport,
         separated: bool,
     ) -> Result<(Vec<AlignmentResult>, Cycle), BtError> {
-        let bytes = self.mem.read(OUT_ADDR, report.output_bytes as usize);
-        let alignments: Vec<BtAlignment> = if separated {
-            separate_stream(&bytes)?
-        } else {
-            split_consecutive_stream(&bytes)?
-        };
-        let by_id: std::collections::HashMap<u32, &BtAlignment> =
-            alignments.iter().map(|a| (a.id, a)).collect();
+        parse_bt_results_at(
+            &self.mem,
+            self.layout.out_addr,
+            &self.schedule,
+            &self.device.cfg,
+            &self.bt_costs,
+            pairs,
+            report,
+            separated,
+        )
+    }
+}
 
-        let p = self.device.cfg.penalties;
-        let ps = self.device.cfg.parallel_sections;
-        let mut cycles: Cycle = 0;
-        let mut results = Vec::with_capacity(pairs.len());
-        for pair in pairs {
-            let bt = by_id
-                .get(&(pair.id & 0x7F_FFFF))
-                .ok_or(BtError::TruncatedStream)?;
-            if !bt.record.success {
-                results.push(AlignmentResult {
-                    id: pair.id,
-                    success: false,
-                    score: 0,
-                    cigar: None,
-                    recovered: false,
-                });
-                continue;
-            }
-            let cigar = backtrace_alignment(&self.schedule, bt, &pair.a, &pair.b, &p, ps)?;
-            let edits = {
-                let st = cigar.stats();
-                st.edits()
-            };
-            cycles += self.bt_costs.cycles(
-                (bt.txns * 16) as u64,
-                edits,
-                (pair.a.len() + pair.b.len()) as u64,
-                separated,
-            );
+/// Software WFA for one pair — the recovery path of last resort, shared by
+/// the single-job driver and the batch scheduler.
+pub(crate) fn cpu_align_pair(
+    penalties: wfa_core::Penalties,
+    pair: &Pair,
+    backtrace: bool,
+) -> AlignmentResult {
+    let opts = if backtrace {
+        WfaOptions::exact(penalties)
+    } else {
+        WfaOptions::score_only(penalties)
+    };
+    match wfa_align(&pair.a, &pair.b, &opts) {
+        Ok(al) => AlignmentResult {
+            id: pair.id,
+            success: true,
+            score: al.score,
+            cigar: al.cigar,
+            recovered: true,
+        },
+        Err(_) => AlignmentResult {
+            id: pair.id,
+            success: false,
+            score: 0,
+            cigar: None,
+            recovered: true,
+        },
+    }
+}
+
+/// Parse a job's NBT result records from `out_addr`.
+pub(crate) fn parse_nbt_results_at(
+    mem: &MainMemory,
+    out_addr: u64,
+    pairs: &[Pair],
+    report: &RunReport,
+) -> Vec<AlignmentResult> {
+    let bytes = mem.read(out_addr, report.output_bytes as usize);
+    let recs = wfasic_accel::collector::parse_nbt_records(&bytes, pairs.len());
+    // A short or ID-mismatched record set (torn/corrupted output) leaves
+    // the affected pairs marked failed rather than crashing; the CPU
+    // fallback can then recover them.
+    let mut results: Vec<AlignmentResult> = pairs
+        .iter()
+        .map(|pair| AlignmentResult {
+            id: pair.id,
+            success: false,
+            score: 0,
+            cigar: None,
+            recovered: false,
+        })
+        .collect();
+    for (i, rec) in recs.iter().enumerate().take(pairs.len()) {
+        if rec.id as u32 == pairs[i].id & 0xFFFF {
+            results[i].success = rec.success;
+            results[i].score = rec.score as u32;
+        }
+    }
+    results
+}
+
+/// Parse a job's backtrace stream from `out_addr` and run the CPU
+/// backtrace, returning the results and the modeled CPU cycles.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn parse_bt_results_at(
+    mem: &MainMemory,
+    out_addr: u64,
+    schedule: &WavefrontSchedule,
+    cfg: &AccelConfig,
+    bt_costs: &BacktraceCosts,
+    pairs: &[Pair],
+    report: &RunReport,
+    separated: bool,
+) -> Result<(Vec<AlignmentResult>, Cycle), BtError> {
+    let bytes = mem.read(out_addr, report.output_bytes as usize);
+    let alignments: Vec<BtAlignment> = if separated {
+        separate_stream(&bytes)?
+    } else {
+        split_consecutive_stream(&bytes)?
+    };
+    let by_id: std::collections::HashMap<u32, &BtAlignment> =
+        alignments.iter().map(|a| (a.id, a)).collect();
+
+    let p = cfg.penalties;
+    let ps = cfg.parallel_sections;
+    let mut cycles: Cycle = 0;
+    let mut results = Vec::with_capacity(pairs.len());
+    for pair in pairs {
+        let bt = by_id
+            .get(&(pair.id & 0x7F_FFFF))
+            .ok_or(BtError::TruncatedStream)?;
+        if !bt.record.success {
             results.push(AlignmentResult {
                 id: pair.id,
-                success: true,
-                score: bt.record.score as u32,
-                cigar: Some(cigar),
+                success: false,
+                score: 0,
+                cigar: None,
                 recovered: false,
             });
+            continue;
         }
-        let _ = report;
-        Ok((results, cycles))
+        let cigar = backtrace_alignment(schedule, bt, &pair.a, &pair.b, &p, ps)?;
+        let edits = {
+            let st = cigar.stats();
+            st.edits()
+        };
+        cycles += bt_costs.cycles(
+            (bt.txns * 16) as u64,
+            edits,
+            (pair.a.len() + pair.b.len()) as u64,
+            separated,
+        );
+        results.push(AlignmentResult {
+            id: pair.id,
+            success: true,
+            score: bt.record.score as u32,
+            cigar: Some(cigar),
+            recovered: false,
+        });
     }
+    Ok((results, cycles))
 }
 
 #[cfg(test)]
@@ -744,6 +824,30 @@ mod tests {
         let job2 = plain.submit(&pairs, false, WaitMode::PollIdle).unwrap();
         assert!(job2.perf_breakdown().is_none());
         assert_eq!(job2.report.total_cycles, job.report.total_cycles);
+    }
+
+    #[test]
+    fn custom_memory_layout_relocates_the_job_without_changing_results() {
+        // Regression for the hardcoded IN_ADDR/OUT_ADDR single-instance
+        // assumption: a relocated layout (as every lane of a batch uses)
+        // must produce bit-identical scores, CIGARs, and cycle counts.
+        let pairs = InputSetSpec {
+            length: 100,
+            error_pct: 10,
+        }
+        .generate(4, 15)
+        .pairs;
+        let mut base = WfasicDriver::new(AccelConfig::wfasic_chip());
+        let job_a = base.submit(&pairs, true, WaitMode::PollIdle).unwrap();
+        let mut moved = WfasicDriver::new(AccelConfig::wfasic_chip());
+        moved.layout = MemLayout::for_lane(3);
+        assert_ne!(moved.layout, MemLayout::default());
+        let job_b = moved.submit(&pairs, true, WaitMode::PollIdle).unwrap();
+        assert_eq!(job_a.report.total_cycles, job_b.report.total_cycles);
+        for (a, b) in job_a.results.iter().zip(&job_b.results) {
+            assert_eq!((a.id, a.score, a.success), (b.id, b.score, b.success));
+            assert_eq!(a.cigar, b.cigar);
+        }
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! The batch scheduler: a queue of alignment jobs dispatched across the
+//! lanes of a [`MultiLaneSoc`].
+//!
+//! The paper's co-design drives one WFAsic instance one job at a time; a
+//! production SoC serves many alignment requests concurrently. The
+//! [`BatchScheduler`] is the driver-side answer: it accepts a queue of
+//! [`BatchJob`]s, spreads them over N lanes ([`DispatchPolicy::RoundRobin`]
+//! or [`DispatchPolicy::ShortestQueue`]), and on each lane overlaps the
+//! DMA-in of job *k+1* with the compute of job *k* (the lane's input port
+//! is free once the last record has arrived — [`RunReport::input_done`] —
+//! long before the Aligners drain).
+//!
+//! Cycle accounting stays honest end to end: every lane's transfers are
+//! granted slots by the shared memory-controller arbiter (contention is
+//! visible in [`BatchResult::arbiter`]), each job's `JOB_CYCLES` is a true
+//! duration, and with [`BatchScheduler::collect_perf`] set the per-lane
+//! counters each attribute *every* cycle of the batch window — so each
+//! lane's breakdown sums exactly to [`BatchResult::total_cycles`].
+//!
+//! Faults follow the single-device policy per lane: retries (with fresh
+//! per-lane fault streams), a watchdog bound, and optional CPU fallback —
+//! so one faulting lane degrades to software answers without stalling the
+//! rest of the batch.
+//!
+//! A 1-lane batch of one job is bit-identical to
+//! [`crate::WfasicDriver::submit`]: same register programming, same memory
+//! layout, same uncontended bus timing. The differential suite pins this.
+
+use crate::api::{
+    cpu_align_pair, parse_bt_results_at, parse_nbt_results_at, AlignmentResult, DriverError,
+    JobResult, MemLayout,
+};
+use crate::cpu_model::BacktraceCosts;
+use wfasic_accel::device::RunReport;
+use wfasic_accel::multilane::MultiLaneSoc;
+use wfasic_accel::regs::offsets;
+use wfasic_accel::schedule::WavefrontSchedule;
+use wfasic_accel::AccelConfig;
+use wfasic_seqio::dataset::round_up_16;
+use wfasic_seqio::generate::Pair;
+use wfasic_seqio::memimage::InputImage;
+use wfasic_soc::arbiter::ArbiterStats;
+use wfasic_soc::bus::AxiLite;
+use wfasic_soc::clock::Cycle;
+use wfasic_soc::fault::FaultPlan;
+use wfasic_soc::mem::MainMemory;
+use wfasic_soc::perf::{attribute_window, PerfCounters, Span};
+
+/// How jobs are spread across lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Job `i` goes to lane `i mod N`.
+    RoundRobin,
+    /// Each job (in submission order) goes to the lane with the least
+    /// estimated queued work (total sequence bytes); ties break to the
+    /// lowest lane ID. Deterministic.
+    ShortestQueue,
+}
+
+/// One alignment job in a batch queue.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// The pairs to align.
+    pub pairs: Vec<Pair>,
+    /// Generate backtrace data (CIGARs) for this job?
+    pub backtrace: bool,
+}
+
+impl BatchJob {
+    /// A score-only job.
+    pub fn score_only(pairs: Vec<Pair>) -> Self {
+        BatchJob {
+            pairs,
+            backtrace: false,
+        }
+    }
+
+    /// A job with backtrace (CIGAR) generation.
+    pub fn with_backtrace(pairs: Vec<Pair>) -> Self {
+        BatchJob {
+            pairs,
+            backtrace: true,
+        }
+    }
+
+    /// Dispatch-cost estimate: total sequence bytes.
+    fn cost(&self) -> u64 {
+        self.pairs
+            .iter()
+            .map(|p| (p.a.len() + p.b.len()) as u64)
+            .sum()
+    }
+}
+
+/// The outcome of a batch submission.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-job outcomes, in submission order. A job fails individually
+    /// (its lane's retries exhausted, CPU fallback off) without failing
+    /// the batch.
+    pub jobs: Vec<Result<JobResult, DriverError>>,
+    /// Cycle at which the whole batch completed (the slowest lane).
+    pub total_cycles: Cycle,
+    /// Which lane each job ran on, in submission order.
+    pub lanes: Vec<usize>,
+    /// Per-lane completion cycle.
+    pub lane_done: Vec<Cycle>,
+    /// Shared-port arbitration statistics (per-lane grants/waits).
+    pub arbiter: ArbiterStats,
+    /// Per-lane per-stage attribution of the *entire* batch window
+    /// `[0, total_cycles)`, when perf collection was on: each lane's
+    /// counters sum exactly to `total_cycles` (idle cycles included).
+    pub lane_perf: Option<Vec<PerfCounters>>,
+}
+
+impl BatchResult {
+    /// Alignments completed successfully across all jobs.
+    pub fn alignments(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.as_ref().ok())
+            .map(|j| j.results.iter().filter(|r| r.success).count())
+            .sum()
+    }
+
+    /// Aggregate throughput in alignments per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.alignments() as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// The batch scheduler: a [`MultiLaneSoc`], its memory, and the dispatch /
+/// recovery policy.
+#[derive(Debug)]
+pub struct BatchScheduler {
+    /// The multi-lane SoC.
+    pub soc: MultiLaneSoc,
+    /// Main memory shared by the CPU and every lane.
+    pub mem: MainMemory,
+    /// AXI-Lite timing for register traffic.
+    pub axi_lite: AxiLite,
+    /// CPU backtrace cost model.
+    pub bt_costs: BacktraceCosts,
+    /// Dispatch policy.
+    pub policy: DispatchPolicy,
+    /// Per-job watchdog bound on the job *duration* (the driver's timer
+    /// against a wedged lane).
+    pub watchdog_cycles: Cycle,
+    /// Resubmit a failed job this many times before giving up.
+    pub max_retries: u32,
+    /// Re-run failed pairs (and fully-failed jobs) through the software WFA.
+    pub cpu_fallback: bool,
+    /// Force the data-separation backtrace method (see
+    /// [`crate::WfasicDriver::force_separation`]).
+    pub force_separation: bool,
+    /// Output-buffer size programmed into `OUT_SIZE` (0 = unbounded).
+    pub out_size: u64,
+    /// Collect per-stage attribution on every lane.
+    pub collect_perf: bool,
+    cfg: AccelConfig,
+    schedule: WavefrontSchedule,
+    layouts: Vec<MemLayout>,
+}
+
+impl BatchScheduler {
+    /// A scheduler over `lanes` identically-configured lanes.
+    pub fn new(cfg: AccelConfig, lanes: usize) -> Self {
+        let schedule = WavefrontSchedule::for_config(&cfg);
+        BatchScheduler {
+            soc: MultiLaneSoc::new(cfg, lanes),
+            mem: MainMemory::with_default_cap(),
+            axi_lite: AxiLite::default(),
+            bt_costs: BacktraceCosts::default(),
+            policy: DispatchPolicy::RoundRobin,
+            watchdog_cycles: 1 << 40,
+            max_retries: 1,
+            cpu_fallback: false,
+            force_separation: false,
+            out_size: 0,
+            collect_perf: false,
+            cfg,
+            schedule,
+            layouts: (0..lanes).map(MemLayout::for_lane).collect(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.soc.num_lanes()
+    }
+
+    /// Install a fault plan on one lane; the other lanes stay clean.
+    pub fn set_lane_fault_plan(&mut self, lane: usize, plan: FaultPlan) {
+        self.soc.set_lane_fault_plan(lane, plan);
+    }
+
+    /// Submit a queue of jobs and run the whole batch to completion.
+    /// Results come back in submission order regardless of which lane ran
+    /// each job or how the lanes' timelines interleaved.
+    pub fn submit_batch(&mut self, jobs: &[BatchJob]) -> BatchResult {
+        let n = self.num_lanes();
+        // Phase 1: dispatch jobs to lane queues.
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut lanes = vec![0usize; jobs.len()];
+        match self.policy {
+            DispatchPolicy::RoundRobin => {
+                for i in 0..jobs.len() {
+                    queues[i % n].push(i);
+                    lanes[i] = i % n;
+                }
+            }
+            DispatchPolicy::ShortestQueue => {
+                let mut load = vec![0u64; n];
+                for (i, job) in jobs.iter().enumerate() {
+                    let lane = (0..n).min_by_key(|&l| (load[l], l)).expect("n >= 1");
+                    queues[lane].push(i);
+                    lanes[i] = lane;
+                    load[lane] += job.cost().max(1);
+                }
+            }
+        }
+
+        // Phase 2: run each lane's queue in order, overlapping each job's
+        // DMA-in with its predecessor's compute. Lanes are simulated one
+        // after another; the shared arbiter's gap allocation keeps the
+        // port timeline identical to a truly concurrent execution.
+        let mut results: Vec<Option<Result<JobResult, DriverError>>> =
+            jobs.iter().map(|_| None).collect();
+        let mut lane_done = vec![0 as Cycle; n];
+        let mut lane_spans: Vec<Vec<Span>> = vec![Vec::new(); n];
+        let mut total: Cycle = 0;
+        for lane in 0..n {
+            let mut dma_free: Cycle = 0;
+            let mut compute_free: Cycle = 0;
+            for &ji in &queues[lane] {
+                let outcome = self.run_job(
+                    lane,
+                    &jobs[ji],
+                    &mut dma_free,
+                    &mut compute_free,
+                    &mut lane_spans[lane],
+                );
+                results[ji] = Some(outcome);
+            }
+            lane_done[lane] = compute_free.max(dma_free);
+            total = total.max(lane_done[lane]);
+        }
+
+        let lane_perf = self.collect_perf.then(|| {
+            lane_spans
+                .iter()
+                .map(|spans| attribute_window(spans, 0, total))
+                .collect()
+        });
+
+        BatchResult {
+            jobs: results
+                .into_iter()
+                .map(|r| r.expect("every job ran"))
+                .collect(),
+            total_cycles: total,
+            lanes,
+            lane_done,
+            arbiter: self.soc.arbiter_stats(),
+            lane_perf,
+        }
+    }
+
+    /// Run one job on `lane`, starting its DMA at `*dma_free` and its
+    /// compute at `*compute_free`; advance both on success. Mirrors
+    /// [`crate::WfasicDriver::submit`]'s retry/watchdog/fallback policy.
+    fn run_job(
+        &mut self,
+        lane: usize,
+        job: &BatchJob,
+        dma_free: &mut Cycle,
+        compute_free: &mut Cycle,
+        lane_spans: &mut Vec<Span>,
+    ) -> Result<JobResult, DriverError> {
+        let layout = self.layouts[lane];
+        let max_read_len = round_up_16(
+            job.pairs
+                .iter()
+                .map(|p| p.a.len().max(p.b.len()))
+                .max()
+                .unwrap_or(16)
+                .max(16),
+        );
+        let img = InputImage::encode_raw(&job.pairs, max_read_len);
+        if layout.in_addr + img.bytes.len() as u64 > layout.out_addr {
+            return Err(DriverError::BatchTooLarge {
+                bytes: img.bytes.len(),
+            });
+        }
+
+        let separated = self.force_separation || self.cfg.num_aligners > 1;
+        let mut config_cycles: Cycle = 0;
+        let mut last_err = DriverError::Timeout {
+            waited: 0,
+            watchdog: self.watchdog_cycles,
+        };
+        let mut last_report: Option<RunReport> = None;
+        // The first attempt overlaps with the previous job's compute; a
+        // retry replays the job after the failed attempt's completion.
+        let mut dma_start = *dma_free;
+
+        for attempt in 0..=self.max_retries {
+            self.mem.write(layout.in_addr, &img.bytes);
+            let a = |off| offsets::lane_addr(lane, off);
+            self.soc
+                .mmio_write(a(offsets::BT_ENABLE), job.backtrace as u64);
+            self.soc
+                .mmio_write(a(offsets::MAX_READ_LEN), max_read_len as u64);
+            self.soc.mmio_write(a(offsets::IN_ADDR), layout.in_addr);
+            self.soc
+                .mmio_write(a(offsets::IN_SIZE), img.bytes.len() as u64);
+            self.soc.mmio_write(a(offsets::OUT_ADDR), layout.out_addr);
+            self.soc.mmio_write(a(offsets::OUT_SIZE), self.out_size);
+            self.soc
+                .mmio_write(a(offsets::PERF_CTRL), self.collect_perf as u64);
+            self.soc.mmio_write(a(offsets::IRQ_ENABLE), 0);
+            self.soc.mmio_write(a(offsets::START), 1);
+            config_cycles += self.axi_lite.cycles_for(9);
+
+            let report = self
+                .soc
+                .run_lane_at(lane, &mut self.mem, dma_start, *compute_free);
+            if let Some(perf) = &report.perf {
+                lane_spans.extend_from_slice(&perf.spans);
+            }
+            let waited = report.duration();
+
+            if waited > self.watchdog_cycles {
+                last_err = DriverError::Timeout {
+                    waited,
+                    watchdog: self.watchdog_cycles,
+                };
+                dma_start = report.total_cycles;
+                last_report = Some(report);
+                continue;
+            }
+            if let Some(e) = report.error {
+                last_err = DriverError::Device(e);
+                dma_start = report.total_cycles;
+                last_report = Some(report);
+                continue;
+            }
+
+            let parsed = if job.backtrace {
+                parse_bt_results_at(
+                    &self.mem,
+                    layout.out_addr,
+                    &self.schedule,
+                    &self.cfg,
+                    &self.bt_costs,
+                    &job.pairs,
+                    &report,
+                    separated,
+                )
+            } else {
+                Ok((
+                    parse_nbt_results_at(&self.mem, layout.out_addr, &job.pairs, &report),
+                    0,
+                ))
+            };
+            match parsed {
+                Ok((mut results, cpu_backtrace_cycles)) => {
+                    if self.cpu_fallback {
+                        for (res, pair) in results.iter_mut().zip(&job.pairs) {
+                            if !res.success {
+                                *res = cpu_align_pair(self.cfg.penalties, pair, job.backtrace);
+                            }
+                        }
+                    }
+                    *dma_free = report.input_done;
+                    *compute_free = report.total_cycles;
+                    return Ok(JobResult {
+                        results,
+                        report,
+                        config_cycles,
+                        cpu_backtrace_cycles,
+                        separated,
+                        retries: attempt,
+                    });
+                }
+                Err(e) => {
+                    last_err = DriverError::Stream(e);
+                    dma_start = report.total_cycles;
+                    last_report = Some(report);
+                }
+            }
+        }
+
+        // Retries exhausted: recover the whole job on the CPU or surface
+        // the last failure. Either way the lane's timeline advances past
+        // the failed attempts, so the rest of the batch is not stalled.
+        let report = last_report.expect("at least one attempt ran");
+        *dma_free = report.input_done.max(*dma_free);
+        *compute_free = report.total_cycles.max(*compute_free);
+        if self.cpu_fallback {
+            let results: Vec<AlignmentResult> = job
+                .pairs
+                .iter()
+                .map(|p| cpu_align_pair(self.cfg.penalties, p, job.backtrace))
+                .collect();
+            return Ok(JobResult {
+                results,
+                report,
+                config_cycles,
+                cpu_backtrace_cycles: 0,
+                separated,
+                retries: self.max_retries,
+            });
+        }
+        Err(last_err)
+    }
+}

@@ -7,6 +7,9 @@
 //! * [`backtrace`] — the CPU backtrace over the accelerator's origin
 //!   stream: multi-Aligner data separation, single-Aligner no-separation
 //!   boundary detection, the origin walk, and match insertion (§4.5);
+//! * [`batch`] — the multi-lane batch scheduler: a queue of jobs dispatched
+//!   across N lanes with DMA/compute overlap, per-lane fault degradation,
+//!   and submission-order results;
 //! * [`cpu_model`] — analytic Sargantana cycle models for the scalar and
 //!   vectorized CPU WFA baselines and the CPU backtrace costs;
 //! * [`codesign`] — end-to-end experiment execution (accelerator + CPU
@@ -14,10 +17,12 @@
 
 pub mod api;
 pub mod backtrace;
+pub mod batch;
 pub mod codesign;
 pub mod cpu_model;
 
-pub use api::{AlignmentResult, DriverError, JobResult, WaitMode, WfasicDriver};
+pub use api::{AlignmentResult, DriverError, JobResult, MemLayout, WaitMode, WfasicDriver};
 pub use backtrace::{backtrace_alignment, BtAlignment, BtError, Edit};
+pub use batch::{BatchJob, BatchResult, BatchScheduler, DispatchPolicy};
 pub use codesign::{run_experiment, ExperimentResult};
 pub use cpu_model::{software_backtrace_cycles, BacktraceCosts, CpuCosts};

@@ -1,0 +1,290 @@
+//! Batch-scheduler system tests: submission-order integrity, DMA/compute
+//! overlap, 1-lane bit-identity with the single-device driver, per-lane
+//! perf-window invariants, and per-lane fault degradation.
+
+use wfa_core::prop;
+use wfasic_accel::AccelConfig;
+use wfasic_driver::{
+    BatchJob, BatchScheduler, DispatchPolicy, DriverError, WaitMode, WfasicDriver,
+};
+use wfasic_seqio::dataset::InputSetSpec;
+use wfasic_seqio::generate::{ErrorProfile, Pair, PairGenerator};
+use wfasic_soc::fault::FaultPlan;
+
+fn pairs(n: usize, length: usize, seed: u64) -> Vec<Pair> {
+    InputSetSpec {
+        length,
+        error_pct: 5,
+    }
+    .generate(n, seed)
+    .pairs
+}
+
+/// Re-ID a job queue so every pair in the whole batch carries a unique ID —
+/// the tracer dye for drop/duplicate/reorder detection.
+fn assign_unique_ids(jobs: &mut [BatchJob]) {
+    let mut next = 0u32;
+    for job in jobs.iter_mut() {
+        for p in &mut job.pairs {
+            p.id = next;
+            next += 1;
+        }
+    }
+}
+
+#[test]
+fn batch_of_one_job_on_one_lane_is_bit_identical_to_the_driver() {
+    let cfg = AccelConfig::wfasic_chip();
+    let p = pairs(5, 100, 0xBA7C);
+
+    let mut drv = WfasicDriver::new(cfg);
+    drv.collect_perf = true;
+    let solo = drv.submit(&p, true, WaitMode::PollIdle).unwrap();
+
+    let mut sched = BatchScheduler::new(cfg, 1);
+    sched.collect_perf = true;
+    let batch = sched.submit_batch(&[BatchJob::with_backtrace(p.clone())]);
+    let job = batch.jobs[0].as_ref().unwrap();
+
+    assert_eq!(job.report.total_cycles, solo.report.total_cycles);
+    assert_eq!(job.report.output_bytes, solo.report.output_bytes);
+    assert_eq!(job.config_cycles, solo.config_cycles);
+    assert_eq!(job.cpu_backtrace_cycles, solo.cpu_backtrace_cycles);
+    assert_eq!(batch.total_cycles, solo.report.total_cycles);
+    for (a, b) in job.results.iter().zip(&solo.results) {
+        assert_eq!((a.id, a.success, a.score), (b.id, b.success, b.score));
+        assert_eq!(a.cigar, b.cigar);
+    }
+    // Same per-stage attribution, too.
+    assert_eq!(
+        job.perf_breakdown().unwrap(),
+        solo.perf_breakdown().unwrap()
+    );
+    assert_eq!(batch.arbiter.wait_cycles(), 0, "one lane never contends");
+}
+
+#[test]
+fn dma_of_the_next_job_overlaps_compute_of_the_previous() {
+    let cfg = AccelConfig::wfasic_chip();
+    let mut sched = BatchScheduler::new(cfg, 1);
+    let jobs = vec![
+        BatchJob::score_only(pairs(6, 1000, 1)),
+        BatchJob::score_only(pairs(6, 1000, 2)),
+    ];
+    let batch = sched.submit_batch(&jobs);
+    let first = batch.jobs[0].as_ref().unwrap();
+    let second = batch.jobs[1].as_ref().unwrap();
+
+    // Job 2's DMA begins the moment job 1's last record has arrived —
+    // while job 1's Aligners are still draining.
+    assert_eq!(second.report.start, first.report.input_done);
+    assert!(
+        second.report.start < first.report.total_cycles,
+        "job 2's DMA ({}) should start before job 1 completes ({})",
+        second.report.start,
+        first.report.total_cycles
+    );
+    // So the batch beats back-to-back serial execution.
+    let serial = first.report.duration() + second.report.duration();
+    assert!(batch.total_cycles < serial);
+}
+
+#[test]
+fn both_policies_preserve_submission_order_and_lane_accounting() {
+    let cfg = AccelConfig::wfasic_chip();
+    for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::ShortestQueue] {
+        let mut sched = BatchScheduler::new(cfg, 3);
+        sched.policy = policy;
+        let mut jobs: Vec<BatchJob> = (0..7)
+            .map(|i| BatchJob::score_only(pairs(1 + i % 3, 60 + 20 * (i % 4), 40 + i as u64)))
+            .collect();
+        assign_unique_ids(&mut jobs);
+        let expected: Vec<Vec<u32>> = jobs
+            .iter()
+            .map(|j| j.pairs.iter().map(|p| p.id).collect())
+            .collect();
+
+        let batch = sched.submit_batch(&jobs);
+        assert_eq!(batch.jobs.len(), 7);
+        assert_eq!(batch.lanes.len(), 7);
+        let got: Vec<Vec<u32>> = batch
+            .jobs
+            .iter()
+            .map(|j| j.as_ref().unwrap().results.iter().map(|r| r.id).collect())
+            .collect();
+        assert_eq!(got, expected, "{policy:?} reordered results");
+        for lane in &batch.lanes {
+            assert!(*lane < 3);
+        }
+        if policy == DispatchPolicy::RoundRobin {
+            assert_eq!(batch.lanes, vec![0, 1, 2, 0, 1, 2, 0]);
+        }
+        assert!(batch.throughput() > 0.0);
+    }
+}
+
+#[test]
+fn per_lane_counters_attribute_every_cycle_of_the_batch_window() {
+    let cfg = AccelConfig::wfasic_chip();
+    let mut sched = BatchScheduler::new(cfg, 2);
+    sched.collect_perf = true;
+    let jobs = vec![
+        BatchJob::score_only(pairs(4, 200, 11)),
+        BatchJob::score_only(pairs(2, 100, 12)),
+        BatchJob::score_only(pairs(3, 150, 13)),
+    ];
+    let batch = sched.submit_batch(&jobs);
+    let lane_perf = batch.lane_perf.as_ref().expect("collect_perf was set");
+    assert_eq!(lane_perf.len(), 2);
+    for (lane, counters) in lane_perf.iter().enumerate() {
+        assert_eq!(
+            counters.total(),
+            batch.total_cycles,
+            "lane {lane} counters must cover the whole batch window"
+        );
+    }
+    // The lane that finished earlier is idle for the tail of the window.
+    let slack: Vec<u64> = (0..2)
+        .map(|l| batch.total_cycles - batch.lane_done[l])
+        .collect();
+    for (lane, counters) in lane_perf.iter().enumerate() {
+        let idle = counters.get(wfasic_soc::perf::Stage::Idle);
+        assert!(
+            idle >= slack[lane],
+            "lane {lane}: idle {idle} < completion slack {}",
+            slack[lane]
+        );
+    }
+}
+
+#[test]
+fn a_faulting_lane_degrades_to_cpu_answers_without_stalling_the_batch() {
+    let cfg = AccelConfig::wfasic_chip();
+    let mut sched = BatchScheduler::new(cfg, 2);
+    sched.cpu_fallback = true;
+    sched.set_lane_fault_plan(
+        1,
+        FaultPlan {
+            bit_flip_per_beat: 0.4,
+            drop_beat: 0.05,
+            ..FaultPlan::none()
+        },
+    );
+    let mut jobs: Vec<BatchJob> = (0..4)
+        .map(|i| BatchJob::score_only(pairs(3, 100, 600 + i)))
+        .collect();
+    assign_unique_ids(&mut jobs);
+    let batch = sched.submit_batch(&jobs);
+
+    for (i, outcome) in batch.jobs.iter().enumerate() {
+        let job = outcome.as_ref().unwrap_or_else(|e| {
+            panic!("job {i} failed despite cpu_fallback: {e}");
+        });
+        for (res, pair) in job.results.iter().zip(&jobs[i].pairs) {
+            assert!(res.success);
+            assert_eq!(res.id, pair.id);
+            let opts = wfa_core::WfaOptions::exact(cfg.penalties);
+            let truth = wfa_core::wfa_align(&pair.a, &pair.b, &opts).unwrap();
+            assert_eq!(res.score, truth.score, "job {i} id {}", res.id);
+        }
+    }
+    // Lane 0's jobs came straight off the hardware.
+    for (i, outcome) in batch.jobs.iter().enumerate() {
+        if batch.lanes[i] == 0 {
+            let job = outcome.as_ref().unwrap();
+            assert_eq!(job.report.faults.total(), 0);
+            assert!(job.results.iter().all(|r| !r.recovered));
+        }
+    }
+}
+
+#[test]
+fn an_oversized_job_fails_alone_without_poisoning_the_batch() {
+    let cfg = AccelConfig::wfasic_chip();
+    let mut sched = BatchScheduler::new(cfg, 2);
+    // ~17 MiB encoded image (2200 pairs x ~8 KiB records) overflows the
+    // 15 MiB in->out gap of a lane's layout, so the job is refused before
+    // it ever touches the hardware.
+    let mut g = PairGenerator::new(4000, 0.02, 5).with_max_len(4000);
+    let huge = BatchJob::score_only(g.pairs(2200));
+    let jobs = vec![
+        BatchJob::score_only(pairs(3, 100, 21)),
+        huge,
+        BatchJob::score_only(pairs(3, 100, 22)),
+    ];
+    let batch = sched.submit_batch(&jobs);
+    assert!(batch.jobs[0].is_ok());
+    assert!(matches!(
+        batch.jobs[1],
+        Err(DriverError::BatchTooLarge { .. })
+    ));
+    assert!(batch.jobs[2].is_ok());
+}
+
+/// The scheduler property: for random lane counts, queue shapes, policies
+/// and per-lane fault plans, every submitted pair comes back exactly once,
+/// in submission order, with the right ID — no drops, no duplicates.
+#[test]
+fn batches_never_drop_duplicate_or_reorder_jobs() {
+    let n_cases = if cfg!(debug_assertions) { 12 } else { 24 };
+    prop::cases(n_cases, 0x5C4ED, |rng, _| {
+        let lanes = rng.gen_range(1, 9);
+        let n_jobs = rng.gen_range(1, 7);
+        let cfg = AccelConfig::wfasic_chip();
+        let mut sched = BatchScheduler::new(cfg, lanes);
+        sched.policy = if rng.gen_bool(0.5) {
+            DispatchPolicy::RoundRobin
+        } else {
+            DispatchPolicy::ShortestQueue
+        };
+        sched.cpu_fallback = true;
+        // Sometimes poison one lane; cpu_fallback still answers everything.
+        if rng.gen_bool(0.4) {
+            let victim = rng.gen_range(0, lanes);
+            sched.set_lane_fault_plan(
+                victim,
+                FaultPlan {
+                    bit_flip_per_beat: rng.gen_range_f64(0.0, 0.3),
+                    drop_beat: rng.gen_range_f64(0.0, 0.05),
+                    bus_stall: rng.gen_range_f64(0.0, 0.05),
+                    ..FaultPlan::none()
+                },
+            );
+        }
+
+        let mut jobs = Vec::new();
+        for _ in 0..n_jobs {
+            let n_pairs = rng.gen_range(1, 4);
+            let len = rng.gen_range(32, 80);
+            let backtrace = rng.gen_bool(0.3);
+            let mut g = PairGenerator::new(len, rng.gen_range_f64(0.0, 0.1), rng.next_u64())
+                .with_max_len(len);
+            g.profile = ErrorProfile::default();
+            let p = g.pairs(n_pairs);
+            jobs.push(BatchJob {
+                pairs: p,
+                backtrace,
+            });
+        }
+        assign_unique_ids(&mut jobs);
+        let submitted: Vec<Vec<u32>> = jobs
+            .iter()
+            .map(|j| j.pairs.iter().map(|p| p.id).collect())
+            .collect();
+
+        let batch = sched.submit_batch(&jobs);
+        assert_eq!(batch.jobs.len(), n_jobs);
+        let mut seen = std::collections::HashSet::new();
+        for (i, outcome) in batch.jobs.iter().enumerate() {
+            let job = outcome.as_ref().expect("cpu_fallback answers every job");
+            let ids: Vec<u32> = job.results.iter().map(|r| r.id).collect();
+            assert_eq!(ids, submitted[i], "job {i}: wrong/reordered results");
+            for id in ids {
+                assert!(seen.insert(id), "id {id} duplicated across jobs");
+            }
+            assert!(job.results.iter().all(|r| r.success));
+        }
+        let total: usize = submitted.iter().map(|v| v.len()).sum();
+        assert_eq!(seen.len(), total, "some pair was dropped");
+    });
+}

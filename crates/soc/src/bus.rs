@@ -12,9 +12,12 @@
 //! * the port is a serializing resource — concurrent requesters queue
 //!   (first-come-first-served, which approximates the round-robin arbiter).
 
+use crate::arbiter::BusArbiter;
 use crate::clock::{BusyUnit, Cycle};
 use crate::fault::FaultInjector;
 use crate::perf::{track, Stage, TraceSink};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// AXI-Full timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +89,12 @@ pub struct MemoryBus {
     /// [`Stage::BusWait`] span for its queueing delay and a
     /// [`Stage::DmaIn`]/[`Stage::DmaOut`] span for its occupancy.
     pub perf: TraceSink,
+    /// When this port is one of several lanes behind a shared memory
+    /// controller, transfers are additionally granted slots by the shared
+    /// [`BusArbiter`]; `None` means the port owns the controller outright.
+    pub shared: Option<Rc<RefCell<BusArbiter>>>,
+    /// Lane ID used for arbiter accounting when `shared` is set.
+    pub lane: usize,
 }
 
 impl Default for BusConfig {
@@ -103,6 +112,32 @@ impl MemoryBus {
             stats: BusStats::default(),
             fault: None,
             perf: TraceSink::default(),
+            shared: None,
+            lane: 0,
+        }
+    }
+
+    /// Attach this port as lane `lane` of a shared memory controller.
+    pub fn attach_shared(&mut self, arbiter: Rc<RefCell<BusArbiter>>, lane: usize) {
+        self.shared = Some(arbiter);
+        self.lane = lane;
+    }
+
+    /// Occupy the port for `dur` cycles: locally serialized always, and
+    /// additionally granted a slot by the shared arbiter when attached. For
+    /// an arbiter with no competing traffic the grant lands exactly at the
+    /// local ready cycle, so timing is identical to the unshared port.
+    fn occupy(&mut self, now: Cycle, dur: Cycle) -> (Cycle, Cycle) {
+        match &self.shared {
+            Some(arbiter) => {
+                let ready = now.max(self.unit.free_at);
+                let start = arbiter.borrow_mut().grant(self.lane, ready, dur);
+                let done = start + dur;
+                self.unit.free_at = done;
+                self.unit.busy_cycles += dur;
+                (start, done)
+            }
+            None => self.unit.occupy(now, dur),
         }
     }
 
@@ -120,7 +155,7 @@ impl MemoryBus {
         self.stats.bytes_read += bytes as u64;
         self.stats.reads += 1;
         let dur = self.config.transfer_cycles(bytes) + self.injected_stall(now);
-        let (start, done) = self.unit.occupy(now, dur);
+        let (start, done) = self.occupy(now, dur);
         self.perf.record(Stage::BusWait, track::BUS, now, start, 0);
         self.perf.record(Stage::DmaIn, track::BUS, start, done, 0);
         done
@@ -131,7 +166,7 @@ impl MemoryBus {
         self.stats.bytes_written += bytes as u64;
         self.stats.writes += 1;
         let dur = self.config.transfer_cycles(bytes) + self.injected_stall(now);
-        let (start, done) = self.unit.occupy(now, dur);
+        let (start, done) = self.occupy(now, dur);
         self.perf.record(Stage::BusWait, track::BUS, now, start, 0);
         self.perf.record(Stage::DmaOut, track::BUS, start, done, 0);
         done
@@ -249,6 +284,34 @@ mod tests {
             (spans[2].stage, spans[2].start, spans[2].end),
             (Stage::DmaOut, 43, 71)
         );
+    }
+
+    #[test]
+    fn lone_shared_lane_is_bit_identical_to_private_port() {
+        let arbiter = Rc::new(RefCell::new(BusArbiter::new(1)));
+        let mut shared = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
+        shared.attach_shared(arbiter.clone(), 0);
+        let mut private = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
+        for (now, bytes) in [(0u64, 256usize), (10, 16), (95, 1000), (95, 4)] {
+            assert_eq!(shared.read(now, bytes), private.read(now, bytes));
+            assert_eq!(shared.write(now, bytes), private.write(now, bytes));
+        }
+        assert_eq!(shared.free_at(), private.free_at());
+        assert_eq!(arbiter.borrow().stats.wait_cycles(), 0);
+    }
+
+    #[test]
+    fn shared_lanes_contend_for_the_controller() {
+        let arbiter = Rc::new(RefCell::new(BusArbiter::new(2)));
+        let mut lane0 = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
+        lane0.attach_shared(arbiter.clone(), 0);
+        let mut lane1 = MemoryBus::new(BusConfig::WFASIC_DEFAULT);
+        lane1.attach_shared(arbiter.clone(), 1);
+        assert_eq!(lane0.read(0, 256), 43);
+        // Lane 1 arrives mid-transfer and must wait for the shared port even
+        // though its own local port is idle.
+        assert_eq!(lane1.read(10, 256), 86);
+        assert_eq!(arbiter.borrow().stats.lanes[1].wait_cycles, 33);
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //! accelerator or the CPU core proper:
 //!
 //! * [`mem`] — byte-addressable main memory (functional);
+//! * [`arbiter`] — the shared memory-controller arbiter that serializes
+//!   transfers across multi-lane SoC configurations and accounts per-lane
+//!   arbitration waits;
 //! * [`bus`] — AXI-Full burst timing with shared-port contention (the
 //!   mechanism behind Table 1's reading cycles and Fig. 10's saturation) and
 //!   the AXI-Lite configuration path;
@@ -21,6 +24,7 @@
 //!   model when tracing is enabled;
 //! * [`clock`] — cycle bookkeeping and frequency constants.
 
+pub mod arbiter;
 pub mod bus;
 pub mod cache;
 pub mod clock;
@@ -31,6 +35,7 @@ pub mod mem;
 pub mod mmio;
 pub mod perf;
 
+pub use arbiter::{ArbiterStats, BusArbiter, LaneArbStats};
 pub use bus::{AxiLite, BusConfig, BusStats, MemoryBus};
 pub use cache::{Cache, MemHierarchy};
 pub use clock::{cycles_to_seconds, BusyUnit, Cycle, SARGANTANA_HZ, WFASIC_ASIC_HZ};
@@ -39,4 +44,6 @@ pub use fault::{FaultCounters, FaultInjector, FaultPlan};
 pub use fifo::{FifoFull, PortError, ShowAheadFifo, SinglePortFifo};
 pub use mem::MainMemory;
 pub use mmio::RegFile;
-pub use perf::{attribute_timeline, JobPerf, PerfCounters, Span, Stage, TraceSink};
+pub use perf::{
+    attribute_timeline, attribute_window, JobPerf, PerfCounters, Span, Stage, TraceSink,
+};

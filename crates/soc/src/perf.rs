@@ -100,14 +100,29 @@ pub mod track {
     pub const DEVICE: u16 = 2;
     /// First Aligner; Aligner `w` is `ALIGNER0 + w`.
     pub const ALIGNER0: u16 = 3;
+    /// Track-ID stride between SoC lanes: lane `l`'s module tracks are
+    /// `l * LANE_STRIDE + base`. Lane 0 keeps the bare module IDs, so
+    /// single-device traces are unchanged.
+    pub const LANE_STRIDE: u16 = 64;
+
+    /// The track ID of module track `base` on lane `lane`.
+    pub fn on_lane(base: u16, lane: usize) -> u16 {
+        debug_assert!(base < LANE_STRIDE);
+        lane as u16 * LANE_STRIDE + base
+    }
 
     /// Human-readable track name.
     pub fn name(t: u16) -> String {
-        match t {
+        let module = |base: u16| match base {
             BUS => "axi-bus".to_string(),
             FIFO => "input-fifo".to_string(),
             DEVICE => "device".to_string(),
             n => format!("aligner-{}", n - ALIGNER0),
+        };
+        if t < LANE_STRIDE {
+            module(t)
+        } else {
+            format!("lane{}/{}", t / LANE_STRIDE, module(t % LANE_STRIDE))
         }
     }
 }
@@ -211,15 +226,23 @@ impl PerfCounters {
 /// The result satisfies `counters.total() == total` unconditionally — the
 /// attribution is exhaustive and non-overlapping by construction.
 pub fn attribute_timeline(spans: &[Span], total: Cycle) -> PerfCounters {
+    attribute_window(spans, 0, total)
+}
+
+/// Attribute every cycle of `from..to` to exactly one stage. Spans are
+/// clipped to the window; the result satisfies
+/// `counters.total() == to - from` unconditionally. Used for jobs whose
+/// timeline does not begin at cycle 0 (lanes of a batch run).
+pub fn attribute_window(spans: &[Span], from: Cycle, to: Cycle) -> PerfCounters {
     let mut counters = PerfCounters::default();
-    if total == 0 {
+    if from >= to {
         return counters;
     }
     // Boundary sweep: +1/-1 events per stage, O(n log n) in span count.
     let mut events: Vec<(Cycle, usize, i32)> = Vec::with_capacity(spans.len() * 2);
     for s in spans {
-        let start = s.start.min(total);
-        let end = s.end.min(total);
+        let start = s.start.clamp(from, to);
+        let end = s.end.clamp(from, to);
         if start >= end {
             continue;
         }
@@ -229,7 +252,7 @@ pub fn attribute_timeline(spans: &[Span], total: Cycle) -> PerfCounters {
     events.sort_unstable();
 
     let mut active = [0i32; Stage::COUNT];
-    let mut pos: Cycle = 0;
+    let mut pos: Cycle = from;
     let mut i = 0;
     while i < events.len() {
         let at = events[i].0;
@@ -242,8 +265,8 @@ pub fn attribute_timeline(spans: &[Span], total: Cycle) -> PerfCounters {
             i += 1;
         }
     }
-    if pos < total {
-        counters.add(current_stage(&active), total - pos);
+    if pos < to {
+        counters.add(current_stage(&active), to - pos);
     }
     counters
 }
@@ -273,11 +296,19 @@ pub struct JobPerf {
 impl JobPerf {
     /// Build from merged spans: runs the timeline attribution.
     pub fn from_spans(spans: Vec<Span>, total: Cycle) -> Self {
-        let counters = attribute_timeline(&spans, total);
+        Self::from_spans_window(spans, 0, total)
+    }
+
+    /// Build from merged spans for a job whose timeline is `[from, to)`
+    /// (a lane of a batch run that starts mid-batch): counters cover
+    /// exactly that window, so `total == to - from`, while the spans keep
+    /// their absolute cycle stamps for trace export.
+    pub fn from_spans_window(spans: Vec<Span>, from: Cycle, to: Cycle) -> Self {
+        let counters = attribute_window(&spans, from, to);
         JobPerf {
             counters,
             spans,
-            total,
+            total: to.saturating_sub(from),
         }
     }
 
@@ -432,6 +463,36 @@ mod tests {
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn window_attribution_covers_exactly_the_window() {
+        let spans = [
+            span(Stage::DmaIn, 0, 30),
+            span(Stage::Compute, 40, 60),
+            span(Stage::Extend, 90, 200),
+        ];
+        let c = attribute_window(&spans, 20, 100);
+        assert_eq!(c.get(Stage::DmaIn), 10, "clipped to the window start");
+        assert_eq!(c.get(Stage::Compute), 20);
+        assert_eq!(c.get(Stage::Extend), 10, "clipped to the window end");
+        assert_eq!(c.get(Stage::Idle), 40);
+        assert_eq!(c.total(), 80);
+        // Empty or inverted windows attribute nothing.
+        assert_eq!(attribute_window(&spans, 50, 50).total(), 0);
+        assert_eq!(attribute_window(&spans, 60, 50).total(), 0);
+    }
+
+    #[test]
+    fn lane_tracks_namespace_the_modules() {
+        assert_eq!(track::on_lane(track::BUS, 0), track::BUS);
+        assert_eq!(track::on_lane(track::ALIGNER0 + 1, 0), track::ALIGNER0 + 1);
+        assert_eq!(track::name(track::on_lane(track::BUS, 2)), "lane2/axi-bus");
+        assert_eq!(
+            track::name(track::on_lane(track::ALIGNER0, 1)),
+            "lane1/aligner-0"
+        );
+        assert_eq!(track::name(track::DEVICE), "device", "lane 0 unchanged");
     }
 
     #[test]
