@@ -10,15 +10,40 @@
 //! alignment whose score exceeds `Score_max = 2*k_max + 4` (Eq. 6) is
 //! terminated with `Success = 0`.
 
-use crate::compute::{compute_cell, CellSources};
+use crate::compute::{compute_cell, compute_cell_bare, CellSources};
 use crate::config::AccelConfig;
 use crate::extend::{extend_cell, section_run_cycles};
 use crate::extractor::ExtractedPair;
 use crate::schedule::WavefrontSchedule;
+use wfa_core::arena::WavefrontArena;
 use wfa_core::bitpack::PackedSeq;
 use wfa_core::wavefront::{offset_is_valid, Wavefront, OFFSET_NULL};
 use wfasic_seqio::memimage::{pack_origins, CellOrigin};
 use wfasic_soc::clock::Cycle;
+
+/// Reusable host-side scratch for the Aligner datapath: the wavefront
+/// buffer arena plus the per-step section/origin staging vectors.
+///
+/// Purely a wall-clock optimization — reusing scratch across pairs changes
+/// no outcome field and no cycle count (the `ci-check` gate and the
+/// differential sweep pin this). One scratch per device/lane; it reaches
+/// the workload's high-water mark on the first pair and stops allocating.
+#[derive(Debug, Default)]
+pub struct AlignerScratch {
+    /// Wavefront offset-buffer pool (shared with the software WFA oracle's
+    /// [`wfa_core::wfa_align_with_arena`] when the driver falls back).
+    pub arena: WavefrontArena,
+    section_sum: Vec<Cycle>,
+    section_cnt: Vec<Cycle>,
+    batch_origins: Vec<CellOrigin>,
+}
+
+impl AlignerScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Work counters for one alignment.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -96,6 +121,44 @@ impl AlignerOutcome {
     }
 }
 
+/// Borrowed view of a wavefront for the per-cell hot loop: the same
+/// semantics as [`Wavefront::get`] (NULL outside the stored range) without
+/// the per-access `Option` chain. A missing source becomes the empty view
+/// (`lo > hi`), so every lookup resolves to NULL through the one range
+/// check the access needs anyway.
+#[derive(Clone, Copy)]
+struct WfView<'a> {
+    lo: i32,
+    hi: i32,
+    offs: &'a [i32],
+}
+
+impl<'a> WfView<'a> {
+    fn of(w: Option<&'a Wavefront>) -> Self {
+        match w {
+            Some(w) => WfView {
+                lo: w.lo,
+                hi: w.hi,
+                offs: &w.offsets,
+            },
+            None => WfView {
+                lo: 0,
+                hi: -1,
+                offs: &[],
+            },
+        }
+    }
+
+    #[inline(always)]
+    fn at(&self, k: i32) -> i32 {
+        if k < self.lo || k > self.hi {
+            OFFSET_NULL
+        } else {
+            self.offs[(k - self.lo) as usize]
+        }
+    }
+}
+
 /// One score's wavefront storage inside the Aligner window.
 #[derive(Debug, Clone)]
 struct WfSet {
@@ -120,31 +183,53 @@ impl Window {
         self.sets.iter().find(|s| s.score as i64 == score)
     }
 
-    fn m_at(&self, score: i64, k: i32) -> i32 {
-        self.get(score).map(|s| s.m.get(k)).unwrap_or(OFFSET_NULL)
-    }
-
-    fn i_at(&self, score: i64, k: i32) -> i32 {
-        self.get(score).map(|s| s.i.get(k)).unwrap_or(OFFSET_NULL)
-    }
-
-    fn d_at(&self, score: i64, k: i32) -> i32 {
-        self.get(score).map(|s| s.d.get(k)).unwrap_or(OFFSET_NULL)
-    }
-
-    fn push(&mut self, set: WfSet, lookback: u32) {
+    /// Push a new set, retiring everything older than the lookback into the
+    /// arena pool.
+    fn push(&mut self, set: WfSet, lookback: u32, arena: &mut WavefrontArena) {
         let min_keep = set.score.saturating_sub(lookback);
-        self.sets.retain(|s| s.score >= min_keep);
+        let mut idx = 0;
+        while idx < self.sets.len() {
+            if self.sets[idx].score < min_keep {
+                let old = self.sets.remove(idx);
+                arena.recycle(old.m);
+                arena.recycle(old.i);
+                arena.recycle(old.d);
+            } else {
+                idx += 1;
+            }
+        }
         self.sets.push(set);
+    }
+
+    /// Return every retained set's buffers to the arena.
+    fn drain_into(&mut self, arena: &mut WavefrontArena) {
+        for set in self.sets.drain(..) {
+            arena.recycle(set.m);
+            arena.recycle(set.i);
+            arena.recycle(set.d);
+        }
     }
 }
 
 /// Align an extracted pair. `bt` enables origin-block emission.
+///
+/// Convenience wrapper over [`align_extracted_in`] with throwaway scratch.
 pub fn align_extracted(
     cfg: &AccelConfig,
     schedule: &WavefrontSchedule,
     ex: &ExtractedPair,
     bt: bool,
+) -> AlignerOutcome {
+    align_extracted_in(cfg, schedule, ex, bt, &mut AlignerScratch::new())
+}
+
+/// [`align_extracted`] with caller-provided reusable scratch.
+pub fn align_extracted_in(
+    cfg: &AccelConfig,
+    schedule: &WavefrontSchedule,
+    ex: &ExtractedPair,
+    bt: bool,
+    scratch: &mut AlignerScratch,
 ) -> AlignerOutcome {
     let Some((ram_a, ram_b)) = &ex.rams else {
         // Unsupported read: Success = 0, no processing beyond a couple of
@@ -163,10 +248,12 @@ pub fn align_extracted(
     };
     let a = ram_a.to_packed();
     let b = ram_b.to_packed();
-    align_packed(cfg, schedule, ex.id, &a, &b, bt)
+    align_packed_in(cfg, schedule, ex.id, &a, &b, bt, scratch)
 }
 
 /// Align two packed sequences (the Aligner datapath proper).
+///
+/// Convenience wrapper over [`align_packed_in`] with throwaway scratch.
 pub fn align_packed(
     cfg: &AccelConfig,
     schedule: &WavefrontSchedule,
@@ -174,6 +261,20 @@ pub fn align_packed(
     a: &PackedSeq,
     b: &PackedSeq,
     bt: bool,
+) -> AlignerOutcome {
+    align_packed_in(cfg, schedule, id, a, b, bt, &mut AlignerScratch::new())
+}
+
+/// [`align_packed`] with caller-provided reusable scratch (wavefront arena
+/// + staging vectors). Bit-identical outcomes; just fewer allocations.
+pub fn align_packed_in(
+    cfg: &AccelConfig,
+    schedule: &WavefrontSchedule,
+    id: u32,
+    a: &PackedSeq,
+    b: &PackedSeq,
+    bt: bool,
+    scratch: &mut AlignerScratch,
 ) -> AlignerOutcome {
     let n = a.len() as i32;
     let m = b.len() as i32;
@@ -196,7 +297,7 @@ pub fn align_packed(
     let mut window = Window::default();
 
     // --- Score 0: the initial wavefront, extended. ---
-    let mut m0 = Wavefront::initial();
+    let mut m0 = scratch.arena.initial();
     {
         out.stats.score_steps += 1;
         let r = extend_cell(cfg, a, b, 0, 0);
@@ -209,16 +310,20 @@ pub fn align_packed(
     if k_end == 0 && m0.get(0) == m {
         out.success = true;
         out.score = 0;
+        scratch.arena.recycle(m0);
         return out;
     }
+    let i0 = scratch.arena.wavefront(0, 0);
+    let d0 = scratch.arena.wavefront(0, 0);
     window.push(
         WfSet {
             score: 0,
             m: m0,
-            i: Wavefront::null_range(0, 0),
-            d: Wavefront::null_range(0, 0),
+            i: i0,
+            d: d0,
         },
         lookback,
+        &mut scratch.arena,
     );
 
     // --- Scheduled score steps. ---
@@ -231,9 +336,21 @@ pub fn align_packed(
         let depth = step.depth as i32;
         out.stats.score_steps += 1;
 
-        let mut wm = Wavefront::null_range(-depth, depth);
-        let mut wi = Wavefront::null_range(-depth, depth);
-        let mut wd = Wavefront::null_range(-depth, depth);
+        let mut wm = scratch.arena.wavefront(-depth, depth);
+        let mut wi = scratch.arena.wavefront(-depth, depth);
+        let mut wd = scratch.arena.wavefront(-depth, depth);
+
+        // Hoist the window lookups out of the per-cell loop: the three
+        // source sets are fixed for the whole score step, so resolve each
+        // once — and flatten them to slice views so the per-cell fetch is a
+        // single range check instead of an `Option` chain.
+        let set_sub = window.get(s - px);
+        let set_open = window.get(s - poe);
+        let set_ext = window.get(s - pe);
+        let sub_m = WfView::of(set_sub.map(|t| &t.m));
+        let open_m = WfView::of(set_open.map(|t| &t.m));
+        let ext_i = WfView::of(set_ext.map(|t| &t.i));
+        let ext_d = WfView::of(set_ext.map(|t| &t.d));
 
         // Compute phase: P-aligned row groups of the wavefront matrix
         // covering the frame column's range (row = k + k_max; the Fig. 6
@@ -248,7 +365,13 @@ pub fn align_packed(
         out.stats.cells += (row_hi - row_lo + 1) as u64;
         out.compute_cycles += batches as Cycle * cfg.compute_batch_cycles;
 
-        let mut batch_origins: Vec<CellOrigin> = Vec::with_capacity(p);
+        // Output stores are unconditional: an invalid component is exactly
+        // OFFSET_NULL (see `compute_cell_bare`), identical to the untouched
+        // arena fill, so skipping the validity branches changes nothing.
+        let wm_offs = &mut wm.offsets[..];
+        let wi_offs = &mut wi.offsets[..];
+        let wd_offs = &mut wd.offsets[..];
+        let batch_origins = &mut scratch.batch_origins;
         for group in first_group..=last_group {
             batch_origins.clear();
             for lane in 0..p {
@@ -260,39 +383,50 @@ pub fn align_packed(
                     continue;
                 }
                 let k = row as i32 - center;
+                let idx = (k + depth) as usize;
                 let src = CellSources {
-                    m_sub: window.m_at(s - px, k),
-                    m_open_ins: window.m_at(s - poe, k - 1),
-                    m_open_del: window.m_at(s - poe, k + 1),
-                    i_ext: window.i_at(s - pe, k - 1),
-                    d_ext: window.d_at(s - pe, k + 1),
+                    m_sub: sub_m.at(k),
+                    m_open_ins: open_m.at(k - 1),
+                    m_open_del: open_m.at(k + 1),
+                    i_ext: ext_i.at(k - 1),
+                    d_ext: ext_d.at(k + 1),
                 };
-                let cell = compute_cell(&src, k, n, m);
-                if offset_is_valid(cell.i) {
-                    wi.set(k, cell.i);
-                }
-                if offset_is_valid(cell.d) {
-                    wd.set(k, cell.d);
-                }
-                if offset_is_valid(cell.m) {
-                    wm.set(k, cell.m);
-                }
                 if bt {
+                    let cell = compute_cell(&src, k, n, m);
+                    wi_offs[idx] = cell.i;
+                    wd_offs[idx] = cell.d;
+                    wm_offs[idx] = cell.m;
                     batch_origins.push(cell.origin);
+                } else {
+                    let (iv, dv, mv) = compute_cell_bare(&src, k, n, m);
+                    wi_offs[idx] = iv;
+                    wd_offs[idx] = dv;
+                    wm_offs[idx] = mv;
                 }
             }
             if bt {
-                out.bt_blocks.push(pack_origins(&batch_origins));
+                out.bt_blocks.push(pack_origins(batch_origins));
             }
         }
 
         // Extend phase: each section extends its stripe's valid M cells.
-        let mut section_cycles: Vec<Vec<Cycle>> = vec![Vec::new(); p];
-        for (idx, k) in (-depth..=depth).enumerate() {
-            let off = wm.get(k);
+        // Per-section cycles are accumulated as (sum, count) pairs:
+        // `section_run_cycles` over a run is fill + sum + count * issue, so
+        // the pairs carry everything the max needs without staging vectors.
+        if scratch.section_sum.len() < p {
+            scratch.section_sum.resize(p, 0);
+            scratch.section_cnt.resize(p, 0);
+        }
+        let section_sum = &mut scratch.section_sum[..p];
+        let section_cnt = &mut scratch.section_cnt[..p];
+        section_sum.fill(0);
+        section_cnt.fill(0);
+        for (idx, slot) in wm.offsets.iter_mut().enumerate() {
+            let off = *slot;
             if !offset_is_valid(off) {
                 continue;
             }
+            let k = idx as i32 - depth;
             let r = extend_cell(cfg, a, b, k, off);
             out.stats.extends += 1;
             let i0 = (off - k) as usize + r.matches;
@@ -300,33 +434,26 @@ pub fn align_packed(
             let stopped_inside = (i0 as i32) < n && (j0 as i32) < m;
             out.stats.bases_compared += r.matches as u64 + stopped_inside as u64;
             if r.matches > 0 {
-                wm.set(k, off + r.matches as i32);
+                *slot = off + r.matches as i32;
             }
-            section_cycles[idx % p].push(r.compare_cycles);
+            section_sum[idx % p] += r.compare_cycles;
+            section_cnt[idx % p] += 1;
         }
-        let extend_phase = section_cycles
+        let extend_phase = section_sum
             .iter()
-            .map(|cells| section_run_cycles(cfg, cells))
+            .zip(section_cnt.iter())
+            .filter(|(_, &cnt)| cnt > 0)
+            .map(|(&sum, &cnt)| cfg.extend_fill_cycles + sum + cnt * cfg.extend_issue_cycles)
             .max()
             .unwrap_or(0);
         out.extend_cycles += extend_phase;
 
         // Termination check.
-        if k_end.abs() <= depth && wm.get(k_end) == m {
+        let done = k_end.abs() <= depth && wm.get(k_end) == m;
+        if done {
             out.success = true;
             out.score = step.score;
-            window.push(
-                WfSet {
-                    score: step.score,
-                    m: wm,
-                    i: wi,
-                    d: wd,
-                },
-                lookback,
-            );
-            break;
         }
-
         window.push(
             WfSet {
                 score: step.score,
@@ -335,9 +462,14 @@ pub fn align_packed(
                 d: wd,
             },
             lookback,
+            &mut scratch.arena,
         );
+        if done {
+            break;
+        }
     }
 
+    window.drain_into(&mut scratch.arena);
     out.cycles =
         out.extend_cycles + out.compute_cycles + out.stats.score_steps * cfg.score_loop_overhead;
     out

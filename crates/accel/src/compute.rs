@@ -38,9 +38,20 @@ pub struct ComputedCell {
     pub origin: CellOrigin,
 }
 
-/// Compute one cell of the frame column at diagonal `k` for sequences of
-/// lengths `n`/`m` (Eq. 3 with matrix-bounds validation).
-pub fn compute_cell(src: &CellSources, k: i32, n: i32, m: i32) -> ComputedCell {
+/// The validated Eq. 3 candidates for one cell — the shared arithmetic
+/// behind [`compute_cell`] and [`compute_cell_bare`].
+#[derive(Debug, Clone, Copy)]
+struct Candidates {
+    iv: i32,
+    dv: i32,
+    mv: i32,
+    sub: i32,
+    i_from_ext: bool,
+    d_from_ext: bool,
+}
+
+#[inline(always)]
+fn candidates(src: &CellSources, k: i32, n: i32, m: i32) -> Candidates {
     let validate_inc = |off: i32| {
         if offset_is_valid(off) {
             validated_offset(off + 1, k, n, m)
@@ -83,6 +94,38 @@ pub fn compute_cell(src: &CellSources, k: i32, n: i32, m: i32) -> ComputedCell {
         OFFSET_NULL
     };
     let mv = sub.max(iv).max(dv);
+
+    Candidates {
+        iv,
+        dv,
+        mv,
+        sub,
+        i_from_ext,
+        d_from_ext,
+    }
+}
+
+/// Offsets-only variant of [`compute_cell`]: identical Eq. 3 arithmetic,
+/// no origin bookkeeping. The backtrace-disabled datapath uses this;
+/// results are bit-identical to [`compute_cell`]'s `(i, d, m)` fields.
+/// Invalid components come back as exactly [`OFFSET_NULL`].
+#[inline(always)]
+pub fn compute_cell_bare(src: &CellSources, k: i32, n: i32, m: i32) -> (i32, i32, i32) {
+    let c = candidates(src, k, n, m);
+    (c.iv, c.dv, c.mv)
+}
+
+/// Compute one cell of the frame column at diagonal `k` for sequences of
+/// lengths `n`/`m` (Eq. 3 with matrix-bounds validation).
+pub fn compute_cell(src: &CellSources, k: i32, n: i32, m: i32) -> ComputedCell {
+    let Candidates {
+        iv,
+        dv,
+        mv,
+        sub,
+        i_from_ext,
+        d_from_ext,
+    } = candidates(src, k, n, m);
 
     let m_origin = if !offset_is_valid(mv) {
         MOrigin::None
@@ -181,6 +224,27 @@ mod tests {
         let c = compute_cell(&src(5, 5, NULL, NULL, NULL), 0, 100, 100);
         assert_eq!(c.m, 6);
         assert_eq!(c.origin.m, MOrigin::Sub);
+    }
+
+    #[test]
+    fn bare_variant_matches_full_cell() {
+        let cases = [
+            src(5, 3, 2, 4, 1),
+            src(NULL, 3, NULL, 4, NULL),
+            src(7, NULL, 2, NULL, 9),
+            src(NULL, NULL, NULL, NULL, NULL),
+            src(0, 0, 0, 0, 0),
+            src(5, NULL, NULL, NULL, NULL),
+        ];
+        for (idx, s) in cases.iter().enumerate() {
+            for k in [-2, 0, 2, 3] {
+                for (n, m) in [(100, 100), (5, 100), (3, 3)] {
+                    let full = compute_cell(s, k, n, m);
+                    let (iv, dv, mv) = compute_cell_bare(s, k, n, m);
+                    assert_eq!((iv, dv, mv), (full.i, full.d, full.m), "case {idx} k {k}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! deterministically (bit flips, dropped/duplicated DMA beats, stuck FIFOs,
 //! bus stalls, MMIO corruption).
 
-use crate::aligner::{align_extracted, AlignerStats};
+use crate::aligner::{align_extracted_in, AlignerScratch, AlignerStats};
 use crate::collector::{bt_txns_to_bytes, collect_bt, nbt_record, pack_nbt_records};
 use crate::config::AccelConfig;
 use crate::extractor::extract_pair;
@@ -446,6 +446,10 @@ impl WfasicDevice {
         // Pending NBT records (flushed four per transaction).
         let mut nbt_pending: Vec<(NbtRecord, Cycle)> = Vec::new();
 
+        // Host-side wavefront/staging scratch, reused across the job's
+        // pairs (wall-clock only; outcomes and cycles are unaffected).
+        let mut scratch = AlignerScratch::new();
+
         let mut read_free: Cycle = dma_start;
         'job: for i in 0..num_pairs {
             // The Extractor starts ingesting a pair only when an Aligner is
@@ -483,7 +487,8 @@ impl WfasicDevice {
                 .min_by_key(|&w| aligner_free[w])
                 .unwrap_or(0);
             let t0 = ingest.max(aligner_free[w]);
-            let outcome = align_extracted(&self.cfg, &self.schedule, &ex, job.backtrace);
+            let outcome =
+                align_extracted_in(&self.cfg, &self.schedule, &ex, job.backtrace, &mut scratch);
             if dev_perf.enabled {
                 dev_perf.spans.extend(outcome.phase_spans(t0, w));
             }

@@ -39,7 +39,7 @@ pub mod schedule;
 pub mod structural;
 pub mod wavefront_ram;
 
-pub use aligner::{align_packed, AlignerOutcome, AlignerStats};
+pub use aligner::{align_packed, align_packed_in, AlignerOutcome, AlignerScratch, AlignerStats};
 pub use area::{area_report, AreaReport};
 pub use config::AccelConfig;
 pub use device::{PairReport, RunReport, WfasicDevice};

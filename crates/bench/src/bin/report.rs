@@ -5,6 +5,7 @@
 //!     [table1|fig8|fig9|fig10|fig11|table2|ablation|faults|perf|batch|all] [--quick] [--seed N]
 //! cargo run -p wfasic-bench --release --bin report -- trace [set]
 //! cargo run -p wfasic-bench --release --bin report -- ci-check [--bless] [--baseline PATH]
+//! cargo run -p wfasic-bench --release --bin report -- host [--quick] [--threads N] [--out PATH]
 //! ```
 //!
 //! `trace` prints Chrome `trace_event` JSON for one input set (default
@@ -12,10 +13,11 @@
 //! Perfetto. `ci-check` measures the baseline cycle metrics at the fixed
 //! quick workload and fails (exit 1) on more than 2% drift against
 //! `bench/baselines/cycles.json`; `--bless` regenerates the baseline
-//! instead.
+//! instead. `host` measures the simulator's own wall-clock throughput
+//! (alignments/sec at 1 and N host threads) and writes `BENCH_host.json`.
 
 use wfasic_bench::experiments::{trace_json, Sizes};
-use wfasic_bench::{baseline, report};
+use wfasic_bench::{baseline, host, report};
 use wfasic_seqio::dataset::InputSetSpec;
 
 fn main() {
@@ -24,10 +26,25 @@ fn main() {
     let mut sizes = Sizes::default_report();
     let mut bless = false;
     let mut baseline_path = baseline::default_path();
+    let mut host_opts = host::HostOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => sizes = Sizes::quick(),
+            "--quick" => {
+                sizes = Sizes::quick();
+                host_opts.quick = true;
+            }
+            "--threads" => {
+                i += 1;
+                host_opts.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--out" => {
+                i += 1;
+                host_opts.out = Some(args.get(i).expect("--out needs a path").into());
+            }
             "--seed" => {
                 i += 1;
                 sizes.seed = args
@@ -84,6 +101,7 @@ fn main() {
             "batch" => print!("{}", report::batch_report(&sizes)),
             "perf" => print!("{}", report::perf_report(&sizes)),
             "ci-check" => ci_check(bless, &baseline_path),
+            "host" => print!("{}", host::host_report(&host_opts)),
             "all" => {
                 println!("{}", report::table1_report(&sizes));
                 println!("{}", report::fig9_report(&sizes));
@@ -103,6 +121,7 @@ fn main() {
                 );
                 eprintln!("       report trace [set]");
                 eprintln!("       report ci-check [--bless] [--baseline PATH]");
+                eprintln!("       report host [--quick] [--threads N] [--out PATH]");
                 std::process::exit(2);
             }
         }

@@ -1,0 +1,363 @@
+//! Host-throughput benchmark (`report -- host`): wall-clock performance of
+//! the simulator itself, as opposed to the simulated cycle counts every
+//! other report measures.
+//!
+//! Three layers, bottom up:
+//!
+//! * the shared LCP kernel ([`wfa_core::kernel`]) — scalar vs word-parallel
+//!   bases/sec;
+//! * the software WFA oracle — aligns/sec with fresh allocations vs the
+//!   reused [`wfa_core::WavefrontArena`];
+//! * the end-to-end device path — a differential-sweep-shaped bucket pushed
+//!   through [`BatchScheduler::run_parallel`] at 1 thread and at the
+//!   requested width, reporting alignments/sec and DP-equivalent cells/sec
+//!   (`|a|*|b|` per pair, the paper's §5.5 CUPS convention).
+//!
+//! Results print as a table and are also emitted as JSON (default
+//! `BENCH_host.json`) so CI can archive them. Thread counts change wall
+//! clock only — every simulated result and cycle count is bit-identical at
+//! any width, which the differential sweep and the `run_parallel`
+//! bit-identity tests enforce.
+
+use crate::timing::measure;
+use std::path::{Path, PathBuf};
+use wfa_core::kernel;
+use wfa_core::pool::available_threads;
+use wfa_core::rng::SmallRng;
+use wfa_core::{wfa_align_with_arena, PackedSeq, WavefrontArena, WfaOptions};
+use wfasic_accel::AccelConfig;
+use wfasic_driver::{BatchJob, BatchScheduler};
+use wfasic_seqio::InputSetSpec;
+
+/// Options for the host-throughput report.
+#[derive(Debug, Clone)]
+pub struct HostOptions {
+    /// Shrink the workload for CI smoke runs.
+    pub quick: bool,
+    /// Pool width for the parallel end-to-end measurement (0 = all host
+    /// threads).
+    pub threads: usize,
+    /// Where to write the JSON record (`None` = `BENCH_host.json`).
+    pub out: Option<PathBuf>,
+    /// RNG seed for the generated workloads.
+    pub seed: u64,
+}
+
+impl Default for HostOptions {
+    fn default() -> Self {
+        HostOptions {
+            quick: false,
+            threads: 0,
+            out: None,
+            seed: 0x1057_BEEF,
+        }
+    }
+}
+
+/// One measured throughput point.
+#[derive(Debug, Clone, Copy)]
+struct Throughput {
+    seconds: f64,
+    aligns_per_sec: f64,
+    cells_per_sec: f64,
+}
+
+fn related_bytes(rng: &mut SmallRng, len: usize) -> (Vec<u8>, Vec<u8>) {
+    let a: Vec<u8> = (0..len).map(|_| b"ACGT"[rng.gen_range(0, 4)]).collect();
+    let mut b = a.clone();
+    for base in b.iter_mut() {
+        if rng.gen_bool(0.02) {
+            *base = b"ACGT"[rng.gen_range(0, 4)];
+        }
+    }
+    (a, b)
+}
+
+/// Sum LCPs from `probes` seeded start positions (the measured work unit
+/// for the kernel layer). Both sequences are probed at the same position —
+/// they are a mutated copy of each other, so runs have realistic
+/// extend-step lengths instead of dying on the first unrelated base.
+fn lcp_sweep(f: impl Fn(usize, usize) -> usize, len: usize, probes: usize, seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut total = 0u64;
+    for _ in 0..probes {
+        let i = rng.gen_range(0, len);
+        total += f(i, i) as u64;
+    }
+    total
+}
+
+/// Run the benchmark, print the table, and write the JSON record.
+pub fn host_report(opts: &HostOptions) -> String {
+    let threads = if opts.threads == 0 {
+        available_threads()
+    } else {
+        opts.threads
+    };
+    let mut out = String::new();
+    out.push_str("== Host throughput (simulator wall clock) ==\n");
+    out.push_str(&format!(
+        "host threads available: {}; parallel width measured: {}\n\n",
+        available_threads(),
+        threads
+    ));
+
+    // --- Layer 1: the shared LCP kernel, scalar vs word-parallel. ---
+    let kernel_len = if opts.quick { 20_000 } else { 100_000 };
+    let probes = if opts.quick { 2_000 } else { 10_000 };
+    let iters = if opts.quick { 3 } else { 8 };
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let (ka, kb) = related_bytes(&mut rng, kernel_len);
+    let (pa, pb) = (
+        PackedSeq::from_ascii(&ka).expect("ACGT only"),
+        PackedSeq::from_ascii(&kb).expect("ACGT only"),
+    );
+
+    let bases_scalar = lcp_sweep(
+        |i, j| kernel::lcp_bytes_scalar(&ka, &kb, i, j),
+        kernel_len,
+        probes,
+        opts.seed,
+    );
+    let t_scalar = measure(iters, || {
+        lcp_sweep(
+            |i, j| kernel::lcp_bytes_scalar(&ka, &kb, i, j),
+            kernel_len,
+            probes,
+            opts.seed,
+        )
+    });
+    let bases_word = lcp_sweep(
+        |i, j| kernel::lcp_packed(&pa, &pb, i, j),
+        kernel_len,
+        probes,
+        opts.seed,
+    );
+    assert_eq!(
+        bases_scalar, bases_word,
+        "kernels must agree on the measured workload"
+    );
+    let t_word = measure(iters, || {
+        lcp_sweep(
+            |i, j| kernel::lcp_packed(&pa, &pb, i, j),
+            kernel_len,
+            probes,
+            opts.seed,
+        )
+    });
+    let scalar_gbps = bases_scalar as f64 / (t_scalar.p50_ms / 1e3) / 1e9;
+    let word_gbps = bases_word as f64 / (t_word.p50_ms / 1e3) / 1e9;
+    out.push_str(&format!(
+        "LCP kernel ({kernel_len} bp, {probes} probes): scalar {scalar_gbps:.2} Gbases/s, \
+         word-parallel {word_gbps:.2} Gbases/s ({:.1}x)\n",
+        word_gbps / scalar_gbps
+    ));
+
+    // --- Layer 2: the software WFA oracle, fresh vs arena-reused. ---
+    let spec = if opts.quick {
+        InputSetSpec {
+            length: 150,
+            error_pct: 5,
+        }
+    } else {
+        InputSetSpec {
+            length: 600,
+            error_pct: 5,
+        }
+    };
+    let oracle_pairs = spec
+        .generate(if opts.quick { 16 } else { 64 }, opts.seed ^ 0x0A)
+        .pairs;
+    let t_fresh = measure(iters, || {
+        let mut acc = 0u64;
+        for p in &oracle_pairs {
+            let mut arena = WavefrontArena::new();
+            let r = wfa_align_with_arena(&p.a, &p.b, &WfaOptions::default(), &mut arena);
+            acc += r.map(|al| al.score as u64).unwrap_or(0);
+        }
+        acc
+    });
+    let t_arena = measure(iters, || {
+        let mut arena = WavefrontArena::new();
+        let mut acc = 0u64;
+        for p in &oracle_pairs {
+            let r = wfa_align_with_arena(&p.a, &p.b, &WfaOptions::default(), &mut arena);
+            acc += r.map(|al| al.score as u64).unwrap_or(0);
+        }
+        acc
+    });
+    let fresh_aps = oracle_pairs.len() as f64 / (t_fresh.p50_ms / 1e3);
+    let arena_aps = oracle_pairs.len() as f64 / (t_arena.p50_ms / 1e3);
+    out.push_str(&format!(
+        "WFA oracle ({} x {}): fresh {fresh_aps:.0} aligns/s, arena-reused \
+         {arena_aps:.0} aligns/s ({:+.1}%)\n",
+        oracle_pairs.len(),
+        spec.name(),
+        (arena_aps / fresh_aps - 1.0) * 100.0
+    ));
+
+    // --- Layer 3: end-to-end device path at 1 and N threads. ---
+    let e2e_spec = if opts.quick {
+        InputSetSpec {
+            length: 150,
+            error_pct: 5,
+        }
+    } else {
+        InputSetSpec {
+            length: 600,
+            error_pct: 10,
+        }
+    };
+    let e2e_pairs = e2e_spec
+        .generate(if opts.quick { 56 } else { 224 }, opts.seed ^ 0xE2)
+        .pairs;
+    let e2e_cells: u64 = e2e_pairs
+        .iter()
+        .map(|p| p.a.len() as u64 * p.b.len() as u64)
+        .sum();
+    let jobs: Vec<BatchJob> = e2e_pairs
+        .chunks(28)
+        .map(|c| BatchJob::with_backtrace(c.to_vec()))
+        .collect();
+    let sched = BatchScheduler::new(AccelConfig::wfasic_chip(), 1);
+    let e2e_iters = if opts.quick { 1 } else { 2 };
+    let run_at = |width: usize| -> Throughput {
+        let t = measure(e2e_iters, || {
+            let results = sched.run_parallel(&jobs, width);
+            assert!(results.iter().all(|r| r.is_ok()), "device jobs must pass");
+            results.len()
+        });
+        let secs = t.p50_ms / 1e3;
+        Throughput {
+            seconds: secs,
+            aligns_per_sec: e2e_pairs.len() as f64 / secs,
+            cells_per_sec: e2e_cells as f64 / secs,
+        }
+    };
+    let one = run_at(1);
+    let many = run_at(threads);
+    out.push_str(&format!(
+        "device path ({} x {}, BT on):\n",
+        e2e_pairs.len(),
+        e2e_spec.name()
+    ));
+    out.push_str(&format!(
+        "  1 thread : {:>8.0} aligns/s  {:>7.3} GCells/s  ({:.3} s)\n",
+        one.aligns_per_sec,
+        one.cells_per_sec / 1e9,
+        one.seconds
+    ));
+    out.push_str(&format!(
+        "  {threads} threads: {:>8.0} aligns/s  {:>7.3} GCells/s  ({:.3} s, {:.2}x)\n",
+        many.aligns_per_sec,
+        many.cells_per_sec / 1e9,
+        many.seconds,
+        one.seconds / many.seconds
+    ));
+
+    let json = render_json(
+        opts,
+        threads,
+        scalar_gbps,
+        word_gbps,
+        fresh_aps,
+        arena_aps,
+        one,
+        many,
+    );
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_host.json"));
+    write_json(&path, &json, &mut out);
+    out
+}
+
+fn write_json(path: &Path, json: &str, log: &mut String) {
+    match std::fs::write(path, json) {
+        Ok(()) => log.push_str(&format!("\nwrote {}\n", path.display())),
+        Err(e) => log.push_str(&format!("\nfailed to write {}: {e}\n", path.display())),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    opts: &HostOptions,
+    threads: usize,
+    scalar_gbps: f64,
+    word_gbps: f64,
+    fresh_aps: f64,
+    arena_aps: f64,
+    one: Throughput,
+    many: Throughput,
+) -> String {
+    // Hand-rolled JSON (no external crates in the offline build).
+    format!(
+        concat!(
+            "{{\n",
+            "  \"host\": {{\"threads_available\": {}, \"threads_measured\": {}, ",
+            "\"quick\": {}, \"seed\": {}}},\n",
+            "  \"kernel\": {{\"scalar_gbases_per_sec\": {:.4}, ",
+            "\"word_parallel_gbases_per_sec\": {:.4}, \"speedup\": {:.3}}},\n",
+            "  \"oracle\": {{\"fresh_aligns_per_sec\": {:.2}, ",
+            "\"arena_aligns_per_sec\": {:.2}}},\n",
+            "  \"device_path\": {{\n",
+            "    \"threads_1\": {{\"seconds\": {:.4}, \"aligns_per_sec\": {:.2}, ",
+            "\"cells_per_sec\": {:.1}}},\n",
+            "    \"threads_n\": {{\"threads\": {}, \"seconds\": {:.4}, ",
+            "\"aligns_per_sec\": {:.2}, \"cells_per_sec\": {:.1}}},\n",
+            "    \"speedup_n_over_1\": {:.3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        available_threads(),
+        threads,
+        opts.quick,
+        opts.seed,
+        scalar_gbps,
+        word_gbps,
+        word_gbps / scalar_gbps,
+        fresh_aps,
+        arena_aps,
+        one.seconds,
+        one.aligns_per_sec,
+        one.cells_per_sec,
+        threads,
+        many.seconds,
+        many.aligns_per_sec,
+        many.cells_per_sec,
+        one.seconds / many.seconds,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_host_report_runs_and_writes_json() {
+        let dir = std::env::temp_dir().join("wfasic_host_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_host.json");
+        let opts = HostOptions {
+            quick: true,
+            threads: 2,
+            out: Some(path.clone()),
+            ..HostOptions::default()
+        };
+        let report = host_report(&opts);
+        assert!(report.contains("LCP kernel"));
+        assert!(report.contains("device path"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"threads_measured\": 2"));
+        assert!(json.contains("\"speedup_n_over_1\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pool_helper_is_reexported() {
+        // `wfasic_bench::pool` must expose the shared pool (ISSUE contract).
+        let p = crate::pool::ThreadPool::new(3);
+        assert_eq!(p.threads(), 3);
+    }
+}

@@ -7,6 +7,10 @@
 //!   `report -- ci-check`;
 //! * [`paper`] — the paper's reported numbers for side-by-side printing;
 //! * [`report`] — the formatted reports (also used by the `report` binary);
+//! * [`host`] — the host wall-clock throughput benchmark behind
+//!   `report -- host` (alignments/sec, cells/sec, 1 vs N threads);
+//! * [`pool`] — the deterministic host thread pool (re-export of
+//!   [`wfa_core::pool`]);
 //! * [`fmt`] — table rendering.
 //!
 //! `cargo run -p wfasic-bench --release --bin report -- all` prints every
@@ -17,6 +21,8 @@
 pub mod baseline;
 pub mod experiments;
 pub mod fmt;
+pub mod host;
 pub mod paper;
+pub mod pool;
 pub mod report;
 pub mod timing;

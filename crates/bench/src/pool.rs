@@ -1,0 +1,10 @@
+//! The deterministic host thread pool, re-exported for bench and sweep
+//! consumers.
+//!
+//! The implementation lives in [`wfa_core::pool`] so the driver can use it
+//! without depending on this crate; benches, the differential sweep and the
+//! host-throughput report reach it as `wfasic_bench::pool`. Chunking is a
+//! pure function of `(items, threads)` and results are returned in input
+//! order, so every run — at any thread count — produces identical output.
+
+pub use wfa_core::pool::{available_threads, chunk_ranges, ThreadPool};

@@ -1,0 +1,179 @@
+//! Reusable wavefront storage: a high-water-mark allocation pool.
+//!
+//! WFA allocates three offset vectors (M/I/D) per score step; at ~1 score
+//! per error the per-pair allocation count is small, but a sweep over
+//! thousands of pairs turns it into an allocation storm that dominates host
+//! wall-clock. [`WavefrontArena`] keeps every retired offset buffer on a
+//! freelist and hands it back out (cleared and NULL-filled) for the next
+//! wavefront, so a long-running aligner reaches its high-water mark once and
+//! then stops calling the allocator entirely.
+//!
+//! The arena is purely a host-side optimization: a recycled wavefront is
+//! bit-identical to a freshly allocated one (same `lo..=hi` range, every
+//! cell [`OFFSET_NULL`]), and [`WavefrontSet::memory_bytes`] is length-based
+//! rather than capacity-based, so the simulated cycle counts and the
+//! `peak_memory_bytes` statistic that feeds the CPU cycle model are
+//! unchanged. The `ci-check` gate and the differential sweep enforce that.
+
+use crate::wavefront::{Wavefront, WavefrontSet, OFFSET_NULL};
+
+/// Allocation-reuse counters (observability for tests and the host bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers created because the freelist was empty.
+    pub fresh_allocs: u64,
+    /// Buffers served from the freelist.
+    pub reuses: u64,
+    /// Most buffers ever parked on the freelist at once (the pool's
+    /// high-water mark; the pool never shrinks below it).
+    pub peak_pooled: usize,
+}
+
+/// A freelist pool of wavefront offset buffers (plus the `fronts` spines
+/// used by the full-history oracle).
+#[derive(Debug, Default)]
+pub struct WavefrontArena {
+    free: Vec<Vec<i32>>,
+    spines: Vec<Vec<Option<WavefrontSet>>>,
+    stats: ArenaStats,
+}
+
+impl WavefrontArena {
+    /// An empty arena. It grows to the workload's high-water mark on first
+    /// use and serves every later allocation from the pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reuse/allocation counters.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Buffers currently parked on the freelist.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// A wavefront covering `lo..=hi` with every cell NULL — identical to
+    /// [`Wavefront::null_range`], but backed by a recycled buffer when one
+    /// is available.
+    pub fn wavefront(&mut self, lo: i32, hi: i32) -> Wavefront {
+        assert!(lo <= hi, "wavefront range must be non-empty ({lo}..={hi})");
+        let len = (hi - lo + 1) as usize;
+        let offsets = match self.free.pop() {
+            Some(mut buf) => {
+                self.stats.reuses += 1;
+                buf.clear();
+                buf.resize(len, OFFSET_NULL);
+                buf
+            }
+            None => {
+                self.stats.fresh_allocs += 1;
+                vec![OFFSET_NULL; len]
+            }
+        };
+        Wavefront { lo, hi, offsets }
+    }
+
+    /// The initial wavefront `M(0, 0) = 0` (arena-backed
+    /// [`Wavefront::initial`]).
+    pub fn initial(&mut self) -> Wavefront {
+        let mut w = self.wavefront(0, 0);
+        w.set(0, 0);
+        w
+    }
+
+    /// Return a wavefront's buffer to the pool.
+    pub fn recycle(&mut self, w: Wavefront) {
+        self.free.push(w.offsets);
+        self.stats.peak_pooled = self.stats.peak_pooled.max(self.free.len());
+    }
+
+    /// Return all of a set's component buffers to the pool.
+    pub fn recycle_set(&mut self, set: WavefrontSet) {
+        self.recycle(set.m);
+        if let Some(w) = set.i {
+            self.recycle(w);
+        }
+        if let Some(w) = set.d {
+            self.recycle(w);
+        }
+    }
+
+    /// A cleared per-score `fronts` spine (recycled when available).
+    pub fn take_spine(&mut self) -> Vec<Option<WavefrontSet>> {
+        self.spines.pop().unwrap_or_default()
+    }
+
+    /// Recycle a spine and every set still parked in it.
+    pub fn recycle_spine(&mut self, mut spine: Vec<Option<WavefrontSet>>) {
+        for set in spine.drain(..).flatten() {
+            self.recycle_set(set);
+        }
+        self.spines.push(spine);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_wavefront_is_bit_identical_to_fresh() {
+        let mut arena = WavefrontArena::new();
+        let mut w = arena.wavefront(-3, 5);
+        w.set(2, 17);
+        w.set(-3, 4);
+        arena.recycle(w);
+        let recycled = arena.wavefront(-2, 2);
+        assert_eq!(recycled, Wavefront::null_range(-2, 2));
+        assert_eq!(arena.stats().reuses, 1);
+    }
+
+    #[test]
+    fn initial_matches_wavefront_initial() {
+        let mut arena = WavefrontArena::new();
+        assert_eq!(arena.initial(), Wavefront::initial());
+    }
+
+    #[test]
+    fn pool_reaches_high_water_then_stops_allocating() {
+        let mut arena = WavefrontArena::new();
+        for round in 0..5 {
+            let sets: Vec<WavefrontSet> = (0..8)
+                .map(|i| WavefrontSet {
+                    m: arena.wavefront(-i, i),
+                    i: Some(arena.wavefront(-i, i)),
+                    d: None,
+                })
+                .collect();
+            for s in sets {
+                arena.recycle_set(s);
+            }
+            if round == 0 {
+                assert_eq!(arena.stats().fresh_allocs, 16);
+            }
+        }
+        // Rounds 1..4 are served entirely from the pool.
+        assert_eq!(arena.stats().fresh_allocs, 16);
+        assert_eq!(arena.stats().reuses, 64);
+        assert_eq!(arena.stats().peak_pooled, 16);
+    }
+
+    #[test]
+    fn spine_recycling_reclaims_parked_sets() {
+        let mut arena = WavefrontArena::new();
+        let mut spine = arena.take_spine();
+        spine.push(Some(WavefrontSet {
+            m: arena.wavefront(0, 3),
+            i: None,
+            d: Some(arena.wavefront(0, 3)),
+        }));
+        spine.push(None);
+        arena.recycle_spine(spine);
+        assert_eq!(arena.pooled(), 2);
+        let spine = arena.take_spine();
+        assert!(spine.is_empty(), "recycled spine must come back cleared");
+    }
+}

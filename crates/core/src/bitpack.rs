@@ -90,7 +90,7 @@ impl PackedSeq {
     /// §4.3.2). Bases past the end are unspecified garbage; callers bound the
     /// comparison by length.
     #[inline]
-    fn window(&self, pos: usize) -> u64 {
+    pub(crate) fn window(&self, pos: usize) -> u64 {
         let wi = pos / BASES_PER_WORD;
         let shift = 2 * (pos % BASES_PER_WORD);
         let lo = self.words.get(wi).copied().unwrap_or(0) >> shift;
@@ -108,21 +108,10 @@ impl PackedSeq {
 ///
 /// Functionally identical to [`crate::wfa::extend_matches`]; used by the
 /// vectorized CPU model and as the reference for the hardware Extend unit.
+/// Thin wrapper over the shared [`crate::kernel::lcp_packed`] kernel.
+#[inline]
 pub fn extend_matches_packed(a: &PackedSeq, b: &PackedSeq, i: usize, j: usize) -> usize {
-    let limit = (a.len() - i).min(b.len() - j);
-    let mut matched = 0;
-    while matched < limit {
-        let wa = a.window(i + matched);
-        let wb = b.window(j + matched);
-        let diff = wa ^ wb;
-        if diff == 0 {
-            matched += BASES_PER_WORD;
-        } else {
-            matched += (diff.trailing_zeros() / 2) as usize;
-            break;
-        }
-    }
-    matched.min(limit)
+    crate::kernel::lcp_packed(a, b, i, j)
 }
 
 /// Number of 16-base hardware comparison blocks needed to discover

@@ -1,0 +1,230 @@
+//! The one shared LCP ("extend") kernel used by every aligner in the
+//! workspace.
+//!
+//! WFA's `extend()` operator is a longest-common-prefix computation:
+//! starting from `(i, j)`, count how many bases of `a[i..]` and `b[j..]`
+//! match. The hardware compares 16 bases per cycle (paper §4.3.2); the host
+//! analogue here compares a full machine word at a time:
+//!
+//! * [`lcp_packed`] — 2-bit-packed sequences, **32 bases per `u64`** via
+//!   XOR + `trailing_zeros`. Used by the accelerator model's Extend
+//!   sub-module (`wfasic-accel`'s `extend_cell`) and by the vectorized
+//!   CPU analogue. Simulated `compare_cycles` are still derived from the
+//!   modeled 16-base/5-cycle pipeline, so host word width never leaks into
+//!   cycle counts.
+//! * [`lcp_bytes`] — raw ASCII sequences, **8 bases per `u64`**, same
+//!   XOR + `trailing_zeros` trick on byte lanes. Used by the software WFA
+//!   oracle ([`crate::wfa::wfa_align`]), which must accept arbitrary bytes
+//!   (including non-ACGT) and therefore cannot pack.
+//! * [`lcp_bytes_scalar`] / [`lcp_packed_scalar`] — the one-base-at-a-time
+//!   reference loops, kept as the property-test oracles for the
+//!   word-parallel paths.
+//!
+//! All four functions compute the exact same value; the property tests in
+//! this module (and `crates/core/tests/proptest_wfa.rs`) pin that across
+//! unaligned starts, word-boundary mismatches, empty sequences and
+//! length-limited tails.
+
+use crate::bitpack::PackedSeq;
+
+/// Bytes (= bases) compared per machine word by [`lcp_bytes`].
+pub const BYTES_PER_WORD: usize = 8;
+
+/// Count matching bases of `a[i..]` vs `b[j..]`, one byte at a time.
+///
+/// The scalar reference implementation; [`lcp_bytes`] must match it
+/// exactly on every input.
+#[inline]
+pub fn lcp_bytes_scalar(a: &[u8], b: &[u8], i: usize, j: usize) -> usize {
+    let (sa, sb) = (&a[i..], &b[j..]);
+    let limit = sa.len().min(sb.len());
+    let mut count = 0;
+    while count < limit && sa[count] == sb[count] {
+        count += 1;
+    }
+    count
+}
+
+/// Count matching bases of `a[i..]` vs `b[j..]`, 8 bytes per `u64`.
+///
+/// Whole words are compared with a single XOR; the first differing byte is
+/// located with `trailing_zeros / 8` (sequences are compared little-endian,
+/// so the lowest differing byte lane is the earliest mismatch). The
+/// sub-word tail falls back to the scalar loop.
+#[inline]
+pub fn lcp_bytes(a: &[u8], b: &[u8], i: usize, j: usize) -> usize {
+    let (sa, sb) = (&a[i..], &b[j..]);
+    let limit = sa.len().min(sb.len());
+    let mut k = 0;
+    while k + BYTES_PER_WORD <= limit {
+        let wa = u64::from_le_bytes(sa[k..k + BYTES_PER_WORD].try_into().unwrap());
+        let wb = u64::from_le_bytes(sb[k..k + BYTES_PER_WORD].try_into().unwrap());
+        let diff = wa ^ wb;
+        if diff != 0 {
+            return k + (diff.trailing_zeros() / 8) as usize;
+        }
+        k += BYTES_PER_WORD;
+    }
+    while k < limit && sa[k] == sb[k] {
+        k += 1;
+    }
+    k
+}
+
+/// Count matching bases of `a[i..]` vs `b[j..]` on 2-bit-packed sequences,
+/// 32 bases per `u64`.
+///
+/// Each iteration reads one 32-base window from each sequence (shifting
+/// across the word boundary, like the hardware's REG_1/REG_2 concatenate
+/// network), XORs them, and counts trailing zero *base pairs*. Garbage
+/// bits past a sequence's end never flow into the result: the count is
+/// clamped to the in-bounds limit.
+#[inline]
+pub fn lcp_packed(a: &PackedSeq, b: &PackedSeq, i: usize, j: usize) -> usize {
+    let limit = (a.len() - i).min(b.len() - j);
+    let mut matched = 0;
+    while matched < limit {
+        let wa = a.window(i + matched);
+        let wb = b.window(j + matched);
+        let diff = wa ^ wb;
+        if diff == 0 {
+            matched += crate::bitpack::BASES_PER_WORD;
+        } else {
+            matched += (diff.trailing_zeros() / 2) as usize;
+            break;
+        }
+    }
+    matched.min(limit)
+}
+
+/// One-base-at-a-time reference for [`lcp_packed`] (property-test oracle).
+#[inline]
+pub fn lcp_packed_scalar(a: &PackedSeq, b: &PackedSeq, i: usize, j: usize) -> usize {
+    let limit = (a.len() - i).min(b.len() - j);
+    let mut count = 0;
+    while count < limit && a.get(i + count) == b.get(j + count) {
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop;
+    use crate::rng::SmallRng;
+
+    fn random_dna(rng: &mut SmallRng, len: usize) -> Vec<u8> {
+        (0..len).map(|_| b"ACGT"[rng.gen_range(0, 4)]).collect()
+    }
+
+    /// A pair of related sequences: b is a mutated copy of a, so LCPs have
+    /// realistic long runs instead of dying within 2 bases.
+    fn related_pair(rng: &mut SmallRng, len: usize) -> (Vec<u8>, Vec<u8>) {
+        let a = random_dna(rng, len);
+        let mut b = a.clone();
+        for base in b.iter_mut() {
+            if rng.gen_bool(0.03) {
+                *base = b"ACGT"[rng.gen_range(0, 4)];
+            }
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn word_parallel_bytes_matches_scalar() {
+        prop::cases(200, 0x1C_B17E5, |rng, _| {
+            let len = rng.gen_range(0, 200);
+            let (a, b) = if len == 0 {
+                let blen = rng.gen_range(0, 4);
+                (Vec::new(), random_dna(rng, blen))
+            } else {
+                related_pair(rng, len)
+            };
+            for _ in 0..16 {
+                let i = rng.gen_range(0, a.len() + 1);
+                let j = rng.gen_range(0, b.len() + 1);
+                assert_eq!(
+                    lcp_bytes(&a, &b, i, j),
+                    lcp_bytes_scalar(&a, &b, i, j),
+                    "len={len} i={i} j={j}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn word_parallel_packed_matches_scalar() {
+        prop::cases(200, 0x1C_9AC4ED, |rng, _| {
+            let len = rng.gen_range(1, 200);
+            let (a, b) = related_pair(rng, len);
+            let pa = PackedSeq::from_ascii(&a).unwrap();
+            let pb = PackedSeq::from_ascii(&b).unwrap();
+            for _ in 0..16 {
+                let i = rng.gen_range(0, a.len() + 1);
+                let j = rng.gen_range(0, b.len() + 1);
+                assert_eq!(
+                    lcp_packed(&pa, &pb, i, j),
+                    lcp_packed_scalar(&pa, &pb, i, j),
+                    "len={len} i={i} j={j}"
+                );
+                assert_eq!(
+                    lcp_packed(&pa, &pb, i, j),
+                    lcp_bytes_scalar(&a, &b, i, j),
+                    "packed and byte kernels must agree, len={len} i={i} j={j}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn mismatch_at_every_word_boundary() {
+        // Mismatch placed exactly at k, for k spanning all byte-word and
+        // packed-word boundary positions (0, 7, 8, 31, 32, 63, 64...).
+        let len = 100;
+        let a = vec![b'A'; len];
+        for k in [0usize, 1, 7, 8, 9, 15, 16, 31, 32, 33, 63, 64, 65, 99] {
+            let mut b = a.clone();
+            b[k] = b'T';
+            assert_eq!(lcp_bytes(&a, &b, 0, 0), k, "byte kernel, k={k}");
+            let pa = PackedSeq::from_ascii(&a).unwrap();
+            let pb = PackedSeq::from_ascii(&b).unwrap();
+            assert_eq!(lcp_packed(&pa, &pb, 0, 0), k, "packed kernel, k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_and_exhausted_sequences() {
+        assert_eq!(lcp_bytes(b"", b"", 0, 0), 0);
+        assert_eq!(lcp_bytes(b"ACGT", b"", 0, 0), 0);
+        assert_eq!(lcp_bytes(b"ACGT", b"ACGT", 4, 4), 0);
+        assert_eq!(lcp_bytes(b"ACGT", b"ACGT", 4, 0), 0);
+        let p = PackedSeq::from_ascii(b"ACGT").unwrap();
+        let e = PackedSeq::from_ascii(b"").unwrap();
+        assert_eq!(lcp_packed(&p, &e, 0, 0), 0);
+        assert_eq!(lcp_packed(&p, &p, 4, 4), 0);
+    }
+
+    #[test]
+    fn unaligned_tails_clamp_to_limit() {
+        // 70 identical bases from unaligned starts: the final window reads
+        // garbage bits past the end that must never count.
+        let a = vec![b'G'; 70];
+        let pa = PackedSeq::from_ascii(&a).unwrap();
+        for (i, j) in [(0, 0), (5, 0), (31, 33), (69, 1), (1, 69)] {
+            let want = 70 - i.max(j);
+            assert_eq!(lcp_packed(&pa, &pa, i, j), want, "i={i} j={j}");
+            assert_eq!(lcp_bytes(&a, &a, i, j), want, "i={i} j={j}");
+        }
+    }
+
+    #[test]
+    fn non_acgt_bytes_flow_through_the_byte_kernel() {
+        // The oracle must handle arbitrary bytes ('N' reads reach the CPU
+        // fallback path); the byte kernel compares them literally.
+        let a = b"ACGNNNGT";
+        let b = b"ACGNNNGA";
+        assert_eq!(lcp_bytes(a, b, 0, 0), 7);
+        assert_eq!(lcp_bytes_scalar(a, b, 0, 0), 7);
+    }
+}

@@ -32,11 +32,14 @@
 //! ```
 
 pub mod adaptive;
+pub mod arena;
 pub mod backtrace;
 pub mod bitpack;
 pub mod cigar;
 pub mod gap_linear;
+pub mod kernel;
 pub mod penalties;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod swg;
@@ -44,6 +47,7 @@ pub mod wavefront;
 pub mod wfa;
 
 pub use adaptive::AdaptiveParams;
+pub use arena::{ArenaStats, WavefrontArena};
 pub use bitpack::PackedSeq;
 pub use cigar::{Cigar, CigarError, EditStats, Op};
 pub use gap_linear::{gap_linear_wavefront, GapLinearAlignment};
@@ -51,4 +55,6 @@ pub use penalties::{Penalties, PenaltyError};
 pub use rng::SmallRng;
 pub use swg::{gap_linear_score, swg_align, swg_score, DpAlignment};
 pub use wavefront::{Wavefront, WavefrontSet, OFFSET_NULL};
-pub use wfa::{align, wfa_align, WfaAlignment, WfaError, WfaOptions, WfaStats};
+pub use wfa::{
+    align, wfa_align, wfa_align_with_arena, WfaAlignment, WfaError, WfaOptions, WfaStats,
+};

@@ -1,0 +1,199 @@
+//! A deterministic host thread pool — `std::thread` + channels, no
+//! external dependencies.
+//!
+//! Built for the bench/driver sweeps (it is re-exported as
+//! `wfasic_bench::pool`): the input slice is split into **fixed contiguous
+//! chunks** decided only by `(len, threads)`, each worker processes its
+//! chunk in order, and results are returned **in input order** regardless
+//! of which worker finishes first. A run with `threads = 1` executes inline
+//! on the caller's thread — no spawn, no channel — so the sequential path
+//! is trivially bit-identical, and any per-item seeding derived from the
+//! item index is reproducible at every thread count.
+//!
+//! Worker panics propagate to the caller (via `std::thread::scope`'s join),
+//! so a failing property inside a parallel sweep still fails the test.
+
+use std::ops::Range;
+use std::sync::mpsc;
+
+/// Host threads available to this process (>= 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `0..len` into at most `chunks` contiguous ranges whose sizes
+/// differ by at most one (the first `len % chunks` ranges are one longer).
+/// Deterministic in `(len, chunks)`; empty ranges are omitted.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.max(1);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::new();
+    let mut start = 0;
+    for c in 0..chunks {
+        let size = base + usize::from(c < extra);
+        if size == 0 {
+            break;
+        }
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// A fixed-width deterministic thread pool.
+///
+/// The pool holds no threads between calls; each [`ThreadPool::map`] spawns
+/// scoped workers and joins them before returning, keeping lifetimes simple
+/// and leaving no idle threads behind in test binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool of `threads` workers (clamped to >= 1).
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the host ([`available_threads`]).
+    pub fn host_sized() -> Self {
+        Self::new(available_threads())
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f(index, &item)` to every item, returning results in input
+    /// order. Chunking is fixed by `(items.len(), threads)` — never by
+    /// timing — so the output is identical at every thread count.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let ranges = chunk_ranges(items.len(), self.threads);
+        let mut parts: Vec<Option<Vec<R>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel();
+            let mut handles = Vec::with_capacity(ranges.len());
+            for (ci, range) in ranges.iter().enumerate() {
+                let tx = tx.clone();
+                let f = &f;
+                let start = range.start;
+                let slice = &items[range.clone()];
+                handles.push(scope.spawn(move || {
+                    let out: Vec<R> = slice
+                        .iter()
+                        .enumerate()
+                        .map(|(off, t)| f(start + off, t))
+                        .collect();
+                    // The receiver outlives every sender; a send can only
+                    // fail if a sibling worker panicked and the collector
+                    // bailed, in which case the panic is re-raised below.
+                    let _ = tx.send((ci, out));
+                }));
+            }
+            drop(tx);
+            parts = (0..ranges.len()).map(|_| None).collect();
+            for (ci, out) in rx {
+                parts[ci] = Some(out);
+            }
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        parts
+            .into_iter()
+            .flat_map(|p| p.expect("every worker delivers exactly one chunk"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SmallRng;
+
+    #[test]
+    fn chunking_is_contiguous_and_balanced() {
+        for len in [0usize, 1, 2, 7, 8, 9, 100] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, chunks);
+                let mut covered = 0;
+                for (i, r) in ranges.iter().enumerate() {
+                    assert_eq!(r.start, covered, "contiguous at {i}");
+                    assert!(!r.is_empty());
+                    covered = r.end;
+                }
+                assert_eq!(covered, len, "len={len} chunks={chunks}");
+                if let (Some(first), Some(last)) = (ranges.first(), ranges.last()) {
+                    assert!(first.len() - last.len() <= 1, "balanced");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order_at_every_width() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = ThreadPool::new(threads).map(&items, |_, &x| x * x + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn index_seeded_work_is_reproducible_across_widths() {
+        // The differential-sweep pattern: each item derives its seed from
+        // its index, so the result must not depend on worker scheduling.
+        let items: Vec<usize> = (0..40).collect();
+        let run = |threads| {
+            ThreadPool::new(threads).map(&items, |idx, _| {
+                let mut rng = SmallRng::seed_from_u64(0xBEEF ^ idx as u64);
+                (0..50).map(|_| rng.next_u64() & 0xFF).sum::<u64>()
+            })
+        };
+        let seq = run(1);
+        assert_eq!(run(4), seq);
+        assert_eq!(run(9), seq);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        // Inline execution: the closure observes the caller's thread.
+        let caller = std::thread::current().id();
+        let ids = ThreadPool::new(1).map(&[(); 3], |_, _| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let pool = ThreadPool::new(8);
+        assert_eq!(pool.map(&[] as &[u32], |_, &x| x), Vec::<u32>::new());
+        assert_eq!(pool.map(&[5u32], |i, &x| (i, x)), vec![(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panic_propagates() {
+        ThreadPool::new(4).map(&(0..16).collect::<Vec<_>>(), |_, &x: &i32| {
+            assert!(x != 11, "worker boom");
+            x
+        });
+    }
+}

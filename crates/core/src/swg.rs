@@ -143,37 +143,39 @@ pub fn swg_score(a: &[u8], b: &[u8], p: &Penalties) -> u64 {
     let open = p.gap_open() as u64;
     let ext = p.e as u64;
 
-    let mut m_prev = vec![INF; m + 1];
-    let mut i_prev = vec![INF; m + 1];
-    let mut d_prev = vec![INF; m + 1];
-    let mut m_cur = vec![INF; m + 1];
-    let mut i_cur = vec![INF; m + 1];
-    let mut d_cur = vec![INF; m + 1];
+    // Two in-place rows (M and D). The I matrix needs no row at all: the
+    // recurrence only ever reads `I(i, j-1)` — the cell just computed in
+    // the same row — so it rolls through a single scalar.
+    let mut mr = vec![INF; m + 1];
+    let mut dr = vec![INF; m + 1];
 
-    m_prev[0] = 0;
-    for j in 1..=m {
-        i_prev[j] = p.o as u64 + ext * j as u64;
-        m_prev[j] = i_prev[j];
+    mr[0] = 0;
+    for (j, cell) in mr.iter_mut().enumerate().skip(1) {
+        *cell = p.o as u64 + ext * j as u64;
     }
 
-    for i in 1..=a.len() {
-        d_cur[0] = p.o as u64 + ext * i as u64;
-        m_cur[0] = d_cur[0];
-        i_cur[0] = INF;
-        for j in 1..=m {
-            let ins = (m_cur[j - 1] + open).min(i_cur[j - 1] + ext);
-            let del = (m_prev[j] + open).min(d_prev[j] + ext);
-            let sub = if a[i - 1] == b[j - 1] { 0 } else { p.x as u64 };
-            let diag = m_prev[j - 1] + sub;
-            i_cur[j] = ins;
-            d_cur[j] = del;
-            m_cur[j] = diag.min(ins).min(del);
+    for (i, &ca) in a.iter().enumerate() {
+        // `diag` carries M(i-1, j-1); reading mr[j]/dr[j] before the store
+        // gives M(i-1, j)/D(i-1, j), so the update is safely in place.
+        let mut diag = mr[0];
+        let mut m_left = p.o as u64 + ext * (i as u64 + 1);
+        let mut i_left = INF;
+        mr[0] = m_left;
+        for ((mj, dj), &cb) in mr[1..].iter_mut().zip(dr[1..].iter_mut()).zip(b) {
+            let up_m = *mj;
+            let up_d = *dj;
+            let ins = (m_left + open).min(i_left + ext);
+            let del = (up_m + open).min(up_d + ext);
+            let sub = if ca == cb { 0 } else { p.x as u64 };
+            let mc = (diag + sub).min(ins).min(del);
+            *mj = mc;
+            *dj = del;
+            diag = up_m;
+            m_left = mc;
+            i_left = ins;
         }
-        std::mem::swap(&mut m_prev, &mut m_cur);
-        std::mem::swap(&mut i_prev, &mut i_cur);
-        std::mem::swap(&mut d_prev, &mut d_cur);
     }
-    m_prev[m]
+    mr[m]
 }
 
 /// Global gap-linear alignment (paper Eq. 1): each gap base costs `g`,

@@ -13,10 +13,12 @@
 //! The iteration stops when the wavefront reaches the cell `(n, m)`.
 
 use crate::adaptive::{reduce_wavefront, AdaptiveParams};
+use crate::arena::WavefrontArena;
 use crate::backtrace;
 use crate::cigar::Cigar;
+use crate::kernel;
 use crate::penalties::Penalties;
-use crate::wavefront::{offset_is_valid, Wavefront, WavefrontSet, OFFSET_NULL};
+use crate::wavefront::{offset_is_valid, WavefrontSet, OFFSET_NULL};
 
 /// Options controlling a WFA run.
 #[derive(Debug, Clone, Copy)]
@@ -203,19 +205,46 @@ pub fn compute_cell_m(m_sub: i32, i_cur: i32, d_cur: i32, k: i32, n: i32, m: i32
 }
 
 /// Count matching bases of `a[i..]` vs `b[j..]` (the `extend()` primitive).
+///
+/// Word-parallel (8 bases per `u64`) via the shared
+/// [`crate::kernel::lcp_bytes`]; [`crate::kernel::lcp_bytes_scalar`] is the
+/// property-tested scalar reference.
 #[inline]
 pub fn extend_matches(a: &[u8], b: &[u8], i: usize, j: usize) -> usize {
-    let mut count = 0;
-    let (sa, sb) = (&a[i..], &b[j..]);
-    let limit = sa.len().min(sb.len());
-    while count < limit && sa[count] == sb[count] {
-        count += 1;
-    }
-    count
+    kernel::lcp_bytes(a, b, i, j)
 }
 
 /// Align `a` against `b` end-to-end with the exact WFA.
+///
+/// Allocates a private [`WavefrontArena`] per call; sweeps aligning many
+/// pairs should reuse one arena via [`wfa_align_with_arena`].
 pub fn wfa_align(a: &[u8], b: &[u8], opts: &WfaOptions) -> Result<WfaAlignment, WfaError> {
+    wfa_align_with_arena(a, b, opts, &mut WavefrontArena::new())
+}
+
+/// [`wfa_align`] with caller-provided scratch: wavefront buffers come from
+/// (and return to) `arena`, so aligning a stream of pairs stops hitting the
+/// allocator after the first few. Results, statistics and simulated-cycle
+/// inputs are bit-identical to [`wfa_align`].
+pub fn wfa_align_with_arena(
+    a: &[u8],
+    b: &[u8],
+    opts: &WfaOptions,
+    arena: &mut WavefrontArena,
+) -> Result<WfaAlignment, WfaError> {
+    let mut fronts = arena.take_spine();
+    let result = wfa_align_inner(a, b, opts, arena, &mut fronts);
+    arena.recycle_spine(fronts);
+    result
+}
+
+fn wfa_align_inner(
+    a: &[u8],
+    b: &[u8],
+    opts: &WfaOptions,
+    arena: &mut WavefrontArena,
+    fronts: &mut Vec<Option<WavefrontSet>>,
+) -> Result<WfaAlignment, WfaError> {
     opts.penalties.validate().map_err(WfaError::BadPenalties)?;
     let p = opts.penalties;
     let n = a.len() as i32;
@@ -243,9 +272,8 @@ pub fn wfa_align(a: &[u8], b: &[u8], opts: &WfaOptions) -> Result<WfaAlignment, 
     let lookback = p.x.max(p.o + p.e) as usize;
 
     let mut stats = WfaStats::default();
-    let mut fronts: Vec<Option<WavefrontSet>> = Vec::new();
     fronts.push(Some(WavefrontSet {
-        m: Wavefront::initial(),
+        m: arena.initial(),
         i: None,
         d: None,
     }));
@@ -297,7 +325,7 @@ pub fn wfa_align(a: &[u8], b: &[u8], opts: &WfaOptions) -> Result<WfaAlignment, 
             if set.m.get(k_end) == target {
                 let score = s as u32;
                 let cigar = if opts.compute_cigar {
-                    Some(backtrace::backtrace(a, b, &fronts, score, &p))
+                    Some(backtrace::backtrace(a, b, fronts, score, &p))
                 } else {
                     None
                 };
@@ -317,7 +345,7 @@ pub fn wfa_align(a: &[u8], b: &[u8], opts: &WfaOptions) -> Result<WfaAlignment, 
             });
         }
 
-        let get = |fronts: &Vec<Option<WavefrontSet>>, back: u32| -> Option<usize> {
+        let get = |fronts: &[Option<WavefrontSet>], back: u32| -> Option<usize> {
             let back = back as usize;
             if s >= back && fronts[s - back].is_some() {
                 Some(s - back)
@@ -325,9 +353,9 @@ pub fn wfa_align(a: &[u8], b: &[u8], opts: &WfaOptions) -> Result<WfaAlignment, 
                 None
             }
         };
-        let src_sub = get(&fronts, p.x);
-        let src_open = get(&fronts, p.o + p.e);
-        let src_ext = get(&fronts, p.e);
+        let src_sub = get(fronts, p.x);
+        let src_open = get(fronts, p.o + p.e);
+        let src_ext = get(fronts, p.e);
         // A wavefront for this score exists only if some source exists.
         if src_sub.is_none() && src_open.is_none() && src_ext.is_none() {
             fronts.push(None);
@@ -338,7 +366,7 @@ pub fn wfa_align(a: &[u8], b: &[u8], opts: &WfaOptions) -> Result<WfaAlignment, 
         // I (k-1 -> k) and D (k+1 -> k) transitions.
         let mut lo = i32::MAX;
         let mut hi = i32::MIN;
-        let mut consider = |idx: Option<usize>, fronts: &Vec<Option<WavefrontSet>>| {
+        let mut consider = |idx: Option<usize>, fronts: &[Option<WavefrontSet>]| {
             if let Some(i) = idx {
                 let set = fronts[i].as_ref().unwrap();
                 lo = lo.min(set.m.lo);
@@ -353,9 +381,9 @@ pub fn wfa_align(a: &[u8], b: &[u8], opts: &WfaOptions) -> Result<WfaAlignment, 
                 }
             }
         };
-        consider(src_sub, &fronts);
-        consider(src_open, &fronts);
-        consider(src_ext, &fronts);
+        consider(src_sub, fronts);
+        consider(src_open, fronts);
+        consider(src_ext, fronts);
         let mut lo = lo - 1;
         let mut hi = hi + 1;
         if let Some(band) = opts.band {
@@ -367,33 +395,35 @@ pub fn wfa_align(a: &[u8], b: &[u8], opts: &WfaOptions) -> Result<WfaAlignment, 
             }
         }
 
-        let mut wi = Wavefront::null_range(lo, hi);
-        let mut wd = Wavefront::null_range(lo, hi);
-        let mut wm = Wavefront::null_range(lo, hi);
+        let mut wi = arena.wavefront(lo, hi);
+        let mut wd = arena.wavefront(lo, hi);
+        let mut wm = arena.wavefront(lo, hi);
         let mut any_i = false;
         let mut any_d = false;
         let mut any_m = false;
 
+        // Hoist the source-wavefront lookups out of the per-diagonal loop:
+        // the sources are fixed for the whole score step.
+        let sub_m = src_sub.map(|i| &fronts[i].as_ref().unwrap().m);
+        let open_m = src_open.map(|i| &fronts[i].as_ref().unwrap().m);
+        let (ext_i, ext_d) = match src_ext {
+            Some(i) => {
+                let set = fronts[i].as_ref().unwrap();
+                (set.i.as_ref(), set.d.as_ref())
+            }
+            None => (None, None),
+        };
+
         for k in lo..=hi {
-            let m_open = src_open
-                .map(|i| fronts[i].as_ref().unwrap().m.get(k - 1))
-                .unwrap_or(OFFSET_NULL);
-            let i_ext = src_ext
-                .and_then(|i| fronts[i].as_ref().unwrap().i.as_ref().map(|w| w.get(k - 1)))
-                .unwrap_or(OFFSET_NULL);
+            let m_open = open_m.map(|w| w.get(k - 1)).unwrap_or(OFFSET_NULL);
+            let i_ext = ext_i.map(|w| w.get(k - 1)).unwrap_or(OFFSET_NULL);
             let iv = compute_cell_i(m_open, i_ext, k, n, m);
 
-            let m_open_d = src_open
-                .map(|i| fronts[i].as_ref().unwrap().m.get(k + 1))
-                .unwrap_or(OFFSET_NULL);
-            let d_ext = src_ext
-                .and_then(|i| fronts[i].as_ref().unwrap().d.as_ref().map(|w| w.get(k + 1)))
-                .unwrap_or(OFFSET_NULL);
+            let m_open_d = open_m.map(|w| w.get(k + 1)).unwrap_or(OFFSET_NULL);
+            let d_ext = ext_d.map(|w| w.get(k + 1)).unwrap_or(OFFSET_NULL);
             let dv = compute_cell_d(m_open_d, d_ext, k, n, m);
 
-            let m_sub = src_sub
-                .map(|i| fronts[i].as_ref().unwrap().m.get(k))
-                .unwrap_or(OFFSET_NULL);
+            let m_sub = sub_m.map(|w| w.get(k)).unwrap_or(OFFSET_NULL);
             let mv = compute_cell_m(m_sub, iv, dv, k, n, m);
 
             stats.cells_computed += 3;
@@ -412,21 +442,36 @@ pub fn wfa_align(a: &[u8], b: &[u8], opts: &WfaOptions) -> Result<WfaAlignment, 
         }
 
         if !any_m && !any_i && !any_d {
+            arena.recycle(wm);
+            arena.recycle(wi);
+            arena.recycle(wd);
             fronts.push(None);
             continue;
         }
         let set = WavefrontSet {
             m: wm,
-            i: any_i.then_some(wi),
-            d: any_d.then_some(wd),
+            i: if any_i {
+                Some(wi)
+            } else {
+                arena.recycle(wi);
+                None
+            },
+            d: if any_d {
+                Some(wd)
+            } else {
+                arena.recycle(wd);
+                None
+            },
         };
         live_memory += set.memory_bytes() as u64;
         fronts.push(Some(set));
 
-        // Score-only mode: drop wavefronts older than the deepest lookback.
+        // Score-only mode: drop wavefronts older than the deepest lookback
+        // (their buffers go straight back to the arena pool).
         if !opts.compute_cigar && s > lookback {
             if let Some(old) = fronts[s - lookback - 1].take() {
                 live_memory -= old.memory_bytes() as u64;
+                arena.recycle_set(old);
             }
         }
         stats.peak_memory_bytes = stats.peak_memory_bytes.max(live_memory);

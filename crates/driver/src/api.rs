@@ -22,7 +22,7 @@ use crate::backtrace::{
 };
 use crate::cpu_model::BacktraceCosts;
 use wfa_core::cigar::Cigar;
-use wfa_core::{wfa_align, WfaOptions};
+use wfa_core::{wfa_align_with_arena, WavefrontArena, WfaOptions};
 use wfasic_accel::device::{RunReport, WfasicDevice};
 use wfasic_accel::regs::{offsets, DeviceError};
 use wfasic_accel::schedule::WavefrontSchedule;
@@ -351,9 +351,15 @@ impl WfasicDriver {
             match parsed {
                 Ok((mut results, cpu_backtrace_cycles)) => {
                     if self.cpu_fallback {
+                        let mut cpu_arena = WavefrontArena::new();
                         for (res, pair) in results.iter_mut().zip(pairs) {
                             if !res.success {
-                                *res = self.cpu_align(pair, backtrace);
+                                *res = cpu_align_pair(
+                                    self.device.cfg.penalties,
+                                    pair,
+                                    backtrace,
+                                    &mut cpu_arena,
+                                );
                             }
                         }
                     }
@@ -376,8 +382,11 @@ impl WfasicDriver {
         // Every attempt failed. Recover the whole batch on the CPU, or
         // surface the last failure.
         if self.cpu_fallback {
-            let results: Vec<AlignmentResult> =
-                pairs.iter().map(|p| self.cpu_align(p, backtrace)).collect();
+            let mut cpu_arena = WavefrontArena::new();
+            let results: Vec<AlignmentResult> = pairs
+                .iter()
+                .map(|p| cpu_align_pair(self.device.cfg.penalties, p, backtrace, &mut cpu_arena))
+                .collect();
             let report = last_report.expect("at least one attempt ran");
             return Ok(JobResult {
                 results,
@@ -389,11 +398,6 @@ impl WfasicDriver {
             });
         }
         Err(last_err)
-    }
-
-    /// Software WFA for one pair — the recovery path of last resort.
-    fn cpu_align(&self, pair: &Pair, backtrace: bool) -> AlignmentResult {
-        cpu_align_pair(self.device.cfg.penalties, pair, backtrace)
     }
 
     fn parse_nbt_results(&self, pairs: &[Pair], report: &RunReport) -> Vec<AlignmentResult> {
@@ -420,18 +424,20 @@ impl WfasicDriver {
 }
 
 /// Software WFA for one pair — the recovery path of last resort, shared by
-/// the single-job driver and the batch scheduler.
+/// the single-job driver and the batch scheduler. The caller threads a
+/// [`WavefrontArena`] through so a run of fallback pairs reuses one pool.
 pub(crate) fn cpu_align_pair(
     penalties: wfa_core::Penalties,
     pair: &Pair,
     backtrace: bool,
+    arena: &mut WavefrontArena,
 ) -> AlignmentResult {
     let opts = if backtrace {
         WfaOptions::exact(penalties)
     } else {
         WfaOptions::score_only(penalties)
     };
-    match wfa_align(&pair.a, &pair.b, &opts) {
+    match wfa_align_with_arena(&pair.a, &pair.b, &opts, arena) {
         Ok(al) => AlignmentResult {
             id: pair.id,
             success: true,

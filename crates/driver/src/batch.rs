@@ -28,9 +28,11 @@
 
 use crate::api::{
     cpu_align_pair, parse_bt_results_at, parse_nbt_results_at, AlignmentResult, DriverError,
-    JobResult, MemLayout,
+    JobResult, MemLayout, WaitMode, WfasicDriver,
 };
 use crate::cpu_model::BacktraceCosts;
+use wfa_core::arena::WavefrontArena;
+use wfa_core::pool::ThreadPool;
 use wfasic_accel::device::RunReport;
 use wfasic_accel::multilane::MultiLaneSoc;
 use wfasic_accel::regs::offsets;
@@ -198,6 +200,54 @@ impl BatchScheduler {
         self.soc.set_lane_fault_plan(lane, plan);
     }
 
+    /// Run a queue of **independent single-lane jobs** across host threads.
+    ///
+    /// Each job runs on its own freshly-initialized one-lane
+    /// [`WfasicDriver`] carrying this scheduler's policy (watchdog,
+    /// retries, CPU fallback, separation, `OUT_SIZE`, perf collection), so
+    /// jobs share no simulated state: every job's device starts at cycle 0
+    /// with a private port. Host threads only change wall-clock — results
+    /// come back in submission order and each [`JobResult`] (cycles, perf
+    /// counters, everything) is bit-identical to a sequential
+    /// `WfasicDriver::submit` of the same pairs, at any `threads` value.
+    ///
+    /// This is the throughput path for embarrassingly-parallel work. It is
+    /// deliberately distinct from [`BatchScheduler::submit_batch`]: the
+    /// shared-bus multi-lane timeline is inherently serial (the arbiter
+    /// allocates one port's cycles across lanes), so that path stays
+    /// sequential. Per-lane fault plans belong to the shared SoC and do not
+    /// apply here — the fresh drivers are fault-free.
+    pub fn run_parallel(
+        &self,
+        jobs: &[BatchJob],
+        threads: usize,
+    ) -> Vec<Result<JobResult, DriverError>> {
+        // Copy the policy out of `self`: the worker closure must not
+        // capture the scheduler itself (the shared SoC is single-threaded
+        // state and is not touched by this path).
+        let cfg = self.cfg;
+        let axi_lite = self.axi_lite;
+        let bt_costs = self.bt_costs;
+        let force_separation = self.force_separation;
+        let watchdog_cycles = self.watchdog_cycles;
+        let max_retries = self.max_retries;
+        let cpu_fallback = self.cpu_fallback;
+        let out_size = self.out_size;
+        let collect_perf = self.collect_perf;
+        ThreadPool::new(threads).map(jobs, move |_, job| {
+            let mut drv = WfasicDriver::new(cfg);
+            drv.axi_lite = axi_lite;
+            drv.bt_costs = bt_costs;
+            drv.force_separation = force_separation;
+            drv.watchdog_cycles = watchdog_cycles;
+            drv.max_retries = max_retries;
+            drv.cpu_fallback = cpu_fallback;
+            drv.out_size = out_size;
+            drv.collect_perf = collect_perf;
+            drv.submit(&job.pairs, job.backtrace, WaitMode::PollIdle)
+        })
+    }
+
     /// Submit a queue of jobs and run the whole batch to completion.
     /// Results come back in submission order regardless of which lane ran
     /// each job or how the lanes' timelines interleaved.
@@ -298,6 +348,7 @@ impl BatchScheduler {
         }
 
         let separated = self.force_separation || self.cfg.num_aligners > 1;
+        let mut cpu_arena = WavefrontArena::new();
         let mut config_cycles: Cycle = 0;
         let mut last_err = DriverError::Timeout {
             waited: 0,
@@ -372,7 +423,12 @@ impl BatchScheduler {
                     if self.cpu_fallback {
                         for (res, pair) in results.iter_mut().zip(&job.pairs) {
                             if !res.success {
-                                *res = cpu_align_pair(self.cfg.penalties, pair, job.backtrace);
+                                *res = cpu_align_pair(
+                                    self.cfg.penalties,
+                                    pair,
+                                    job.backtrace,
+                                    &mut cpu_arena,
+                                );
                             }
                         }
                     }
@@ -405,7 +461,7 @@ impl BatchScheduler {
             let results: Vec<AlignmentResult> = job
                 .pairs
                 .iter()
-                .map(|p| cpu_align_pair(self.cfg.penalties, p, job.backtrace))
+                .map(|p| cpu_align_pair(self.cfg.penalties, p, job.backtrace, &mut cpu_arena))
                 .collect();
             return Ok(JobResult {
                 results,

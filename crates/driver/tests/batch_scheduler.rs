@@ -288,3 +288,62 @@ fn batches_never_drop_duplicate_or_reorder_jobs() {
         assert_eq!(seen.len(), total, "some pair was dropped");
     });
 }
+
+#[test]
+fn run_parallel_matches_per_job_driver_submissions_bit_exactly() {
+    // Each parallel job must be indistinguishable from handing its pairs to
+    // a fresh one-lane driver — results, cycle reports AND perf counters.
+    let cfg = AccelConfig::wfasic_chip();
+    let mut jobs: Vec<BatchJob> = (0..6)
+        .map(|i| BatchJob::with_backtrace(pairs(4, 100, 0x9A11 + i)))
+        .collect();
+    assign_unique_ids(&mut jobs);
+
+    let mut sched = BatchScheduler::new(cfg, 2);
+    sched.collect_perf = true;
+    let par = sched.run_parallel(&jobs, 4);
+    assert_eq!(par.len(), jobs.len());
+
+    for (job, got) in jobs.iter().zip(&par) {
+        let got = got.as_ref().expect("clean jobs must pass");
+        let mut drv = WfasicDriver::new(cfg);
+        drv.collect_perf = true;
+        let want = drv
+            .submit(&job.pairs, job.backtrace, WaitMode::PollIdle)
+            .unwrap();
+        assert_eq!(got.report.total_cycles, want.report.total_cycles);
+        assert_eq!(got.report.output_bytes, want.report.output_bytes);
+        assert_eq!(got.config_cycles, want.config_cycles);
+        assert_eq!(got.cpu_backtrace_cycles, want.cpu_backtrace_cycles);
+        assert_eq!((got.separated, got.retries), (want.separated, want.retries));
+        for (a, b) in got.results.iter().zip(&want.results) {
+            assert_eq!((a.id, a.success, a.score), (b.id, b.success, b.score));
+            assert_eq!(a.cigar, b.cigar);
+        }
+        assert_eq!(
+            got.perf_breakdown().unwrap(),
+            want.perf_breakdown().unwrap(),
+            "per-stage perf attribution must survive the parallel path"
+        );
+    }
+}
+
+#[test]
+fn run_parallel_thread_width_never_changes_anything() {
+    // 1 thread (inline, no workers spawned) is the reference; every wider
+    // pool must reproduce it bit-for-bit, perf counters included. The
+    // Debug rendering covers every field of every job result.
+    let cfg = AccelConfig::wfasic_chip();
+    let mut jobs: Vec<BatchJob> = (0..5)
+        .map(|i| BatchJob::with_backtrace(pairs(3, 80, 0x71D0 + i)))
+        .collect();
+    assign_unique_ids(&mut jobs);
+
+    let mut sched = BatchScheduler::new(cfg, 1);
+    sched.collect_perf = true;
+    let reference = format!("{:?}", sched.run_parallel(&jobs, 1));
+    for width in [2, 3, 8] {
+        let wide = format!("{:?}", sched.run_parallel(&jobs, width));
+        assert_eq!(reference, wide, "thread width {width} changed a result");
+    }
+}

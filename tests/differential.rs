@@ -1,10 +1,10 @@
 //! End-to-end differential verification sweep.
 //!
 //! Thousands of seeded random pairs — across read lengths, error rates and
-//! penalty sets — are pushed through the accelerator **twice** (single-job
-//! submission via [`WfasicDriver`], and batched submission across a 4-lane
-//! [`BatchScheduler`]) and every alignment is checked against two
-//! independent software references:
+//! penalty sets — are pushed through the accelerator **twice** (independent
+//! single-lane jobs via [`BatchScheduler::run_parallel`], and batched
+//! submission across a 4-lane [`BatchScheduler`]) and every alignment is
+//! checked against two independent software references:
 //!
 //! * the exact software WFA ([`wfa_align`]) — the golden model the
 //!   hardware's wavefront recurrence must match;
@@ -23,8 +23,9 @@
 //! reproduces exactly, and the case mix is identical run to run.
 
 use wfasic::accel::AccelConfig;
-use wfasic::driver::{BatchJob, BatchScheduler, DispatchPolicy, WaitMode, WfasicDriver};
+use wfasic::driver::{BatchJob, BatchScheduler, DispatchPolicy};
 use wfasic::seqio::{InputSetSpec, Pair};
+use wfasic::wfa::pool::ThreadPool;
 use wfasic::wfa::{swg_score, wfa_align, Penalties, WfaOptions};
 
 /// Pairs per (penalty set x shape) bucket; 3 shapes x 224 = 672 per penalty
@@ -92,12 +93,19 @@ fn check_pair(res: &wfasic::driver::AlignmentResult, pair: &Pair, p: &Penalties,
     );
 }
 
-/// Sweep one penalty set: every bucket's pairs go through the single-job
-/// driver and through a 4-lane batch, and the two answers must agree with
-/// the references and with each other.
+/// Sweep one penalty set: every bucket's pairs go through the parallel
+/// single-lane job path and through a 4-lane batch, and the two answers
+/// must agree with the references and with each other.
+///
+/// Path 1 and the per-pair golden checks fan out across the host thread
+/// pool ([`ThreadPool::host_sized`]); per-pair answers are independent of
+/// job grouping and thread count (the `run_parallel` bit-identity tests in
+/// `wfasic-driver` pin this), so the sweep verifies exactly the same
+/// properties at any pool width — just faster on multi-core hosts.
 fn sweep(penalties: Penalties, policy: DispatchPolicy, master_seed: u64) {
     let mut cfg = AccelConfig::wfasic_chip();
     cfg.penalties = penalties;
+    let pool = ThreadPool::host_sized();
     let mut verified = 0usize;
 
     for (si, spec) in shapes().iter().enumerate() {
@@ -109,18 +117,24 @@ fn sweep(penalties: Penalties, policy: DispatchPolicy, master_seed: u64) {
             penalties.x, penalties.o, penalties.e, spec.length, spec.error_pct
         );
 
-        // Path 1: single-job submission.
-        let mut drv = WfasicDriver::new(cfg);
-        let single = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
-        assert_eq!(single.results.len(), pairs.len());
-
-        // Path 2: batched submission across 4 contending lanes.
-        let mut sched = BatchScheduler::new(cfg, LANES);
-        sched.policy = policy;
         let jobs: Vec<BatchJob> = pairs
             .chunks(JOB_CHUNK)
             .map(|c| BatchJob::with_backtrace(c.to_vec()))
             .collect();
+
+        // Path 1: independent single-lane jobs through the parallel
+        // scheduler path (each job a fresh one-lane device).
+        let mut sched = BatchScheduler::new(cfg, LANES);
+        sched.policy = policy;
+        let single_jobs = sched.run_parallel(&jobs, pool.threads());
+        let single: Vec<_> = single_jobs
+            .iter()
+            .flat_map(|j| j.as_ref().unwrap().results.iter())
+            .collect();
+        assert_eq!(single.len(), pairs.len());
+
+        // Path 2: batched submission across 4 contending lanes (the shared
+        // bus arbiter is one serial timeline — deliberately sequential).
         let batch = sched.submit_batch(&jobs);
         let batched: Vec<_> = batch
             .jobs
@@ -129,7 +143,11 @@ fn sweep(penalties: Penalties, policy: DispatchPolicy, master_seed: u64) {
             .collect();
         assert_eq!(batched.len(), pairs.len());
 
-        for ((res, bres), pair) in single.results.iter().zip(&batched).zip(&pairs) {
+        // Golden checks, fanned out per pair (asserts inside workers
+        // propagate with their original messages).
+        let items: Vec<usize> = (0..pairs.len()).collect();
+        let counts = pool.map(&items, |_, &idx| {
+            let (res, bres, pair) = (single[idx], batched[idx], &pairs[idx]);
             check_pair(res, pair, &penalties, &ctx);
             // Batched submission must not change a single answer.
             assert_eq!(
@@ -138,8 +156,9 @@ fn sweep(penalties: Penalties, policy: DispatchPolicy, master_seed: u64) {
                 "{ctx}: batch diverges from single-job on pair {}",
                 pair.id
             );
-            verified += 1;
-        }
+            1usize
+        });
+        verified += counts.iter().sum::<usize>();
     }
     assert_eq!(verified, 3 * PAIRS_PER_BUCKET);
 }
