@@ -1,6 +1,7 @@
 //! Accelerator configuration (paper §4/§5: the design parameters of WFAsic).
 
 use wfa_core::Penalties;
+use wfasic_seqio::memimage::SECTION;
 use wfasic_soc::bus::BusConfig;
 use wfasic_soc::clock::Cycle;
 
@@ -98,9 +99,10 @@ impl AccelConfig {
     }
 
     /// Depth of one Input_Seq RAM in 4-byte words: ID + length + packed
-    /// bases (16 per word). Paper §4.2: "at least 627 words" for 10K.
+    /// bases ([`SECTION`] per word). Paper §4.2: "at least 627 words" for
+    /// 10K.
     pub fn input_ram_words(&self) -> usize {
-        2 + self.max_supported_len.div_ceil(16)
+        2 + self.max_supported_len.div_ceil(SECTION)
     }
 
     /// Validate internal consistency.
@@ -112,8 +114,10 @@ impl AccelConfig {
         if self.extend_bases_per_cycle == 0 {
             return Err("extend width must be positive".into());
         }
-        if !self.max_supported_len.is_multiple_of(16) {
-            return Err("max supported length must be a multiple of 16".into());
+        if !self.max_supported_len.is_multiple_of(SECTION) {
+            return Err(format!(
+                "max supported length must be a multiple of the {SECTION}-byte section"
+            ));
         }
         Ok(())
     }

@@ -71,6 +71,13 @@ pub fn collect() -> Vec<Metric> {
             value: row.total_cycles as f64,
         });
     }
+    // Backend-layer routing: simulated batch cycles per device-backed
+    // backend, so a regression in the backend/service layer's chunking or
+    // dispatch shows up as cycle drift even when the device model itself is
+    // untouched.
+    for (name, value) in crate::backends::baseline_metrics() {
+        metrics.push(Metric { name, value });
+    }
     metrics
 }
 
@@ -242,6 +249,10 @@ mod tests {
         let a = collect();
         let b = collect();
         assert_eq!(a, b, "two identical runs must measure identical cycles");
-        assert_eq!(a.len(), 28, "4 metrics per input set + 4 batch lane counts");
+        assert_eq!(
+            a.len(),
+            31,
+            "4 metrics per input set + 4 batch lane counts + 3 backend routes"
+        );
     }
 }

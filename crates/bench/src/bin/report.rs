@@ -6,6 +6,7 @@
 //! cargo run -p wfasic-bench --release --bin report -- trace [set]
 //! cargo run -p wfasic-bench --release --bin report -- ci-check [--bless] [--baseline PATH]
 //! cargo run -p wfasic-bench --release --bin report -- host [--quick] [--threads N] [--out PATH]
+//! cargo run -p wfasic-bench --release --bin report -- backends [--quick] [--seed N]
 //! ```
 //!
 //! `trace` prints Chrome `trace_event` JSON for one input set (default
@@ -17,7 +18,7 @@
 //! (alignments/sec at 1 and N host threads) and writes `BENCH_host.json`.
 
 use wfasic_bench::experiments::{trace_json, Sizes};
-use wfasic_bench::{baseline, host, report};
+use wfasic_bench::{backends, baseline, host, report};
 use wfasic_seqio::dataset::InputSetSpec;
 
 fn main() {
@@ -102,6 +103,7 @@ fn main() {
             "perf" => print!("{}", report::perf_report(&sizes)),
             "ci-check" => ci_check(bless, &baseline_path),
             "host" => print!("{}", host::host_report(&host_opts)),
+            "backends" => print!("{}", backends::backends_report(&sizes)),
             "all" => {
                 println!("{}", report::table1_report(&sizes));
                 println!("{}", report::fig9_report(&sizes));
@@ -122,6 +124,7 @@ fn main() {
                 eprintln!("       report trace [set]");
                 eprintln!("       report ci-check [--bless] [--baseline PATH]");
                 eprintln!("       report host [--quick] [--threads N] [--out PATH]");
+                eprintln!("       report backends [--quick] [--seed N]");
                 std::process::exit(2);
             }
         }

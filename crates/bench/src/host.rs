@@ -6,7 +6,8 @@
 //!
 //! * the shared LCP kernel ([`wfa_core::kernel`]) — scalar vs word-parallel
 //!   bases/sec;
-//! * the software WFA oracle — aligns/sec with fresh allocations vs the
+//! * the software WFA oracle ([`CpuWfaBackend`] — the workspace's single
+//!   software answer path) — aligns/sec with fresh allocations vs the
 //!   reused [`wfa_core::WavefrontArena`];
 //! * the end-to-end device path — a differential-sweep-shaped bucket pushed
 //!   through [`BatchScheduler::run_parallel`] at 1 thread and at the
@@ -24,9 +25,9 @@ use std::path::{Path, PathBuf};
 use wfa_core::kernel;
 use wfa_core::pool::available_threads;
 use wfa_core::rng::SmallRng;
-use wfa_core::{wfa_align_with_arena, PackedSeq, WavefrontArena, WfaOptions};
+use wfa_core::{PackedSeq, Penalties, WavefrontArena};
 use wfasic_accel::AccelConfig;
-use wfasic_driver::{BatchJob, BatchScheduler};
+use wfasic_driver::{BatchJob, BatchScheduler, CpuWfaBackend};
 use wfasic_seqio::InputSetSpec;
 
 /// Options for the host-throughput report.
@@ -168,21 +169,23 @@ pub fn host_report(opts: &HostOptions) -> String {
     let oracle_pairs = spec
         .generate(if opts.quick { 16 } else { 64 }, opts.seed ^ 0x0A)
         .pairs;
+    // Both variants route through the unified software answer path
+    // ([`CpuWfaBackend::align_pair_in`]): fresh allocates a new arena per
+    // pair; arena-reused threads one arena through the whole set.
     let t_fresh = measure(iters, || {
         let mut acc = 0u64;
         for p in &oracle_pairs {
             let mut arena = WavefrontArena::new();
-            let r = wfa_align_with_arena(&p.a, &p.b, &WfaOptions::default(), &mut arena);
-            acc += r.map(|al| al.score as u64).unwrap_or(0);
+            let r = CpuWfaBackend::align_pair_in(&mut arena, Penalties::default(), p, true, false);
+            acc += r.score as u64;
         }
         acc
     });
     let t_arena = measure(iters, || {
-        let mut arena = WavefrontArena::new();
+        let mut cpu = CpuWfaBackend::new(Penalties::default());
         let mut acc = 0u64;
         for p in &oracle_pairs {
-            let r = wfa_align_with_arena(&p.a, &p.b, &WfaOptions::default(), &mut arena);
-            acc += r.map(|al| al.score as u64).unwrap_or(0);
+            acc += cpu.align_pair(p, true).score as u64;
         }
         acc
     });

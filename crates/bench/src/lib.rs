@@ -3,6 +3,8 @@
 //! * [`experiments`] — runners regenerating Table 1, Fig. 9, Fig. 10,
 //!   Fig. 11 and Table 2 from the full co-design simulation, plus the
 //!   per-stage perf breakdown and Chrome trace emission;
+//! * [`backends`] — the execution-backend comparison behind
+//!   `report -- backends` (aligns/s + simulated cycles per backend);
 //! * [`baseline`] — the CI cycle-regression gate behind
 //!   `report -- ci-check`;
 //! * [`paper`] — the paper's reported numbers for side-by-side printing;
@@ -18,6 +20,7 @@
 //! (run with `cargo bench`) track simulator performance per experiment on
 //! the in-repo [`timing`] harness.
 
+pub mod backends;
 pub mod baseline;
 pub mod experiments;
 pub mod fmt;

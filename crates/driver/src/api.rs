@@ -17,12 +17,12 @@
 //! the software WFA ([`wfa_core::wfa_align`]) and marked
 //! [`AlignmentResult::recovered`], so the application always gets answers.
 
+use crate::backend::CpuWfaBackend;
 use crate::backtrace::{
     backtrace_alignment, separate_stream, split_consecutive_stream, BtAlignment, BtError,
 };
 use crate::cpu_model::BacktraceCosts;
 use wfa_core::cigar::Cigar;
-use wfa_core::{wfa_align_with_arena, WavefrontArena, WfaOptions};
 use wfasic_accel::device::{RunReport, WfasicDevice};
 use wfasic_accel::regs::{offsets, DeviceError};
 use wfasic_accel::schedule::WavefrontSchedule;
@@ -351,15 +351,10 @@ impl WfasicDriver {
             match parsed {
                 Ok((mut results, cpu_backtrace_cycles)) => {
                     if self.cpu_fallback {
-                        let mut cpu_arena = WavefrontArena::new();
+                        let mut cpu = CpuWfaBackend::new(self.device.cfg.penalties);
                         for (res, pair) in results.iter_mut().zip(pairs) {
                             if !res.success {
-                                *res = cpu_align_pair(
-                                    self.device.cfg.penalties,
-                                    pair,
-                                    backtrace,
-                                    &mut cpu_arena,
-                                );
+                                *res = cpu.recover_pair(pair, backtrace);
                             }
                         }
                     }
@@ -382,10 +377,10 @@ impl WfasicDriver {
         // Every attempt failed. Recover the whole batch on the CPU, or
         // surface the last failure.
         if self.cpu_fallback {
-            let mut cpu_arena = WavefrontArena::new();
+            let mut cpu = CpuWfaBackend::new(self.device.cfg.penalties);
             let results: Vec<AlignmentResult> = pairs
                 .iter()
-                .map(|p| cpu_align_pair(self.device.cfg.penalties, p, backtrace, &mut cpu_arena))
+                .map(|p| cpu.recover_pair(p, backtrace))
                 .collect();
             let report = last_report.expect("at least one attempt ran");
             return Ok(JobResult {
@@ -420,38 +415,6 @@ impl WfasicDriver {
             report,
             separated,
         )
-    }
-}
-
-/// Software WFA for one pair — the recovery path of last resort, shared by
-/// the single-job driver and the batch scheduler. The caller threads a
-/// [`WavefrontArena`] through so a run of fallback pairs reuses one pool.
-pub(crate) fn cpu_align_pair(
-    penalties: wfa_core::Penalties,
-    pair: &Pair,
-    backtrace: bool,
-    arena: &mut WavefrontArena,
-) -> AlignmentResult {
-    let opts = if backtrace {
-        WfaOptions::exact(penalties)
-    } else {
-        WfaOptions::score_only(penalties)
-    };
-    match wfa_align_with_arena(&pair.a, &pair.b, &opts, arena) {
-        Ok(al) => AlignmentResult {
-            id: pair.id,
-            success: true,
-            score: al.score,
-            cigar: al.cigar,
-            recovered: true,
-        },
-        Err(_) => AlignmentResult {
-            id: pair.id,
-            success: false,
-            score: 0,
-            cigar: None,
-            recovered: true,
-        },
     }
 }
 

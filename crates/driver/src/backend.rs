@@ -1,0 +1,915 @@
+//! The unified execution layer: every way this workspace can run an
+//! alignment, behind one [`AlignmentBackend`] trait.
+//!
+//! The paper evaluates the *same* workload on two engines — the software
+//! WFA on the Sargantana core and the WFAsic device — and the repo grew
+//! several more (multi-lane batches, the SWG oracle, per-call-site CPU
+//! fallbacks). Before this module each caller re-implemented staging,
+//! penalties plumbing, envelope checks and result shaping; now every test,
+//! bench and tool can exercise every engine interchangeably:
+//!
+//! * [`CpuWfaBackend`] — the software WFA oracle (arena-reused, optional
+//!   thread-pool fan-out). Its [`CpuWfaBackend::recover_pair`] is **the**
+//!   single CPU-fallback implementation: the driver retry path
+//!   ([`crate::WfasicDriver::submit`]) and the batch scheduler's per-lane
+//!   fallback both route through it.
+//! * [`SwgBackend`] — the full-DP Smith-Waterman-Gotoh reference (Eq. 2).
+//! * [`DeviceBackend`] — one [`WfasicDriver`] over a single-lane WFAsic.
+//! * [`MultiLaneBackend`] — a [`BatchScheduler`] over an N-lane SoC with a
+//!   shared-port arbiter.
+//! * [`HeterogeneousBackend`] — accelerator lanes plus CPU workers:
+//!   out-of-envelope pairs (Eq. 5/6 — too long for the device, see
+//!   [`Capabilities`]) are routed to the CPU *before* submission (so they
+//!   never inflate the batch's `MAX_READ_LEN` padding), and pairs the
+//!   hardware flags unsuccessful (score over `Score_max`, unknown bases,
+//!   fault damage) are recovered on the CPU afterwards. The accelerator
+//!   simulates while the CPU partition runs on a scoped host thread.
+//!
+//! Scores are bit-identical across every backend (all five compute the
+//! exact gap-affine optimum). CIGARs are bit-identical across the three
+//! device-backed backends; the software engines may pick a different but
+//! equally-optimal transcript (optimal alignments are not unique), which
+//! the backend-equivalence suite pins down precisely.
+
+use crate::api::{AlignmentResult, DriverError, JobResult, WaitMode, WfasicDriver};
+use crate::batch::{BatchJob, BatchScheduler};
+use wfa_core::pool::ThreadPool;
+use wfa_core::{swg_align, wfa_align_with_arena, Penalties, WavefrontArena, WfaOptions};
+use wfasic_accel::device::RunReport;
+use wfasic_accel::AccelConfig;
+use wfasic_seqio::generate::Pair;
+use wfasic_soc::clock::Cycle;
+use wfasic_soc::perf::JobPerf;
+
+/// What an engine can take on — the hardware envelope of Eq. 5/6, or
+/// "unbounded" for the software engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Stable backend name (`cpu`, `swg`, `device`, `multilane`, `hetero`).
+    pub name: &'static str,
+    /// Longest read the engine accepts (Eq. 5 / `max_supported_len`;
+    /// `usize::MAX` for the software engines).
+    pub max_len: usize,
+    /// Highest completable alignment score (Eq. 6: `2*k_max + 4`;
+    /// `None` = unbounded).
+    pub score_max: Option<u32>,
+    /// Device lanes behind the backend (0 for pure software).
+    pub lanes: usize,
+    /// Does the backend report simulated device cycles in
+    /// [`BackendBatch::sim_cycles`]?
+    pub simulated: bool,
+}
+
+impl Capabilities {
+    /// Is this pair inside the engine's static (length) envelope?
+    pub fn admits(&self, pair: &Pair) -> bool {
+        pair.a.len().max(pair.b.len()) <= self.max_len
+    }
+}
+
+/// The outcome of one backend batch.
+#[derive(Debug, Clone)]
+pub struct BackendBatch {
+    /// Per-pair results, in submission order.
+    pub results: Vec<AlignmentResult>,
+    /// Simulated device cycles consumed by the batch (`None` for pure
+    /// software engines, whose cost models live in [`crate::cpu_model`]).
+    pub sim_cycles: Option<Cycle>,
+    /// Per-stage trace of the device job, when the policy asked for perf
+    /// collection and the backend has a device to trace.
+    pub perf: Option<JobPerf>,
+    /// Device run reports backing this batch (one per device sub-job, in
+    /// dispatch order; empty for pure software engines). The trace hook for
+    /// callers that need per-pair cycle detail or fault counters.
+    pub reports: Vec<RunReport>,
+}
+
+impl BackendBatch {
+    fn from_job(job: JobResult) -> Self {
+        let perf = job.report.perf.clone();
+        BackendBatch {
+            results: job.results,
+            sim_cycles: Some(job.report.total_cycles),
+            perf,
+            reports: vec![job.report],
+        }
+    }
+}
+
+/// Lifetime counters every backend keeps (the service layer aggregates
+/// these into its own stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendCounters {
+    /// Batches executed.
+    pub jobs: u64,
+    /// Pairs answered (success or not).
+    pub pairs: u64,
+    /// Pairs whose final result is `success == false`.
+    pub failed_pairs: u64,
+    /// Pairs answered by a CPU worker on a device-backed path.
+    pub recovered_pairs: u64,
+    /// Whole-batch errors surfaced to the caller.
+    pub errors: u64,
+    /// Accumulated simulated device cycles.
+    pub sim_cycles: Cycle,
+}
+
+impl BackendCounters {
+    fn absorb(&mut self, batch: &BackendBatch) {
+        self.jobs += 1;
+        self.pairs += batch.results.len() as u64;
+        self.failed_pairs += batch.results.iter().filter(|r| !r.success).count() as u64;
+        self.recovered_pairs += batch.results.iter().filter(|r| r.recovered).count() as u64;
+        self.sim_cycles += batch.sim_cycles.unwrap_or(0);
+    }
+}
+
+/// Watchdog / retry / fallback / perf policy, applied in **one** place (the
+/// service layer) instead of being re-plumbed at every call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignPolicy {
+    /// Give up on a job whose device cycle count exceeds this bound.
+    pub watchdog_cycles: Cycle,
+    /// Resubmit a failed device job this many times.
+    pub max_retries: u32,
+    /// Re-run failed pairs (and fully-failed jobs) through the software WFA
+    /// inside the driver. [`HeterogeneousBackend`] recovers on the CPU
+    /// regardless — that is its contract.
+    pub cpu_fallback: bool,
+    /// Collect per-stage cycle attribution on device jobs.
+    pub collect_perf: bool,
+}
+
+impl Default for AlignPolicy {
+    fn default() -> Self {
+        AlignPolicy {
+            watchdog_cycles: 1 << 40,
+            max_retries: 1,
+            cpu_fallback: false,
+            collect_perf: false,
+        }
+    }
+}
+
+/// One engine that can run alignment batches.
+pub trait AlignmentBackend {
+    /// The engine's envelope and identity.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Align a batch of pairs; results come back in submission order.
+    fn align_batch(&mut self, job: &BatchJob) -> Result<BackendBatch, DriverError>;
+
+    /// Align a single pair (a one-pair batch by default).
+    fn align_one(&mut self, pair: &Pair, backtrace: bool) -> Result<AlignmentResult, DriverError> {
+        let job = BatchJob {
+            pairs: vec![pair.clone()],
+            backtrace,
+        };
+        self.align_batch(&job)
+            .map(|mut b| b.results.pop().expect("a one-pair batch yields one result"))
+    }
+
+    /// Lifetime counters.
+    fn counters(&self) -> BackendCounters;
+
+    /// Reset the lifetime counters.
+    fn reset_counters(&mut self);
+
+    /// Install the service-level watchdog/retry/fallback/perf policy.
+    /// Pure-software engines have nothing to configure.
+    fn apply_policy(&mut self, policy: &AlignPolicy) {
+        let _ = policy;
+    }
+}
+
+/// Which backend to build — the one name every CLI flag, bench table and
+/// test loop shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// [`CpuWfaBackend`].
+    Cpu,
+    /// [`SwgBackend`].
+    Swg,
+    /// [`DeviceBackend`].
+    Device,
+    /// [`MultiLaneBackend`].
+    MultiLane,
+    /// [`HeterogeneousBackend`].
+    Heterogeneous,
+}
+
+impl BackendKind {
+    /// Every kind, in CLI presentation order.
+    pub const ALL: [BackendKind; 5] = [
+        BackendKind::Cpu,
+        BackendKind::Swg,
+        BackendKind::Device,
+        BackendKind::MultiLane,
+        BackendKind::Heterogeneous,
+    ];
+
+    /// The stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Cpu => "cpu",
+            BackendKind::Swg => "swg",
+            BackendKind::Device => "device",
+            BackendKind::MultiLane => "multilane",
+            BackendKind::Heterogeneous => "hetero",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Option<Self> {
+        BackendKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Build the backend over `lanes` device lanes (ignored by the software
+    /// engines; [`BackendKind::Device`] always has exactly one).
+    pub fn create(self, cfg: AccelConfig, lanes: usize) -> Box<dyn AlignmentBackend> {
+        match self {
+            BackendKind::Cpu => Box::new(CpuWfaBackend::new(cfg.penalties)),
+            BackendKind::Swg => Box::new(SwgBackend::new(cfg.penalties)),
+            BackendKind::Device => Box::new(DeviceBackend::new(cfg)),
+            BackendKind::MultiLane => Box::new(MultiLaneBackend::new(cfg, lanes)),
+            BackendKind::Heterogeneous => Box::new(HeterogeneousBackend::new(cfg, lanes)),
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BackendKind::parse(s).ok_or_else(|| {
+            let names: Vec<&str> = BackendKind::ALL.iter().map(|k| k.name()).collect();
+            format!("unknown backend '{s}' (one of: {})", names.join(", "))
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CpuWfaBackend
+// ---------------------------------------------------------------------------
+
+/// The software WFA oracle: exact gap-affine alignment on the host CPU,
+/// reusing one [`WavefrontArena`] across a batch and optionally fanning a
+/// batch out over the deterministic thread pool.
+#[derive(Debug)]
+pub struct CpuWfaBackend {
+    /// Penalty model.
+    pub penalties: Penalties,
+    threads: usize,
+    arena: WavefrontArena,
+    counters: BackendCounters,
+}
+
+impl CpuWfaBackend {
+    /// A sequential (1-thread) CPU backend.
+    pub fn new(penalties: Penalties) -> Self {
+        CpuWfaBackend {
+            penalties,
+            threads: 1,
+            arena: WavefrontArena::new(),
+            counters: BackendCounters::default(),
+        }
+    }
+
+    /// Fan batches out over `threads` host workers (0 = all host threads).
+    /// Results are bit-identical at any width; only wall clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            wfa_core::pool::available_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// **The** software-WFA answer path: every CPU fallback and CPU route
+    /// in the workspace funnels through this one function. `recovered`
+    /// marks results produced on behalf of a device that could not finish
+    /// the pair itself.
+    pub fn align_pair_in(
+        arena: &mut WavefrontArena,
+        penalties: Penalties,
+        pair: &Pair,
+        backtrace: bool,
+        recovered: bool,
+    ) -> AlignmentResult {
+        let opts = if backtrace {
+            WfaOptions::exact(penalties)
+        } else {
+            WfaOptions::score_only(penalties)
+        };
+        match wfa_align_with_arena(&pair.a, &pair.b, &opts, arena) {
+            Ok(al) => AlignmentResult {
+                id: pair.id,
+                success: true,
+                score: al.score,
+                cigar: al.cigar,
+                recovered,
+            },
+            Err(_) => AlignmentResult {
+                id: pair.id,
+                success: false,
+                score: 0,
+                cigar: None,
+                recovered,
+            },
+        }
+    }
+
+    /// Align one pair as a primary engine (not a recovery).
+    pub fn align_pair(&mut self, pair: &Pair, backtrace: bool) -> AlignmentResult {
+        Self::align_pair_in(&mut self.arena, self.penalties, pair, backtrace, false)
+    }
+
+    /// Recover one pair a device-backed path could not complete. This is
+    /// the single CPU-fallback implementation behind
+    /// [`crate::WfasicDriver::submit`] and the batch scheduler's per-lane
+    /// fallback.
+    pub fn recover_pair(&mut self, pair: &Pair, backtrace: bool) -> AlignmentResult {
+        self.counters.recovered_pairs += 1;
+        Self::align_pair_in(&mut self.arena, self.penalties, pair, backtrace, true)
+    }
+}
+
+impl AlignmentBackend for CpuWfaBackend {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            name: "cpu",
+            max_len: usize::MAX,
+            score_max: None,
+            lanes: 0,
+            simulated: false,
+        }
+    }
+
+    fn align_batch(&mut self, job: &BatchJob) -> Result<BackendBatch, DriverError> {
+        let results: Vec<AlignmentResult> = if self.threads > 1 && job.pairs.len() > 1 {
+            // Parallel fan-out: each worker item gets a private arena (the
+            // pool's `Fn` closures cannot share one mutably). Answers do
+            // not depend on the arena, so this is bit-identical to the
+            // sequential path.
+            let penalties = self.penalties;
+            let backtrace = job.backtrace;
+            ThreadPool::new(self.threads).map(&job.pairs, move |_, pair| {
+                let mut arena = WavefrontArena::new();
+                Self::align_pair_in(&mut arena, penalties, pair, backtrace, false)
+            })
+        } else {
+            job.pairs
+                .iter()
+                .map(|p| {
+                    Self::align_pair_in(&mut self.arena, self.penalties, p, job.backtrace, false)
+                })
+                .collect()
+        };
+        let batch = BackendBatch {
+            results,
+            sim_cycles: None,
+            perf: None,
+            reports: Vec::new(),
+        };
+        self.counters.absorb(&batch);
+        Ok(batch)
+    }
+
+    fn counters(&self) -> BackendCounters {
+        self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters = BackendCounters::default();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SwgBackend
+// ---------------------------------------------------------------------------
+
+/// The full-DP Smith-Waterman-Gotoh reference (paper Eq. 2): an
+/// algorithmically unrelated oracle for the exact score. `O(n*m)` — keep the
+/// batches modest.
+#[derive(Debug)]
+pub struct SwgBackend {
+    /// Penalty model.
+    pub penalties: Penalties,
+    counters: BackendCounters,
+}
+
+impl SwgBackend {
+    /// A new SWG reference backend.
+    pub fn new(penalties: Penalties) -> Self {
+        SwgBackend {
+            penalties,
+            counters: BackendCounters::default(),
+        }
+    }
+}
+
+impl AlignmentBackend for SwgBackend {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            name: "swg",
+            max_len: usize::MAX,
+            score_max: None,
+            lanes: 0,
+            simulated: false,
+        }
+    }
+
+    fn align_batch(&mut self, job: &BatchJob) -> Result<BackendBatch, DriverError> {
+        let results: Vec<AlignmentResult> = job
+            .pairs
+            .iter()
+            .map(|pair| {
+                let dp = swg_align(&pair.a, &pair.b, &self.penalties);
+                AlignmentResult {
+                    id: pair.id,
+                    success: dp.score <= u32::MAX as u64,
+                    score: dp.score.min(u32::MAX as u64) as u32,
+                    cigar: job.backtrace.then_some(dp.cigar),
+                    recovered: false,
+                }
+            })
+            .collect();
+        let batch = BackendBatch {
+            results,
+            sim_cycles: None,
+            perf: None,
+            reports: Vec::new(),
+        };
+        self.counters.absorb(&batch);
+        Ok(batch)
+    }
+
+    fn counters(&self) -> BackendCounters {
+        self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters = BackendCounters::default();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DeviceBackend
+// ---------------------------------------------------------------------------
+
+/// A single-lane WFAsic behind the [`WfasicDriver`] — the paper's taped-out
+/// configuration, one job at a time.
+#[derive(Debug)]
+pub struct DeviceBackend {
+    /// The driver (device + memory + policy). Public so tests can install
+    /// fault plans or tweak the layout.
+    pub driver: WfasicDriver,
+    counters: BackendCounters,
+}
+
+impl DeviceBackend {
+    /// Bring up a fresh device.
+    pub fn new(cfg: AccelConfig) -> Self {
+        Self::from_driver(WfasicDriver::new(cfg))
+    }
+
+    /// Wrap an existing (possibly customized) driver.
+    pub fn from_driver(driver: WfasicDriver) -> Self {
+        DeviceBackend {
+            driver,
+            counters: BackendCounters::default(),
+        }
+    }
+}
+
+impl AlignmentBackend for DeviceBackend {
+    fn capabilities(&self) -> Capabilities {
+        let cfg = &self.driver.device.cfg;
+        Capabilities {
+            name: "device",
+            max_len: cfg.max_supported_len,
+            score_max: Some(cfg.score_max()),
+            lanes: 1,
+            simulated: true,
+        }
+    }
+
+    fn align_batch(&mut self, job: &BatchJob) -> Result<BackendBatch, DriverError> {
+        match self
+            .driver
+            .submit(&job.pairs, job.backtrace, WaitMode::PollIdle)
+        {
+            Ok(result) => {
+                let batch = BackendBatch::from_job(result);
+                self.counters.absorb(&batch);
+                Ok(batch)
+            }
+            Err(e) => {
+                self.counters.errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn counters(&self) -> BackendCounters {
+        self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters = BackendCounters::default();
+    }
+
+    fn apply_policy(&mut self, policy: &AlignPolicy) {
+        self.driver.watchdog_cycles = policy.watchdog_cycles;
+        self.driver.max_retries = policy.max_retries;
+        self.driver.cpu_fallback = policy.cpu_fallback;
+        self.driver.collect_perf = policy.collect_perf;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MultiLaneBackend
+// ---------------------------------------------------------------------------
+
+/// Pairs per sub-job when a backend batch is spread across the lanes of a
+/// [`MultiLaneBackend`] (the differential sweep's chunk size).
+pub const DEFAULT_LANE_CHUNK: usize = 28;
+
+/// An N-lane WFAsic SoC behind the [`BatchScheduler`]: one backend batch is
+/// chunked into per-lane jobs, dispatched with DMA/compute overlap over the
+/// shared-port arbiter, and reassembled in submission order.
+#[derive(Debug)]
+pub struct MultiLaneBackend {
+    /// The scheduler (SoC + memory + policy). Public so tests can install
+    /// per-lane fault plans or change the dispatch policy.
+    pub sched: BatchScheduler,
+    /// Pairs per sub-job ([`DEFAULT_LANE_CHUNK`] by default).
+    pub chunk: usize,
+    counters: BackendCounters,
+}
+
+impl MultiLaneBackend {
+    /// A backend over `lanes` identically-configured lanes.
+    pub fn new(cfg: AccelConfig, lanes: usize) -> Self {
+        Self::from_scheduler(BatchScheduler::new(cfg, lanes))
+    }
+
+    /// Wrap an existing (possibly customized) scheduler.
+    pub fn from_scheduler(sched: BatchScheduler) -> Self {
+        MultiLaneBackend {
+            sched,
+            chunk: DEFAULT_LANE_CHUNK,
+            counters: BackendCounters::default(),
+        }
+    }
+}
+
+impl AlignmentBackend for MultiLaneBackend {
+    fn capabilities(&self) -> Capabilities {
+        let cfg = self.sched.soc.lane(0).cfg;
+        Capabilities {
+            name: "multilane",
+            max_len: cfg.max_supported_len,
+            score_max: Some(cfg.score_max()),
+            lanes: self.sched.num_lanes(),
+            simulated: true,
+        }
+    }
+
+    fn align_batch(&mut self, job: &BatchJob) -> Result<BackendBatch, DriverError> {
+        let chunk = self.chunk.max(1);
+        let jobs: Vec<BatchJob> = job
+            .pairs
+            .chunks(chunk)
+            .map(|pairs| BatchJob {
+                pairs: pairs.to_vec(),
+                backtrace: job.backtrace,
+            })
+            .collect();
+        let batch = self.sched.submit_batch(&jobs);
+        let mut results = Vec::with_capacity(job.pairs.len());
+        let mut perf: Option<JobPerf> = None;
+        let mut reports = Vec::with_capacity(batch.jobs.len());
+        for outcome in batch.jobs {
+            match outcome {
+                Ok(j) => {
+                    if perf.is_none() {
+                        perf = j.report.perf.clone();
+                    }
+                    results.extend(j.results);
+                    reports.push(j.report);
+                }
+                Err(e) => {
+                    // One lost sub-job fails the whole backend batch; with
+                    // the service's `cpu_fallback` policy (or the hetero
+                    // backend above this one) this path is unreachable.
+                    self.counters.errors += 1;
+                    return Err(e);
+                }
+            }
+        }
+        let batch = BackendBatch {
+            results,
+            sim_cycles: Some(batch.total_cycles),
+            perf,
+            reports,
+        };
+        self.counters.absorb(&batch);
+        Ok(batch)
+    }
+
+    fn counters(&self) -> BackendCounters {
+        self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters = BackendCounters::default();
+    }
+
+    fn apply_policy(&mut self, policy: &AlignPolicy) {
+        self.sched.watchdog_cycles = policy.watchdog_cycles;
+        self.sched.max_retries = policy.max_retries;
+        self.sched.cpu_fallback = policy.cpu_fallback;
+        self.sched.collect_perf = policy.collect_perf;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HeterogeneousBackend
+// ---------------------------------------------------------------------------
+
+/// Accelerator lanes plus CPU workers, replacing the per-call-site fallback
+/// logic: pairs outside the device envelope never reach the hardware, and
+/// pairs the hardware could not finish are recovered in software — so this
+/// backend answers **every** pair, in order, under any fault plan.
+#[derive(Debug)]
+pub struct HeterogeneousBackend {
+    /// The accelerator side. Public for fault-plan installation in tests.
+    pub accel: MultiLaneBackend,
+    /// The CPU side (also the overflow-recovery worker).
+    pub cpu: CpuWfaBackend,
+    counters: BackendCounters,
+}
+
+impl HeterogeneousBackend {
+    /// A heterogeneous backend over `lanes` device lanes and the host CPU.
+    pub fn new(cfg: AccelConfig, lanes: usize) -> Self {
+        HeterogeneousBackend {
+            accel: MultiLaneBackend::new(cfg, lanes),
+            cpu: CpuWfaBackend::new(cfg.penalties),
+            counters: BackendCounters::default(),
+        }
+    }
+}
+
+impl AlignmentBackend for HeterogeneousBackend {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            name: "hetero",
+            // The CPU side removes the device's length/score envelope.
+            max_len: usize::MAX,
+            score_max: None,
+            lanes: self.accel.sched.num_lanes(),
+            simulated: true,
+        }
+    }
+
+    fn align_batch(&mut self, job: &BatchJob) -> Result<BackendBatch, DriverError> {
+        let device_caps = self.accel.capabilities();
+        let mut dev_idx = Vec::new();
+        let mut cpu_idx = Vec::new();
+        for (i, pair) in job.pairs.iter().enumerate() {
+            if device_caps.admits(pair) {
+                dev_idx.push(i);
+            } else {
+                cpu_idx.push(i);
+            }
+        }
+        let dev_job = BatchJob {
+            pairs: dev_idx.iter().map(|&i| job.pairs[i].clone()).collect(),
+            backtrace: job.backtrace,
+        };
+
+        // The accelerator simulates on this thread while a scoped host
+        // worker answers the out-of-envelope partition — the lanes never
+        // wait on the CPU route.
+        let penalties = self.cpu.penalties;
+        let backtrace = job.backtrace;
+        let cpu_pairs: Vec<&Pair> = cpu_idx.iter().map(|&i| &job.pairs[i]).collect();
+        let (accel_out, cpu_out) = std::thread::scope(|scope| {
+            let worker = scope.spawn(move || {
+                let mut arena = WavefrontArena::new();
+                cpu_pairs
+                    .iter()
+                    .map(|p| {
+                        CpuWfaBackend::align_pair_in(&mut arena, penalties, p, backtrace, true)
+                    })
+                    .collect::<Vec<AlignmentResult>>()
+            });
+            let accel_out = if dev_job.pairs.is_empty() {
+                None
+            } else {
+                Some(self.accel.align_batch(&dev_job))
+            };
+            let cpu_out = match worker.join() {
+                Ok(results) => results,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (accel_out, cpu_out)
+        });
+
+        // Fill the device partition back in, recovering overflowed pairs
+        // (score over the envelope, unknown bases, fault damage) — and the
+        // whole partition if the device job itself was lost.
+        let mut slots: Vec<Option<AlignmentResult>> = vec![None; job.pairs.len()];
+        let mut sim_cycles = 0;
+        let mut perf = None;
+        let mut reports = Vec::new();
+        match accel_out {
+            None => {}
+            Some(Ok(batch)) => {
+                sim_cycles = batch.sim_cycles.unwrap_or(0);
+                perf = batch.perf;
+                reports = batch.reports;
+                for (&i, res) in dev_idx.iter().zip(batch.results) {
+                    slots[i] = Some(if res.success {
+                        res
+                    } else {
+                        self.cpu.recover_pair(&job.pairs[i], job.backtrace)
+                    });
+                }
+            }
+            Some(Err(_)) => {
+                for &i in &dev_idx {
+                    slots[i] = Some(self.cpu.recover_pair(&job.pairs[i], job.backtrace));
+                }
+            }
+        }
+        for (&i, res) in cpu_idx.iter().zip(cpu_out) {
+            self.cpu.counters.recovered_pairs += 1;
+            slots[i] = Some(res);
+        }
+
+        let batch = BackendBatch {
+            results: slots
+                .into_iter()
+                .map(|r| r.expect("every pair was routed exactly once"))
+                .collect(),
+            sim_cycles: Some(sim_cycles),
+            perf,
+            reports,
+        };
+        self.counters.absorb(&batch);
+        Ok(batch)
+    }
+
+    fn counters(&self) -> BackendCounters {
+        self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters = BackendCounters::default();
+    }
+
+    fn apply_policy(&mut self, policy: &AlignPolicy) {
+        // The heterogeneous backend *is* the fallback: device-internal
+        // fallback stays off so unfinished pairs surface here (with their
+        // honest cycle accounting) and are recovered once, in one place.
+        let device_policy = AlignPolicy {
+            cpu_fallback: false,
+            ..*policy
+        };
+        self.accel.apply_policy(&device_policy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfasic_seqio::dataset::InputSetSpec;
+
+    fn pairs(n: usize, length: usize, seed: u64) -> Vec<Pair> {
+        InputSetSpec {
+            length,
+            error_pct: 5,
+        }
+        .generate(n, seed)
+        .pairs
+    }
+
+    #[test]
+    fn kind_round_trips_names() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+            let backend = kind.create(AccelConfig::wfasic_chip(), 2);
+            assert_eq!(backend.capabilities().name, kind.name());
+        }
+        assert!(BackendKind::parse("gpu").is_none());
+        assert!("nope".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn every_backend_scores_identically() {
+        let p = pairs(6, 100, 0xBEAC);
+        let job = BatchJob::with_backtrace(p.clone());
+        let mut scores: Vec<Vec<u32>> = Vec::new();
+        for kind in BackendKind::ALL {
+            let mut backend = kind.create(AccelConfig::wfasic_chip(), 2);
+            let batch = backend.align_batch(&job).unwrap();
+            assert_eq!(batch.results.len(), p.len(), "{}", kind.name());
+            assert!(batch.results.iter().all(|r| r.success));
+            scores.push(batch.results.iter().map(|r| r.score).collect());
+            let counters = backend.counters();
+            assert_eq!(counters.jobs, 1);
+            assert_eq!(counters.pairs, p.len() as u64);
+        }
+        for s in &scores[1..] {
+            assert_eq!(s, &scores[0], "backends disagree on scores");
+        }
+    }
+
+    #[test]
+    fn device_backend_matches_raw_driver() {
+        let p = pairs(4, 100, 0xD0D0);
+        let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
+        let want = drv.submit(&p, true, WaitMode::PollIdle).unwrap();
+        let mut backend = DeviceBackend::new(AccelConfig::wfasic_chip());
+        let got = backend.align_batch(&BatchJob::with_backtrace(p)).unwrap();
+        assert_eq!(got.sim_cycles, Some(want.report.total_cycles));
+        for (a, b) in got.results.iter().zip(&want.results) {
+            assert_eq!((a.id, a.success, a.score), (b.id, b.success, b.score));
+            assert_eq!(a.cigar, b.cigar);
+        }
+    }
+
+    #[test]
+    fn multilane_chunks_and_preserves_order() {
+        let p = pairs(10, 80, 0x1A4E);
+        let mut backend = MultiLaneBackend::new(AccelConfig::wfasic_chip(), 3);
+        backend.chunk = 3; // 4 sub-jobs over 3 lanes
+        let got = backend
+            .align_batch(&BatchJob::score_only(p.clone()))
+            .unwrap();
+        let ids: Vec<u32> = got.results.iter().map(|r| r.id).collect();
+        let want: Vec<u32> = p.iter().map(|x| x.id).collect();
+        assert_eq!(ids, want);
+        assert!(got.sim_cycles.unwrap() > 0);
+    }
+
+    #[test]
+    fn hetero_routes_oversized_pairs_to_the_cpu() {
+        let mut cfg = AccelConfig::wfasic_chip();
+        cfg.max_supported_len = 64;
+        let mut p = pairs(5, 48, 0x0E7E);
+        // Pair 2 is far outside the device envelope.
+        p[2] = Pair {
+            id: p[2].id,
+            a: pairs(1, 150, 1)[0].a.clone(),
+            b: pairs(1, 150, 1)[0].b.clone(),
+        };
+        let mut backend = HeterogeneousBackend::new(cfg, 2);
+        let got = backend
+            .align_batch(&BatchJob::with_backtrace(p.clone()))
+            .unwrap();
+        assert!(got.results.iter().all(|r| r.success));
+        assert!(
+            got.results[2].recovered,
+            "oversized pair took the CPU route"
+        );
+        assert!(
+            got.results
+                .iter()
+                .enumerate()
+                .all(|(i, r)| i == 2 || !r.recovered),
+            "in-envelope pairs stayed on the accelerator"
+        );
+        let want = CpuWfaBackend::new(cfg.penalties).align_pair(&p[2], true);
+        assert_eq!(got.results[2].score, want.score);
+        assert!(backend.counters().recovered_pairs >= 1);
+    }
+
+    #[test]
+    fn policy_reaches_the_device_engines() {
+        let policy = AlignPolicy {
+            watchdog_cycles: 123,
+            max_retries: 7,
+            cpu_fallback: true,
+            collect_perf: true,
+        };
+        let mut dev = DeviceBackend::new(AccelConfig::wfasic_chip());
+        dev.apply_policy(&policy);
+        assert_eq!(dev.driver.watchdog_cycles, 123);
+        assert_eq!(dev.driver.max_retries, 7);
+        assert!(dev.driver.cpu_fallback);
+        assert!(dev.driver.collect_perf);
+
+        let mut hetero = HeterogeneousBackend::new(AccelConfig::wfasic_chip(), 2);
+        hetero.apply_policy(&policy);
+        assert_eq!(hetero.accel.sched.watchdog_cycles, 123);
+        assert!(
+            !hetero.accel.sched.cpu_fallback,
+            "hetero owns recovery itself"
+        );
+    }
+}

@@ -27,11 +27,11 @@
 //! layout, same uncontended bus timing. The differential suite pins this.
 
 use crate::api::{
-    cpu_align_pair, parse_bt_results_at, parse_nbt_results_at, AlignmentResult, DriverError,
-    JobResult, MemLayout, WaitMode, WfasicDriver,
+    parse_bt_results_at, parse_nbt_results_at, AlignmentResult, DriverError, JobResult, MemLayout,
+    WaitMode, WfasicDriver,
 };
+use crate::backend::CpuWfaBackend;
 use crate::cpu_model::BacktraceCosts;
-use wfa_core::arena::WavefrontArena;
 use wfa_core::pool::ThreadPool;
 use wfasic_accel::device::RunReport;
 use wfasic_accel::multilane::MultiLaneSoc;
@@ -348,7 +348,7 @@ impl BatchScheduler {
         }
 
         let separated = self.force_separation || self.cfg.num_aligners > 1;
-        let mut cpu_arena = WavefrontArena::new();
+        let mut cpu = CpuWfaBackend::new(self.cfg.penalties);
         let mut config_cycles: Cycle = 0;
         let mut last_err = DriverError::Timeout {
             waited: 0,
@@ -423,12 +423,7 @@ impl BatchScheduler {
                     if self.cpu_fallback {
                         for (res, pair) in results.iter_mut().zip(&job.pairs) {
                             if !res.success {
-                                *res = cpu_align_pair(
-                                    self.cfg.penalties,
-                                    pair,
-                                    job.backtrace,
-                                    &mut cpu_arena,
-                                );
+                                *res = cpu.recover_pair(pair, job.backtrace);
                             }
                         }
                     }
@@ -461,7 +456,7 @@ impl BatchScheduler {
             let results: Vec<AlignmentResult> = job
                 .pairs
                 .iter()
-                .map(|p| cpu_align_pair(self.cfg.penalties, p, job.backtrace, &mut cpu_arena))
+                .map(|p| cpu.recover_pair(p, job.backtrace))
                 .collect();
             return Ok(JobResult {
                 results,

@@ -4,6 +4,9 @@
 //!
 //! * [`api`] — the Linux-driver-style interface (register programming over
 //!   AXI-Lite, Start/Idle/interrupt protocol, result parsing);
+//! * [`backend`] — the unified execution layer: every engine (software WFA,
+//!   SWG reference, single-lane device, multi-lane SoC, heterogeneous
+//!   CPU+accel) behind one [`AlignmentBackend`] trait;
 //! * [`backtrace`] — the CPU backtrace over the accelerator's origin
 //!   stream: multi-Aligner data separation, single-Aligner no-separation
 //!   boundary detection, the origin walk, and match insertion (§4.5);
@@ -16,12 +19,17 @@
 //!   phases + baselines) used by every table/figure harness.
 
 pub mod api;
+pub mod backend;
 pub mod backtrace;
 pub mod batch;
 pub mod codesign;
 pub mod cpu_model;
 
 pub use api::{AlignmentResult, DriverError, JobResult, MemLayout, WaitMode, WfasicDriver};
+pub use backend::{
+    AlignPolicy, AlignmentBackend, BackendBatch, BackendCounters, BackendKind, Capabilities,
+    CpuWfaBackend, DeviceBackend, HeterogeneousBackend, MultiLaneBackend, SwgBackend,
+};
 pub use backtrace::{backtrace_alignment, BtAlignment, BtError, Edit};
 pub use batch::{BatchJob, BatchResult, BatchScheduler, DispatchPolicy};
 pub use codesign::{run_experiment, ExperimentResult};

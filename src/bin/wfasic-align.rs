@@ -1,28 +1,49 @@
-//! `wfasic-align` — align FASTA read pairs on the simulated WFAsic SoC.
+//! `wfasic-align` — align FASTA read pairs on any execution backend.
 //!
 //! ```text
-//! wfasic-align <a.fasta> <b.fasta> [--no-backtrace] [--aligners N] [--cycles]
+//! wfasic-align <a.fasta> <b.fasta> [--backend cpu|swg|device|multilane|hetero]
+//!              [--lanes N] [--aligners N] [--no-backtrace] [--cycles]
 //! ```
 //!
 //! Records are paired by position (record `i` of `a.fasta` vs record `i` of
-//! `b.fasta`). Output is one line per pair: id, status, score, and CIGAR
+//! `b.fasta`) and routed through the streaming [`AlignmentService`] over the
+//! chosen backend (`device` by default — the paper's taped-out
+//! configuration). Output is one line per pair: id, status, score, and CIGAR
 //! (when backtrace is enabled), plus an optional cycle summary.
+//!
+//! Exit codes: 0 success, 1 I/O or alignment failure, 2 usage error,
+//! 3 device/driver error (watchdog, refused job, corrupt result stream),
+//! 4 service backpressure.
 
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::BufReader;
 use wfasic::accel::AccelConfig;
-use wfasic::driver::{WaitMode, WfasicDriver};
+use wfasic::driver::batch::BatchJob;
+use wfasic::driver::BackendKind;
 use wfasic::seqio::fasta::read_fasta;
 use wfasic::seqio::Pair;
+use wfasic::service::{AlignmentService, ServiceConfig, ServiceError};
+
+const EXIT_IO: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+const EXIT_DRIVER: i32 = 3;
+const EXIT_BACKPRESSURE: i32 = 4;
 
 fn usage() -> ! {
-    eprintln!("usage: wfasic-align <a.fasta> <b.fasta> [--no-backtrace] [--aligners N] [--cycles]");
-    std::process::exit(2);
+    eprintln!(
+        "usage: wfasic-align <a.fasta> <b.fasta> \
+         [--backend cpu|swg|device|multilane|hetero] [--lanes N] \
+         [--aligners N] [--no-backtrace] [--cycles]"
+    );
+    std::process::exit(EXIT_USAGE);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<&str> = Vec::new();
+    let mut backend = BackendKind::Device;
+    let mut lanes = 4usize;
     let mut backtrace = true;
     let mut aligners = 1usize;
     let mut show_cycles = false;
@@ -31,6 +52,25 @@ fn main() {
         match args[i].as_str() {
             "--no-backtrace" => backtrace = false,
             "--cycles" => show_cycles = true,
+            "--backend" => {
+                i += 1;
+                backend = match args.get(i).map(|s| s.parse::<BackendKind>()) {
+                    Some(Ok(kind)) => kind,
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        std::process::exit(EXIT_USAGE);
+                    }
+                    None => usage(),
+                };
+            }
+            "--lanes" => {
+                i += 1;
+                lanes = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
             "--aligners" => {
                 i += 1;
                 aligners = args
@@ -51,11 +91,11 @@ fn main() {
     let read = |path: &str| {
         let file = File::open(path).unwrap_or_else(|e| {
             eprintln!("cannot open {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_IO);
         });
         read_fasta(BufReader::new(file)).unwrap_or_else(|e| {
             eprintln!("cannot parse {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_IO);
         })
     };
     let recs_a = read(files[0]);
@@ -68,11 +108,11 @@ fn main() {
             files[1],
             recs_b.len()
         );
-        std::process::exit(1);
+        std::process::exit(EXIT_IO);
     }
     if recs_a.is_empty() {
         eprintln!("no records");
-        std::process::exit(1);
+        std::process::exit(EXIT_IO);
     }
 
     let pairs: Vec<Pair> = recs_a
@@ -87,15 +127,30 @@ fn main() {
         .collect();
 
     let cfg = AccelConfig::wfasic_chip().with_aligners(aligners);
-    let mut drv = WfasicDriver::new(cfg);
-    let job = drv
-        .submit(&pairs, backtrace, WaitMode::PollIdle)
-        .unwrap_or_else(|e| {
-            eprintln!("alignment job failed: {e}");
-            std::process::exit(1);
-        });
+    let mut svc = AlignmentService::with_backend(backend, cfg, lanes, ServiceConfig::default());
+    let ticket = svc.submit(BatchJob { pairs, backtrace }).unwrap_or_else(
+        |e @ ServiceError::Backpressure { .. }| {
+            eprintln!("service refused the job: {e}");
+            std::process::exit(EXIT_BACKPRESSURE);
+        },
+    );
+    let completed = svc.try_next().expect("one job was queued");
+    debug_assert_eq!(completed.ticket, ticket);
+    let batch = completed.outcome.unwrap_or_else(|e| {
+        eprintln!("alignment job failed: {e}");
+        std::process::exit(EXIT_DRIVER);
+    });
 
-    for ((res, ra), pr) in job.results.iter().zip(&recs_a).zip(&job.report.pairs) {
+    // Per-pair device cycles, when a device-backed backend ran the pair
+    // (the hardware reports IDs truncated to the record format's 16 bits).
+    let pair_cycles: HashMap<u32, (u64, u64)> = batch
+        .reports
+        .iter()
+        .flat_map(|r| &r.pairs)
+        .map(|p| (p.id, (p.align_cycles, p.read_cycles)))
+        .collect();
+
+    for (res, ra) in batch.results.iter().zip(&recs_a) {
         let status = if res.success { "OK" } else { "FAIL" };
         let cigar = res
             .cigar
@@ -107,20 +162,28 @@ fn main() {
             ra.name, status, res.score, cigar
         );
         if show_cycles {
-            print!(
-                "\talign_cycles={}\tread_cycles={}",
-                pr.align_cycles, pr.read_cycles
-            );
+            match pair_cycles.get(&(res.id & 0xFFFF)) {
+                Some((align, read)) => {
+                    print!("\talign_cycles={align}\tread_cycles={read}")
+                }
+                None => print!("\talign_cycles=-\tread_cycles=-"),
+            }
         }
         println!();
     }
     if show_cycles {
-        eprintln!(
-            "job: {} cycles total, {} result bytes, bus utilization {:.1}%, cpu backtrace {} cycles",
-            job.report.total_cycles,
-            job.report.output_bytes,
-            job.report.bus_utilization * 100.0,
-            job.cpu_backtrace_cycles
-        );
+        let counters = svc.backend_counters();
+        match batch.sim_cycles {
+            Some(cycles) => eprintln!(
+                "job: {} simulated cycles on backend '{}' ({} recovered on CPU)",
+                cycles,
+                backend.name(),
+                counters.recovered_pairs
+            ),
+            None => eprintln!(
+                "job: software backend '{}' (no simulated cycles)",
+                backend.name()
+            ),
+        }
     }
 }

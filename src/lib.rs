@@ -10,7 +10,10 @@
 //! * [`soc`] — SoC substrate models (memory, buses, DMA, FIFOs, caches);
 //! * [`riscv`] — RV64IM interpreter + assembler + Sargantana timing model;
 //! * [`accel`] — the cycle-level WFAsic accelerator model;
-//! * [`driver`] — the CPU side: driver API, backtrace, cycle models.
+//! * [`driver`] — the CPU side: driver API, execution backends, backtrace,
+//!   cycle models;
+//! * [`service`] — the streaming alignment engine: a bounded queue and one
+//!   policy home over any [`driver::AlignmentBackend`].
 //!
 //! ## Quickstart
 //!
@@ -35,4 +38,5 @@ pub use wfasic_accel as accel;
 pub use wfasic_driver as driver;
 pub use wfasic_riscv as riscv;
 pub use wfasic_seqio as seqio;
+pub use wfasic_service as service;
 pub use wfasic_soc as soc;

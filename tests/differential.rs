@@ -3,19 +3,21 @@
 //! Thousands of seeded random pairs — across read lengths, error rates and
 //! penalty sets — are pushed through the accelerator **twice** (independent
 //! single-lane jobs via [`BatchScheduler::run_parallel`], and batched
-//! submission across a 4-lane [`BatchScheduler`]) and every alignment is
-//! checked against two independent software references:
+//! submission across a 4-lane [`MultiLaneBackend`] behind the streaming
+//! [`AlignmentService`]) and every alignment is checked against two
+//! independent software references:
 //!
-//! * the exact software WFA ([`wfa_align`]) — the golden model the
-//!   hardware's wavefront recurrence must match;
+//! * the exact software WFA ([`CpuWfaBackend`] — the same single answer
+//!   path every CPU fallback in the workspace routes through) — the golden
+//!   model the hardware's wavefront recurrence must match;
 //! * the classic SWG dynamic program ([`swg_score`]) — an algorithmically
 //!   unrelated oracle for the score.
 //!
 //! For every pair: accelerator score == WFA score == SWG score; the
 //! accelerator-derived CIGAR replays against the sequences and costs
 //! exactly the expected score; and batched results are identical to
-//! single-job results (lane count, dispatch policy and DMA overlap must
-//! never change an answer).
+//! single-job results (lane count, dispatch policy, DMA overlap and the
+//! service's queue must never change an answer).
 //!
 //! The sweep covers >= 2,000 pairs in every build profile. Debug builds
 //! (`cargo test`) use shorter reads so the cycle-level simulation stays
@@ -23,10 +25,13 @@
 //! reproduces exactly, and the case mix is identical run to run.
 
 use wfasic::accel::AccelConfig;
-use wfasic::driver::{BatchJob, BatchScheduler, DispatchPolicy};
+use wfasic::driver::{
+    AlignmentResult, BatchJob, BatchScheduler, CpuWfaBackend, DispatchPolicy, MultiLaneBackend,
+};
 use wfasic::seqio::{InputSetSpec, Pair};
+use wfasic::service::{AlignmentService, ServiceConfig};
 use wfasic::wfa::pool::ThreadPool;
-use wfasic::wfa::{swg_score, wfa_align, Penalties, WfaOptions};
+use wfasic::wfa::{swg_score, Penalties, WavefrontArena};
 
 /// Pairs per (penalty set x shape) bucket; 3 shapes x 224 = 672 per penalty
 /// set, 2,016 across the three sweep tests.
@@ -59,12 +64,17 @@ fn shapes() -> [InputSetSpec; 3] {
     ]
 }
 
-/// Check one accelerator answer against both software references.
-fn check_pair(res: &wfasic::driver::AlignmentResult, pair: &Pair, p: &Penalties, ctx: &str) {
+/// Check one accelerator answer against both software references. The WFA
+/// golden runs through [`CpuWfaBackend::align_pair_in`] — the exact code
+/// path the driver's CPU fallback uses.
+fn check_pair(res: &AlignmentResult, pair: &Pair, p: &Penalties, ctx: &str) {
     assert!(res.success, "{ctx}: pair {} failed", pair.id);
     assert_eq!(res.id, pair.id, "{ctx}: result/pair ID mismatch");
-    let golden = wfa_align(&pair.a, &pair.b, &WfaOptions::exact(*p))
-        .expect("software WFA must handle every generated pair");
+    let golden = CpuWfaBackend::align_pair_in(&mut WavefrontArena::new(), *p, pair, true, false);
+    assert!(
+        golden.success,
+        "{ctx}: software WFA must handle every generated pair"
+    );
     let oracle = swg_score(&pair.a, &pair.b, p);
     assert_eq!(
         golden.score as u64, oracle,
@@ -94,8 +104,9 @@ fn check_pair(res: &wfasic::driver::AlignmentResult, pair: &Pair, p: &Penalties,
 }
 
 /// Sweep one penalty set: every bucket's pairs go through the parallel
-/// single-lane job path and through a 4-lane batch, and the two answers
-/// must agree with the references and with each other.
+/// single-lane job path and through a 4-lane batch behind the streaming
+/// service, and the two answers must agree with the references and with
+/// each other.
 ///
 /// Path 1 and the per-pair golden checks fan out across the host thread
 /// pool ([`ThreadPool::host_sized`]); per-pair answers are independent of
@@ -107,6 +118,14 @@ fn sweep(penalties: Penalties, policy: DispatchPolicy, master_seed: u64) {
     cfg.penalties = penalties;
     let pool = ThreadPool::host_sized();
     let mut verified = 0usize;
+
+    // Path 2's engine: a 4-lane backend (same chunking as the explicit job
+    // queue below) behind the bounded streaming service. One service
+    // per sweep — buckets stream through it in submission order.
+    let mut backend = MultiLaneBackend::new(cfg, LANES);
+    backend.sched.policy = policy;
+    backend.chunk = JOB_CHUNK;
+    let mut svc = AlignmentService::new(Box::new(backend), ServiceConfig::default());
 
     for (si, spec) in shapes().iter().enumerate() {
         let pairs = spec
@@ -133,21 +152,24 @@ fn sweep(penalties: Penalties, policy: DispatchPolicy, master_seed: u64) {
             .collect();
         assert_eq!(single.len(), pairs.len());
 
-        // Path 2: batched submission across 4 contending lanes (the shared
-        // bus arbiter is one serial timeline — deliberately sequential).
-        let batch = sched.submit_batch(&jobs);
-        let batched: Vec<_> = batch
-            .jobs
-            .iter()
-            .flat_map(|j| j.as_ref().unwrap().results.iter())
-            .collect();
+        // Path 2: the whole bucket as one streamed job — the service queues
+        // it and the 4-lane backend chunks it across contending lanes (the
+        // shared bus arbiter is one serial timeline — deliberately
+        // sequential).
+        let done = svc.stream([BatchJob::with_backtrace(pairs.clone())]);
+        assert_eq!(done.len(), 1);
+        let batch = done[0]
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{ctx}: streamed batch failed: {e}"));
+        let batched = &batch.results;
         assert_eq!(batched.len(), pairs.len());
 
         // Golden checks, fanned out per pair (asserts inside workers
         // propagate with their original messages).
         let items: Vec<usize> = (0..pairs.len()).collect();
         let counts = pool.map(&items, |_, &idx| {
-            let (res, bres, pair) = (single[idx], batched[idx], &pairs[idx]);
+            let (res, bres, pair) = (single[idx], &batched[idx], &pairs[idx]);
             check_pair(res, pair, &penalties, &ctx);
             // Batched submission must not change a single answer.
             assert_eq!(
@@ -161,6 +183,7 @@ fn sweep(penalties: Penalties, policy: DispatchPolicy, master_seed: u64) {
         verified += counts.iter().sum::<usize>();
     }
     assert_eq!(verified, 3 * PAIRS_PER_BUCKET);
+    assert_eq!(svc.backend_counters().pairs as usize, 3 * PAIRS_PER_BUCKET);
 }
 
 #[test]
