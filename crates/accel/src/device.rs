@@ -218,6 +218,11 @@ impl WfasicDevice {
     /// each job draws fresh per-stream fault sequences, so an identical
     /// resubmission sees a *different* (transient) fault pattern.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        // Replacing a plan mid-soak must not lose what the old injector
+        // already counted.
+        if let Some(inj) = self.mmio_fault.take() {
+            self.fault_counters.merge(&inj.counters);
+        }
         let key = streams::MMIO ^ ((self.lane as u64) << 32);
         self.mmio_fault = Some(FaultInjector::with_stream(plan, key));
         self.fault_plan = Some(plan);
@@ -363,6 +368,11 @@ impl WfasicDevice {
     ) -> RunReport {
         let start = dma_start.min(compute_start);
         if self.regs.peek(offsets::START) != 1 {
+            // The control FSM consumes the doorbell even when it refuses:
+            // a malformed START (e.g. a fault-corrupted write latched a
+            // value other than 1) must not wedge the lane by making every
+            // later START write look like START-while-busy.
+            self.regs.poke(offsets::START, 0);
             let irq = self.regs.peek(offsets::IRQ_ENABLE) != 0;
             return self.refuse(start, error_code::START_NOT_SET, 0, irq);
         }

@@ -7,6 +7,7 @@
 //! cargo run -p wfasic-bench --release --bin report -- ci-check [--bless] [--baseline PATH]
 //! cargo run -p wfasic-bench --release --bin report -- host [--quick] [--threads N] [--out PATH]
 //! cargo run -p wfasic-bench --release --bin report -- backends [--quick] [--seed N]
+//! cargo run -p wfasic-bench --release --bin report -- chaos [--quick] [--seed N] [--out PATH]
 //! ```
 //!
 //! `trace` prints Chrome `trace_event` JSON for one input set (default
@@ -18,7 +19,7 @@
 //! (alignments/sec at 1 and N host threads) and writes `BENCH_host.json`.
 
 use wfasic_bench::experiments::{trace_json, Sizes};
-use wfasic_bench::{backends, baseline, host, report};
+use wfasic_bench::{backends, baseline, chaos, host, report};
 use wfasic_seqio::dataset::InputSetSpec;
 
 fn main() {
@@ -28,12 +29,14 @@ fn main() {
     let mut bless = false;
     let mut baseline_path = baseline::default_path();
     let mut host_opts = host::HostOptions::default();
+    let mut chaos_opts = chaos::ChaosOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {
                 sizes = Sizes::quick();
                 host_opts.quick = true;
+                chaos_opts.quick = true;
             }
             "--threads" => {
                 i += 1;
@@ -44,7 +47,9 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                host_opts.out = Some(args.get(i).expect("--out needs a path").into());
+                let path: std::path::PathBuf = args.get(i).expect("--out needs a path").into();
+                host_opts.out = Some(path.clone());
+                chaos_opts.out = Some(path);
             }
             "--seed" => {
                 i += 1;
@@ -52,6 +57,7 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .expect("--seed needs a number");
+                chaos_opts.seed = sizes.seed;
             }
             "--bless" => bless = true,
             "--baseline" => {
@@ -102,6 +108,17 @@ fn main() {
             "batch" => print!("{}", report::batch_report(&sizes)),
             "perf" => print!("{}", report::perf_report(&sizes)),
             "ci-check" => ci_check(bless, &baseline_path),
+            "chaos" => {
+                let outcome = chaos::chaos_report(&chaos_opts);
+                print!("{}", outcome.text);
+                if !outcome.violations.is_empty() {
+                    eprintln!(
+                        "chaos: {} invariant violation(s) — see above",
+                        outcome.violations.len()
+                    );
+                    std::process::exit(1);
+                }
+            }
             "host" => print!("{}", host::host_report(&host_opts)),
             "backends" => print!("{}", backends::backends_report(&sizes)),
             "all" => {
@@ -124,6 +141,7 @@ fn main() {
                 eprintln!("       report trace [set]");
                 eprintln!("       report ci-check [--bless] [--baseline PATH]");
                 eprintln!("       report host [--quick] [--threads N] [--out PATH]");
+                eprintln!("       report chaos [--quick] [--seed N] [--out PATH]");
                 eprintln!("       report backends [--quick] [--seed N]");
                 std::process::exit(2);
             }

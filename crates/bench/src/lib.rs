@@ -11,6 +11,9 @@
 //! * [`report`] — the formatted reports (also used by the `report` binary);
 //! * [`host`] — the host wall-clock throughput benchmark behind
 //!   `report -- host` (alignments/sec, cells/sec, 1 vs N threads);
+//! * [`chaos`] — the chaos soak behind `report -- chaos`: storms, cycle
+//!   deadlines, envelope violators and backpressure churn against the
+//!   streaming service, with no-drop/no-stuck-lane invariants enforced;
 //! * [`pool`] — the deterministic host thread pool (re-export of
 //!   [`wfa_core::pool`]);
 //! * [`fmt`] — table rendering.
@@ -22,6 +25,7 @@
 
 pub mod backends;
 pub mod baseline;
+pub mod chaos;
 pub mod experiments;
 pub mod fmt;
 pub mod host;

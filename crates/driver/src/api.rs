@@ -22,6 +22,7 @@ use crate::backtrace::{
     backtrace_alignment, separate_stream, split_consecutive_stream, BtAlignment, BtError,
 };
 use crate::cpu_model::BacktraceCosts;
+use crate::faults::{FaultClass, FaultLayer, Provenance};
 use wfa_core::cigar::Cigar;
 use wfasic_accel::device::{RunReport, WfasicDevice};
 use wfasic_accel::regs::{offsets, DeviceError};
@@ -163,6 +164,45 @@ pub enum DriverError {
         /// Encoded image size in bytes.
         bytes: usize,
     },
+    /// The job's cycle budget ran out before any attempt produced an
+    /// answer. The driver stops waiting (and stops retrying) the moment the
+    /// budget is spent — a deadline-bounded job never waits past it.
+    DeadlineExceeded {
+        /// The configured budget, in simulated cycles.
+        budget: Cycle,
+        /// Simulated cycles the job consumed (attempts + retry backoff)
+        /// when the driver refused. May exceed `budget` by the tail of the
+        /// attempt in flight — the caller's *wait* still ends at `budget`;
+        /// the overshoot is charged to the device, not the caller.
+        spent: Cycle,
+    },
+    /// Every lane that could run the job is quarantined or retired, and no
+    /// degradation path (surviving lane, CPU fallback) was available.
+    Quarantined {
+        /// The lane the job was last assigned to.
+        lane: usize,
+    },
+}
+
+impl DriverError {
+    /// Which layer / lane / fault class this error belongs to — the shared
+    /// attribution key for `report -- faults` and the chaos soak.
+    pub fn provenance(&self) -> Provenance {
+        match self {
+            DriverError::Device(_) => Provenance::of(FaultLayer::Device, FaultClass::DeviceError),
+            DriverError::Timeout { .. } => Provenance::of(FaultLayer::Driver, FaultClass::Watchdog),
+            DriverError::Stream(_) => Provenance::of(FaultLayer::Driver, FaultClass::CorruptStream),
+            DriverError::BatchTooLarge { .. } => {
+                Provenance::of(FaultLayer::Driver, FaultClass::Oversize)
+            }
+            DriverError::DeadlineExceeded { .. } => {
+                Provenance::of(FaultLayer::Scheduler, FaultClass::DeadlineExceeded)
+            }
+            DriverError::Quarantined { lane } => {
+                Provenance::of(FaultLayer::Scheduler, FaultClass::LaneQuarantined).on_lane(*lane)
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for DriverError {
@@ -181,6 +221,15 @@ impl std::fmt::Display for DriverError {
                     f,
                     "input image ({bytes} bytes) would overlap the result region"
                 )
+            }
+            DriverError::DeadlineExceeded { budget, spent } => {
+                write!(
+                    f,
+                    "deadline exceeded: budget {budget} cycles spent ({spent} consumed)"
+                )
+            }
+            DriverError::Quarantined { lane } => {
+                write!(f, "lane {lane} is quarantined and no fallback remains")
             }
         }
     }
@@ -208,6 +257,17 @@ pub struct WfasicDriver {
     /// Resubmit a failed job this many times before giving up (injected
     /// faults are transient, so retries genuinely help).
     pub max_retries: u32,
+    /// Simulated cycles of deterministic backoff charged before each retry
+    /// (a real driver sleeps between resubmissions instead of hammering a
+    /// faulting device). Counts against the deadline budget.
+    pub retry_backoff_cycles: Cycle,
+    /// Optional cycle budget for the whole job (all attempts + backoff).
+    /// When the budget runs out the driver refuses with
+    /// [`DriverError::DeadlineExceeded`] instead of waiting or retrying
+    /// further — CPU fallback does **not** rescue a blown deadline; the
+    /// refusal is the contract. `None` = no deadline (the watchdog is then
+    /// the only bound).
+    pub deadline_cycles: Option<Cycle>,
     /// Re-run failed pairs (and fully-failed jobs) through the software WFA
     /// so the application always gets answers.
     pub cpu_fallback: bool,
@@ -234,6 +294,8 @@ impl WfasicDriver {
             force_separation: false,
             watchdog_cycles: 1 << 40,
             max_retries: 1,
+            retry_backoff_cycles: 0,
+            deadline_cycles: None,
             cpu_fallback: false,
             out_size: 0,
             collect_perf: false,
@@ -278,8 +340,14 @@ impl WfasicDriver {
             watchdog: self.watchdog_cycles,
         };
         let mut last_report: Option<RunReport> = None;
+        // Cycle budget accounting: every attempt's duration and every retry
+        // backoff counts against the (optional) deadline.
+        let mut spent: Cycle = 0;
 
         for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                spent += self.retry_backoff_cycles;
+            }
             // (Re)stage the image and program the registers over AXI-Lite —
             // a retry reprograms everything in case a fault corrupted the
             // configuration path.
@@ -329,6 +397,16 @@ impl WfasicDriver {
                 self.device.mmio_write(offsets::IRQ_PENDING, 1);
             }
 
+            spent += waited;
+            if let Some(budget) = self.deadline_cycles {
+                // The caller stopped waiting the moment the budget ran out:
+                // refuse with the typed error instead of parsing, retrying
+                // or falling back — a late answer is still a missed
+                // deadline.
+                if spent > budget {
+                    return Err(DriverError::DeadlineExceeded { budget, spent });
+                }
+            }
             if waited > self.watchdog_cycles {
                 last_err = DriverError::Timeout {
                     waited,

@@ -39,6 +39,7 @@ use wfasic_accel::device::RunReport;
 use wfasic_accel::AccelConfig;
 use wfasic_seqio::generate::Pair;
 use wfasic_soc::clock::Cycle;
+use wfasic_soc::fault::{FaultCounters, FaultPlan};
 use wfasic_soc::perf::JobPerf;
 
 /// What an engine can take on — the hardware envelope of Eq. 5/6, or
@@ -112,6 +113,17 @@ pub struct BackendCounters {
     pub errors: u64,
     /// Accumulated simulated device cycles.
     pub sim_cycles: Cycle,
+    /// Injected-fault events across every device behind the backend
+    /// (zeroed for pure software engines).
+    pub faults: FaultCounters,
+    /// Lane circuit-breaker openings (device-backed batch engines only).
+    pub quarantine_events: u64,
+    /// Lanes re-admitted from quarantine after their cooldown.
+    pub readmissions: u64,
+    /// Whole jobs answered by the CPU because no lane would take them.
+    pub degraded_jobs: u64,
+    /// Jobs refused with [`DriverError::DeadlineExceeded`].
+    pub deadline_refusals: u64,
 }
 
 impl BackendCounters {
@@ -132,6 +144,21 @@ pub struct AlignPolicy {
     pub watchdog_cycles: Cycle,
     /// Resubmit a failed device job this many times.
     pub max_retries: u32,
+    /// Simulated cycles of deterministic backoff before each retry; counts
+    /// against the deadline budget.
+    pub retry_backoff_cycles: Cycle,
+    /// Default cycle budget per job (all attempts + backoff); a job's own
+    /// [`BatchJob::deadline`] overrides it. When the budget runs out the
+    /// job gets a typed [`DriverError::DeadlineExceeded`] refusal instead
+    /// of an unbounded wait. `None` = no deadline.
+    pub deadline_cycles: Option<Cycle>,
+    /// Quarantine a device lane after this many consecutive job failures
+    /// (0 = circuit breaker off). Single-lane engines ignore this.
+    pub quarantine_threshold: u32,
+    /// Cycles a quarantined lane sits out before probation re-admission.
+    pub quarantine_cooldown: Cycle,
+    /// Retire a lane permanently after this many quarantines (0 = never).
+    pub retire_after: u32,
     /// Re-run failed pairs (and fully-failed jobs) through the software WFA
     /// inside the driver. [`HeterogeneousBackend`] recovers on the CPU
     /// regardless — that is its contract.
@@ -145,8 +172,30 @@ impl Default for AlignPolicy {
         AlignPolicy {
             watchdog_cycles: 1 << 40,
             max_retries: 1,
+            retry_backoff_cycles: 0,
+            deadline_cycles: None,
+            quarantine_threshold: 0,
+            quarantine_cooldown: 0,
+            retire_after: 0,
             cpu_fallback: false,
             collect_perf: false,
+        }
+    }
+}
+
+impl AlignPolicy {
+    /// The fault-containment preset the chaos soak runs under: CPU fallback
+    /// on, a 3-strike circuit breaker with a 2M-cycle cooldown, and 10k
+    /// cycles of backoff between retries. No deadline — callers opt into
+    /// budgets per job.
+    pub fn resilient() -> Self {
+        AlignPolicy {
+            max_retries: 2,
+            retry_backoff_cycles: 10_000,
+            quarantine_threshold: 3,
+            quarantine_cooldown: 2_000_000,
+            cpu_fallback: true,
+            ..AlignPolicy::default()
         }
     }
 }
@@ -164,6 +213,7 @@ pub trait AlignmentBackend {
         let job = BatchJob {
             pairs: vec![pair.clone()],
             backtrace,
+            deadline: None,
         };
         self.align_batch(&job)
             .map(|mut b| b.results.pop().expect("a one-pair batch yields one result"))
@@ -171,6 +221,20 @@ pub trait AlignmentBackend {
 
     /// Lifetime counters.
     fn counters(&self) -> BackendCounters;
+
+    /// Per-lane circuit-breaker health, for engines with device lanes
+    /// (empty for pure software engines and the single-lane device).
+    fn lane_health(&self) -> Vec<crate::batch::LaneHealth> {
+        Vec::new()
+    }
+
+    /// Install (or replace) a fault-injection plan on one device lane.
+    /// This is the chaos-choreography surface: a harness can storm a boxed
+    /// backend *through* the service layer, mid-soak, without reaching into
+    /// the scheduler. No-op for engines without device lanes.
+    fn set_lane_fault_plan(&mut self, lane: usize, plan: FaultPlan) {
+        let _ = (lane, plan);
+    }
 
     /// Reset the lifetime counters.
     fn reset_counters(&mut self);
@@ -513,7 +577,15 @@ impl AlignmentBackend for DeviceBackend {
     }
 
     fn counters(&self) -> BackendCounters {
-        self.counters
+        let mut c = self.counters;
+        c.faults = self.driver.device.fault_counters();
+        c
+    }
+
+    fn set_lane_fault_plan(&mut self, lane: usize, plan: FaultPlan) {
+        if lane == 0 {
+            self.driver.device.set_fault_plan(plan);
+        }
     }
 
     fn reset_counters(&mut self) {
@@ -523,6 +595,8 @@ impl AlignmentBackend for DeviceBackend {
     fn apply_policy(&mut self, policy: &AlignPolicy) {
         self.driver.watchdog_cycles = policy.watchdog_cycles;
         self.driver.max_retries = policy.max_retries;
+        self.driver.retry_backoff_cycles = policy.retry_backoff_cycles;
+        self.driver.deadline_cycles = policy.deadline_cycles;
         self.driver.cpu_fallback = policy.cpu_fallback;
         self.driver.collect_perf = policy.collect_perf;
     }
@@ -585,6 +659,7 @@ impl AlignmentBackend for MultiLaneBackend {
             .map(|pairs| BatchJob {
                 pairs: pairs.to_vec(),
                 backtrace: job.backtrace,
+                deadline: job.deadline,
             })
             .collect();
         let batch = self.sched.submit_batch(&jobs);
@@ -619,8 +694,24 @@ impl AlignmentBackend for MultiLaneBackend {
         Ok(batch)
     }
 
+    fn lane_health(&self) -> Vec<crate::batch::LaneHealth> {
+        self.sched.lane_health().to_vec()
+    }
+
+    fn set_lane_fault_plan(&mut self, lane: usize, plan: FaultPlan) {
+        self.sched.set_lane_fault_plan(lane, plan);
+    }
+
     fn counters(&self) -> BackendCounters {
-        self.counters
+        // Merge the scheduler's health ledger in: fault counters from every
+        // lane's device, breaker transitions, degradations, refusals.
+        let mut c = self.counters;
+        c.faults = self.sched.fault_counters();
+        c.quarantine_events = self.sched.quarantine_events();
+        c.readmissions = self.sched.readmissions();
+        c.degraded_jobs = self.sched.degraded_jobs();
+        c.deadline_refusals = self.sched.deadline_refusals();
+        c
     }
 
     fn reset_counters(&mut self) {
@@ -630,6 +721,11 @@ impl AlignmentBackend for MultiLaneBackend {
     fn apply_policy(&mut self, policy: &AlignPolicy) {
         self.sched.watchdog_cycles = policy.watchdog_cycles;
         self.sched.max_retries = policy.max_retries;
+        self.sched.retry_backoff_cycles = policy.retry_backoff_cycles;
+        self.sched.deadline_cycles = policy.deadline_cycles;
+        self.sched.quarantine_threshold = policy.quarantine_threshold;
+        self.sched.quarantine_cooldown = policy.quarantine_cooldown;
+        self.sched.retire_after = policy.retire_after;
         self.sched.cpu_fallback = policy.cpu_fallback;
         self.sched.collect_perf = policy.collect_perf;
     }
@@ -689,6 +785,7 @@ impl AlignmentBackend for HeterogeneousBackend {
         let dev_job = BatchJob {
             pairs: dev_idx.iter().map(|&i| job.pairs[i].clone()).collect(),
             backtrace: job.backtrace,
+            deadline: job.deadline,
         };
 
         // The accelerator simulates on this thread while a scoped host
@@ -764,8 +861,25 @@ impl AlignmentBackend for HeterogeneousBackend {
         Ok(batch)
     }
 
+    fn lane_health(&self) -> Vec<crate::batch::LaneHealth> {
+        self.accel.lane_health()
+    }
+
+    fn set_lane_fault_plan(&mut self, lane: usize, plan: FaultPlan) {
+        self.accel.set_lane_fault_plan(lane, plan);
+    }
+
     fn counters(&self) -> BackendCounters {
-        self.counters
+        // Surface the accelerator side's health ledger (faults, breaker
+        // transitions, refusals) alongside this backend's own totals.
+        let mut c = self.counters;
+        let accel = self.accel.counters();
+        c.faults = accel.faults;
+        c.quarantine_events = accel.quarantine_events;
+        c.readmissions = accel.readmissions;
+        c.degraded_jobs = accel.degraded_jobs;
+        c.deadline_refusals = accel.deadline_refusals;
+        c
     }
 
     fn reset_counters(&mut self) {
@@ -894,6 +1008,11 @@ mod tests {
         let policy = AlignPolicy {
             watchdog_cycles: 123,
             max_retries: 7,
+            retry_backoff_cycles: 55,
+            deadline_cycles: Some(9_999),
+            quarantine_threshold: 4,
+            quarantine_cooldown: 1_000,
+            retire_after: 2,
             cpu_fallback: true,
             collect_perf: true,
         };
@@ -901,12 +1020,19 @@ mod tests {
         dev.apply_policy(&policy);
         assert_eq!(dev.driver.watchdog_cycles, 123);
         assert_eq!(dev.driver.max_retries, 7);
+        assert_eq!(dev.driver.retry_backoff_cycles, 55);
+        assert_eq!(dev.driver.deadline_cycles, Some(9_999));
         assert!(dev.driver.cpu_fallback);
         assert!(dev.driver.collect_perf);
 
         let mut hetero = HeterogeneousBackend::new(AccelConfig::wfasic_chip(), 2);
         hetero.apply_policy(&policy);
         assert_eq!(hetero.accel.sched.watchdog_cycles, 123);
+        assert_eq!(hetero.accel.sched.retry_backoff_cycles, 55);
+        assert_eq!(hetero.accel.sched.deadline_cycles, Some(9_999));
+        assert_eq!(hetero.accel.sched.quarantine_threshold, 4);
+        assert_eq!(hetero.accel.sched.quarantine_cooldown, 1_000);
+        assert_eq!(hetero.accel.sched.retire_after, 2);
         assert!(
             !hetero.accel.sched.cpu_fallback,
             "hetero owns recovery itself"

@@ -44,7 +44,7 @@ use wfasic_seqio::memimage::InputImage;
 use wfasic_soc::arbiter::ArbiterStats;
 use wfasic_soc::bus::AxiLite;
 use wfasic_soc::clock::Cycle;
-use wfasic_soc::fault::FaultPlan;
+use wfasic_soc::fault::{FaultCounters, FaultPlan};
 use wfasic_soc::mem::MainMemory;
 use wfasic_soc::perf::{attribute_window, PerfCounters, Span};
 
@@ -66,6 +66,11 @@ pub struct BatchJob {
     pub pairs: Vec<Pair>,
     /// Generate backtrace data (CIGARs) for this job?
     pub backtrace: bool,
+    /// Optional cycle budget for this job (all attempts + retry backoff).
+    /// Overrides the scheduler-level [`BatchScheduler::deadline_cycles`];
+    /// when the budget runs out the job gets a typed
+    /// [`DriverError::DeadlineExceeded`] refusal instead of waiting longer.
+    pub deadline: Option<Cycle>,
 }
 
 impl BatchJob {
@@ -74,6 +79,7 @@ impl BatchJob {
         BatchJob {
             pairs,
             backtrace: false,
+            deadline: None,
         }
     }
 
@@ -82,7 +88,14 @@ impl BatchJob {
         BatchJob {
             pairs,
             backtrace: true,
+            deadline: None,
         }
+    }
+
+    /// Attach a per-job deadline (cycle budget).
+    pub fn with_deadline(mut self, budget: Cycle) -> Self {
+        self.deadline = Some(budget);
+        self
     }
 
     /// Dispatch-cost estimate: total sequence bytes.
@@ -91,6 +104,71 @@ impl BatchJob {
             .iter()
             .map(|p| (p.a.len() + p.b.len()) as u64)
             .sum()
+    }
+}
+
+/// Circuit-breaker state of one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneState {
+    /// In rotation, no open circuit.
+    Healthy,
+    /// Open circuit: the lane takes no jobs until the epoch clock reaches
+    /// `until`, at which point it is re-admitted on probation.
+    Quarantined {
+        /// Epoch cycle at which the cooldown elapses.
+        until: Cycle,
+    },
+    /// Re-admitted after a cooldown: back in rotation, but one more failure
+    /// re-opens the circuit immediately (no K-strike grace) and one
+    /// hardware success restores [`LaneState::Healthy`].
+    Probation,
+    /// Permanently out of rotation ([`BatchScheduler::retire_after`]
+    /// quarantines exhausted). Never re-admitted.
+    Retired,
+}
+
+/// Rolling health record for one lane, fed by every job outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneHealth {
+    /// Circuit-breaker state.
+    pub state: LaneState,
+    /// Consecutive jobs on this lane that failed to produce a hardware
+    /// answer (reset by any hardware success).
+    pub consecutive_failures: u32,
+    /// Total jobs on this lane that exhausted their retries (whether or not
+    /// the CPU then recovered them).
+    pub failed_jobs: u64,
+    /// Total failed *attempts*, including ones a later retry recovered.
+    pub failed_attempts: u64,
+    /// Times this lane has been quarantined.
+    pub quarantines: u32,
+    /// Times this lane has been re-admitted from quarantine.
+    pub readmissions: u32,
+    /// Epoch cycle of the most recent quarantine (valid when
+    /// `quarantines > 0`).
+    pub quarantined_at: Cycle,
+    /// Epoch cycles from the most recent quarantine to its re-admission —
+    /// the lane's last recovery time (valid when `readmissions > 0`).
+    pub last_recovery_cycles: Cycle,
+}
+
+impl LaneHealth {
+    fn new() -> Self {
+        LaneHealth {
+            state: LaneState::Healthy,
+            consecutive_failures: 0,
+            failed_jobs: 0,
+            failed_attempts: 0,
+            quarantines: 0,
+            readmissions: 0,
+            quarantined_at: 0,
+            last_recovery_cycles: 0,
+        }
+    }
+
+    /// Is the lane accepting jobs right now?
+    pub fn available(&self) -> bool {
+        matches!(self.state, LaneState::Healthy | LaneState::Probation)
     }
 }
 
@@ -154,6 +232,19 @@ pub struct BatchScheduler {
     pub watchdog_cycles: Cycle,
     /// Resubmit a failed job this many times before giving up.
     pub max_retries: u32,
+    /// Simulated cycles of deterministic backoff before each retry; shifts
+    /// the retry's DMA start and counts against the deadline budget.
+    pub retry_backoff_cycles: Cycle,
+    /// Default cycle budget applied to every job without its own
+    /// [`BatchJob::deadline`]. `None` = no deadline.
+    pub deadline_cycles: Option<Cycle>,
+    /// Quarantine a lane after this many consecutive job failures
+    /// (0 = circuit breaker disabled; health counters still accumulate).
+    pub quarantine_threshold: u32,
+    /// Epoch cycles a quarantined lane sits out before probation.
+    pub quarantine_cooldown: Cycle,
+    /// Retire a lane permanently after this many quarantines (0 = never).
+    pub retire_after: u32,
     /// Re-run failed pairs (and fully-failed jobs) through the software WFA.
     pub cpu_fallback: bool,
     /// Force the data-separation backtrace method (see
@@ -166,6 +257,16 @@ pub struct BatchScheduler {
     cfg: AccelConfig,
     schedule: WavefrontSchedule,
     layouts: Vec<MemLayout>,
+    health: Vec<LaneHealth>,
+    /// Monotone cross-batch clock: per-batch timelines restart at 0, so
+    /// quarantine cooldowns are measured on this accumulated clock instead.
+    epoch: Cycle,
+    /// Epoch cycles charged by CPU-degraded jobs in the current batch (the
+    /// clock must advance even when no lane ran, or a fully-quarantined
+    /// scheduler could never reach a cooldown).
+    epoch_extra: Cycle,
+    degraded_jobs: u64,
+    deadline_refusals: u64,
 }
 
 impl BatchScheduler {
@@ -180,6 +281,11 @@ impl BatchScheduler {
             policy: DispatchPolicy::RoundRobin,
             watchdog_cycles: 1 << 40,
             max_retries: 1,
+            retry_backoff_cycles: 0,
+            deadline_cycles: None,
+            quarantine_threshold: 0,
+            quarantine_cooldown: 0,
+            retire_after: 0,
             cpu_fallback: false,
             force_separation: false,
             out_size: 0,
@@ -187,6 +293,11 @@ impl BatchScheduler {
             cfg,
             schedule,
             layouts: (0..lanes).map(MemLayout::for_lane).collect(),
+            health: (0..lanes).map(|_| LaneHealth::new()).collect(),
+            epoch: 0,
+            epoch_extra: 0,
+            degraded_jobs: 0,
+            deadline_refusals: 0,
         }
     }
 
@@ -198,6 +309,46 @@ impl BatchScheduler {
     /// Install a fault plan on one lane; the other lanes stay clean.
     pub fn set_lane_fault_plan(&mut self, lane: usize, plan: FaultPlan) {
         self.soc.set_lane_fault_plan(lane, plan);
+    }
+
+    /// Per-lane health records (circuit-breaker state, rolling counts).
+    pub fn lane_health(&self) -> &[LaneHealth] {
+        &self.health
+    }
+
+    /// The monotone cross-batch clock: total cycles of every batch run so
+    /// far (plus the modeled cost of CPU-degraded work).
+    pub fn epoch(&self) -> Cycle {
+        self.epoch
+    }
+
+    /// Times any lane opened its circuit.
+    pub fn quarantine_events(&self) -> u64 {
+        self.health.iter().map(|h| h.quarantines as u64).sum()
+    }
+
+    /// Times any lane was re-admitted from quarantine.
+    pub fn readmissions(&self) -> u64 {
+        self.health.iter().map(|h| h.readmissions as u64).sum()
+    }
+
+    /// Whole jobs answered by the CPU because no lane would take them.
+    pub fn degraded_jobs(&self) -> u64 {
+        self.degraded_jobs
+    }
+
+    /// Jobs refused with [`DriverError::DeadlineExceeded`].
+    pub fn deadline_refusals(&self) -> u64 {
+        self.deadline_refusals
+    }
+
+    /// Injected-fault counters merged across every lane's device.
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut total = FaultCounters::default();
+        for lane in 0..self.num_lanes() {
+            total.merge(&self.soc.lane(lane).fault_counters());
+        }
+        total
     }
 
     /// Run a queue of **independent single-lane jobs** across host threads.
@@ -231,6 +382,8 @@ impl BatchScheduler {
         let force_separation = self.force_separation;
         let watchdog_cycles = self.watchdog_cycles;
         let max_retries = self.max_retries;
+        let retry_backoff_cycles = self.retry_backoff_cycles;
+        let deadline_cycles = self.deadline_cycles;
         let cpu_fallback = self.cpu_fallback;
         let out_size = self.out_size;
         let collect_perf = self.collect_perf;
@@ -241,6 +394,8 @@ impl BatchScheduler {
             drv.force_separation = force_separation;
             drv.watchdog_cycles = watchdog_cycles;
             drv.max_retries = max_retries;
+            drv.retry_backoff_cycles = retry_backoff_cycles;
+            drv.deadline_cycles = job.deadline.or(deadline_cycles);
             drv.cpu_fallback = cpu_fallback;
             drv.out_size = out_size;
             drv.collect_perf = collect_perf;
@@ -251,25 +406,53 @@ impl BatchScheduler {
     /// Submit a queue of jobs and run the whole batch to completion.
     /// Results come back in submission order regardless of which lane ran
     /// each job or how the lanes' timelines interleaved.
+    ///
+    /// Containment: jobs are dispatched only to available lanes (healthy or
+    /// on probation). A lane that opens its circuit mid-batch hands its
+    /// remaining queue to the not-yet-run lanes after it; when no lane
+    /// remains the leftovers are answered by the CPU fallback (marked
+    /// `recovered`) or refused with [`DriverError::Quarantined`]. With the
+    /// breaker disabled (`quarantine_threshold == 0`, the default) dispatch
+    /// and cycle results are bit-identical to the pre-quarantine scheduler.
     pub fn submit_batch(&mut self, jobs: &[BatchJob]) -> BatchResult {
         let n = self.num_lanes();
-        // Phase 1: dispatch jobs to lane queues.
-        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); n];
+        self.readmit_due_lanes();
+        let avail: Vec<usize> = (0..n).filter(|&l| self.health[l].available()).collect();
+        let mut results: Vec<Option<Result<JobResult, DriverError>>> =
+            jobs.iter().map(|_| None).collect();
         let mut lanes = vec![0usize; jobs.len()];
-        match self.policy {
-            DispatchPolicy::RoundRobin => {
-                for i in 0..jobs.len() {
-                    queues[i % n].push(i);
-                    lanes[i] = i % n;
-                }
+        let mut lane_done = vec![0 as Cycle; n];
+        let mut lane_spans: Vec<Vec<Span>> = vec![Vec::new(); n];
+        let mut total: Cycle = 0;
+
+        // Phase 1: dispatch jobs to the available lanes' queues. With every
+        // lane open-circuit, fall through with empty queues — each job then
+        // degrades to the CPU (or a typed refusal) below.
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); n];
+        if avail.is_empty() {
+            for (i, _) in jobs.iter().enumerate() {
+                lanes[i] = i % n;
             }
-            DispatchPolicy::ShortestQueue => {
-                let mut load = vec![0u64; n];
-                for (i, job) in jobs.iter().enumerate() {
-                    let lane = (0..n).min_by_key(|&l| (load[l], l)).expect("n >= 1");
-                    queues[lane].push(i);
-                    lanes[i] = lane;
-                    load[lane] += job.cost().max(1);
+        } else {
+            match self.policy {
+                DispatchPolicy::RoundRobin => {
+                    for i in 0..jobs.len() {
+                        let lane = avail[i % avail.len()];
+                        queues[lane].push(i);
+                        lanes[i] = lane;
+                    }
+                }
+                DispatchPolicy::ShortestQueue => {
+                    let mut load = vec![0u64; n];
+                    for (i, job) in jobs.iter().enumerate() {
+                        let lane = *avail
+                            .iter()
+                            .min_by_key(|&&l| (load[l], l))
+                            .expect("avail is non-empty");
+                        queues[lane].push(i);
+                        lanes[i] = lane;
+                        load[lane] += job.cost().max(1);
+                    }
                 }
             }
         }
@@ -278,15 +461,13 @@ impl BatchScheduler {
         // DMA-in with its predecessor's compute. Lanes are simulated one
         // after another; the shared arbiter's gap allocation keeps the
         // port timeline identical to a truly concurrent execution.
-        let mut results: Vec<Option<Result<JobResult, DriverError>>> =
-            jobs.iter().map(|_| None).collect();
-        let mut lane_done = vec![0 as Cycle; n];
-        let mut lane_spans: Vec<Vec<Span>> = vec![Vec::new(); n];
-        let mut total: Cycle = 0;
-        for lane in 0..n {
+        for (ai, &lane) in avail.iter().enumerate() {
             let mut dma_free: Cycle = 0;
             let mut compute_free: Cycle = 0;
-            for &ji in &queues[lane] {
+            let mut qi = 0;
+            while qi < queues[lane].len() {
+                let ji = queues[lane][qi];
+                qi += 1;
                 let outcome = self.run_job(
                     lane,
                     &jobs[ji],
@@ -295,10 +476,38 @@ impl BatchScheduler {
                     &mut lane_spans[lane],
                 );
                 results[ji] = Some(outcome);
+                if !self.health[lane].available() {
+                    // The circuit opened: shift this lane's remaining queue
+                    // to the lanes that have not run yet, round-robin.
+                    let rest: Vec<usize> = queues[lane].drain(qi..).collect();
+                    let later = &avail[ai + 1..];
+                    for (k, ji2) in rest.into_iter().enumerate() {
+                        if later.is_empty() {
+                            results[ji2] = Some(self.degrade_job(&jobs[ji2], lane));
+                        } else {
+                            let tgt = later[k % later.len()];
+                            queues[tgt].push(ji2);
+                            lanes[ji2] = tgt;
+                        }
+                    }
+                }
             }
             lane_done[lane] = compute_free.max(dma_free);
             total = total.max(lane_done[lane]);
         }
+
+        // Jobs never queued (every lane was open-circuit at dispatch).
+        for (ji, slot) in results.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(self.degrade_job(&jobs[ji], lanes[ji]));
+            }
+        }
+
+        // Advance the epoch clock past this batch, including the modeled
+        // cost of any CPU-degraded work (otherwise a fully-quarantined
+        // scheduler would freeze time and never reach a cooldown).
+        self.epoch += total + self.epoch_extra;
+        self.epoch_extra = 0;
 
         let lane_perf = self.collect_perf.then(|| {
             lane_spans
@@ -318,6 +527,97 @@ impl BatchScheduler {
             arbiter: self.soc.arbiter_stats(),
             lane_perf,
         }
+    }
+
+    /// Re-admit quarantined lanes whose cooldown has elapsed on the epoch
+    /// clock: open circuit → probation. Called at every batch boundary.
+    fn readmit_due_lanes(&mut self) {
+        for h in &mut self.health {
+            if let LaneState::Quarantined { until } = h.state {
+                if self.epoch >= until {
+                    h.state = LaneState::Probation;
+                    h.consecutive_failures = 0;
+                    h.readmissions += 1;
+                    h.last_recovery_cycles = self.epoch.saturating_sub(h.quarantined_at);
+                }
+            }
+        }
+    }
+
+    /// Record a job-level lane failure (retries exhausted) at epoch cycle
+    /// `now` and open the circuit when the breaker trips. Deadline and
+    /// oversize refusals are policy refusals, not lane faults — they never
+    /// reach here.
+    fn note_lane_failure(&mut self, lane: usize, now: Cycle) {
+        let h = &mut self.health[lane];
+        h.consecutive_failures += 1;
+        h.failed_jobs += 1;
+        if self.quarantine_threshold == 0 {
+            return;
+        }
+        let trips = match h.state {
+            // One strike on probation.
+            LaneState::Probation => true,
+            LaneState::Healthy => h.consecutive_failures >= self.quarantine_threshold,
+            LaneState::Quarantined { .. } | LaneState::Retired => false,
+        };
+        if trips {
+            h.quarantines += 1;
+            if self.retire_after > 0 && h.quarantines >= self.retire_after {
+                h.state = LaneState::Retired;
+            } else {
+                h.quarantined_at = now;
+                h.state = LaneState::Quarantined {
+                    until: now + self.quarantine_cooldown,
+                };
+            }
+        }
+    }
+
+    /// Answer a job that no lane would take: whole-job CPU recovery when
+    /// the fallback is enabled (every result marked `recovered`), a typed
+    /// [`DriverError::Quarantined`] refusal otherwise. Charges a modeled
+    /// software cost to the epoch clock so degraded time still passes.
+    fn degrade_job(&mut self, job: &BatchJob, lane: usize) -> Result<JobResult, DriverError> {
+        if !self.cpu_fallback {
+            return Err(DriverError::Quarantined { lane });
+        }
+        self.degraded_jobs += 1;
+        let costs = crate::cpu_model::CpuCosts::sargantana_scalar();
+        self.epoch_extra += job
+            .pairs
+            .iter()
+            .map(|p| {
+                costs.per_alignment + ((p.a.len() + p.b.len()) as f64 * costs.per_base) as Cycle
+            })
+            .sum::<Cycle>();
+        let mut cpu = CpuWfaBackend::new(self.cfg.penalties);
+        let results: Vec<AlignmentResult> = job
+            .pairs
+            .iter()
+            .map(|p| cpu.recover_pair(p, job.backtrace))
+            .collect();
+        Ok(JobResult {
+            results,
+            report: RunReport {
+                total_cycles: 0,
+                start: 0,
+                input_done: 0,
+                pairs: Vec::new(),
+                output_bytes: 0,
+                bus: Default::default(),
+                bus_utilization: 0.0,
+                aligner_busy: Vec::new(),
+                interrupt_raised: false,
+                error: None,
+                faults: FaultCounters::default(),
+                perf: None,
+            },
+            config_cycles: 0,
+            cpu_backtrace_cycles: 0,
+            separated: self.force_separation || self.cfg.num_aligners > 1,
+            retries: 0,
+        })
     }
 
     /// Run one job on `lane`, starting its DMA at `*dma_free` and its
@@ -356,10 +656,19 @@ impl BatchScheduler {
         };
         let mut last_report: Option<RunReport> = None;
         // The first attempt overlaps with the previous job's compute; a
-        // retry replays the job after the failed attempt's completion.
+        // retry replays the job after the failed attempt's completion (plus
+        // the configured backoff).
         let mut dma_start = *dma_free;
+        // Cycle budget: every attempt's duration and every retry backoff
+        // counts against the job's (or the scheduler's) deadline.
+        let budget = job.deadline.or(self.deadline_cycles);
+        let mut spent: Cycle = 0;
 
         for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                spent += self.retry_backoff_cycles;
+                dma_start += self.retry_backoff_cycles;
+            }
             self.mem.write(layout.in_addr, &img.bytes);
             let a = |off| offsets::lane_addr(lane, off);
             self.soc
@@ -385,6 +694,21 @@ impl BatchScheduler {
             }
             let waited = report.duration();
 
+            spent += waited;
+            if let Some(b) = budget {
+                // Budget exhausted: refuse with the typed error instead of
+                // parsing, retrying or falling back — a late answer is
+                // still a missed deadline. The lane's timeline advances
+                // past the attempt (the silicon ran regardless), and the
+                // refusal is a policy outcome, not a lane fault: it never
+                // feeds the circuit breaker.
+                if spent > b {
+                    *dma_free = (*dma_free).max(report.input_done);
+                    *compute_free = (*compute_free).max(report.total_cycles);
+                    self.deadline_refusals += 1;
+                    return Err(DriverError::DeadlineExceeded { budget: b, spent });
+                }
+            }
             if waited > self.watchdog_cycles {
                 last_err = DriverError::Timeout {
                     waited,
@@ -392,12 +716,14 @@ impl BatchScheduler {
                 };
                 dma_start = report.total_cycles;
                 last_report = Some(report);
+                self.health[lane].failed_attempts += 1;
                 continue;
             }
             if let Some(e) = report.error {
                 last_err = DriverError::Device(e);
                 dma_start = report.total_cycles;
                 last_report = Some(report);
+                self.health[lane].failed_attempts += 1;
                 continue;
             }
 
@@ -429,6 +755,14 @@ impl BatchScheduler {
                     }
                     *dma_free = report.input_done;
                     *compute_free = report.total_cycles;
+                    // A hardware answer closes the breaker window: the
+                    // consecutive-failure count resets, and a probation
+                    // lane has earned back full health.
+                    let h = &mut self.health[lane];
+                    h.consecutive_failures = 0;
+                    if h.state == LaneState::Probation {
+                        h.state = LaneState::Healthy;
+                    }
                     return Ok(JobResult {
                         results,
                         report,
@@ -442,16 +776,20 @@ impl BatchScheduler {
                     last_err = DriverError::Stream(e);
                     dma_start = report.total_cycles;
                     last_report = Some(report);
+                    self.health[lane].failed_attempts += 1;
                 }
             }
         }
 
         // Retries exhausted: recover the whole job on the CPU or surface
         // the last failure. Either way the lane's timeline advances past
-        // the failed attempts, so the rest of the batch is not stalled.
+        // the failed attempts, so the rest of the batch is not stalled —
+        // and either way the lane just burned every retry, which is what
+        // the circuit breaker counts.
         let report = last_report.expect("at least one attempt ran");
         *dma_free = report.input_done.max(*dma_free);
         *compute_free = report.total_cycles.max(*compute_free);
+        self.note_lane_failure(lane, self.epoch + *compute_free);
         if self.cpu_fallback {
             let results: Vec<AlignmentResult> = job
                 .pairs

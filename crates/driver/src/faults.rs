@@ -1,0 +1,152 @@
+//! The unified failure taxonomy: every non-success anywhere in the stack
+//! maps to one [`Provenance`] — which layer refused, on which lane (when a
+//! lane is involved), and what class of fault it was.
+//!
+//! Before this module each layer spoke its own dialect: the device latched
+//! `ERROR_CODE`s, the driver returned [`DriverError`](crate::DriverError)
+//! variants, the scheduler buried lane context in `BatchResult::lanes`, and
+//! the service had a lone `Backpressure` refusal — so the robustness sweep
+//! and the chaos soak could not attribute failures without stringly
+//! matching on `Display` output. Now `DriverError::provenance()` and
+//! `ServiceError::provenance()` (in `wfasic-service`) both produce this one
+//! type, and the chaos harness keys its refusal counters on
+//! [`FaultClass::name`].
+
+use std::fmt;
+
+/// Which layer of the stack produced (or refused) the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultLayer {
+    /// The simulated silicon: sticky `ERROR_CODE`, envelope refusals,
+    /// fault-damaged output.
+    Device,
+    /// The driver: watchdog, result-stream parsing, staging limits.
+    Driver,
+    /// The batch scheduler: lane quarantine, deadline accounting.
+    Scheduler,
+    /// The service: admission control.
+    Service,
+}
+
+impl FaultLayer {
+    /// Stable lowercase name (JSON keys, report tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultLayer::Device => "device",
+            FaultLayer::Driver => "driver",
+            FaultLayer::Scheduler => "scheduler",
+            FaultLayer::Service => "service",
+        }
+    }
+}
+
+/// What class of fault the outcome belongs to, independent of which layer
+/// reported it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultClass {
+    /// The device latched an error (`ERROR_CODE` != 0) or aborted the job.
+    DeviceError,
+    /// The job outran the watchdog bound.
+    Watchdog,
+    /// The result stream in memory did not parse (corrupted output).
+    CorruptStream,
+    /// The input was too large for the staging layout.
+    Oversize,
+    /// The job's cycle budget was exhausted before an answer existed.
+    DeadlineExceeded,
+    /// Every lane that could run the job is quarantined or retired.
+    LaneQuarantined,
+    /// The bounded submission queue is full.
+    Backpressure,
+}
+
+impl FaultClass {
+    /// Every class, in presentation order.
+    pub const ALL: [FaultClass; 7] = [
+        FaultClass::DeviceError,
+        FaultClass::Watchdog,
+        FaultClass::CorruptStream,
+        FaultClass::Oversize,
+        FaultClass::DeadlineExceeded,
+        FaultClass::LaneQuarantined,
+        FaultClass::Backpressure,
+    ];
+
+    /// Stable lowercase name (JSON keys, report tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::DeviceError => "device_error",
+            FaultClass::Watchdog => "watchdog",
+            FaultClass::CorruptStream => "corrupt_stream",
+            FaultClass::Oversize => "oversize",
+            FaultClass::DeadlineExceeded => "deadline",
+            FaultClass::LaneQuarantined => "quarantined",
+            FaultClass::Backpressure => "backpressure",
+        }
+    }
+}
+
+/// Where a non-success came from: layer, lane (when one is implicated) and
+/// fault class. Lossless across layer boundaries — a scheduler error that
+/// wraps a device refusal keeps the device's class and the lane it ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Provenance {
+    /// The layer that produced the outcome.
+    pub layer: FaultLayer,
+    /// The implicated device lane, when the error is lane-specific.
+    pub lane: Option<usize>,
+    /// The fault class.
+    pub class: FaultClass,
+}
+
+impl Provenance {
+    /// A provenance with no lane attribution.
+    pub fn of(layer: FaultLayer, class: FaultClass) -> Self {
+        Provenance {
+            layer,
+            lane: None,
+            class,
+        }
+    }
+
+    /// Attach (or replace) the implicated lane.
+    pub fn on_lane(mut self, lane: usize) -> Self {
+        self.lane = Some(lane);
+        self
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lane {
+            Some(lane) => write!(
+                f,
+                "{}/{} (lane {lane})",
+                self.layer.name(),
+                self.class.name()
+            ),
+            None => write!(f, "{}/{}", self.layer.name(), self.class.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for class in FaultClass::ALL {
+            assert!(seen.insert(class.name()), "duplicate {}", class.name());
+        }
+        assert_eq!(FaultLayer::Scheduler.name(), "scheduler");
+    }
+
+    #[test]
+    fn display_includes_the_lane_when_present() {
+        let p = Provenance::of(FaultLayer::Device, FaultClass::DeviceError);
+        assert_eq!(p.to_string(), "device/device_error");
+        assert_eq!(p.on_lane(3).to_string(), "device/device_error (lane 3)");
+    }
+}

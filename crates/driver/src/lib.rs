@@ -16,7 +16,9 @@
 //! * [`cpu_model`] — analytic Sargantana cycle models for the scalar and
 //!   vectorized CPU WFA baselines and the CPU backtrace costs;
 //! * [`codesign`] — end-to-end experiment execution (accelerator + CPU
-//!   phases + baselines) used by every table/figure harness.
+//!   phases + baselines) used by every table/figure harness;
+//! * [`faults`] — the unified failure taxonomy: every refusal anywhere in
+//!   the stack maps to one [`Provenance`] (layer × lane × fault class).
 
 pub mod api;
 pub mod backend;
@@ -24,6 +26,7 @@ pub mod backtrace;
 pub mod batch;
 pub mod codesign;
 pub mod cpu_model;
+pub mod faults;
 
 pub use api::{AlignmentResult, DriverError, JobResult, MemLayout, WaitMode, WfasicDriver};
 pub use backend::{
@@ -31,6 +34,7 @@ pub use backend::{
     CpuWfaBackend, DeviceBackend, HeterogeneousBackend, MultiLaneBackend, SwgBackend,
 };
 pub use backtrace::{backtrace_alignment, BtAlignment, BtError, Edit};
-pub use batch::{BatchJob, BatchResult, BatchScheduler, DispatchPolicy};
+pub use batch::{BatchJob, BatchResult, BatchScheduler, DispatchPolicy, LaneHealth, LaneState};
 pub use codesign::{run_experiment, ExperimentResult};
 pub use cpu_model::{software_backtrace_cycles, BacktraceCosts, CpuCosts};
+pub use faults::{FaultClass, FaultLayer, Provenance};

@@ -264,6 +264,7 @@ fn batches_never_drop_duplicate_or_reorder_jobs() {
             jobs.push(BatchJob {
                 pairs: p,
                 backtrace,
+                deadline: None,
             });
         }
         assign_unique_ids(&mut jobs);
@@ -346,4 +347,90 @@ fn run_parallel_thread_width_never_changes_anything() {
         let wide = format!("{:?}", sched.run_parallel(&jobs, width));
         assert_eq!(reference, wide, "thread width {width} changed a result");
     }
+}
+
+#[test]
+fn an_empty_batch_reports_zero_throughput() {
+    // Guard against 0/0: no jobs means no cycles, and throughput must be
+    // a well-defined 0.0, not NaN.
+    let mut sched = BatchScheduler::new(AccelConfig::wfasic_chip(), 2);
+    let batch = sched.submit_batch(&[]);
+    assert_eq!(batch.total_cycles, 0);
+    assert_eq!(batch.alignments(), 0);
+    assert_eq!(batch.throughput(), 0.0);
+    assert!(!batch.throughput().is_nan());
+}
+
+#[test]
+fn a_tight_deadline_is_refused_with_a_typed_error_and_never_feeds_the_breaker() {
+    let cfg = AccelConfig::wfasic_chip();
+    let mut sched = BatchScheduler::new(cfg, 2);
+    sched.quarantine_threshold = 1; // hair-trigger: any counted failure trips
+    let jobs = vec![
+        BatchJob::score_only(pairs(3, 100, 0xD0D1)),
+        // One cycle of budget cannot cover even the DMA of the input image.
+        BatchJob::score_only(pairs(3, 100, 0xD0D2)).with_deadline(1),
+        BatchJob::score_only(pairs(3, 100, 0xD0D3)),
+    ];
+    let batch = sched.submit_batch(&jobs);
+
+    assert!(batch.jobs[0].is_ok());
+    assert!(batch.jobs[2].is_ok(), "refusal must not poison the batch");
+    match &batch.jobs[1] {
+        Err(DriverError::DeadlineExceeded { budget, spent }) => {
+            assert_eq!(*budget, 1);
+            assert!(*spent >= *budget);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(sched.deadline_refusals(), 1);
+    // A deadline refusal is the caller's contract, not lane sickness: the
+    // circuit breaker must not count it even at threshold 1.
+    assert_eq!(sched.quarantine_events(), 0);
+    for h in sched.lane_health() {
+        assert_eq!(h.consecutive_failures, 0);
+        assert!(h.available());
+    }
+}
+
+#[test]
+fn a_corrupted_doorbell_does_not_wedge_the_lane_forever() {
+    // Regression: an MMIO fault corrupting the START write used to latch a
+    // garbage doorbell value the FSM never consumed, so every later start
+    // on that lane was refused as START-while-busy — a permanently stuck
+    // lane. The FSM must consume a malformed doorbell when it refuses it.
+    let cfg = AccelConfig::wfasic_chip();
+    let mut sched = BatchScheduler::new(cfg, 1);
+    sched.cpu_fallback = true;
+    sched.max_retries = 0;
+    sched.set_lane_fault_plan(
+        0,
+        FaultPlan {
+            mmio_corrupt: 1.0,
+            ..FaultPlan::uniform(0x57A2, 0.0)
+        },
+    );
+
+    // Under 100% MMIO corruption the lane fails (CPU recovers the answers)
+    // and must record at least one failed hardware attempt.
+    let mut jobs: Vec<BatchJob> = (0..3)
+        .map(|i| BatchJob::score_only(pairs(2, 80, 0xB00F + i)))
+        .collect();
+    assign_unique_ids(&mut jobs);
+    let storm_batch = sched.submit_batch(&jobs);
+    assert!(storm_batch.jobs.iter().all(|j| j.is_ok()));
+    assert!(sched.lane_health()[0].failed_attempts > 0);
+
+    // The storm passes. A clean job must now run on the hardware again —
+    // with the wedge bug this failed forever with START_WHILE_BUSY.
+    sched.set_lane_fault_plan(0, FaultPlan::none());
+    let clean = BatchJob::score_only(pairs(2, 80, 0xC1EA));
+    let batch = sched.submit_batch(&[clean]);
+    let job = batch.jobs[0].as_ref().expect("lane must recover");
+    assert!(job.results.iter().all(|r| r.success && !r.recovered));
+    assert_eq!(
+        sched.lane_health()[0].consecutive_failures,
+        0,
+        "hardware success must reset the failure streak"
+    );
 }

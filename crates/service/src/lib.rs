@@ -25,7 +25,8 @@ use wfasic_accel::AccelConfig;
 use wfasic_driver::backend::{
     AlignPolicy, AlignmentBackend, BackendBatch, BackendCounters, BackendKind,
 };
-use wfasic_driver::batch::BatchJob;
+use wfasic_driver::batch::{BatchJob, LaneHealth};
+use wfasic_driver::faults::{FaultClass, FaultLayer, Provenance};
 use wfasic_driver::DriverError;
 
 pub use wfasic_driver::backend;
@@ -65,6 +66,19 @@ pub enum ServiceError {
     },
 }
 
+impl ServiceError {
+    /// Which layer / lane / fault class this refusal belongs to — the same
+    /// attribution key [`DriverError::provenance`] produces, so every
+    /// non-success in the stack lands in one taxonomy.
+    pub fn provenance(&self) -> Provenance {
+        match self {
+            ServiceError::Backpressure { .. } => {
+                Provenance::of(FaultLayer::Service, FaultClass::Backpressure)
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -99,6 +113,9 @@ pub struct ServiceStats {
     pub rejected: u64,
     /// Completed jobs whose outcome was an error.
     pub failed: u64,
+    /// Completed jobs refused with [`DriverError::DeadlineExceeded`]
+    /// (a subset of `failed`): the budget ran out before an answer existed.
+    pub deadline_refused: u64,
 }
 
 /// The streaming engine: a bounded queue in front of one backend.
@@ -166,8 +183,11 @@ impl AlignmentService {
         let (ticket, job) = self.queue.pop_front()?;
         let outcome = self.backend.align_batch(&job);
         self.stats.completed += 1;
-        if outcome.is_err() {
+        if let Err(e) = &outcome {
             self.stats.failed += 1;
+            if matches!(e, DriverError::DeadlineExceeded { .. }) {
+                self.stats.deadline_refused += 1;
+            }
         }
         Some(CompletedJob { ticket, outcome })
     }
@@ -207,9 +227,17 @@ impl AlignmentService {
         self.stats
     }
 
-    /// The backend's lifetime counters.
+    /// The backend's lifetime counters, including the fault/health ledger
+    /// of any device lanes behind it (injected-fault counts, quarantine and
+    /// re-admission events, CPU degradations, deadline refusals).
     pub fn backend_counters(&self) -> BackendCounters {
         self.backend.counters()
+    }
+
+    /// Per-lane circuit-breaker health of the backend's device lanes
+    /// (empty for pure software engines).
+    pub fn lane_health(&self) -> Vec<LaneHealth> {
+        self.backend.lane_health()
     }
 
     /// Replace the policy (re-applied to the backend).
@@ -330,7 +358,7 @@ mod tests {
             watchdog_cycles: 10, // everything times out
             max_retries: 0,
             cpu_fallback: false,
-            collect_perf: false,
+            ..AlignPolicy::default()
         });
         let done = svc.stream(jobs(1, 2));
         assert!(matches!(
@@ -346,7 +374,7 @@ mod tests {
             watchdog_cycles: 10,
             max_retries: 0,
             cpu_fallback: true,
-            collect_perf: false,
+            ..AlignPolicy::default()
         });
         let done = svc.stream(jobs(1, 2));
         let batch = done[0].outcome.as_ref().unwrap();

@@ -24,6 +24,62 @@
 
 use crate::clock::Cycle;
 
+/// A sustained, periodic fault storm: the plan's data/timing faults are
+/// armed only during recurring `[k*period + offset, k*period + offset + on)`
+/// windows. Where [`FaultPlan::window`] models a one-shot targeted
+/// campaign, a storm models the *production* failure shape — a flaky link
+/// or a thermally-marginal lane that degrades in bursts, recovers, and
+/// degrades again — which is exactly what a circuit breaker above the
+/// driver must survive. A lane under `Storm::permanent()` never gets a
+/// clean interval: the quarantine layer has to retire it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Storm {
+    /// Storm recurrence period in cycles (one on-phase per period).
+    pub period: Cycle,
+    /// Cycles at the start of each period during which faults are armed.
+    /// `on >= period` makes the storm permanent.
+    pub on: Cycle,
+    /// Phase offset of the first storm window.
+    pub offset: Cycle,
+}
+
+impl Storm {
+    /// A storm that recurs every `period` cycles and rages for the first
+    /// `on` cycles of each period.
+    pub fn periodic(period: Cycle, on: Cycle) -> Self {
+        Storm {
+            period: period.max(1),
+            on,
+            offset: 0,
+        }
+    }
+
+    /// Shift the storm windows by `offset` cycles (per-lane schedules:
+    /// stagger the same storm across lanes so they never rage in unison).
+    pub fn with_offset(mut self, offset: Cycle) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// A storm that never lets up.
+    pub fn permanent() -> Self {
+        Storm {
+            period: 1,
+            on: 1,
+            offset: 0,
+        }
+    }
+
+    /// Is the storm raging at `now`?
+    pub fn raging_at(&self, now: Cycle) -> bool {
+        if self.on >= self.period {
+            return true;
+        }
+        let phase = (now.wrapping_sub(self.offset)) % self.period;
+        now >= self.offset && phase < self.on
+    }
+}
+
 /// What faults to inject, with what probability. All probabilities are per
 /// *opportunity* (per beat for data faults, per transfer for stalls, per
 /// write for MMIO corruption) and independent.
@@ -51,6 +107,10 @@ pub struct FaultPlan {
     /// faults fire. `None` = always armed. (MMIO corruption ignores the
     /// window: configuration writes happen outside job time.)
     pub window: Option<(Cycle, Cycle)>,
+    /// Recurring storm schedule further gating the data/timing faults:
+    /// with a storm installed, faults fire only while the storm rages
+    /// (inside the `window`, if one is also set). `None` = no storm.
+    pub storm: Option<Storm>,
 }
 
 impl FaultPlan {
@@ -66,6 +126,7 @@ impl FaultPlan {
             stall_cycles: 64,
             mmio_corrupt: 0.0,
             window: None,
+            storm: None,
         }
     }
 
@@ -81,12 +142,19 @@ impl FaultPlan {
             stall_cycles: 64,
             mmio_corrupt: rate,
             window: None,
+            storm: None,
         }
     }
 
     /// Restrict data/timing faults to the cycle window `[start, end)`.
     pub fn with_window(mut self, start: Cycle, end: Cycle) -> Self {
         self.window = Some((start, end));
+        self
+    }
+
+    /// Gate data/timing faults behind a recurring [`Storm`] schedule.
+    pub fn with_storm(mut self, storm: Storm) -> Self {
+        self.storm = Some(storm);
         self
     }
 
@@ -106,12 +174,15 @@ impl FaultPlan {
             && self.mmio_corrupt <= 0.0
     }
 
-    /// Is the plan's window (if any) open at `now`?
+    /// Is the plan's window (if any) open — and its storm (if any) raging —
+    /// at `now`?
     pub fn armed_at(&self, now: Cycle) -> bool {
-        match self.window {
+        let window_open = match self.window {
             Some((start, end)) => now >= start && now < end,
             None => true,
-        }
+        };
+        let storm_raging = self.storm.is_none_or(|s| s.raging_at(now));
+        window_open && storm_raging
     }
 }
 
@@ -398,6 +469,48 @@ mod tests {
         let v = inj.corrupt_mmio(0x0123_4567_89AB_CDEF);
         assert_eq!((v ^ 0x0123_4567_89AB_CDEF).count_ones(), 1);
         assert_eq!(inj.counters.mmio_corruptions, 1);
+    }
+
+    #[test]
+    fn storm_schedule_gates_faults_periodically() {
+        let storm = Storm::periodic(100, 30).with_offset(10);
+        assert!(!storm.raging_at(0), "before the first window");
+        assert!(storm.raging_at(10));
+        assert!(storm.raging_at(39));
+        assert!(!storm.raging_at(40), "on-phase end is exclusive");
+        assert!(!storm.raging_at(109));
+        assert!(storm.raging_at(110), "second period");
+
+        let mut plan = FaultPlan::none().with_storm(storm);
+        plan.drop_beat = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        let mut data = vec![0xFFu8; 16];
+        inj.corrupt_beats(50, &mut data, 16);
+        assert_eq!(data, vec![0xFFu8; 16], "between storms: untouched");
+        inj.corrupt_beats(120, &mut data, 16);
+        assert_eq!(data, vec![0u8; 16], "inside the storm: dropped");
+    }
+
+    #[test]
+    fn permanent_storm_never_clears() {
+        let storm = Storm::permanent();
+        for now in [0u64, 1, 17, 1 << 30] {
+            assert!(storm.raging_at(now));
+        }
+        // A storm whose on-phase covers the whole period is permanent too.
+        assert!(Storm::periodic(50, 50).raging_at(1234));
+    }
+
+    #[test]
+    fn storm_composes_with_the_one_shot_window() {
+        let mut plan = FaultPlan::none()
+            .with_window(100, 200)
+            .with_storm(Storm::periodic(50, 10));
+        plan.bus_stall = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.transfer_stall(115), 0, "window open, storm quiet");
+        assert!(inj.transfer_stall(105) > 0, "window open, storm raging");
+        assert_eq!(inj.transfer_stall(255), 0, "storm raging, window shut");
     }
 
     #[test]

@@ -128,12 +128,17 @@ fn main() {
 
     let cfg = AccelConfig::wfasic_chip().with_aligners(aligners);
     let mut svc = AlignmentService::with_backend(backend, cfg, lanes, ServiceConfig::default());
-    let ticket = svc.submit(BatchJob { pairs, backtrace }).unwrap_or_else(
-        |e @ ServiceError::Backpressure { .. }| {
+    let job = BatchJob {
+        pairs,
+        backtrace,
+        deadline: None,
+    };
+    let ticket = svc
+        .submit(job)
+        .unwrap_or_else(|e @ ServiceError::Backpressure { .. }| {
             eprintln!("service refused the job: {e}");
             std::process::exit(EXIT_BACKPRESSURE);
-        },
-    );
+        });
     let completed = svc.try_next().expect("one job was queued");
     debug_assert_eq!(completed.ticket, ticket);
     let batch = completed.outcome.unwrap_or_else(|e| {

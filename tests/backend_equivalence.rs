@@ -267,6 +267,7 @@ fn hetero_never_drops_duplicates_or_reorders_under_violations_and_faults() {
             .align_batch(&BatchJob {
                 pairs: pairs.clone(),
                 backtrace,
+                deadline: None,
             })
             .expect("the heterogeneous backend answers every batch");
 
