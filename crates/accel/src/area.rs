@@ -47,6 +47,17 @@ pub struct AreaReport {
     pub breakdown: MemBreakdown,
 }
 
+impl AreaReport {
+    /// Power at a DVFS-scaled clock. Around the 1.1 GHz design point the
+    /// supply voltage tracks frequency, so dynamic power (which dominates
+    /// the 312 mW post-PnR figure) scales with `f·V² ≈ f³`. This is what
+    /// gives the design-space sweep a real clock trade: raising the clock
+    /// buys GCUPS/mm² but pays cubically in GCUPS/W.
+    pub fn power_at(&self, hz: f64) -> f64 {
+        self.power_w * (hz / anchors::FREQ_HZ).powi(3)
+    }
+}
+
 /// Per-structure memory bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemBreakdown {
@@ -62,13 +73,23 @@ pub struct MemBreakdown {
 
 /// Count memory macros for a configuration (paper §4.6: per Aligner, one
 /// Input_Seq a and b RAM per parallel section, one M bank per section plus
-/// the two duplicated edge banks, and one merged I/D bank per section; plus
-/// the two device FIFOs).
+/// the two duplicated edge banks — unless folded away — and one merged I/D
+/// bank per section; plus the two device FIFOs).
 pub fn memory_macros(cfg: &AccelConfig) -> usize {
     let per_aligner = cfg.parallel_sections * 2  // Input_Seq a, b replicas
-        + cfg.parallel_sections + 2              // Wavefront_M banks + RAM 1'/RAM N'
+        + cfg.parallel_sections + edge_banks(cfg) // Wavefront_M banks (+ RAM 1'/RAM N')
         + cfg.parallel_sections; // merged Wavefront_I/D banks
     cfg.num_aligners * per_aligner + 2 // input + output FIFOs
+}
+
+/// Duplicated M-window edge banks per Aligner: 2 in the taped-out chip,
+/// 0 when the banking sweep folds them away.
+fn edge_banks(cfg: &AccelConfig) -> usize {
+    if cfg.duplicate_edge_banks {
+        2
+    } else {
+        0
+    }
 }
 
 /// Memory bytes by structure.
@@ -82,7 +103,7 @@ pub fn memory_breakdown(cfg: &AccelConfig) -> MemBreakdown {
     let rows_per_bank = cfg.wavefront_rows().div_ceil(p);
     let m_cols = cfg.m_window_columns() + 1; // previous + frame
     let bank_bytes = |cols: usize| rows_per_bank * cols * OFFSET_BITS / 8;
-    let wavefront_m = cfg.num_aligners * (p + 2) * bank_bytes(m_cols);
+    let wavefront_m = cfg.num_aligners * (p + edge_banks(cfg)) * bank_bytes(m_cols);
     // I and D merged: (1 previous + frame) each.
     let wavefront_id = cfg.num_aligners * p * bank_bytes(4);
 
@@ -119,6 +140,30 @@ pub fn area_report(cfg: &AccelConfig) -> AreaReport {
         power_w: anchors::POWER_W * area / anchors::AREA_MM2,
         freq_hz: anchors::FREQ_HZ,
         breakdown: b,
+    }
+}
+
+/// Whole-SoC report for `lanes` identical WFAsic instances behind one
+/// shared memory controller (the [`crate::multilane::MultiLaneSoc`]
+/// topology): memories, area and power replicate per lane. The arbiter and
+/// interconnect are below this model's resolution, matching the paper's
+/// treatment of the SoC glue.
+pub fn soc_area_report(cfg: &AccelConfig, lanes: usize) -> AreaReport {
+    assert!(lanes >= 1, "an SoC has at least one lane");
+    let r = area_report(cfg);
+    let n = lanes as f64;
+    AreaReport {
+        memory_macros: r.memory_macros * lanes,
+        memory_bytes: r.memory_bytes * lanes,
+        area_mm2: r.area_mm2 * n,
+        power_w: r.power_w * n,
+        freq_hz: r.freq_hz,
+        breakdown: MemBreakdown {
+            input_seq: r.breakdown.input_seq * lanes,
+            wavefront_m: r.breakdown.wavefront_m * lanes,
+            wavefront_id: r.breakdown.wavefront_id * lanes,
+            fifos: r.breakdown.fifos * lanes,
+        },
     }
 }
 
@@ -171,6 +216,39 @@ mod tests {
                 .with_aligners(2),
         );
         assert!(two32.area_mm2 > a64.area_mm2);
+    }
+
+    #[test]
+    fn folded_edge_banks_shrink_the_memory_budget() {
+        let chip = AccelConfig::wfasic_chip();
+        let folded = chip.with_folded_edge_banks();
+        assert_eq!(memory_macros(&folded), 258, "two edge macros folded away");
+        let a = area_report(&chip);
+        let b = area_report(&folded);
+        assert!(b.memory_bytes < a.memory_bytes);
+        assert!(b.area_mm2 < a.area_mm2);
+    }
+
+    #[test]
+    fn power_follows_the_dvfs_cube_law() {
+        let r = area_report(&AccelConfig::wfasic_chip());
+        assert!((r.power_at(anchors::FREQ_HZ) - r.power_w).abs() < 1e-12);
+        let half = r.power_at(anchors::FREQ_HZ / 2.0);
+        assert!((half - r.power_w / 8.0).abs() < 1e-9);
+        assert!(r.power_at(1.3e9) > r.power_w);
+    }
+
+    #[test]
+    fn soc_report_replicates_per_lane() {
+        let cfg = AccelConfig::wfasic_chip();
+        let one = soc_area_report(&cfg, 1);
+        assert_eq!(one, area_report(&cfg), "one lane is the lone device");
+        let four = soc_area_report(&cfg, 4);
+        assert_eq!(four.memory_macros, 4 * one.memory_macros);
+        assert_eq!(four.memory_bytes, 4 * one.memory_bytes);
+        assert!((four.area_mm2 - 4.0 * one.area_mm2).abs() < 1e-9);
+        assert!((four.power_w - 4.0 * one.power_w).abs() < 1e-9);
+        assert_eq!(four.freq_hz, one.freq_hz);
     }
 
     #[test]

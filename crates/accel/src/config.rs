@@ -25,6 +25,13 @@ pub struct AccelConfig {
     pub fifo_depth: usize,
     /// Shared AXI-Full port timing.
     pub bus: BusConfig,
+    /// Keep the duplicated M-window edge banks (RAM 1'/RAM N', paper §4.4).
+    /// The chip duplicates them so a compute batch's neighbour-section
+    /// reads never collide with the regular banks; folding them away (the
+    /// design-space sweep's "fold" banking variant) saves two macros per
+    /// Aligner but costs an extra compute-batch cycle — see
+    /// [`AccelConfig::with_folded_edge_banks`].
+    pub duplicate_edge_banks: bool,
 
     // --- Aligner timing constants (cycle model) ---
     /// Extend pipeline fill before the first 16-base comparison (paper
@@ -56,6 +63,7 @@ impl AccelConfig {
             penalties: Penalties::WFASIC_DEFAULT,
             fifo_depth: 256,
             bus: BusConfig::WFASIC_DEFAULT,
+            duplicate_edge_banks: true,
             extend_fill_cycles: 5,
             extend_issue_cycles: 1,
             extend_bases_per_cycle: 16,
@@ -75,6 +83,25 @@ impl AccelConfig {
     pub fn with_parallel_sections(mut self, p: usize) -> Self {
         assert!(p >= 1);
         self.parallel_sections = p;
+        self
+    }
+
+    /// Replace the shared AXI-Full port timing (the design-space sweep's
+    /// bus latency/bandwidth axis).
+    pub fn with_bus(mut self, bus: BusConfig) -> Self {
+        self.bus = bus;
+        self
+    }
+
+    /// Fold the duplicated M-window edge banks away (the design-space
+    /// sweep's banking axis). Two fewer memory macros per Aligner, but the
+    /// edge sections' neighbour reads now collide with the regular banks,
+    /// so every compute batch pays one extra cycle. The area model
+    /// ([`crate::area`]) and the cycle model both read this coupling from
+    /// the config, keeping the §5.4 area/performance trade consistent.
+    pub fn with_folded_edge_banks(mut self) -> Self {
+        self.duplicate_edge_banks = false;
+        self.compute_batch_cycles += 1;
         self
     }
 
@@ -169,6 +196,25 @@ mod tests {
             .with_parallel_sections(32);
         assert_eq!(c.num_aligners, 2);
         assert_eq!(c.parallel_sections, 32);
+    }
+
+    #[test]
+    fn folded_edge_banks_trade_macros_for_a_compute_cycle() {
+        let base = AccelConfig::wfasic_chip();
+        let folded = base.with_folded_edge_banks();
+        assert!(!folded.duplicate_edge_banks);
+        assert_eq!(
+            folded.compute_batch_cycles,
+            base.compute_batch_cycles + 1,
+            "folding serializes the neighbour read"
+        );
+        assert!(folded.validate().is_ok());
+    }
+
+    #[test]
+    fn with_bus_swaps_port_timing() {
+        let c = AccelConfig::wfasic_chip().with_bus(BusConfig::LOW_LATENCY);
+        assert_eq!(c.bus.burst_latency, 14);
     }
 
     #[test]

@@ -194,6 +194,31 @@ pub fn compare(baseline: &[Metric], measured: &[Metric]) -> Vec<Drift> {
     drifts
 }
 
+/// Render a drift table plus its failure count — the shared report body
+/// behind both gates (`ci-check` and `dse --check`), so CI job summaries
+/// print regressions in one uniform format.
+pub fn drift_report(drifts: &[Drift], tolerance_pct: f64) -> (String, usize) {
+    let mut out = String::new();
+    let mut failures = 0;
+    for d in drifts {
+        let status = if d.fails(tolerance_pct) {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.2}"));
+        out.push_str(&format!(
+            "{status:>4}  {:<44} baseline {:>12}  measured {:>12}  drift {:+.2}%\n",
+            d.name,
+            fmt(d.baseline),
+            fmt(d.measured),
+            d.pct
+        ));
+    }
+    (out, failures)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +267,17 @@ mod tests {
         let drifts = compare(&base, &meas);
         assert_eq!(drifts.len(), 2);
         assert!(drifts.iter().all(|d| d.fails(TOLERANCE_PCT)));
+    }
+
+    #[test]
+    fn drift_report_counts_failures_and_marks_rows() {
+        let base = vec![metric("steady", 100.0), metric("gone", 5.0)];
+        let meas = vec![metric("steady", 100.5), metric("new", 7.0)];
+        let (text, failures) = drift_report(&compare(&base, &meas), TOLERANCE_PCT);
+        assert_eq!(failures, 2, "one vanished + one new metric");
+        assert!(text.contains("  ok  steady"));
+        assert!(text.contains("FAIL  gone"));
+        assert!(text.contains("FAIL  new"));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! cargo run -p wfasic-bench --release --bin report -- host [--quick] [--threads N] [--out PATH]
 //! cargo run -p wfasic-bench --release --bin report -- backends [--quick] [--seed N]
 //! cargo run -p wfasic-bench --release --bin report -- chaos [--quick] [--seed N] [--out PATH]
+//! cargo run -p wfasic-bench --release --bin report -- dse [--quick] [--seed N] [--threads N] \
+//!     [--out PATH] [--check] [--bless] [--baseline PATH]
 //! ```
 //!
 //! `trace` prints Chrome `trace_event` JSON for one input set (default
@@ -17,19 +19,79 @@
 //! `bench/baselines/cycles.json`; `--bless` regenerates the baseline
 //! instead. `host` measures the simulator's own wall-clock throughput
 //! (alignments/sec at 1 and N host threads) and writes `BENCH_host.json`.
+//! `dse` sweeps the §5.4 design space (lanes × sections × banking × bus ×
+//! clock), prints the Pareto frontier and writes `BENCH_dse.json`; with
+//! `--check` it instead gates the frontier metrics against
+//! `bench/baselines/dse.json` with `ci-check` semantics.
+//!
+//! Every subcommand uses the same exit codes (see `report --help`):
+//! 0 = success, 1 = gate violation or drift (including an unreadable
+//! baseline), 2 = usage error.
 
 use wfasic_bench::experiments::{trace_json, Sizes};
-use wfasic_bench::{backends, baseline, chaos, host, report};
+use wfasic_bench::{backends, baseline, chaos, dse, host, report};
 use wfasic_seqio::dataset::InputSetSpec;
+
+/// A gate tripped: cycle/frontier drift, chaos invariant violation, or a
+/// missing/garbled baseline.
+const EXIT_VIOLATION: i32 = 1;
+/// The invocation itself is wrong: unknown subcommand, bad flag argument.
+const EXIT_USAGE: i32 = 2;
+
+const USAGE: &str = "\
+usage: report [SUBCOMMAND ...] [FLAGS]
+
+subcommands (default: all)
+  table1 fig8 fig9 fig10 fig11 table2   one paper table/figure
+  ablation faults perf batch all        further experiment reports
+  trace [set]                           Chrome trace JSON for one input set
+  ci-check [--bless]                    cycle-regression gate vs bench/baselines/cycles.json
+  dse [--check] [--bless]               design-space sweep; --check gates the
+                                        Pareto frontier vs bench/baselines/dse.json
+  host                                  host wall-clock throughput (BENCH_host.json)
+  chaos                                 chaos soak with invariant gates
+  backends                              execution-backend comparison
+  help | --help | -h                    this text
+
+flags
+  --quick            small workloads/grids (the CI tier)
+  --seed N           workload seed (experiments, chaos, dse)
+  --threads N        host threads (host, dse); results are thread-invariant
+  --out PATH         JSON record path (host, chaos, dse)
+  --baseline PATH    override the gate baseline file (ci-check, dse)
+  --bless            rewrite the gate baseline instead of comparing
+  --check            dse only: compare against the baseline instead of
+                     writing BENCH_dse.json (pass --out to also keep the record)
+
+exit codes
+  0  success — reports printed, gates within tolerance
+  1  violation or drift — a gate failed (cycle drift, frontier drift,
+     chaos invariant, missing/unparsable baseline)
+  2  usage error — unknown subcommand or malformed flag
+";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("report: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(EXIT_USAGE);
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage_error(&format!("{flag} needs a number")))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut what: Vec<String> = Vec::new();
     let mut sizes = Sizes::default_report();
     let mut bless = false;
-    let mut baseline_path = baseline::default_path();
+    let mut check = false;
+    let mut baseline_override: Option<std::path::PathBuf> = None;
     let mut host_opts = host::HostOptions::default();
     let mut chaos_opts = chaos::ChaosOptions::default();
+    let mut dse_opts = dse::DseOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -37,32 +99,47 @@ fn main() {
                 sizes = Sizes::quick();
                 host_opts.quick = true;
                 chaos_opts.quick = true;
+                dse_opts.quick = true;
             }
             "--threads" => {
                 i += 1;
-                host_opts.threads = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--threads needs a number");
+                let threads: usize = parse_num(&args, i, "--threads");
+                host_opts.threads = threads;
+                dse_opts.threads = threads;
             }
             "--out" => {
                 i += 1;
-                let path: std::path::PathBuf = args.get(i).expect("--out needs a path").into();
+                let path: std::path::PathBuf = args
+                    .get(i)
+                    .unwrap_or_else(|| usage_error("--out needs a path"))
+                    .into();
                 host_opts.out = Some(path.clone());
-                chaos_opts.out = Some(path);
+                chaos_opts.out = Some(path.clone());
+                dse_opts.out = Some(path);
             }
             "--seed" => {
                 i += 1;
-                sizes.seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed needs a number");
-                chaos_opts.seed = sizes.seed;
+                let seed: u64 = parse_num(&args, i, "--seed");
+                sizes.seed = seed;
+                chaos_opts.seed = seed;
+                dse_opts.seed = seed;
             }
             "--bless" => bless = true,
+            "--check" => check = true,
             "--baseline" => {
                 i += 1;
-                baseline_path = args.get(i).expect("--baseline needs a path").into();
+                baseline_override = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage_error("--baseline needs a path"))
+                        .into(),
+                );
+            }
+            "--help" | "-h" | "help" => {
+                print!("{USAGE}");
+                return;
+            }
+            other if other.starts_with('-') => {
+                usage_error(&format!("unknown flag '{other}'"));
             }
             other => what.push(other.to_string()),
         }
@@ -88,7 +165,7 @@ fn main() {
                     for s in &InputSetSpec::ALL {
                         eprintln!("  {}", s.name());
                     }
-                    std::process::exit(2);
+                    std::process::exit(EXIT_USAGE);
                 }),
         };
         print!("{}", trace_json(&spec, &sizes));
@@ -107,7 +184,18 @@ fn main() {
             "faults" => print!("{}", report::faults_report(&sizes)),
             "batch" => print!("{}", report::batch_report(&sizes)),
             "perf" => print!("{}", report::perf_report(&sizes)),
-            "ci-check" => ci_check(bless, &baseline_path),
+            "ci-check" => {
+                let path = baseline_override
+                    .clone()
+                    .unwrap_or_else(baseline::default_path);
+                ci_check(bless, &path);
+            }
+            "dse" => {
+                let path = baseline_override
+                    .clone()
+                    .unwrap_or_else(dse::default_baseline_path);
+                run_dse(&dse_opts, check, bless, &path);
+            }
             "chaos" => {
                 let outcome = chaos::chaos_report(&chaos_opts);
                 print!("{}", outcome.text);
@@ -116,7 +204,7 @@ fn main() {
                         "chaos: {} invariant violation(s) — see above",
                         outcome.violations.len()
                     );
-                    std::process::exit(1);
+                    std::process::exit(EXIT_VIOLATION);
                 }
             }
             "host" => print!("{}", host::host_report(&host_opts)),
@@ -134,20 +222,26 @@ fn main() {
                 print!("{}", report::fig8_report());
             }
             other => {
-                eprintln!("unknown experiment '{other}'");
-                eprintln!(
-                    "usage: report [table1|fig8|fig9|fig10|fig11|table2|ablation|faults|perf|batch|all] [--quick] [--seed N]"
-                );
-                eprintln!("       report trace [set]");
-                eprintln!("       report ci-check [--bless] [--baseline PATH]");
-                eprintln!("       report host [--quick] [--threads N] [--out PATH]");
-                eprintln!("       report chaos [--quick] [--seed N] [--out PATH]");
-                eprintln!("       report backends [--quick] [--seed N]");
-                std::process::exit(2);
+                usage_error(&format!("unknown subcommand '{other}'"));
             }
         }
         println!();
     }
+}
+
+/// Read and parse a gate baseline, exiting with [`EXIT_VIOLATION`] when it
+/// is missing or garbled (a broken gate is a gate failure, not a usage
+/// error — CI must go red, not grey).
+fn load_baseline(path: &std::path::Path, bless_hint: &str) -> Vec<baseline::Metric> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {}: {e}", path.display());
+        eprintln!("generate it with: {bless_hint}");
+        std::process::exit(EXIT_VIOLATION);
+    });
+    baseline::parse_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse baseline {}: {e}", path.display());
+        std::process::exit(EXIT_VIOLATION);
+    })
 }
 
 /// The CI cycle-regression gate: measure, compare, exit non-zero on drift.
@@ -161,44 +255,79 @@ fn ci_check(bless: bool, path: &std::path::Path) {
         println!("blessed {} metrics into {}", measured.len(), path.display());
         return;
     }
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read baseline {}: {e}", path.display());
-        eprintln!("generate it with: report -- ci-check --bless");
-        std::process::exit(1);
-    });
-    let base = baseline::parse_json(&text).unwrap_or_else(|e| {
-        eprintln!("cannot parse baseline {}: {e}", path.display());
-        std::process::exit(1);
-    });
-    let drifts = baseline::compare(&base, &measured);
-    let mut failures = 0;
-    for d in &drifts {
-        let status = if d.fails(baseline::TOLERANCE_PCT) {
-            failures += 1;
-            "FAIL"
-        } else {
-            "ok"
-        };
-        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.2}"));
-        println!(
-            "{status:>4}  {:<32} baseline {:>12}  measured {:>12}  drift {:+.2}%",
-            d.name,
-            fmt(d.baseline),
-            fmt(d.measured),
-            d.pct
-        );
-    }
+    let base = load_baseline(path, "report -- ci-check --bless");
+    let (text, failures) = baseline::drift_report(
+        &baseline::compare(&base, &measured),
+        baseline::TOLERANCE_PCT,
+    );
+    print!("{text}");
     if failures > 0 {
         eprintln!(
             "ci-check: {failures} metric(s) drifted more than {}% — \
              if intentional, rerun with --bless and commit the baseline",
             baseline::TOLERANCE_PCT
         );
-        std::process::exit(1);
+        std::process::exit(EXIT_VIOLATION);
     }
     println!(
         "ci-check: {} metrics within {}% of baseline",
-        drifts.len(),
+        base.len(),
         baseline::TOLERANCE_PCT
     );
+}
+
+/// `report -- dse`: run the sweep, print the frontier, then either write
+/// the JSON record (default `BENCH_dse.json`), gate it against the
+/// committed baseline (`--check`), or rebless the baseline (`--bless`).
+fn run_dse(opts: &dse::DseOptions, check: bool, bless: bool, baseline_path: &std::path::Path) {
+    let outcome = dse::sweep(opts);
+    print!("{}", report::dse_report(&outcome));
+
+    if bless {
+        if let Some(dir) = baseline_path.parent() {
+            std::fs::create_dir_all(dir).expect("create baseline directory");
+        }
+        std::fs::write(baseline_path, dse::render_json(&outcome)).expect("write dse baseline");
+        println!(
+            "blessed {} dse metrics into {}",
+            dse::metrics(&outcome).len(),
+            baseline_path.display()
+        );
+        return;
+    }
+
+    // `--check` never touches the committed full-tier record; pass `--out`
+    // explicitly to keep the measured document too.
+    let record = match (&opts.out, check) {
+        (Some(path), _) => Some(path.clone()),
+        (None, false) => Some(std::path::PathBuf::from("BENCH_dse.json")),
+        (None, true) => None,
+    };
+    if let Some(path) = record {
+        std::fs::write(&path, dse::render_json(&outcome)).expect("write dse record");
+        println!("wrote {}", path.display());
+    }
+
+    if check {
+        let base = load_baseline(baseline_path, "report -- dse --quick --check --bless");
+        let (text, failures) = baseline::drift_report(
+            &baseline::compare(&base, &dse::metrics(&outcome)),
+            baseline::TOLERANCE_PCT,
+        );
+        print!("{text}");
+        if failures > 0 {
+            eprintln!(
+                "dse-check: {failures} metric(s) drifted more than {}% — \
+                 if the frontier moved intentionally, rerun with \
+                 --check --bless and commit the baseline",
+                baseline::TOLERANCE_PCT
+            );
+            std::process::exit(EXIT_VIOLATION);
+        }
+        println!(
+            "dse-check: {} metrics within {}% of baseline",
+            base.len(),
+            baseline::TOLERANCE_PCT
+        );
+    }
 }

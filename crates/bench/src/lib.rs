@@ -14,6 +14,9 @@
 //! * [`chaos`] — the chaos soak behind `report -- chaos`: storms, cycle
 //!   deadlines, envelope violators and backpressure churn against the
 //!   streaming service, with no-drop/no-stuck-lane invariants enforced;
+//! * [`dse`] — the design-space exploration sweep behind `report -- dse`:
+//!   lanes × sections × banking × bus × clock through the multi-lane SoC,
+//!   joined with the area model into a CI-gated Pareto frontier;
 //! * [`pool`] — the deterministic host thread pool (re-export of
 //!   [`wfa_core::pool`]);
 //! * [`fmt`] — table rendering.
@@ -26,6 +29,7 @@
 pub mod backends;
 pub mod baseline;
 pub mod chaos;
+pub mod dse;
 pub mod experiments;
 pub mod fmt;
 pub mod host;

@@ -322,6 +322,57 @@ pub fn batch_report(sizes: &Sizes) -> String {
     )
 }
 
+/// The design-space sweep's frontier table (`report -- dse`): the Pareto
+/// frontier sorted by area efficiency, with the dominated bulk summarized
+/// below the table.
+pub fn dse_report(outcome: &crate::dse::DseOutcome) -> String {
+    let mut frontier: Vec<&crate::dse::DseRow> =
+        outcome.rows.iter().filter(|r| r.frontier).collect();
+    frontier.sort_by(|a, b| b.gcups_per_mm2.total_cmp(&a.gcups_per_mm2));
+    let body: Vec<Vec<String>> = frontier
+        .iter()
+        .map(|r| {
+            vec![
+                r.name(),
+                r.sim_cycles.to_string(),
+                format!("{:.2}", r.area_mm2),
+                format!("{:.3}", r.power_w),
+                f(r.gcups),
+                f(r.gcups_per_mm2),
+                f(r.gcups_per_w),
+            ]
+        })
+        .collect();
+    let mut s = render_table(
+        &format!(
+            "DSE Pareto frontier ({} tier): max GCUPS/mm2, max GCUPS/W, min batch cycles",
+            outcome.tier
+        ),
+        &[
+            "point",
+            "batch cycles",
+            "mm2",
+            "W",
+            "GCUPS",
+            "GCUPS/mm2",
+            "GCUPS/W",
+        ],
+        &body,
+    );
+    s.push_str(&format!(
+        "\n{} of {} design points on the frontier ({} dominated); \
+         workload: {} jobs, {} pairs, {} equivalent cells, seed {:#x}\n",
+        frontier.len(),
+        outcome.rows.len(),
+        outcome.rows.len() - frontier.len(),
+        outcome.jobs,
+        outcome.pairs,
+        outcome.cells,
+        outcome.seed
+    ));
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,5 +391,18 @@ mod tests {
         assert!(s.contains("100-5%"));
         assert!(s.contains("10K-10%"));
         assert!(s.contains("937630"), "paper column present");
+    }
+
+    #[test]
+    fn quick_dse_report_renders_the_frontier() {
+        let opts = crate::dse::DseOptions {
+            quick: true,
+            ..Default::default()
+        };
+        let outcome = crate::dse::sweep(&opts);
+        let s = dse_report(&outcome);
+        assert!(s.contains("DSE Pareto frontier (quick tier)"));
+        assert!(s.contains("GCUPS/mm2"));
+        assert!(s.contains("of 18 design points on the frontier"));
     }
 }

@@ -40,6 +40,34 @@ impl BusConfig {
         burst_latency: 27,
     };
 
+    /// Design-space sweep point: a lower-latency memory controller (about
+    /// half the per-burst latency at the same 16-byte port).
+    pub const LOW_LATENCY: BusConfig = BusConfig {
+        beat_bytes: 16,
+        burst_beats: 16,
+        burst_latency: 14,
+    };
+
+    /// Design-space sweep point: a double-width port (32-byte beats, twice
+    /// the bandwidth per beat) at the default controller latency.
+    pub const WIDE: BusConfig = BusConfig {
+        beat_bytes: 32,
+        burst_beats: 16,
+        burst_latency: 27,
+    };
+
+    /// Builder: override the per-burst controller latency.
+    pub fn with_burst_latency(mut self, cycles: Cycle) -> Self {
+        self.burst_latency = cycles;
+        self
+    }
+
+    /// Builder: override the beat width in bytes.
+    pub fn with_beat_bytes(mut self, bytes: usize) -> Self {
+        self.beat_bytes = bytes;
+        self
+    }
+
     /// Bytes per burst.
     pub fn burst_bytes(&self) -> usize {
         self.beat_bytes * self.burst_beats
@@ -234,6 +262,15 @@ mod tests {
         assert!((cyc_100 as f64 - 75.0).abs() / 75.0 < 0.25, "{cyc_100}");
         assert!((cyc_1k as f64 - 376.0).abs() / 376.0 < 0.25, "{cyc_1k}");
         assert!((cyc_10k as f64 - 3420.0).abs() / 3420.0 < 0.25, "{cyc_10k}");
+    }
+
+    #[test]
+    fn sweep_profiles_shift_latency_and_bandwidth() {
+        let d = BusConfig::WFASIC_DEFAULT;
+        assert!(BusConfig::LOW_LATENCY.transfer_cycles(256) < d.transfer_cycles(256));
+        assert!(BusConfig::WIDE.transfer_cycles(10_000) < d.transfer_cycles(10_000));
+        assert_eq!(d.with_burst_latency(5).burst_latency, 5);
+        assert_eq!(d.with_beat_bytes(32).burst_bytes(), 512);
     }
 
     #[test]
