@@ -32,7 +32,8 @@ pub const LANES: usize = 4;
 /// One backend's comparison row.
 #[derive(Debug, Clone)]
 pub struct BackendRow {
-    /// Backend name (`cpu`, `swg`, `device`, `multilane`, `hetero`).
+    /// Backend name (`cpu`, `swg`, `riscv`, `device`, `multilane`,
+    /// `hetero`).
     pub name: &'static str,
     /// Pairs aligned.
     pub pairs: usize,
@@ -120,7 +121,8 @@ pub fn backends_report(sizes: &Sizes) -> String {
     ));
     out.push_str(&format!(
         "\nlanes for multilane/hetero: {LANES}; aligns/s is host wall clock \
-         (varies); sim cycles are deterministic and gated by ci-check\n"
+         (varies); sim cycles are deterministic — device-backed rows are \
+         gated by ci-check, the riscv row by cosim-check\n"
     ));
     out
 }
@@ -171,13 +173,13 @@ mod tests {
     #[test]
     fn report_covers_every_backend() {
         let rows = backend_rows(&Sizes::quick(), 1);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 6);
         let sim: Vec<bool> = rows.iter().map(|r| r.sim_cycles.is_some()).collect();
-        assert_eq!(sim, [false, false, true, true, true]);
-        // All five answered the full workload.
+        assert_eq!(sim, [false, false, true, true, true, true]);
+        // All six answered the full workload.
         assert!(rows.iter().all(|r| r.pairs == Sizes::quick().sched_pairs));
         let text = backends_report(&Sizes::quick());
-        for name in ["cpu", "swg", "device", "multilane", "hetero"] {
+        for name in ["cpu", "swg", "riscv", "device", "multilane", "hetero"] {
             assert!(text.contains(name), "missing row for {name}");
         }
     }

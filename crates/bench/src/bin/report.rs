@@ -10,6 +10,8 @@
 //! cargo run -p wfasic-bench --release --bin report -- chaos [--quick] [--seed N] [--out PATH]
 //! cargo run -p wfasic-bench --release --bin report -- dse [--quick] [--seed N] [--threads N] \
 //!     [--out PATH] [--check] [--bless] [--baseline PATH]
+//! cargo run -p wfasic-bench --release --bin report -- cosim [--quick] [--seed N] [--threads N] \
+//!     [--out PATH] [--check] [--bless] [--baseline PATH]
 //! ```
 //!
 //! `trace` prints Chrome `trace_event` JSON for one input set (default
@@ -22,14 +24,18 @@
 //! `dse` sweeps the §5.4 design space (lanes × sections × banking × bus ×
 //! clock), prints the Pareto frontier and writes `BENCH_dse.json`; with
 //! `--check` it instead gates the frontier metrics against
-//! `bench/baselines/dse.json` with `ci-check` semantics.
+//! `bench/baselines/dse.json` with `ci-check` semantics. `cosim` runs the
+//! differential co-simulation sweep (ISA WFA kernels on the interpreter vs
+//! `wfa_align`, analytic models, backend counters, simulated device),
+//! prints the Fig. 9/10-shaped speedup table and writes `BENCH_cosim.json`;
+//! `--check` gates it against `bench/baselines/cosim.json`.
 //!
 //! Every subcommand uses the same exit codes (see `report --help`):
 //! 0 = success, 1 = gate violation or drift (including an unreadable
 //! baseline), 2 = usage error.
 
 use wfasic_bench::experiments::{trace_json, Sizes};
-use wfasic_bench::{backends, baseline, chaos, dse, host, report};
+use wfasic_bench::{backends, baseline, chaos, cosim, dse, host, report};
 use wfasic_seqio::dataset::InputSetSpec;
 
 /// A gate tripped: cycle/frontier drift, chaos invariant violation, or a
@@ -48,6 +54,8 @@ subcommands (default: all)
   ci-check [--bless]                    cycle-regression gate vs bench/baselines/cycles.json
   dse [--check] [--bless]               design-space sweep; --check gates the
                                         Pareto frontier vs bench/baselines/dse.json
+  cosim [--check] [--bless]             differential co-simulation sweep; --check
+                                        gates it vs bench/baselines/cosim.json
   host                                  host wall-clock throughput (BENCH_host.json)
   chaos                                 chaos soak with invariant gates
   backends                              execution-backend comparison
@@ -55,13 +63,13 @@ subcommands (default: all)
 
 flags
   --quick            small workloads/grids (the CI tier)
-  --seed N           workload seed (experiments, chaos, dse)
-  --threads N        host threads (host, dse); results are thread-invariant
-  --out PATH         JSON record path (host, chaos, dse)
-  --baseline PATH    override the gate baseline file (ci-check, dse)
+  --seed N           workload seed (experiments, chaos, dse, cosim)
+  --threads N        host threads (host, dse, cosim); results are thread-invariant
+  --out PATH         JSON record path (host, chaos, dse, cosim)
+  --baseline PATH    override the gate baseline file (ci-check, dse, cosim)
   --bless            rewrite the gate baseline instead of comparing
-  --check            dse only: compare against the baseline instead of
-                     writing BENCH_dse.json (pass --out to also keep the record)
+  --check            dse/cosim: compare against the baseline instead of
+                     writing the BENCH_*.json record (pass --out to keep it too)
 
 exit codes
   0  success — reports printed, gates within tolerance
@@ -92,6 +100,7 @@ fn main() {
     let mut host_opts = host::HostOptions::default();
     let mut chaos_opts = chaos::ChaosOptions::default();
     let mut dse_opts = dse::DseOptions::default();
+    let mut cosim_opts = cosim::CosimOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -100,12 +109,14 @@ fn main() {
                 host_opts.quick = true;
                 chaos_opts.quick = true;
                 dse_opts.quick = true;
+                cosim_opts.quick = true;
             }
             "--threads" => {
                 i += 1;
                 let threads: usize = parse_num(&args, i, "--threads");
                 host_opts.threads = threads;
                 dse_opts.threads = threads;
+                cosim_opts.threads = threads;
             }
             "--out" => {
                 i += 1;
@@ -115,7 +126,8 @@ fn main() {
                     .into();
                 host_opts.out = Some(path.clone());
                 chaos_opts.out = Some(path.clone());
-                dse_opts.out = Some(path);
+                dse_opts.out = Some(path.clone());
+                cosim_opts.out = Some(path);
             }
             "--seed" => {
                 i += 1;
@@ -123,6 +135,7 @@ fn main() {
                 sizes.seed = seed;
                 chaos_opts.seed = seed;
                 dse_opts.seed = seed;
+                cosim_opts.seed = seed;
             }
             "--bless" => bless = true,
             "--check" => check = true,
@@ -195,6 +208,12 @@ fn main() {
                     .clone()
                     .unwrap_or_else(dse::default_baseline_path);
                 run_dse(&dse_opts, check, bless, &path);
+            }
+            "cosim" => {
+                let path = baseline_override
+                    .clone()
+                    .unwrap_or_else(cosim::default_baseline_path);
+                run_cosim(&cosim_opts, check, bless, &path);
             }
             "chaos" => {
                 let outcome = chaos::chaos_report(&chaos_opts);
@@ -326,6 +345,68 @@ fn run_dse(opts: &dse::DseOptions, check: bool, bless: bool, baseline_path: &std
         }
         println!(
             "dse-check: {} metrics within {}% of baseline",
+            base.len(),
+            baseline::TOLERANCE_PCT
+        );
+    }
+}
+
+/// `report -- cosim`: run the differential sweep (its cross-model
+/// invariants assert in place), print the speedup table, then either write
+/// the JSON record (default `BENCH_cosim.json`), gate it against the
+/// committed baseline (`--check`), or rebless the baseline (`--bless`).
+fn run_cosim(
+    opts: &cosim::CosimOptions,
+    check: bool,
+    bless: bool,
+    baseline_path: &std::path::Path,
+) {
+    let outcome = cosim::sweep(opts);
+    print!("{}", report::cosim_report(&outcome));
+
+    if bless {
+        if let Some(dir) = baseline_path.parent() {
+            std::fs::create_dir_all(dir).expect("create baseline directory");
+        }
+        std::fs::write(baseline_path, cosim::render_json(&outcome)).expect("write cosim baseline");
+        println!(
+            "blessed {} cosim metrics into {}",
+            cosim::metrics(&outcome).len(),
+            baseline_path.display()
+        );
+        return;
+    }
+
+    // `--check` never touches the committed full-tier record; pass `--out`
+    // explicitly to keep the measured document too.
+    let record = match (&opts.out, check) {
+        (Some(path), _) => Some(path.clone()),
+        (None, false) => Some(std::path::PathBuf::from("BENCH_cosim.json")),
+        (None, true) => None,
+    };
+    if let Some(path) = record {
+        std::fs::write(&path, cosim::render_json(&outcome)).expect("write cosim record");
+        println!("wrote {}", path.display());
+    }
+
+    if check {
+        let base = load_baseline(baseline_path, "report -- cosim --quick --check --bless");
+        let (text, failures) = baseline::drift_report(
+            &baseline::compare(&base, &cosim::metrics(&outcome)),
+            baseline::TOLERANCE_PCT,
+        );
+        print!("{text}");
+        if failures > 0 {
+            eprintln!(
+                "cosim-check: {failures} metric(s) drifted more than {}% — \
+                 if the co-simulation totals moved intentionally, rerun with \
+                 --check --bless and commit the baseline",
+                baseline::TOLERANCE_PCT
+            );
+            std::process::exit(EXIT_VIOLATION);
+        }
+        println!(
+            "cosim-check: {} metrics within {}% of baseline",
             base.len(),
             baseline::TOLERANCE_PCT
         );

@@ -14,6 +14,10 @@
 //! * [`chaos`] — the chaos soak behind `report -- chaos`: storms, cycle
 //!   deadlines, envelope violators and backpressure churn against the
 //!   streaming service, with no-drop/no-stuck-lane invariants enforced;
+//! * [`cosim`] — the differential co-simulation sweep behind
+//!   `report -- cosim`: the ISA WFA kernels on the RV64IM interpreter vs
+//!   `wfa_align`, the analytic Sargantana models, the RISC-V backend
+//!   counters and the simulated device, CI-gated per workload class;
 //! * [`dse`] — the design-space exploration sweep behind `report -- dse`:
 //!   lanes × sections × banking × bus × clock through the multi-lane SoC,
 //!   joined with the area model into a CI-gated Pareto frontier;
@@ -29,6 +33,7 @@
 pub mod backends;
 pub mod baseline;
 pub mod chaos;
+pub mod cosim;
 pub mod dse;
 pub mod experiments;
 pub mod fmt;

@@ -373,6 +373,56 @@ pub fn dse_report(outcome: &crate::dse::DseOutcome) -> String {
     s
 }
 
+/// The `report -- cosim` table: one row per workload class, the four
+/// models side by side, speedups in the Fig. 9/10 shape.
+pub fn cosim_report(outcome: &crate::cosim::CosimOutcome) -> String {
+    let body: Vec<Vec<String>> = outcome
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.class.name(),
+                r.pairs.to_string(),
+                r.scalar_cycles.to_string(),
+                format!("{:.2}", r.scalar_cpi()),
+                format!("{:.3}", r.analytic_ratio()),
+                r.vector_cycles.to_string(),
+                r.device_cycles.to_string(),
+                f(r.speedup_scalar()),
+                f(r.speedup_vector()),
+            ]
+        })
+        .collect();
+    let mut s = render_table(
+        &format!(
+            "Co-simulation: WFAsic vs RISC-V CPU baselines ({} tier, Fig. 9/10 shape)",
+            outcome.tier
+        ),
+        &[
+            "class",
+            "pairs",
+            "scalar cyc",
+            "CPI",
+            "an/isa",
+            "vector cyc",
+            "wfasic cyc",
+            "speedup(s)",
+            "speedup(v)",
+        ],
+        &body,
+    );
+    let pairs: usize = outcome.rows.iter().map(|r| r.pairs).sum();
+    s.push_str(&format!(
+        "\n{} classes, {} pairs, seed {:#x}; scalar/vector cyc are RV64IM(+V) \
+         interpreter cycles, an/isa the analytic-over-interpreter ratio \
+         (band-checked per length), speedups WFAsic cycles vs each baseline\n",
+        outcome.rows.len(),
+        pairs,
+        outcome.seed
+    ));
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

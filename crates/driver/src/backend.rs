@@ -14,6 +14,10 @@
 //!   ([`crate::WfasicDriver::submit`]) and the batch scheduler's per-lane
 //!   fallback both route through it.
 //! * [`SwgBackend`] — the full-DP Smith-Waterman-Gotoh reference (Eq. 2).
+//! * [`crate::RiscvBackend`] — the paper's CPU baseline: the hand-written
+//!   WFA kernel on the RV64IM interpreter with Sargantana-like timing,
+//!   cross-checked per pair against `wfa_align` and the analytic cost
+//!   model (see `crate::riscv_backend`).
 //! * [`DeviceBackend`] — one [`WfasicDriver`] over a single-lane WFAsic.
 //! * [`MultiLaneBackend`] — a [`BatchScheduler`] over an N-lane SoC with a
 //!   shared-port arbiter.
@@ -25,7 +29,7 @@
 //!   fault damage) are recovered on the CPU afterwards. The accelerator
 //!   simulates while the CPU partition runs on a scoped host thread.
 //!
-//! Scores are bit-identical across every backend (all five compute the
+//! Scores are bit-identical across every backend (all six compute the
 //! exact gap-affine optimum). CIGARs are bit-identical across the three
 //! device-backed backends; the software engines may pick a different but
 //! equally-optimal transcript (optimal alignments are not unique), which
@@ -46,7 +50,8 @@ use wfasic_soc::perf::JobPerf;
 /// "unbounded" for the software engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Capabilities {
-    /// Stable backend name (`cpu`, `swg`, `device`, `multilane`, `hetero`).
+    /// Stable backend name (`cpu`, `swg`, `riscv`, `device`, `multilane`,
+    /// `hetero`).
     pub name: &'static str,
     /// Longest read the engine accepts (Eq. 5 / `max_supported_len`;
     /// `usize::MAX` for the software engines).
@@ -124,10 +129,13 @@ pub struct BackendCounters {
     pub degraded_jobs: u64,
     /// Jobs refused with [`DriverError::DeadlineExceeded`].
     pub deadline_refusals: u64,
+    /// Instructions retired on a modeled CPU (`mhpmcounter`-style; only
+    /// the RISC-V baseline backend reports these — zero elsewhere).
+    pub retired_instrs: u64,
 }
 
 impl BackendCounters {
-    fn absorb(&mut self, batch: &BackendBatch) {
+    pub(crate) fn absorb(&mut self, batch: &BackendBatch) {
         self.jobs += 1;
         self.pairs += batch.results.len() as u64;
         self.failed_pairs += batch.results.iter().filter(|r| !r.success).count() as u64;
@@ -254,6 +262,8 @@ pub enum BackendKind {
     Cpu,
     /// [`SwgBackend`].
     Swg,
+    /// [`crate::RiscvBackend`].
+    Riscv,
     /// [`DeviceBackend`].
     Device,
     /// [`MultiLaneBackend`].
@@ -264,9 +274,10 @@ pub enum BackendKind {
 
 impl BackendKind {
     /// Every kind, in CLI presentation order.
-    pub const ALL: [BackendKind; 5] = [
+    pub const ALL: [BackendKind; 6] = [
         BackendKind::Cpu,
         BackendKind::Swg,
+        BackendKind::Riscv,
         BackendKind::Device,
         BackendKind::MultiLane,
         BackendKind::Heterogeneous,
@@ -277,6 +288,7 @@ impl BackendKind {
         match self {
             BackendKind::Cpu => "cpu",
             BackendKind::Swg => "swg",
+            BackendKind::Riscv => "riscv",
             BackendKind::Device => "device",
             BackendKind::MultiLane => "multilane",
             BackendKind::Heterogeneous => "hetero",
@@ -294,6 +306,7 @@ impl BackendKind {
         match self {
             BackendKind::Cpu => Box::new(CpuWfaBackend::new(cfg.penalties)),
             BackendKind::Swg => Box::new(SwgBackend::new(cfg.penalties)),
+            BackendKind::Riscv => Box::new(crate::RiscvBackend::new(cfg.penalties)),
             BackendKind::Device => Box::new(DeviceBackend::new(cfg)),
             BackendKind::MultiLane => Box::new(MultiLaneBackend::new(cfg, lanes)),
             BackendKind::Heterogeneous => Box::new(HeterogeneousBackend::new(cfg, lanes)),

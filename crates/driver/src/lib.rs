@@ -27,6 +27,7 @@ pub mod batch;
 pub mod codesign;
 pub mod cpu_model;
 pub mod faults;
+pub mod riscv_backend;
 
 pub use api::{AlignmentResult, DriverError, JobResult, MemLayout, WaitMode, WfasicDriver};
 pub use backend::{
@@ -38,3 +39,4 @@ pub use batch::{BatchJob, BatchResult, BatchScheduler, DispatchPolicy, LaneHealt
 pub use codesign::{run_experiment, ExperimentResult};
 pub use cpu_model::{software_backtrace_cycles, BacktraceCosts, CpuCosts};
 pub use faults::{FaultClass, FaultLayer, Provenance};
+pub use riscv_backend::RiscvBackend;

@@ -617,9 +617,12 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
                     sew
                 }));
             }
-            "vle8.v" | "vle32.v" | "vse8.v" | "vse32.v" => {
+            "vle8.v" | "vle16.v" | "vle32.v" | "vle64.v" | "vse8.v" | "vse16.v" | "vse32.v"
+            | "vse64.v" => {
                 nops(2)?;
-                let width = if mnemonic.contains('8') { 8 } else { 32 };
+                let width: u16 = mnemonic[3..mnemonic.len() - 2]
+                    .parse()
+                    .expect("mnemonic carries its width");
                 let v = parse_vreg(ops[0]).ok_or_else(|| err(line, "bad vector register"))?;
                 let (off, rs1) = parse_mem_operand(ops[1], line)?;
                 if off != 0 {

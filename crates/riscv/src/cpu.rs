@@ -28,6 +28,8 @@ pub enum Stop {
     PcOutOfRange { pc: u64 },
     /// A memory access left RAM.
     MemFault { addr: u64 },
+    /// A word that decodes to no RV64IM instruction reached execution.
+    IllegalInstr { word: u32 },
     /// The instruction budget was exhausted (likely an endless loop).
     OutOfFuel,
 }
@@ -99,25 +101,30 @@ impl Machine {
         }
     }
 
-    fn load(&mut self, addr: u64, size: usize) -> Result<u64, Stop> {
-        let a = addr as usize;
-        if a + size > self.ram.len() {
-            return Err(Stop::MemFault { addr });
+    /// The in-RAM byte range of an access, or a fault. Checked arithmetic:
+    /// addresses near `u64::MAX` (reachable from arbitrary register values)
+    /// must fault, not overflow.
+    fn range(&self, addr: u64, size: usize) -> Result<std::ops::Range<usize>, Stop> {
+        let start = usize::try_from(addr).ok();
+        match start.and_then(|s| s.checked_add(size)) {
+            Some(end) if end <= self.ram.len() => Ok(addr as usize..end),
+            _ => Err(Stop::MemFault { addr }),
         }
+    }
+
+    fn load(&mut self, addr: u64, size: usize) -> Result<u64, Stop> {
+        let r = self.range(addr, size)?;
         let mut v: u64 = 0;
-        for (i, &b) in self.ram[a..a + size].iter().enumerate() {
+        for (i, &b) in self.ram[r].iter().enumerate() {
             v |= (b as u64) << (8 * i);
         }
         Ok(v)
     }
 
     fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), Stop> {
-        let a = addr as usize;
-        if a + size > self.ram.len() {
-            return Err(Stop::MemFault { addr });
-        }
-        for i in 0..size {
-            self.ram[a + i] = (value >> (8 * i)) as u8;
+        let r = self.range(addr, size)?;
+        for (i, slot) in self.ram[r].iter_mut().enumerate() {
+            *slot = (value >> (8 * i)) as u8;
         }
         Ok(())
     }
@@ -150,6 +157,19 @@ impl Machine {
             self.stats.instret += 1;
         }
         Stop::OutOfFuel
+    }
+
+    /// Decode and execute one raw instruction word at the current PC, with
+    /// the same architectural semantics as [`Machine::run`] (but no fetch
+    /// timing or instret accounting — those belong to the run loop). Any
+    /// word is accepted: garbage decodes stop with a typed
+    /// [`Stop::IllegalInstr`] rather than a panic, which is what the
+    /// fuzzing suite leans on.
+    pub fn exec_word(&mut self, word: u32) -> Result<Option<Stop>, Stop> {
+        match Instr::decode(word) {
+            Some(instr) => self.step(instr),
+            None => Err(Stop::IllegalInstr { word }),
+        }
     }
 
     /// Execute one instruction; `Ok(Some(stop))` for ecall/ebreak.
@@ -292,7 +312,10 @@ impl Machine {
                 self.stats.mem_ops += 1;
                 self.stats.cycles += self.data.access(base).saturating_sub(1);
                 for i in 0..vl {
-                    let value = self.load(base + elem * i as u64, elem as usize)?;
+                    let addr = base
+                        .checked_add(elem * i as u64)
+                        .ok_or(Stop::MemFault { addr: base })?;
+                    let value = self.load(addr, elem as usize)?;
                     let signed = match width {
                         8 => value as i8 as i64,
                         16 => value as i16 as i64,
@@ -309,7 +332,10 @@ impl Machine {
                 self.stats.cycles += self.data.access(base).saturating_sub(2);
                 for i in 0..vl {
                     let value = self.vec.lane(vs3, i) as u64;
-                    self.store(base + elem * i as u64, elem as usize, value)?;
+                    let addr = base
+                        .checked_add(elem * i as u64)
+                        .ok_or(Stop::MemFault { addr: base })?;
+                    self.store(addr, elem as usize, value)?;
                 }
             }
             VInstr::VaddVV { vd, vs2, vs1 } => {

@@ -537,6 +537,11 @@ impl Instr {
                         0b111 => MulOp::Remu,
                         _ => return None,
                     };
+                    // mulh/mulhsu/mulhu exist only in the 64-bit form;
+                    // their OP-32 encodings are illegal, not executable.
+                    if word_form && matches!(op, MulOp::Mulh | MulOp::Mulhsu | MulOp::Mulhu) {
+                        return None;
+                    }
                     Instr::MulDiv {
                         op,
                         rd,

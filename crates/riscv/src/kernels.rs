@@ -603,31 +603,81 @@ pub fn wfa_vector_program() -> &'static Program {
     PROG.get_or_init(|| assemble(WFA_VECTOR_ASM).expect("the bundled vector kernel must assemble"))
 }
 
-/// Run the vectorized WFA kernel on a pair of sequences.
-pub fn run_wfa_vector(a: &[u8], b: &[u8]) -> KernelRun {
+/// Replace exactly one occurrence of `pat` in `text` — the templating
+/// primitive for re-penaltying the kernel sources. Zero or multiple matches
+/// mean the kernel text drifted out from under the template and must fail
+/// loudly rather than silently mis-patching a lookback.
+fn replace_once(text: &str, pat: &str, with: &str) -> String {
+    let first = text.find(pat).expect("kernel template anchor missing");
     assert!(
-        a.len() <= MAX_KERNEL_SEQ && b.len() <= MAX_KERNEL_SEQ,
-        "sequence exceeds the kernel memory map"
+        text[first + pat.len()..].find(pat).is_none(),
+        "kernel template anchor is not unique: {pat:?}"
     );
-    let program = wfa_vector_program();
-    let mut m = Machine::new(2 << 20);
-    m.ram[SEQ_A_BASE as usize..SEQ_A_BASE as usize + a.len()].copy_from_slice(a);
-    m.ram[SEQ_B_BASE as usize..SEQ_B_BASE as usize + b.len()].copy_from_slice(b);
-    m.set_reg(10, SEQ_A_BASE);
-    m.set_reg(11, a.len() as u64);
-    m.set_reg(12, SEQ_B_BASE);
-    m.set_reg(13, b.len() as u64);
-    let stop = m.run(program, 500_000_000);
-    assert_eq!(
-        stop,
-        Stop::Ecall,
-        "kernel must halt via ecall, got {stop:?}"
-    );
-    let a0 = m.reg(10) as i64;
-    KernelRun {
-        score: (a0 >= 0).then_some(a0 as u32),
-        stats: m.stats,
+    text.replacen(pat, with, 1)
+}
+
+/// Re-template a kernel's assembly for penalties `(x, o, e)`.
+///
+/// The kernel encodes penalties purely as wavefront-ring *lookbacks*:
+/// mismatch reads `M[s-x]`, gap-open reads `M[s-(o+e)]`, gap-extend reads
+/// `I/D[s-e]`, and the per-score clear margin must cover the deepest
+/// lookback. All three lookbacks must fit the 16-slot ring (1..=15).
+fn template_kernel(asm: &str, x: u32, o: u32, e: u32) -> String {
+    let (sub, open, ext) = (x, o + e, e);
+    for lb in [sub, open, ext] {
+        assert!(
+            (1..=15).contains(&lb),
+            "lookback {lb} outside the kernel's 16-slot ring (x={x}, o={o}, e={e})"
+        );
     }
+    let margin = sub.max(open) + 1;
+    let mut s = asm.to_string();
+    // Each anchor is a full li/branch/addi block including its unique
+    // skip_* label, so substituted values can never collide with another
+    // anchor (e.g. x = 2 must not capture the extend lookback's `li`).
+    s = replace_once(
+        &s,
+        "  li   t0, 4\n  blt  s1, t0, skip_sub\n  addi t1, s1, -4\n",
+        &format!("  li   t0, {sub}\n  blt  s1, t0, skip_sub\n  addi t1, s1, -{sub}\n"),
+    );
+    s = replace_once(
+        &s,
+        "  li   t0, 8\n  blt  s1, t0, skip_open\n  addi t1, s1, -8\n",
+        &format!("  li   t0, {open}\n  blt  s1, t0, skip_open\n  addi t1, s1, -{open}\n"),
+    );
+    s = replace_once(
+        &s,
+        "  li   t0, 2\n  blt  s1, t0, skip_ext\n  addi t1, s1, -2\n",
+        &format!("  li   t0, {ext}\n  blt  s1, t0, skip_ext\n  addi t1, s1, -{ext}\n"),
+    );
+    s = replace_once(
+        &s,
+        "  addi t0, s1, 9\n",
+        &format!("  addi t0, s1, {margin}\n"),
+    );
+    s
+}
+
+/// The scalar kernel's assembly, re-templated for penalties `(x, o, e)`.
+pub fn wfa_scalar_asm_for(x: u32, o: u32, e: u32) -> String {
+    template_kernel(WFA_SCALAR_ASM, x, o, e)
+}
+
+/// The vector kernel's assembly, re-templated for penalties `(x, o, e)`.
+pub fn wfa_vector_asm_for(x: u32, o: u32, e: u32) -> String {
+    template_kernel(WFA_VECTOR_ASM, x, o, e)
+}
+
+/// Assemble the scalar kernel for penalties `(x, o, e)`. Callers that run
+/// many pairs should hold the returned [`Program`] and feed it to
+/// [`run_wfa_program`] instead of re-assembling per pair.
+pub fn wfa_scalar_program_for(x: u32, o: u32, e: u32) -> Program {
+    assemble(&wfa_scalar_asm_for(x, o, e)).expect("the templated kernel must assemble")
+}
+
+/// Assemble the vector kernel for penalties `(x, o, e)`.
+pub fn wfa_vector_program_for(x: u32, o: u32, e: u32) -> Program {
+    assemble(&wfa_vector_asm_for(x, o, e)).expect("the templated vector kernel must assemble")
 }
 
 /// Result of a kernel run.
@@ -640,13 +690,13 @@ pub struct KernelRun {
     pub stats: ExecStats,
 }
 
-/// Run the scalar WFA kernel on a pair of sequences.
-pub fn run_wfa_scalar(a: &[u8], b: &[u8]) -> KernelRun {
+/// Run a WFA kernel program (scalar or vector, any templated penalties) on
+/// a pair of sequences, on a fresh machine.
+pub fn run_wfa_program(program: &Program, a: &[u8], b: &[u8]) -> KernelRun {
     assert!(
         a.len() <= MAX_KERNEL_SEQ && b.len() <= MAX_KERNEL_SEQ,
         "sequence exceeds the kernel memory map"
     );
-    let program = wfa_scalar_program();
     let mut m = Machine::new(2 << 20);
     m.ram[SEQ_A_BASE as usize..SEQ_A_BASE as usize + a.len()].copy_from_slice(a);
     m.ram[SEQ_B_BASE as usize..SEQ_B_BASE as usize + b.len()].copy_from_slice(b);
@@ -665,6 +715,16 @@ pub fn run_wfa_scalar(a: &[u8], b: &[u8]) -> KernelRun {
         score: (a0 >= 0).then_some(a0 as u32),
         stats: m.stats,
     }
+}
+
+/// Run the scalar WFA kernel (default penalties) on a pair of sequences.
+pub fn run_wfa_scalar(a: &[u8], b: &[u8]) -> KernelRun {
+    run_wfa_program(wfa_scalar_program(), a, b)
+}
+
+/// Run the vectorized WFA kernel (default penalties) on a pair of sequences.
+pub fn run_wfa_vector(a: &[u8], b: &[u8]) -> KernelRun {
+    run_wfa_program(wfa_vector_program(), a, b)
 }
 
 #[cfg(test)]
@@ -723,6 +783,26 @@ mod tests {
         let a = vec![b'A'; 200];
         let b = vec![b'T'; 200];
         assert_eq!(run_wfa_scalar(&a, &b).score, None);
+    }
+
+    #[test]
+    fn templated_kernels_score_alternate_penalty_sets() {
+        // (x, o, e) = (7, 4, 1): mismatch lookback 7, open 5, extend 1.
+        let p = wfa_scalar_program_for(7, 4, 1);
+        assert_eq!(run_wfa_program(&p, b"ACGTACGT", b"ACTTACGT").score, Some(7));
+        assert_eq!(run_wfa_program(&p, b"ACGT", b"ACGGT").score, Some(5));
+        assert_eq!(run_wfa_program(&p, b"", b"ACG").score, Some(7));
+        let v = wfa_vector_program_for(7, 4, 1);
+        assert_eq!(run_wfa_program(&v, b"ACGTACGT", b"ACTTACGT").score, Some(7));
+        // And the default template reproduces the bundled kernel verbatim.
+        assert_eq!(wfa_scalar_asm_for(4, 6, 2), WFA_SCALAR_ASM);
+        assert_eq!(wfa_vector_asm_for(4, 6, 2), WFA_VECTOR_ASM);
+    }
+
+    #[test]
+    #[should_panic(expected = "16-slot ring")]
+    fn templating_rejects_lookbacks_beyond_the_ring() {
+        wfa_scalar_asm_for(4, 20, 2);
     }
 
     #[test]

@@ -23,5 +23,8 @@ pub use asm::{assemble, AsmError, Program};
 pub use cpu::{ExecStats, Machine, Stop};
 pub use disasm::disassemble;
 pub use isa::Instr;
-pub use kernels::{run_wfa_scalar, KernelRun};
+pub use kernels::{
+    run_wfa_program, run_wfa_scalar, run_wfa_vector, wfa_scalar_program_for,
+    wfa_vector_program_for, KernelRun,
+};
 pub use vector::{VInstr, VecUnit, VLEN_BYTES};

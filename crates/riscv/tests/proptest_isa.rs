@@ -137,6 +137,301 @@ fn encode_decode_roundtrip() {
     });
 }
 
+/// One instance of every (variant, op, word-form) row of the RV64IM + RVV
+/// subset table, with randomized in-range operands — the exhaustive
+/// complement to `any_scalar_instr`'s weighted sampling.
+fn full_instruction_table(rng: &mut SmallRng) -> Vec<Instr> {
+    let mut t = Vec::new();
+    let upper = |rng: &mut SmallRng| ((rng.gen_range_u64(0, 1 << 20) as i64) - (1 << 19)) << 12;
+    t.push(Instr::Lui {
+        rd: reg(rng),
+        imm: upper(rng),
+    });
+    t.push(Instr::Auipc {
+        rd: reg(rng),
+        imm: upper(rng),
+    });
+    t.push(Instr::Jal {
+        rd: reg(rng),
+        offset: (rng.gen_range_u64(0, 1 << 20) as i64 - (1 << 19)) * 2,
+    });
+    t.push(Instr::Jalr {
+        rd: reg(rng),
+        rs1: reg(rng),
+        offset: imm12(rng),
+    });
+    for op in [
+        BranchOp::Eq,
+        BranchOp::Ne,
+        BranchOp::Lt,
+        BranchOp::Ge,
+        BranchOp::Ltu,
+        BranchOp::Geu,
+    ] {
+        t.push(Instr::Branch {
+            op,
+            rs1: reg(rng),
+            rs2: reg(rng),
+            offset: imm12(rng) * 2,
+        });
+    }
+    for op in [
+        LoadOp::B,
+        LoadOp::H,
+        LoadOp::W,
+        LoadOp::D,
+        LoadOp::Bu,
+        LoadOp::Hu,
+        LoadOp::Wu,
+    ] {
+        t.push(Instr::Load {
+            op,
+            rd: reg(rng),
+            rs1: reg(rng),
+            offset: imm12(rng),
+        });
+    }
+    for op in [StoreOp::B, StoreOp::H, StoreOp::W, StoreOp::D] {
+        t.push(Instr::Store {
+            op,
+            rs2: reg(rng),
+            rs1: reg(rng),
+            offset: imm12(rng),
+        });
+    }
+    // Immediate ALU ops (no subi; shifts carry a shamt, not an i12). Only
+    // addiw/slliw/srliw/sraiw have architecturally real word forms.
+    for op in [
+        AluOp::Add,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Or,
+        AluOp::And,
+    ] {
+        t.push(Instr::OpImm {
+            op,
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: imm12(rng),
+            word: false,
+        });
+    }
+    t.push(Instr::OpImm {
+        op: AluOp::Add,
+        rd: reg(rng),
+        rs1: reg(rng),
+        imm: imm12(rng),
+        word: true,
+    });
+    for word in [false, true] {
+        let shamt_bits = if word { 5 } else { 6 };
+        for op in [AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+            t.push(Instr::OpImm {
+                op,
+                rd: reg(rng),
+                rs1: reg(rng),
+                imm: rng.gen_range(0, 1 << shamt_bits) as i64,
+                word,
+            });
+        }
+        // Register ALU and mul/div word forms: addw/subw/sllw/srlw/sraw
+        // and mulw/divw/divuw/remw/remuw.
+        for op in [AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+            t.push(Instr::Op {
+                op,
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: reg(rng),
+                word,
+            });
+        }
+        for op in [MulOp::Mul, MulOp::Div, MulOp::Divu, MulOp::Rem, MulOp::Remu] {
+            t.push(Instr::MulDiv {
+                op,
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: reg(rng),
+                word,
+            });
+        }
+    }
+    for op in [AluOp::Slt, AluOp::Sltu, AluOp::Xor, AluOp::Or, AluOp::And] {
+        t.push(Instr::Op {
+            op,
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            word: false,
+        });
+    }
+    for op in [MulOp::Mulh, MulOp::Mulhsu, MulOp::Mulhu] {
+        t.push(Instr::MulDiv {
+            op,
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            word: false,
+        });
+    }
+    for sew in [8u16, 16, 32, 64] {
+        t.push(Instr::Vector(VInstr::Vsetvli {
+            rd: reg(rng),
+            rs1: reg(rng),
+            sew,
+        }));
+        t.push(Instr::Vector(VInstr::Vle {
+            width: sew,
+            vd: reg(rng),
+            rs1: reg(rng),
+        }));
+        t.push(Instr::Vector(VInstr::Vse {
+            width: sew,
+            vs3: reg(rng),
+            rs1: reg(rng),
+        }));
+    }
+    t.push(Instr::Vector(VInstr::VaddVV {
+        vd: reg(rng),
+        vs2: reg(rng),
+        vs1: reg(rng),
+    }));
+    t.push(Instr::Vector(VInstr::VaddVI {
+        vd: reg(rng),
+        vs2: reg(rng),
+        imm: rng.gen_range(0, 32) as i8 - 16,
+    }));
+    t.push(Instr::Vector(VInstr::VaddVX {
+        vd: reg(rng),
+        vs2: reg(rng),
+        rs1: reg(rng),
+    }));
+    t.push(Instr::Vector(VInstr::VmaxVV {
+        vd: reg(rng),
+        vs2: reg(rng),
+        vs1: reg(rng),
+    }));
+    t.push(Instr::Vector(VInstr::VmseqVV {
+        vd: reg(rng),
+        vs2: reg(rng),
+        vs1: reg(rng),
+    }));
+    t.push(Instr::Vector(VInstr::VmsneVV {
+        vd: reg(rng),
+        vs2: reg(rng),
+        vs1: reg(rng),
+    }));
+    t.push(Instr::Vector(VInstr::VmsltVX {
+        vd: reg(rng),
+        vs2: reg(rng),
+        rs1: reg(rng),
+    }));
+    t.push(Instr::Vector(VInstr::VmsgtVX {
+        vd: reg(rng),
+        vs2: reg(rng),
+        rs1: reg(rng),
+    }));
+    t.push(Instr::Vector(VInstr::VmergeVXM {
+        vd: reg(rng),
+        vs2: reg(rng),
+        rs1: reg(rng),
+    }));
+    t.push(Instr::Vector(VInstr::VmvVX {
+        vd: reg(rng),
+        rs1: reg(rng),
+    }));
+    t.push(Instr::Vector(VInstr::VfirstM {
+        rd: reg(rng),
+        vs2: reg(rng),
+    }));
+    t.push(Instr::Vector(VInstr::VidV { vd: reg(rng) }));
+    t.push(Instr::Ecall);
+    t.push(Instr::Ebreak);
+    t.push(Instr::Fence);
+    t
+}
+
+/// The full table survives encode -> decode -> re-encode: decode is a left
+/// inverse of encode, and the composition is idempotent at the word level.
+#[test]
+fn full_table_binary_roundtrip() {
+    cases(100, 0x15A_0004, |rng, _| {
+        for instr in full_instruction_table(rng) {
+            let word = instr.encode();
+            let decoded = Instr::decode(word);
+            assert_eq!(decoded, Some(instr), "word 0x{word:08x}");
+            assert_eq!(decoded.unwrap().encode(), word, "re-encode of {instr:?}");
+        }
+    });
+}
+
+/// Straight-line rows of the full table also survive the *textual* loop:
+/// `Display -> assemble -> encode` reproduces the original word. Branches
+/// and `jal` are excluded by contract — the disassembler prints them
+/// `.`-relative, a form the assembler does not parse.
+#[test]
+fn full_table_disasm_reassembles() {
+    cases(50, 0x15A_0005, |rng, _| {
+        for instr in full_instruction_table(rng) {
+            if matches!(instr, Instr::Jal { .. } | Instr::Branch { .. }) {
+                continue;
+            }
+            let text = format!("  {instr}\n");
+            let p =
+                assemble(&text).unwrap_or_else(|e| panic!("{instr:?} printed as {text:?}: {e:?}"));
+            assert_eq!(p.instrs.len(), 1, "{text:?}");
+            assert_eq!(
+                p.instrs[0].encode(),
+                instr.encode(),
+                "textual round-trip of {instr:?} via {text:?}"
+            );
+        }
+    });
+}
+
+/// `Machine::exec_word` accepts *any* 32-bit word without panicking: valid
+/// encodings execute, everything else stops with a typed
+/// `Stop::IllegalInstr`. Registers are randomized first so address
+/// arithmetic sees hostile values (near-`u64::MAX` bases, unaligned
+/// pointers) and must fault, not overflow.
+#[test]
+fn exec_word_never_panics_on_random_words() {
+    cases(2_000, 0x15A_0006, |rng, _| {
+        let mut m = Machine::new(4096);
+        for r in 1..32 {
+            // Half hostile extremes, half small values that stay in RAM.
+            let v = if rng.gen_bool(0.5) {
+                rng.next_u64()
+            } else {
+                rng.gen_range_u64(0, 4096)
+            };
+            m.set_reg(r, v);
+        }
+        for _ in 0..64 {
+            let word = match rng.gen_range(0, 3) {
+                // Raw fuzz: almost always an illegal encoding.
+                0 => rng.next_u32(),
+                // Near-miss fuzz: a valid encoding with one bit flipped.
+                1 => any_scalar_instr(rng).encode() ^ (1 << rng.gen_range(0, 32)),
+                // Valid encodings keep the executing paths hot.
+                _ => any_scalar_instr(rng).encode(),
+            };
+            match m.exec_word(word) {
+                Ok(_) => {}
+                Err(Stop::IllegalInstr { word: w }) => {
+                    assert_eq!(w, word);
+                    assert!(
+                        wfasic_riscv::isa::Instr::decode(word).is_none(),
+                        "typed illegal trap must mean the word does not decode"
+                    );
+                }
+                Err(Stop::MemFault { .. }) => {}
+                Err(stop) => panic!("unexpected stop {stop:?} for word 0x{word:08x}"),
+            }
+        }
+    });
+}
+
 /// The interpreter's add/sub/mul/div match native i64 semantics.
 #[test]
 fn alu_matches_native() {

@@ -1,0 +1,269 @@
+//! Semantics suite for the RVV subset: every `VInstr` is executed through
+//! the full `encode -> decode -> step` path on a [`Machine`] and compared
+//! against a scalar reference loop in plain Rust. This pins down the
+//! substrate the vectorized WFA kernel (and any future RVV-modeled kernel)
+//! stands on: lane truncation/sign-extension at each SEW, mask-bit layout,
+//! memory element widths and `vl` clamping.
+
+use wfa_core::prop::cases;
+use wfasic_riscv::cpu::Machine;
+use wfasic_riscv::isa::Instr;
+use wfasic_riscv::vector::{VInstr, VLEN_BYTES};
+
+const SEWS: [u16; 4] = [8, 16, 32, 64];
+
+fn exec(m: &mut Machine, v: VInstr) {
+    let word = Instr::Vector(v).encode();
+    m.exec_word(word)
+        .unwrap_or_else(|stop| panic!("{v:?} stopped with {stop:?}"));
+}
+
+/// Sign-extend the low `sew` bits of `v` — the scalar model of what a lane
+/// write-then-read does.
+fn trunc(v: i64, sew: u16) -> i64 {
+    let shift = 64 - sew as u32;
+    (v << shift) >> shift
+}
+
+/// Configure `sew` at full vector length and return the lane count.
+fn setvl_max(m: &mut Machine, sew: u16) -> usize {
+    m.set_reg(6, 64); // avl far above any lane count
+    exec(m, VInstr::Vsetvli { rd: 5, rs1: 6, sew });
+    m.vec.vl
+}
+
+#[test]
+fn vsetvli_clamps_vl_and_reports_it() {
+    let mut m = Machine::new(4096);
+    for sew in SEWS {
+        let max = (VLEN_BYTES * 8) / sew as usize;
+        for avl in 0..(2 * max as u64 + 3) {
+            m.set_reg(6, avl);
+            exec(&mut m, VInstr::Vsetvli { rd: 5, rs1: 6, sew });
+            let want = (avl as usize).min(max) as u64;
+            assert_eq!(m.reg(5), want, "sew={sew} avl={avl}");
+            assert_eq!(m.vec.vl as u64, want);
+            assert_eq!(m.vec.sew, sew);
+        }
+    }
+}
+
+#[test]
+fn lane_arithmetic_matches_scalar_reference() {
+    cases(300, 0x5EC_0001, |rng, _| {
+        let mut m = Machine::new(4096);
+        let sew = *rng.pick(&SEWS);
+        let vl = setvl_max(&mut m, sew);
+        let a: Vec<i64> = (0..vl).map(|_| trunc(rng.next_u64() as i64, sew)).collect();
+        let b: Vec<i64> = (0..vl).map(|_| trunc(rng.next_u64() as i64, sew)).collect();
+        for i in 0..vl {
+            m.vec.set_lane(1, i, a[i]);
+            m.vec.set_lane(2, i, b[i]);
+        }
+        let x = rng.next_u64();
+        m.set_reg(7, x);
+        let imm = rng.gen_range(0, 32) as i8 - 16;
+
+        exec(
+            &mut m,
+            VInstr::VaddVV {
+                vd: 3,
+                vs2: 1,
+                vs1: 2,
+            },
+        );
+        exec(&mut m, VInstr::VaddVI { vd: 4, vs2: 1, imm });
+        exec(
+            &mut m,
+            VInstr::VaddVX {
+                vd: 8,
+                vs2: 1,
+                rs1: 7,
+            },
+        );
+        exec(
+            &mut m,
+            VInstr::VmaxVV {
+                vd: 9,
+                vs2: 1,
+                vs1: 2,
+            },
+        );
+        for i in 0..vl {
+            assert_eq!(
+                m.vec.lane(3, i),
+                trunc(a[i].wrapping_add(b[i]), sew),
+                "vadd.vv lane {i} sew {sew}"
+            );
+            assert_eq!(
+                m.vec.lane(4, i),
+                trunc(a[i].wrapping_add(imm as i64), sew),
+                "vadd.vi lane {i} sew {sew}"
+            );
+            assert_eq!(
+                m.vec.lane(8, i),
+                trunc(a[i].wrapping_add(x as i64), sew),
+                "vadd.vx lane {i} sew {sew}"
+            );
+            assert_eq!(
+                m.vec.lane(9, i),
+                a[i].max(b[i]),
+                "vmax.vv is a signed max at every sew"
+            );
+        }
+    });
+}
+
+#[test]
+fn mask_ops_match_scalar_comparisons() {
+    cases(300, 0x5EC_0002, |rng, _| {
+        let mut m = Machine::new(4096);
+        let sew = *rng.pick(&SEWS);
+        let vl = setvl_max(&mut m, sew);
+        // Small value range so equalities actually happen.
+        let a: Vec<i64> = (0..vl).map(|_| rng.gen_range(0, 7) as i64 - 3).collect();
+        let b: Vec<i64> = (0..vl).map(|_| rng.gen_range(0, 7) as i64 - 3).collect();
+        for i in 0..vl {
+            m.vec.set_lane(1, i, a[i]);
+            m.vec.set_lane(2, i, b[i]);
+        }
+        let x: i64 = rng.gen_range(0, 7) as i64 - 3;
+        m.set_reg(7, x as u64);
+
+        exec(
+            &mut m,
+            VInstr::VmseqVV {
+                vd: 10,
+                vs2: 1,
+                vs1: 2,
+            },
+        );
+        exec(
+            &mut m,
+            VInstr::VmsneVV {
+                vd: 11,
+                vs2: 1,
+                vs1: 2,
+            },
+        );
+        exec(
+            &mut m,
+            VInstr::VmsltVX {
+                vd: 12,
+                vs2: 1,
+                rs1: 7,
+            },
+        );
+        exec(
+            &mut m,
+            VInstr::VmsgtVX {
+                vd: 13,
+                vs2: 1,
+                rs1: 7,
+            },
+        );
+        for i in 0..vl {
+            assert_eq!(m.vec.mask_bit(10, i), a[i] == b[i], "vmseq lane {i}");
+            assert_eq!(m.vec.mask_bit(11, i), a[i] != b[i], "vmsne lane {i}");
+            assert_eq!(m.vec.mask_bit(12, i), a[i] < x, "vmslt lane {i}");
+            assert_eq!(m.vec.mask_bit(13, i), a[i] > x, "vmsgt lane {i}");
+        }
+
+        // vfirst.m: index of the first set bit, or -1 on an all-clear mask.
+        exec(&mut m, VInstr::VfirstM { rd: 20, vs2: 11 });
+        let want = a
+            .iter()
+            .zip(&b)
+            .position(|(p, q)| p != q)
+            .map(|i| i as i64)
+            .unwrap_or(-1);
+        assert_eq!(m.reg(20) as i64, want, "vfirst.m over vmsne");
+
+        // vmerge.vxm reads the mask from v0 by contract.
+        for i in 0..vl {
+            m.vec.set_mask_bit(0, i, a[i] == b[i]);
+        }
+        exec(
+            &mut m,
+            VInstr::VmergeVXM {
+                vd: 14,
+                vs2: 2,
+                rs1: 7,
+            },
+        );
+        for i in 0..vl {
+            let want = if a[i] == b[i] { trunc(x, sew) } else { b[i] };
+            assert_eq!(m.vec.lane(14, i), want, "vmerge.vxm lane {i}");
+        }
+    });
+}
+
+#[test]
+fn broadcast_and_index_generation() {
+    cases(100, 0x5EC_0003, |rng, _| {
+        let mut m = Machine::new(4096);
+        let sew = *rng.pick(&SEWS);
+        let vl = setvl_max(&mut m, sew);
+        let x = rng.next_u64();
+        m.set_reg(7, x);
+        exec(&mut m, VInstr::VmvVX { vd: 21, rs1: 7 });
+        exec(&mut m, VInstr::VidV { vd: 22 });
+        for i in 0..vl {
+            assert_eq!(m.vec.lane(21, i), trunc(x as i64, sew), "vmv.v.x lane {i}");
+            assert_eq!(m.vec.lane(22, i), i as i64, "vid.v lane {i}");
+        }
+    });
+}
+
+#[test]
+fn unit_stride_load_store_at_every_width() {
+    cases(200, 0x5EC_0004, |rng, _| {
+        let mut m = Machine::new(4096);
+        let sew = *rng.pick(&SEWS);
+        let vl = setvl_max(&mut m, sew);
+        let elem = (sew / 8) as usize;
+        let src = 0x100u64;
+        let dst = 0x200u64;
+        let mut bytes = vec![0u8; vl * elem];
+        rng.fill_bytes(&mut bytes);
+        m.ram[src as usize..src as usize + bytes.len()].copy_from_slice(&bytes);
+        m.set_reg(8, src);
+        m.set_reg(9, dst);
+
+        exec(
+            &mut m,
+            VInstr::Vle {
+                width: sew,
+                vd: 1,
+                rs1: 8,
+            },
+        );
+        for i in 0..vl {
+            // Loads sign-extend each element, exactly like the scalar lb/lh/lw.
+            let chunk = &bytes[i * elem..(i + 1) * elem];
+            let mut v: u64 = 0;
+            for (j, &b) in chunk.iter().enumerate() {
+                v |= (b as u64) << (8 * j);
+            }
+            assert_eq!(
+                m.vec.lane(1, i),
+                trunc(v as i64, sew),
+                "vle lane {i} sew {sew}"
+            );
+        }
+
+        exec(
+            &mut m,
+            VInstr::Vse {
+                width: sew,
+                vs3: 1,
+                rs1: 9,
+            },
+        );
+        assert_eq!(
+            &m.ram[dst as usize..dst as usize + bytes.len()],
+            &bytes[..],
+            "vse writes back exactly the loaded bytes (sew {sew})"
+        );
+    });
+}

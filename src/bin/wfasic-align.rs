@@ -1,7 +1,7 @@
 //! `wfasic-align` — align FASTA read pairs on any execution backend.
 //!
 //! ```text
-//! wfasic-align <a.fasta> <b.fasta> [--backend cpu|swg|device|multilane|hetero]
+//! wfasic-align <a.fasta> <b.fasta> [--backend cpu|swg|riscv|device|multilane|hetero]
 //!              [--lanes N] [--aligners N] [--no-backtrace] [--cycles]
 //! ```
 //!
@@ -33,7 +33,7 @@ const EXIT_BACKPRESSURE: i32 = 4;
 fn usage() -> ! {
     eprintln!(
         "usage: wfasic-align <a.fasta> <b.fasta> \
-         [--backend cpu|swg|device|multilane|hetero] [--lanes N] \
+         [--backend cpu|swg|riscv|device|multilane|hetero] [--lanes N] \
          [--aligners N] [--no-backtrace] [--cycles]"
     );
     std::process::exit(EXIT_USAGE);

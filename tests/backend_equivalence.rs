@@ -1,11 +1,12 @@
 //! Backend-equivalence suite: every execution backend is interchangeable.
 //!
 //! The same fixed-seed pair sets (the differential sweep's generator) run
-//! through all five [`AlignmentBackend`]s and must agree:
+//! through all six [`AlignmentBackend`]s and must agree:
 //!
-//! * **Scores are bit-identical across every backend.** All five engines
-//!   compute the exact gap-affine optimum, so a score mismatch anywhere is
-//!   a real defect.
+//! * **Scores are bit-identical across every backend.** All six engines
+//!   (including `riscv`, whose in-envelope scores come out of the RV64IM
+//!   interpreter running the hand-written WFA kernel) compute the exact
+//!   gap-affine optimum, so a score mismatch anywhere is a real defect.
 //! * **CIGARs are bit-identical across the device-backed backends**
 //!   (`device`, `multilane`, `hetero`): they share the hardware backtrace
 //!   stream and the CPU origin-walk, and lane count / chunking / bus

@@ -1,0 +1,40 @@
+//! The differential co-simulation sweep at the CI tier, as an integration
+//! test: `cargo test` alone proves the four models (software WFA, ISA
+//! kernels on the interpreter, analytic Sargantana costs, backend
+//! counters) still agree AND that the deterministic totals match the
+//! committed baseline — the same gate CI runs as
+//! `report -- cosim --quick --check`.
+
+use wfasic_bench::baseline;
+use wfasic_bench::cosim::{self, CosimOptions};
+
+#[test]
+fn quick_cosim_sweep_matches_the_committed_baseline() {
+    // `sweep` asserts the cross-model invariants in place (score/CIGAR
+    // identity, counter sums, calibrated analytic bands); reaching the
+    // comparison below means they all held.
+    let outcome = cosim::sweep(&CosimOptions {
+        quick: true,
+        ..CosimOptions::default()
+    });
+
+    let path = cosim::default_baseline_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} — regenerate with `report -- cosim --quick --bless`: {e}",
+            path.display()
+        )
+    });
+    let base = baseline::parse_json(&text).expect("committed cosim baseline parses");
+    let drifts = baseline::compare(&base, &cosim::metrics(&outcome));
+    let failures: Vec<String> = drifts
+        .iter()
+        .filter(|d| d.fails(baseline::TOLERANCE_PCT))
+        .map(|d| format!("{d:?}"))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "cosim totals drifted from bench/baselines/cosim.json:\n{}",
+        failures.join("\n")
+    );
+}
