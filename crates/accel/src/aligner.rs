@@ -10,15 +10,15 @@
 //! alignment whose score exceeds `Score_max = 2*k_max + 4` (Eq. 6) is
 //! terminated with `Success = 0`.
 
-use crate::compute::{compute_cell, compute_cell_bare, CellSources};
 use crate::config::AccelConfig;
-use crate::extend::{extend_cell, section_run_cycles};
+use crate::extend::{compare_cycles, extend_cell, section_run_cycles};
 use crate::extractor::ExtractedPair;
 use crate::schedule::WavefrontSchedule;
 use wfa_core::arena::WavefrontArena;
 use wfa_core::bitpack::PackedSeq;
+use wfa_core::kernel::{compute_row, compute_row_with_origins, lcp_packed_batch};
 use wfa_core::wavefront::{offset_is_valid, Wavefront, OFFSET_NULL};
-use wfasic_seqio::memimage::{pack_origins, CellOrigin};
+use wfasic_seqio::memimage::{bt_block_bytes, pack_code_into, pack_codes_dense};
 use wfasic_soc::clock::Cycle;
 
 /// Reusable host-side scratch for the Aligner datapath: the wavefront
@@ -35,7 +35,18 @@ pub struct AlignerScratch {
     pub arena: WavefrontArena,
     section_sum: Vec<Cycle>,
     section_cnt: Vec<Cycle>,
-    batch_origins: Vec<CellOrigin>,
+    code_row: Vec<u8>,
+    sub_row: Vec<i32>,
+    open_row: Vec<i32>,
+    iext_row: Vec<i32>,
+    dext_row: Vec<i32>,
+    // Staging for the batched extend: one entry per valid M cell of the
+    // current frame column (cell index, section, (i, j) start, LCP result).
+    ext_idx: Vec<u32>,
+    ext_sec: Vec<u32>,
+    ext_is: Vec<i32>,
+    ext_js: Vec<i32>,
+    ext_lcp: Vec<u32>,
 }
 
 impl AlignerScratch {
@@ -77,9 +88,12 @@ pub struct AlignerOutcome {
     pub extend_cycles: Cycle,
     /// Cycles in the compute phases.
     pub compute_cycles: Cycle,
-    /// Origin blocks, in emission order (empty when backtrace is disabled
-    /// or the pair was rejected).
-    pub bt_blocks: Vec<Vec<u8>>,
+    /// Packed origin blocks in emission order, concatenated into one flat
+    /// stream of [`wfasic_seqio::memimage::bt_block_bytes`]`(P)`-byte blocks
+    /// (empty when backtrace is disabled or the pair was rejected). The flat
+    /// form is exactly what Collector BT streams out, so nothing downstream
+    /// ever re-concatenates per-block allocations.
+    pub bt_blocks: Vec<u8>,
     /// Work counters.
     pub stats: AlignerStats,
 }
@@ -149,12 +163,26 @@ impl<'a> WfView<'a> {
         }
     }
 
-    #[inline(always)]
-    fn at(&self, k: i32) -> i32 {
-        if k < self.lo || k > self.hi {
-            OFFSET_NULL
+    /// Gather the wavefront's offsets for `k in lo..=hi` into `row` with
+    /// [`Wavefront::get`] semantics (NULL outside the stored range): NULL
+    /// fill plus one block copy of the overlap (the batched compute
+    /// kernel's source form).
+    fn fill_row(&self, row: &mut Vec<i32>, lo: i32, hi: i32) {
+        let len = (hi - lo + 1) as usize;
+        row.resize(len, OFFSET_NULL);
+        let s = lo.max(self.lo);
+        let e = hi.min(self.hi);
+        if s <= e {
+            // Write each slot exactly once: NULL head, overlap copy, NULL
+            // tail (a clear + full NULL resize would write the overlap twice).
+            let dst = (s - lo) as usize;
+            let src = (s - self.lo) as usize;
+            let count = (e - s + 1) as usize;
+            row[..dst].fill(OFFSET_NULL);
+            row[dst..dst + count].copy_from_slice(&self.offs[src..src + count]);
+            row[dst + count..].fill(OFFSET_NULL);
         } else {
-            self.offs[(k - self.lo) as usize]
+            row.fill(OFFSET_NULL);
         }
     }
 }
@@ -336,9 +364,11 @@ pub fn align_packed_in(
         let depth = step.depth as i32;
         out.stats.score_steps += 1;
 
-        let mut wm = scratch.arena.wavefront(-depth, depth);
-        let mut wi = scratch.arena.wavefront(-depth, depth);
-        let mut wd = scratch.arena.wavefront(-depth, depth);
+        // The batched kernel stores to every slot in [-depth, depth], so the
+        // buffers need sizing only, not the arena's NULL fill.
+        let mut wm = scratch.arena.wavefront_overwritten(-depth, depth);
+        let mut wi = scratch.arena.wavefront_overwritten(-depth, depth);
+        let mut wd = scratch.arena.wavefront_overwritten(-depth, depth);
 
         // Hoist the window lookups out of the per-cell loop: the three
         // source sets are fixed for the whole score step, so resolve each
@@ -368,45 +398,72 @@ pub fn align_packed_in(
         // Output stores are unconditional: an invalid component is exactly
         // OFFSET_NULL (see `compute_cell_bare`), identical to the untouched
         // arena fill, so skipping the validity branches changes nothing.
+        // The whole frame column runs through the batched SIMD kernel either
+        // way. Values are bit-identical to `compute_cell_bare` per cell, and
+        // the batch/cycle accounting above depends only on the row range —
+        // host vector width never reaches the simulated cycle counts.
         let wm_offs = &mut wm.offsets[..];
         let wi_offs = &mut wi.offsets[..];
         let wd_offs = &mut wd.offsets[..];
-        let batch_origins = &mut scratch.batch_origins;
-        for group in first_group..=last_group {
-            batch_origins.clear();
-            for lane in 0..p {
-                let row = group * p + lane;
-                if row < row_lo || row > row_hi {
-                    if bt {
-                        batch_origins.push(CellOrigin::NONE);
-                    }
-                    continue;
-                }
-                let k = row as i32 - center;
-                let idx = (k + depth) as usize;
-                let src = CellSources {
-                    m_sub: sub_m.at(k),
-                    m_open_ins: open_m.at(k - 1),
-                    m_open_del: open_m.at(k + 1),
-                    i_ext: ext_i.at(k - 1),
-                    d_ext: ext_d.at(k + 1),
-                };
-                if bt {
-                    let cell = compute_cell(&src, k, n, m);
-                    wi_offs[idx] = cell.i;
-                    wd_offs[idx] = cell.d;
-                    wm_offs[idx] = cell.m;
-                    batch_origins.push(cell.origin);
+        sub_m.fill_row(&mut scratch.sub_row, -depth - 1, depth + 1);
+        open_m.fill_row(&mut scratch.open_row, -depth - 1, depth + 1);
+        ext_i.fill_row(&mut scratch.iext_row, -depth - 1, depth + 1);
+        ext_d.fill_row(&mut scratch.dext_row, -depth - 1, depth + 1);
+        if bt {
+            // Backtrace on: the kernel also emits each cell's 5-bit origin
+            // code (identical to `compute_cell().origin.code()`), which the
+            // P-lane batches below pack into the hardware block layout.
+            let code_row = &mut scratch.code_row;
+            code_row.clear();
+            code_row.resize(wm_offs.len(), 0);
+            compute_row_with_origins(
+                &scratch.sub_row,
+                &scratch.open_row,
+                &scratch.iext_row,
+                &scratch.dext_row,
+                -depth,
+                n,
+                m,
+                wi_offs,
+                wd_offs,
+                wm_offs,
+                code_row,
+            );
+            // Pack each P-lane batch straight into the tail of the flat
+            // stream: lanes outside the frame column pack code 0 (NONE),
+            // which is a no-op on the zeroed block bytes.
+            let bb = bt_block_bytes(p);
+            for group in first_group..=last_group {
+                let gstart = group * p;
+                let base = out.bt_blocks.len();
+                out.bt_blocks.resize(base + bb, 0);
+                let block = &mut out.bt_blocks[base..];
+                let s = gstart.max(row_lo);
+                let e = (gstart + p - 1).min(row_hi);
+                if s == gstart {
+                    // Group aligned with the frame column: one dense pack
+                    // (PEXT-accelerated) over its codes. All but the first
+                    // group of every step take this path.
+                    pack_codes_dense(block, &code_row[s - row_lo..=e - row_lo]);
                 } else {
-                    let (iv, dv, mv) = compute_cell_bare(&src, k, n, m);
-                    wi_offs[idx] = iv;
-                    wd_offs[idx] = dv;
-                    wm_offs[idx] = mv;
+                    for row in s..=e {
+                        pack_code_into(block, row - gstart, code_row[row - row_lo]);
+                    }
                 }
             }
-            if bt {
-                out.bt_blocks.push(pack_origins(batch_origins));
-            }
+        } else {
+            compute_row(
+                &scratch.sub_row,
+                &scratch.open_row,
+                &scratch.iext_row,
+                &scratch.dext_row,
+                -depth,
+                n,
+                m,
+                wi_offs,
+                wd_offs,
+                wm_offs,
+            );
         }
 
         // Extend phase: each section extends its stripe's valid M cells.
@@ -421,24 +478,56 @@ pub fn align_packed_in(
         let section_cnt = &mut scratch.section_cnt[..p];
         section_sum.fill(0);
         section_cnt.fill(0);
-        for (idx, slot) in wm.offsets.iter_mut().enumerate() {
-            let off = *slot;
+        // Pass 1 — collect the valid cells' coordinates. `sec` tracks
+        // `idx % p` incrementally (striping over the *full* row range, so
+        // the section assignment is exactly the hardware's bank mapping,
+        // independent of which cells are valid).
+        scratch.ext_idx.clear();
+        scratch.ext_sec.clear();
+        scratch.ext_is.clear();
+        scratch.ext_js.clear();
+        let mut sec = 0usize;
+        for (idx, &off) in wm.offsets.iter().enumerate() {
+            let cur = sec;
+            sec += 1;
+            if sec == p {
+                sec = 0;
+            }
             if !offset_is_valid(off) {
                 continue;
             }
             let k = idx as i32 - depth;
-            let r = extend_cell(cfg, a, b, k, off);
-            out.stats.extends += 1;
-            let i0 = (off - k) as usize + r.matches;
-            let j0 = off as usize + r.matches;
-            let stopped_inside = (i0 as i32) < n && (j0 as i32) < m;
-            out.stats.bases_compared += r.matches as u64 + stopped_inside as u64;
-            if r.matches > 0 {
-                *slot = off + r.matches as i32;
-            }
-            section_sum[idx % p] += r.compare_cycles;
-            section_cnt[idx % p] += 1;
+            scratch.ext_idx.push(idx as u32);
+            scratch.ext_sec.push(cur as u32);
+            scratch.ext_is.push(off - k);
+            scratch.ext_js.push(off);
         }
+        // Pass 2 — resolve every cell's LCP through the batched SIMD
+        // kernel (bit-identical to per-cell `extend_cell`).
+        let cells = scratch.ext_idx.len();
+        scratch.ext_lcp.resize(cells, 0);
+        lcp_packed_batch(
+            a,
+            b,
+            &scratch.ext_is,
+            &scratch.ext_js,
+            &mut scratch.ext_lcp[..cells],
+        );
+        // Pass 3 — apply results: offsets, per-section cycle pairs, stats.
+        // `stopped_inside` (both coordinates still in range after the run)
+        // is exactly `matches < limit`, since matches ≤ limit = min(n-i, m-j).
+        let mut bases: u64 = 0;
+        for t in 0..cells {
+            let matches = scratch.ext_lcp[t] as usize;
+            let limit = (n - scratch.ext_is[t]).min(m - scratch.ext_js[t]);
+            bases += matches as u64 + (((matches as i32) < limit) as u64);
+            wm.offsets[scratch.ext_idx[t] as usize] += matches as i32;
+            section_sum[scratch.ext_sec[t] as usize] += compare_cycles(cfg, matches);
+            section_cnt[scratch.ext_sec[t] as usize] += 1;
+        }
+        out.stats.bases_compared += bases;
+        // Every valid M cell was extended exactly once.
+        out.stats.extends += section_cnt.iter().sum::<Cycle>();
         let extend_phase = section_sum
             .iter()
             .zip(section_cnt.iter())
@@ -557,18 +646,15 @@ mod tests {
         let b = PackedSeq::from_ascii(b"GATCACAGATAACA").unwrap();
         let out = align_packed(&c, &schedule, 1, &a, &b, true);
         assert!(out.success);
+        // The flat stream is whole blocks of P*5 bits each, and the block
+        // count must match the deterministic schedule.
+        let bb = wfasic_seqio::memimage::bt_block_bytes(c.parallel_sections);
+        assert_eq!(out.bt_blocks.len() % bb, 0);
         assert_eq!(
-            out.bt_blocks.len() as u64,
+            (out.bt_blocks.len() / bb) as u64,
             schedule.total_blocks_through(out.score),
             "emitted blocks must match the deterministic schedule"
         );
-        // Every block is P*5 bits.
-        for blk in &out.bt_blocks {
-            assert_eq!(
-                blk.len(),
-                wfasic_seqio::memimage::bt_block_bytes(c.parallel_sections)
-            );
-        }
     }
 
     #[test]

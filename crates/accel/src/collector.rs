@@ -24,8 +24,7 @@ pub fn collect_bt(outcome: &AlignerOutcome) -> Vec<BtTxn> {
     // byte `i * block_bytes` of the reassembled payload; only the final
     // partial payload is padded. (For the 64-PS chip a block is exactly
     // four 10-byte payloads, so the chunking is invisible.)
-    let data: Vec<u8> = outcome.bt_blocks.concat();
-    for chunk in data.chunks(BT_PAYLOAD_BYTES) {
+    for chunk in outcome.bt_blocks.chunks(BT_PAYLOAD_BYTES) {
         let mut payload = [0u8; BT_PAYLOAD_BYTES];
         payload[..chunk.len()].copy_from_slice(chunk);
         txns.push(BtTxn {
@@ -56,6 +55,47 @@ pub fn bt_txns_to_bytes(txns: &[BtTxn]) -> Vec<u8> {
     for t in txns {
         out.extend_from_slice(&t.encode());
     }
+    out
+}
+
+/// [`collect_bt`] fused with [`bt_txns_to_bytes`]: encode the stream's
+/// 16-byte transactions in one pass, without materializing the transaction
+/// structs. Byte-identical to `bt_txns_to_bytes(&collect_bt(outcome))`.
+pub fn collect_bt_bytes(outcome: &AlignerOutcome) -> Vec<u8> {
+    let id = outcome.id & 0x7F_FFFF;
+    assert!(id < (1 << 23), "BT id exceeds 23 bits");
+    let txns = outcome.bt_blocks.len().div_ceil(BT_PAYLOAD_BYTES) + 1;
+    assert!(txns <= (1 << 24), "BT counter exceeds 24 bits");
+    let mut out = vec![0u8; txns * SECTION];
+    // Origin transactions: 10 payload bytes straight from the flat block
+    // stream, then {counter LE24, (Last=0 | id) LE24} — the exact layout of
+    // `BtTxn::encode` without building the struct.
+    for (counter, chunk) in outcome.bt_blocks.chunks(BT_PAYLOAD_BYTES).enumerate() {
+        let t = &mut out[counter * SECTION..(counter + 1) * SECTION];
+        t[..chunk.len()].copy_from_slice(chunk);
+        t[10] = counter as u8;
+        t[11] = (counter >> 8) as u8;
+        t[12] = (counter >> 16) as u8;
+        t[13] = id as u8;
+        t[14] = (id >> 8) as u8;
+        t[15] = (id >> 16) as u8;
+    }
+    // Final transaction: the score record with Last = 1.
+    let score_rec = BtScoreRecord {
+        success: outcome.success,
+        k: outcome.k_end as i16,
+        score: outcome.score.min(u16::MAX as u32) as u16,
+    };
+    let counter = txns - 1;
+    let t = &mut out[counter * SECTION..];
+    t[..BT_PAYLOAD_BYTES].copy_from_slice(&score_rec.encode());
+    t[10] = counter as u8;
+    t[11] = (counter >> 8) as u8;
+    t[12] = (counter >> 16) as u8;
+    let tail = (1u32 << 23) | id;
+    t[13] = tail as u8;
+    t[14] = (tail >> 8) as u8;
+    t[15] = (tail >> 16) as u8;
     out
 }
 
@@ -121,7 +161,7 @@ mod tests {
             cycles: 100,
             extend_cycles: 60,
             compute_cycles: 40,
-            bt_blocks: (0..blocks).map(|i| vec![i as u8; 40]).collect(),
+            bt_blocks: (0..blocks).flat_map(|i| [i as u8; 40]).collect(),
             stats: AlignerStats::default(),
         }
     }
@@ -156,6 +196,22 @@ mod tests {
     }
 
     #[test]
+    fn fused_byte_stream_matches_two_pass_encoding() {
+        for blocks in [0, 1, 3, 7] {
+            let o = outcome(0x7_1234, blocks != 1, 44 + blocks as u32, blocks);
+            assert_eq!(
+                collect_bt_bytes(&o),
+                bt_txns_to_bytes(&collect_bt(&o)),
+                "{blocks} blocks"
+            );
+        }
+        // Partial final payload (20-byte blocks, 32-PS style).
+        let mut o = outcome(9, true, 4, 0);
+        o.bt_blocks = vec![0xAB; 20];
+        assert_eq!(collect_bt_bytes(&o), bt_txns_to_bytes(&collect_bt(&o)));
+    }
+
+    #[test]
     fn bt_failed_alignment_still_reports() {
         let o = outcome(5, false, 0, 0);
         let txns = collect_bt(&o);
@@ -184,7 +240,7 @@ mod tests {
     fn nbt_32ps_style_blocks_split_into_two_txns() {
         // 20-byte origin blocks (32 parallel sections) -> 2 payload chunks.
         let mut o = outcome(1, true, 4, 0);
-        o.bt_blocks = vec![vec![0xAB; 20]];
+        o.bt_blocks = vec![0xAB; 20];
         let txns = collect_bt(&o);
         assert_eq!(txns.len(), 2 + 1);
     }

@@ -18,7 +18,7 @@
 //! bus stalls, MMIO corruption).
 
 use crate::aligner::{align_extracted_in, AlignerScratch, AlignerStats};
-use crate::collector::{bt_txns_to_bytes, collect_bt, nbt_record, pack_nbt_records};
+use crate::collector::{collect_bt_bytes, nbt_record, pack_nbt_records};
 use crate::config::AccelConfig;
 use crate::extractor::extract_pair;
 use crate::regs::{error_code, offsets, DeviceError, JobConfig};
@@ -511,8 +511,7 @@ impl WfasicDevice {
                 // has drained (the Aligner stalls if the output can't keep
                 // up — "transferring huge amount of backtrace data ... may
                 // limit the performance").
-                let txns = collect_bt(&outcome);
-                let bytes = bt_txns_to_bytes(&txns);
+                let bytes = collect_bt_bytes(&outcome);
                 let chunks = bytes.chunks(BT_CHUNK_TXNS * SECTION);
                 let n_chunks = chunks.len();
                 let mut write_done = t0;
@@ -703,7 +702,11 @@ mod tests {
         let recs = parse_nbt_records(&out, 6);
         assert_eq!(recs.len(), 6);
         for (rec, pair) in recs.iter().zip(&input) {
-            let sw = wfa_core::swg_score(&pair.a, &pair.b, &wfa_core::Penalties::WFASIC_DEFAULT);
+            let sw = wfa_core::swg_score(
+                &pair.a.bytes(),
+                &pair.b.bytes(),
+                &wfa_core::Penalties::WFASIC_DEFAULT,
+            );
             assert_eq!(rec.score as u64, sw, "pair id {}", pair.id);
             assert_eq!(rec.id as u32, pair.id & 0xFFFF);
             assert!(rec.success);
@@ -730,7 +733,11 @@ mod tests {
         assert_eq!(lasts.len(), input.len());
         for (t, pair) in lasts.iter().zip(&input) {
             let rec = wfasic_seqio::BtScoreRecord::decode(&t.payload);
-            let sw = wfa_core::swg_score(&pair.a, &pair.b, &wfa_core::Penalties::WFASIC_DEFAULT);
+            let sw = wfa_core::swg_score(
+                &pair.a.bytes(),
+                &pair.b.bytes(),
+                &wfa_core::Penalties::WFASIC_DEFAULT,
+            );
             assert_eq!(rec.score as u64, sw);
             assert_eq!(t.id, pair.id & 0x7F_FFFF);
         }
@@ -792,7 +799,7 @@ mod tests {
         }
         .generate(3, 2)
         .pairs;
-        pairs[1].a[10] = b'N';
+        pairs[1].a.set_byte(10, b'N');
         let max = 128;
         let img = InputImage::encode(&pairs, max);
         let mut mem = MainMemory::with_default_cap();

@@ -7,11 +7,12 @@
 //! alignment network, and compares 16 bases per cycle after a five-cycle
 //! pipeline fill, stopping at the first mismatch or sequence end.
 //!
-//! Functionally this is exactly [`wfa_core::bitpack::extend_matches_packed`];
+//! Functionally this is exactly [`wfa_core::kernel::lcp_packed`];
 //! the model adds the cycle accounting.
 
 use crate::config::AccelConfig;
-use wfa_core::bitpack::{extend_matches_packed, PackedSeq};
+use wfa_core::bitpack::PackedSeq;
+use wfa_core::kernel::lcp_packed;
 use wfasic_soc::clock::Cycle;
 
 /// Result of one cell extension.
@@ -28,6 +29,7 @@ pub struct ExtendResult {
 ///
 /// `offset` is the `j` coordinate; `i = offset - k` (paper Eq. 4). The caller
 /// guarantees the cell is valid (within both sequences).
+#[inline(always)]
 pub fn extend_cell(
     cfg: &AccelConfig,
     a: &PackedSeq,
@@ -38,14 +40,25 @@ pub fn extend_cell(
     let j = offset as usize;
     let i = (offset - k) as usize;
     debug_assert!(i <= a.len() && j <= b.len(), "invalid cell reached extend");
-    let matches = extend_matches_packed(a, b, i, j);
-    // One comparison block per `extend_bases_per_cycle` bases examined; the
-    // block containing the mismatch (or the first block, if the very first
-    // base mismatches) still costs a cycle.
-    let blocks = (matches / cfg.extend_bases_per_cycle) as Cycle + 1;
+    let matches = lcp_packed(a, b, i, j);
     ExtendResult {
         matches,
-        compare_cycles: blocks,
+        compare_cycles: compare_cycles(cfg, matches),
+    }
+}
+
+/// Comparison cycles consumed discovering `matches` matching bases: one
+/// block per `extend_bases_per_cycle` bases examined; the block containing
+/// the mismatch (or the first block, if the very first base mismatches)
+/// still costs a cycle. Runs shorter than one block — the overwhelmingly
+/// common case — skip the division. Shared by [`extend_cell`] and the
+/// aligner's batched extend, so the cycle model has exactly one definition.
+#[inline(always)]
+pub fn compare_cycles(cfg: &AccelConfig, matches: usize) -> Cycle {
+    if matches < cfg.extend_bases_per_cycle {
+        1
+    } else {
+        (matches / cfg.extend_bases_per_cycle) as Cycle + 1
     }
 }
 

@@ -129,29 +129,21 @@ mod tests {
 
     #[test]
     fn extracts_good_pair() {
-        let pair = Pair {
-            id: 99,
-            a: b"GATTACAGATTACA".to_vec(),
-            b: b"GATCACAGATTACA".to_vec(),
-        };
+        let pair = Pair::new(99, b"GATTACAGATTACA".to_vec(), b"GATCACAGATTACA".to_vec());
         let rec = record_for(&pair, 16);
         let ex = extract_pair(&cfg(), &rec, 16);
         assert_eq!(ex.id, 99);
         assert!(ex.reject.is_none());
         let (a, b) = ex.rams.unwrap();
-        assert_eq!(a.to_packed().to_ascii(), pair.a);
-        assert_eq!(b.to_packed().to_ascii(), pair.b);
+        assert_eq!(a.to_packed().to_ascii(), pair.a.to_bytes());
+        assert_eq!(b.to_packed().to_ascii(), pair.b.to_bytes());
         // 3 header sections + 2 sequence sections of 16 bytes each.
         assert_eq!(ex.decode_cycles, 5);
     }
 
     #[test]
     fn rejects_over_max_read_len() {
-        let pair = Pair {
-            id: 1,
-            a: vec![b'A'; 20],
-            b: b"ACGT".to_vec(),
-        };
+        let pair = Pair::new(1, vec![b'A'; 20], b"ACGT".to_vec());
         let rec = record_for(&pair, 16);
         let ex = extract_pair(&cfg(), &rec, 16);
         assert!(matches!(
@@ -164,11 +156,7 @@ mod tests {
     #[test]
     fn rejects_over_supported_len() {
         // MAX_READ_LEN programmed beyond the design's 10K support.
-        let pair = Pair {
-            id: 1,
-            a: vec![b'A'; 10_016],
-            b: b"ACGT".to_vec(),
-        };
+        let pair = Pair::new(1, vec![b'A'; 10_016], b"ACGT".to_vec());
         let rec = record_for(&pair, 10_016);
         let ex = extract_pair(&cfg(), &rec, 10_016);
         assert!(matches!(
@@ -179,11 +167,7 @@ mod tests {
 
     #[test]
     fn rejects_n_bases() {
-        let pair = Pair {
-            id: 7,
-            a: b"ACGNACGT".to_vec(),
-            b: b"ACGTACGT".to_vec(),
-        };
+        let pair = Pair::new(7, b"ACGNACGT".to_vec(), b"ACGTACGT".to_vec());
         let rec = record_for(&pair, 16);
         let ex = extract_pair(&cfg(), &rec, 16);
         assert_eq!(ex.reject, Some(RejectReason::UnknownBase));
@@ -209,11 +193,7 @@ mod tests {
     fn dummy_padding_ignored() {
         // Padding bytes after the true length are zeros (not valid bases) —
         // the Extractor must ignore them because it knows the lengths.
-        let pair = Pair {
-            id: 2,
-            a: b"ACG".to_vec(),
-            b: b"ACGT".to_vec(),
-        };
+        let pair = Pair::new(2, b"ACG".to_vec(), b"ACGT".to_vec());
         let rec = record_for(&pair, 32);
         let ex = extract_pair(&cfg(), &rec, 32);
         assert!(ex.reject.is_none());

@@ -303,7 +303,8 @@ pub fn align_structural(
             }
             if bt {
                 debug_assert_eq!(batch_origins.len(), p);
-                out.bt_blocks.push(pack_origins(&batch_origins));
+                out.bt_blocks
+                    .extend_from_slice(&pack_origins(&batch_origins));
             }
         }
 

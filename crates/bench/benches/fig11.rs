@@ -3,7 +3,6 @@
 //! stream. Regenerate the figure with
 //! `cargo run -p wfasic-bench --release --bin report -- fig11`.
 
-use wfa_core::bitpack::PackedSeq;
 use wfasic_accel::aligner::align_packed;
 use wfasic_accel::collector::{bt_txns_to_bytes, collect_bt};
 use wfasic_accel::{AccelConfig, WavefrontSchedule};
@@ -22,8 +21,8 @@ fn main() {
     .pairs;
     let mut stream = Vec::new();
     for p in &pairs {
-        let a = PackedSeq::from_ascii(&p.a).unwrap();
-        let b = PackedSeq::from_ascii(&p.b).unwrap();
+        let a = p.a.as_packed().expect("generated reads pack").clone();
+        let b = p.b.as_packed().expect("generated reads pack").clone();
         let out = align_packed(&cfg, &schedule, p.id, &a, &b, true);
         stream.extend_from_slice(&bt_txns_to_bytes(&collect_bt(&out)));
     }

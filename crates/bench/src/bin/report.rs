@@ -56,7 +56,9 @@ subcommands (default: all)
                                         Pareto frontier vs bench/baselines/dse.json
   cosim [--check] [--bless]             differential co-simulation sweep; --check
                                         gates it vs bench/baselines/cosim.json
-  host                                  host wall-clock throughput (BENCH_host.json)
+  host [--check] [--bless]              host wall-clock throughput (BENCH_host.json);
+                                        --check gates the speedup *ratios* vs
+                                        bench/baselines/host.json (one-sided floor)
   chaos                                 chaos soak with invariant gates
   backends                              execution-backend comparison
   help | --help | -h                    this text
@@ -66,7 +68,7 @@ flags
   --seed N           workload seed (experiments, chaos, dse, cosim)
   --threads N        host threads (host, dse, cosim); results are thread-invariant
   --out PATH         JSON record path (host, chaos, dse, cosim)
-  --baseline PATH    override the gate baseline file (ci-check, dse, cosim)
+  --baseline PATH    override the gate baseline file (ci-check, dse, cosim, host)
   --bless            rewrite the gate baseline instead of comparing
   --check            dse/cosim: compare against the baseline instead of
                      writing the BENCH_*.json record (pass --out to keep it too)
@@ -226,7 +228,12 @@ fn main() {
                     std::process::exit(EXIT_VIOLATION);
                 }
             }
-            "host" => print!("{}", host::host_report(&host_opts)),
+            "host" => {
+                let path = baseline_override
+                    .clone()
+                    .unwrap_or_else(host::default_baseline_path);
+                run_host(&host_opts, check, bless, &path);
+            }
             "backends" => print!("{}", backends::backends_report(&sizes)),
             "all" => {
                 println!("{}", report::table1_report(&sizes));
@@ -409,6 +416,66 @@ fn run_cosim(
             "cosim-check: {} metrics within {}% of baseline",
             base.len(),
             baseline::TOLERANCE_PCT
+        );
+    }
+}
+
+/// `report -- host`: measure host throughput, then either write the
+/// schema-versioned JSON record (default `BENCH_host.json`), gate the
+/// speedup ratios against the committed baseline (`--check`), or rebless
+/// the baseline (`--bless`). The gate is one-sided and generous
+/// ([`host::RATIO_FLOOR`] of baseline): wall clock is machine-dependent,
+/// so only ratio collapses fail, never absolute times and never faster
+/// measurements.
+fn run_host(opts: &host::HostOptions, check: bool, bless: bool, baseline_path: &std::path::Path) {
+    let outcome = host::run(opts);
+    print!("{}", outcome.text);
+
+    if bless {
+        if let Some(dir) = baseline_path.parent() {
+            std::fs::create_dir_all(dir).expect("create baseline directory");
+        }
+        std::fs::write(
+            baseline_path,
+            baseline::render_json(&host::metrics(&outcome)),
+        )
+        .expect("write host baseline");
+        println!(
+            "blessed {} host ratio metrics into {}",
+            host::metrics(&outcome).len(),
+            baseline_path.display()
+        );
+        return;
+    }
+
+    // `--check` never touches the committed record; pass `--out` explicitly
+    // to keep the measured document too.
+    let record = match (&opts.out, check) {
+        (Some(path), _) => Some(path.clone()),
+        (None, false) => Some(std::path::PathBuf::from("BENCH_host.json")),
+        (None, true) => None,
+    };
+    if let Some(path) = record {
+        std::fs::write(&path, host::render_json(&outcome)).expect("write host record");
+        println!("wrote {}", path.display());
+    }
+
+    if check {
+        let base = load_baseline(baseline_path, "report -- host --quick --check --bless");
+        let (text, failures) = host::floor_check(&base, &host::metrics(&outcome));
+        print!("{text}");
+        if failures > 0 {
+            eprintln!(
+                "host-check: {failures} ratio(s) collapsed below {}x of baseline — \
+                 if intentional, rerun with --check --bless and commit the baseline",
+                host::RATIO_FLOOR
+            );
+            std::process::exit(EXIT_VIOLATION);
+        }
+        println!(
+            "host-check: {} speedup ratios at or above {}x of baseline",
+            base.len(),
+            host::RATIO_FLOOR
         );
     }
 }

@@ -38,7 +38,7 @@
 use crate::baseline::Metric;
 use std::path::PathBuf;
 use wfa_core::pool::{available_threads, ThreadPool};
-use wfa_core::{wfa_align_with_arena, Penalties, WavefrontArena, WfaOptions};
+use wfa_core::{wfa_align_seqs_with_arena, Penalties, WavefrontArena, WfaOptions};
 use wfasic_accel::AccelConfig;
 use wfasic_driver::batch::BatchJob;
 use wfasic_driver::cpu_model::CpuCosts;
@@ -262,16 +262,17 @@ fn run_class(index: usize, class: &CosimClass, n: usize, seed: u64) -> CosimRow 
     let mut scores = Vec::with_capacity(pairs.len());
     let mut cigars = Vec::with_capacity(pairs.len());
     for pair in &pairs {
-        let host = wfa_align_with_arena(&pair.a, &pair.b, &opts, &mut arena)
+        let host = wfa_align_seqs_with_arena(&pair.a, &pair.b, &opts, &mut arena)
             .unwrap_or_else(|e| panic!("{name}: oracle failed on pair {}: {e:?}", pair.id));
-        let scalar = run_wfa_program(&scalar_prog, &pair.a, &pair.b);
+        let (ia, ib) = (pair.a.bytes(), pair.b.bytes());
+        let scalar = run_wfa_program(&scalar_prog, &ia, &ib);
         assert_eq!(
             scalar.score,
             Some(host.score),
             "{name}: scalar ISA kernel disagrees with wfa_align on pair {}",
             pair.id
         );
-        let vector = run_wfa_program(&vector_prog, &pair.a, &pair.b);
+        let vector = run_wfa_program(&vector_prog, &ia, &ib);
         assert_eq!(
             vector.score,
             Some(host.score),

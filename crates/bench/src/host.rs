@@ -5,7 +5,7 @@
 //! Three layers, bottom up:
 //!
 //! * the shared LCP kernel ([`wfa_core::kernel`]) — scalar vs word-parallel
-//!   bases/sec;
+//!   vs the widest SIMD tier the host CPU offers, in bases/sec;
 //! * the software WFA oracle ([`CpuWfaBackend`] — the workspace's single
 //!   software answer path) — aligns/sec with fresh allocations vs the
 //!   reused [`wfa_core::WavefrontArena`];
@@ -14,21 +14,38 @@
 //!   requested width, reporting alignments/sec and DP-equivalent cells/sec
 //!   (`|a|*|b|` per pair, the paper's §5.5 CUPS convention).
 //!
-//! Results print as a table and are also emitted as JSON (default
-//! `BENCH_host.json`) so CI can archive them. Thread counts change wall
+//! Results print as a table and are also emitted as schema-versioned JSON
+//! ([`SCHEMA`], default `BENCH_host.json`) so CI can archive them. A
+//! committed ratio baseline (`bench/baselines/host.json`) gates the *speedup
+//! ratios* — never absolute times, which depend on the machine — with a
+//! generous one-sided floor: a ratio may grow freely but must not collapse
+//! below [`RATIO_FLOOR`] of its blessed value. Thread counts change wall
 //! clock only — every simulated result and cycle count is bit-identical at
 //! any width, which the differential sweep and the `run_parallel`
 //! bit-identity tests enforce.
 
+use crate::baseline::Metric;
 use crate::timing::measure;
 use std::path::{Path, PathBuf};
-use wfa_core::kernel;
+use wfa_core::kernel::{self, KernelDispatch};
 use wfa_core::pool::available_threads;
 use wfa_core::rng::SmallRng;
 use wfa_core::{PackedSeq, Penalties, WavefrontArena};
 use wfasic_accel::AccelConfig;
 use wfasic_driver::{BatchJob, BatchScheduler, CpuWfaBackend};
 use wfasic_seqio::InputSetSpec;
+
+/// Schema tag stamped into the JSON record (bump on layout changes).
+pub const SCHEMA: &str = "wfasic-host/1";
+
+/// One-sided gate floor: a measured speedup ratio must stay at or above
+/// this fraction of its blessed baseline value (being faster never fails).
+pub const RATIO_FLOOR: f64 = 0.5;
+
+/// The committed ratio baseline the `--check` gate compares against.
+pub fn default_baseline_path() -> PathBuf {
+    PathBuf::from("bench/baselines/host.json")
+}
 
 /// Options for the host-throughput report.
 #[derive(Debug, Clone)]
@@ -57,10 +74,69 @@ impl Default for HostOptions {
 
 /// One measured throughput point.
 #[derive(Debug, Clone, Copy)]
-struct Throughput {
-    seconds: f64,
-    aligns_per_sec: f64,
-    cells_per_sec: f64,
+pub struct Throughput {
+    /// Wall-clock seconds for the measured unit of work (p50).
+    pub seconds: f64,
+    /// Alignments completed per second.
+    pub aligns_per_sec: f64,
+    /// DP-equivalent cells per second (`|a|*|b|` per pair).
+    pub cells_per_sec: f64,
+}
+
+/// Everything one benchmark run measured, ready to render or gate.
+#[derive(Debug, Clone)]
+pub struct HostOutcome {
+    /// Parallel width the device path was measured at.
+    pub threads: usize,
+    /// Quick (CI) tier or the full workload?
+    pub quick: bool,
+    /// Workload seed.
+    pub seed: u64,
+    /// Layer 1: scalar bytes kernel, Gbases/s.
+    pub scalar_gbps: f64,
+    /// Layer 1: word-parallel packed kernel, Gbases/s.
+    pub word_gbps: f64,
+    /// Layer 1: widest available SIMD tier on packed data, Gbases/s.
+    pub simd_gbps: f64,
+    /// Layer 1 peak: word-parallel kernel on long identical runs, Gbases/s.
+    pub peak_word_gbps: f64,
+    /// Layer 1 peak: SIMD tier on long identical runs, Gbases/s.
+    pub peak_simd_gbps: f64,
+    /// Which tier [`KernelDispatch::Auto`] resolved to on this host.
+    pub simd_tier: &'static str,
+    /// Layer 2: oracle with a fresh arena per pair, aligns/s.
+    pub fresh_aps: f64,
+    /// Layer 2: oracle with one arena threaded through the set, aligns/s.
+    pub arena_aps: f64,
+    /// Layer 3: device path at width 1.
+    pub one: Throughput,
+    /// Layer 3: device path at `threads`.
+    pub many: Throughput,
+    /// The human-readable table.
+    pub text: String,
+}
+
+impl HostOutcome {
+    /// SIMD-over-word kernel speedup on the realistic run-length workload.
+    pub fn simd_over_word(&self) -> f64 {
+        self.simd_gbps / self.word_gbps
+    }
+
+    /// SIMD-over-word kernel speedup at peak (long identical runs — the
+    /// workload where vector width is the limit, not per-call overhead).
+    pub fn simd_over_word_peak(&self) -> f64 {
+        self.peak_simd_gbps / self.peak_word_gbps
+    }
+
+    /// Word-over-scalar kernel speedup.
+    pub fn word_over_scalar(&self) -> f64 {
+        self.word_gbps / self.scalar_gbps
+    }
+
+    /// Device-path speedup of width N over width 1.
+    pub fn speedup_n_over_1(&self) -> f64 {
+        self.one.seconds / self.many.seconds
+    }
 }
 
 fn related_bytes(rng: &mut SmallRng, len: usize) -> (Vec<u8>, Vec<u8>) {
@@ -88,8 +164,8 @@ fn lcp_sweep(f: impl Fn(usize, usize) -> usize, len: usize, probes: usize, seed:
     total
 }
 
-/// Run the benchmark, print the table, and write the JSON record.
-pub fn host_report(opts: &HostOptions) -> String {
+/// Run the full measurement and return the structured outcome.
+pub fn run(opts: &HostOptions) -> HostOutcome {
     let threads = if opts.threads == 0 {
         available_threads()
     } else {
@@ -103,7 +179,7 @@ pub fn host_report(opts: &HostOptions) -> String {
         threads
     ));
 
-    // --- Layer 1: the shared LCP kernel, scalar vs word-parallel. ---
+    // --- Layer 1: the shared LCP kernel, scalar vs word vs SIMD. ---
     let kernel_len = if opts.quick { 20_000 } else { 100_000 };
     let probes = if opts.quick { 2_000 } else { 10_000 };
     let iters = if opts.quick { 3 } else { 8 };
@@ -113,6 +189,7 @@ pub fn host_report(opts: &HostOptions) -> String {
         PackedSeq::from_ascii(&ka).expect("ACGT only"),
         PackedSeq::from_ascii(&kb).expect("ACGT only"),
     );
+    let simd_tier = KernelDispatch::Auto.resolve();
 
     let bases_scalar = lcp_sweep(
         |i, j| kernel::lcp_bytes_scalar(&ka, &kb, i, j),
@@ -129,18 +206,32 @@ pub fn host_report(opts: &HostOptions) -> String {
         )
     });
     let bases_word = lcp_sweep(
-        |i, j| kernel::lcp_packed(&pa, &pb, i, j),
+        |i, j| kernel::lcp_packed_word(&pa, &pb, i, j),
         kernel_len,
         probes,
         opts.seed,
     );
-    assert_eq!(
-        bases_scalar, bases_word,
-        "kernels must agree on the measured workload"
+    let bases_simd = lcp_sweep(
+        |i, j| kernel::lcp_packed_simd(&pa, &pb, i, j),
+        kernel_len,
+        probes,
+        opts.seed,
+    );
+    assert!(
+        bases_scalar == bases_word && bases_word == bases_simd,
+        "kernel tiers must agree on the measured workload"
     );
     let t_word = measure(iters, || {
         lcp_sweep(
-            |i, j| kernel::lcp_packed(&pa, &pb, i, j),
+            |i, j| kernel::lcp_packed_word(&pa, &pb, i, j),
+            kernel_len,
+            probes,
+            opts.seed,
+        )
+    });
+    let t_simd = measure(iters, || {
+        lcp_sweep(
+            |i, j| kernel::lcp_packed_simd(&pa, &pb, i, j),
             kernel_len,
             probes,
             opts.seed,
@@ -148,10 +239,62 @@ pub fn host_report(opts: &HostOptions) -> String {
     });
     let scalar_gbps = bases_scalar as f64 / (t_scalar.p50_ms / 1e3) / 1e9;
     let word_gbps = bases_word as f64 / (t_word.p50_ms / 1e3) / 1e9;
+    let simd_gbps = bases_simd as f64 / (t_simd.p50_ms / 1e3) / 1e9;
     out.push_str(&format!(
-        "LCP kernel ({kernel_len} bp, {probes} probes): scalar {scalar_gbps:.2} Gbases/s, \
-         word-parallel {word_gbps:.2} Gbases/s ({:.1}x)\n",
-        word_gbps / scalar_gbps
+        "LCP kernel ({kernel_len} bp, {probes} probes, 2% divergence):\n\
+         \x20 scalar        {scalar_gbps:6.2} Gbases/s\n\
+         \x20 word-parallel {word_gbps:6.2} Gbases/s ({:.1}x scalar)\n\
+         \x20 {:<13} {simd_gbps:6.2} Gbases/s ({:.1}x word)\n",
+        word_gbps / scalar_gbps,
+        simd_tier.name(),
+        simd_gbps / word_gbps,
+    ));
+
+    // Peak kernel throughput: probe an identical copy, so every run goes to
+    // the sequence end (mean length `kernel_len/2`). Short WFA-shaped runs
+    // above are bounded by per-call overhead on every tier; long runs are
+    // bounded by compare width, which is what separates the tiers.
+    let peak_probes = if opts.quick { 40 } else { 200 };
+    let bases_peak_word = lcp_sweep(
+        |i, j| kernel::lcp_packed_word(&pa, &pa, i, j),
+        kernel_len,
+        peak_probes,
+        opts.seed ^ 0x9E,
+    );
+    let bases_peak_simd = lcp_sweep(
+        |i, j| kernel::lcp_packed_simd(&pa, &pa, i, j),
+        kernel_len,
+        peak_probes,
+        opts.seed ^ 0x9E,
+    );
+    assert_eq!(
+        bases_peak_word, bases_peak_simd,
+        "kernel tiers must agree on the peak workload"
+    );
+    let t_peak_word = measure(iters, || {
+        lcp_sweep(
+            |i, j| kernel::lcp_packed_word(&pa, &pa, i, j),
+            kernel_len,
+            peak_probes,
+            opts.seed ^ 0x9E,
+        )
+    });
+    let t_peak_simd = measure(iters, || {
+        lcp_sweep(
+            |i, j| kernel::lcp_packed_simd(&pa, &pa, i, j),
+            kernel_len,
+            peak_probes,
+            opts.seed ^ 0x9E,
+        )
+    });
+    let peak_word_gbps = bases_peak_word as f64 / (t_peak_word.p50_ms / 1e3) / 1e9;
+    let peak_simd_gbps = bases_peak_simd as f64 / (t_peak_simd.p50_ms / 1e3) / 1e9;
+    out.push_str(&format!(
+        "LCP kernel peak ({kernel_len} bp identical, {peak_probes} probes):\n\
+         \x20 word-parallel {peak_word_gbps:6.2} Gbases/s\n\
+         \x20 {:<13} {peak_simd_gbps:6.2} Gbases/s ({:.1}x word)\n",
+        simd_tier.name(),
+        peak_simd_gbps / peak_word_gbps,
     ));
 
     // --- Layer 2: the software WFA oracle, fresh vs arena-reused. ---
@@ -238,7 +381,10 @@ pub fn host_report(opts: &HostOptions) -> String {
         }
     };
     let one = run_at(1);
-    let many = run_at(threads);
+    // Width 1 *is* the inline path ([`wfa_core::pool::ThreadPool::map`]
+    // runs single-width inline, no channels); re-measuring it would only
+    // report wall-clock jitter as a fake speedup/slowdown.
+    let many = if threads == 1 { one } else { run_at(threads) };
     out.push_str(&format!(
         "device path ({} x {}, BT on):\n",
         e2e_pairs.len(),
@@ -258,16 +404,30 @@ pub fn host_report(opts: &HostOptions) -> String {
         one.seconds / many.seconds
     ));
 
-    let json = render_json(
-        opts,
+    HostOutcome {
         threads,
+        quick: opts.quick,
+        seed: opts.seed,
         scalar_gbps,
         word_gbps,
+        simd_gbps,
+        peak_word_gbps,
+        peak_simd_gbps,
+        simd_tier: simd_tier.name(),
         fresh_aps,
         arena_aps,
         one,
         many,
-    );
+        text: out,
+    }
+}
+
+/// Run the benchmark, print the table, and write the JSON record (the
+/// plain `report -- host` path).
+pub fn host_report(opts: &HostOptions) -> String {
+    let outcome = run(opts);
+    let mut out = outcome.text.clone();
+    let json = render_json(&outcome);
     let path = opts
         .out
         .clone()
@@ -283,25 +443,23 @@ fn write_json(path: &Path, json: &str, log: &mut String) {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn render_json(
-    opts: &HostOptions,
-    threads: usize,
-    scalar_gbps: f64,
-    word_gbps: f64,
-    fresh_aps: f64,
-    arena_aps: f64,
-    one: Throughput,
-    many: Throughput,
-) -> String {
+/// Render the schema-versioned JSON record.
+pub fn render_json(o: &HostOutcome) -> String {
     // Hand-rolled JSON (no external crates in the offline build).
     format!(
         concat!(
             "{{\n",
+            "  \"schema\": \"{}\",\n",
             "  \"host\": {{\"threads_available\": {}, \"threads_measured\": {}, ",
             "\"quick\": {}, \"seed\": {}}},\n",
             "  \"kernel\": {{\"scalar_gbases_per_sec\": {:.4}, ",
-            "\"word_parallel_gbases_per_sec\": {:.4}, \"speedup\": {:.3}}},\n",
+            "\"word_parallel_gbases_per_sec\": {:.4}, ",
+            "\"simd_gbases_per_sec\": {:.4}, \"simd_tier\": \"{}\", ",
+            "\"peak_word_gbases_per_sec\": {:.4}, ",
+            "\"peak_simd_gbases_per_sec\": {:.4}, ",
+            "\"speedup_word_over_scalar\": {:.3}, ",
+            "\"speedup_simd_over_word\": {:.3}, ",
+            "\"speedup_simd_over_word_peak\": {:.3}}},\n",
             "  \"oracle\": {{\"fresh_aligns_per_sec\": {:.2}, ",
             "\"arena_aligns_per_sec\": {:.2}}},\n",
             "  \"device_path\": {{\n",
@@ -313,24 +471,99 @@ fn render_json(
             "  }}\n",
             "}}\n"
         ),
+        SCHEMA,
         available_threads(),
-        threads,
-        opts.quick,
-        opts.seed,
-        scalar_gbps,
-        word_gbps,
-        word_gbps / scalar_gbps,
-        fresh_aps,
-        arena_aps,
-        one.seconds,
-        one.aligns_per_sec,
-        one.cells_per_sec,
-        threads,
-        many.seconds,
-        many.aligns_per_sec,
-        many.cells_per_sec,
-        one.seconds / many.seconds,
+        o.threads,
+        o.quick,
+        o.seed,
+        o.scalar_gbps,
+        o.word_gbps,
+        o.simd_gbps,
+        o.simd_tier,
+        o.peak_word_gbps,
+        o.peak_simd_gbps,
+        o.word_over_scalar(),
+        o.simd_over_word(),
+        o.simd_over_word_peak(),
+        o.fresh_aps,
+        o.arena_aps,
+        o.one.seconds,
+        o.one.aligns_per_sec,
+        o.one.cells_per_sec,
+        o.threads,
+        o.many.seconds,
+        o.many.aligns_per_sec,
+        o.many.cells_per_sec,
+        o.speedup_n_over_1(),
     )
+}
+
+/// The gated metrics: *speedup ratios only*. Absolute throughput depends
+/// on the machine and never gates.
+pub fn metrics(o: &HostOutcome) -> Vec<Metric> {
+    vec![
+        Metric {
+            name: "host/kernel/speedup_word_over_scalar".into(),
+            value: o.word_over_scalar(),
+        },
+        Metric {
+            name: "host/kernel/speedup_simd_over_word".into(),
+            value: o.simd_over_word(),
+        },
+        Metric {
+            name: "host/kernel/speedup_simd_over_word_peak".into(),
+            value: o.simd_over_word_peak(),
+        },
+        Metric {
+            name: "host/device/speedup_n_over_1".into(),
+            value: o.speedup_n_over_1(),
+        },
+    ]
+}
+
+/// One-sided ratio-floor comparison: each measured ratio must be at least
+/// [`RATIO_FLOOR`] × its baseline value. Returns the report text and the
+/// number of failures. A baseline metric missing from the measurement (or
+/// vice versa) fails — the gate must notice renames.
+pub fn floor_check(base: &[Metric], measured: &[Metric]) -> (String, usize) {
+    let mut text = String::new();
+    let mut failures = 0usize;
+    let find = |set: &[Metric], name: &str| set.iter().find(|m| m.name == name).map(|m| m.value);
+    let mut names: Vec<String> = base.iter().map(|m| m.name.clone()).collect();
+    for m in measured {
+        if !names.contains(&m.name) {
+            names.push(m.name.clone());
+        }
+    }
+    for name in &names {
+        match (find(base, name), find(measured, name)) {
+            (Some(b), Some(m)) => {
+                let floor = b * RATIO_FLOOR;
+                let ok = m >= floor;
+                if !ok {
+                    failures += 1;
+                }
+                text.push_str(&format!(
+                    "{}  {name:<42} baseline {b:>8.3}  measured {m:>8.3}  floor {floor:>8.3}\n",
+                    if ok { "  ok " } else { "FAIL " },
+                ));
+            }
+            (Some(b), None) => {
+                failures += 1;
+                text.push_str(&format!(
+                    "FAIL  {name:<42} baseline {b:>8.3}  measured  (missing)\n"
+                ));
+            }
+            (None, Some(m)) => {
+                failures += 1;
+                text.push_str(&format!(
+                    "FAIL  {name:<42} baseline  (missing)  measured {m:>8.3}\n"
+                ));
+            }
+            (None, None) => {}
+        }
+    }
+    (text, failures)
 }
 
 #[cfg(test)]
@@ -352,9 +585,73 @@ mod tests {
         assert!(report.contains("LCP kernel"));
         assert!(report.contains("device path"));
         let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\": \"wfasic-host/1\""));
         assert!(json.contains("\"threads_measured\": 2"));
+        assert!(json.contains("\"simd_tier\""));
+        assert!(json.contains("\"speedup_simd_over_word\""));
+        assert!(json.contains("\"speedup_simd_over_word_peak\""));
         assert!(json.contains("\"speedup_n_over_1\""));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn width_1_speedup_is_exactly_one() {
+        // The threads==1 path reuses the width-1 measurement instead of
+        // re-measuring it (jitter used to report speedups like 0.974 for
+        // identical work).
+        let opts = HostOptions {
+            quick: true,
+            threads: 1,
+            out: Some(std::env::temp_dir().join("wfasic_host_w1.json")),
+            ..HostOptions::default()
+        };
+        let o = run(&opts);
+        assert_eq!(o.speedup_n_over_1(), 1.0);
+    }
+
+    #[test]
+    fn floor_check_passes_equal_and_better_fails_collapse() {
+        let base = vec![
+            Metric {
+                name: "host/kernel/speedup_simd_over_word".into(),
+                value: 2.0,
+            },
+            Metric {
+                name: "host/device/speedup_n_over_1".into(),
+                value: 1.0,
+            },
+        ];
+        // Identical → pass; better → pass.
+        let (_, f) = floor_check(&base, &base);
+        assert_eq!(f, 0);
+        let better = vec![
+            Metric {
+                name: "host/kernel/speedup_simd_over_word".into(),
+                value: 3.5,
+            },
+            Metric {
+                name: "host/device/speedup_n_over_1".into(),
+                value: 1.0,
+            },
+        ];
+        let (_, f) = floor_check(&base, &better);
+        assert_eq!(f, 0);
+        // Collapse below the floor → fail.
+        let collapsed = vec![
+            Metric {
+                name: "host/kernel/speedup_simd_over_word".into(),
+                value: 0.9,
+            },
+            Metric {
+                name: "host/device/speedup_n_over_1".into(),
+                value: 1.0,
+            },
+        ];
+        let (text, f) = floor_check(&base, &collapsed);
+        assert_eq!(f, 1, "{text}");
+        // Missing metric → fail.
+        let (_, f) = floor_check(&base, &base[..1]);
+        assert_eq!(f, 1);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub struct ArenaStats {
 #[derive(Debug, Default)]
 pub struct WavefrontArena {
     free: Vec<Vec<i32>>,
+    rows: Vec<Vec<i32>>,
     spines: Vec<Vec<Option<WavefrontSet>>>,
     stats: ArenaStats,
 }
@@ -76,6 +77,30 @@ impl WavefrontArena {
         Wavefront { lo, hi, offsets }
     }
 
+    /// A wavefront covering `lo..=hi` whose cells are *unspecified* (stale
+    /// recycled values) — for callers that overwrite every slot before any
+    /// read, e.g. the batched compute kernel's unconditional stores. Skips
+    /// [`Self::wavefront`]'s NULL fill; the caller's full-range overwrite is
+    /// what makes the result bit-identical to a fresh NULL wavefront.
+    pub fn wavefront_overwritten(&mut self, lo: i32, hi: i32) -> Wavefront {
+        assert!(lo <= hi, "wavefront range must be non-empty ({lo}..={hi})");
+        let len = (hi - lo + 1) as usize;
+        let offsets = match self.free.pop() {
+            Some(mut buf) => {
+                self.stats.reuses += 1;
+                // resize only fills growth; surviving slots keep stale data.
+                buf.resize(len, OFFSET_NULL);
+                buf.truncate(len);
+                buf
+            }
+            None => {
+                self.stats.fresh_allocs += 1;
+                vec![OFFSET_NULL; len]
+            }
+        };
+        Wavefront { lo, hi, offsets }
+    }
+
     /// The initial wavefront `M(0, 0) = 0` (arena-backed
     /// [`Wavefront::initial`]).
     pub fn initial(&mut self) -> Wavefront {
@@ -99,6 +124,22 @@ impl WavefrontArena {
         if let Some(w) = set.d {
             self.recycle(w);
         }
+    }
+
+    /// An empty scratch row for the batched compute kernel's gathered
+    /// source vectors (callers fill it). Kept on a separate freelist from
+    /// the wavefront buffers so [`ArenaStats`] still counts wavefront
+    /// traffic only.
+    pub fn take_row(&mut self) -> Vec<i32> {
+        self.rows.pop().map_or_else(Vec::new, |mut r| {
+            r.clear();
+            r
+        })
+    }
+
+    /// Return a scratch row to the pool.
+    pub fn recycle_row(&mut self, row: Vec<i32>) {
+        self.rows.push(row);
     }
 
     /// A cleared per-score `fronts` spine (recycled when available).

@@ -28,17 +28,16 @@ enum Comp {
 ///
 /// `fronts[s]` must hold the wavefront set for score `s` (post-extend), as
 /// produced by [`crate::wfa::wfa_align`] in CIGAR mode; `score` is the final
-/// alignment score.
+/// alignment score. The walk is purely offset arithmetic — it needs only
+/// the sequence *lengths* (`n = |a|`, `m = |b|`), never the bases, so it is
+/// representation-agnostic by construction.
 pub fn backtrace(
-    a: &[u8],
-    b: &[u8],
+    n: i32,
+    m: i32,
     fronts: &[Option<WavefrontSet>],
     score: u32,
     p: &Penalties,
 ) -> Cigar {
-    let n = a.len() as i32;
-    let m = b.len() as i32;
-
     let get_m = |s: i64, k: i32| -> i32 {
         if s < 0 {
             return OFFSET_NULL;

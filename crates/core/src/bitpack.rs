@@ -82,36 +82,88 @@ impl PackedSeq {
 
     /// Decode back to ASCII.
     pub fn to_ascii(&self) -> Vec<u8> {
-        (0..self.len).map(|i| decode_base(self.get(i))).collect()
+        let mut out = vec![0u8; self.len];
+        self.write_ascii_into(&mut out);
+        out
+    }
+
+    /// Decode into a caller-provided buffer (alloc-free staging for the
+    /// memory-image encoder). `out` must hold exactly `len()` bytes.
+    pub fn write_ascii_into(&self, out: &mut [u8]) {
+        assert_eq!(out.len(), self.len, "destination must hold len() bytes");
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = decode_base(self.get(i));
+        }
+    }
+
+    /// Overwrite base `i` with an already-encoded 2-bit code.
+    #[inline]
+    pub fn set_code(&mut self, i: usize, code: u8) {
+        assert!(i < self.len, "set_code index {i} out of range {}", self.len);
+        let shift = 2 * (i % BASES_PER_WORD);
+        let w = &mut self.words[i / BASES_PER_WORD];
+        *w = (*w & !(3u64 << shift)) | (((code & 3) as u64) << shift);
+    }
+
+    /// Append one already-encoded 2-bit base code.
+    #[inline]
+    pub fn push_code(&mut self, code: u8) {
+        let i = self.len;
+        if i.is_multiple_of(BASES_PER_WORD) {
+            self.words.push(0);
+        }
+        self.words[i / BASES_PER_WORD] |= ((code & 3) as u64) << (2 * (i % BASES_PER_WORD));
+        self.len = i + 1;
+    }
+
+    /// The packed sub-sequence `range` (a copy; used at debug/replay
+    /// boundaries that previously round-tripped through ASCII).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> PackedSeq {
+        assert!(range.start <= range.end && range.end <= self.len);
+        let mut out = PackedSeq {
+            len: 0,
+            words: Vec::with_capacity((range.end - range.start).div_ceil(BASES_PER_WORD)),
+        };
+        for i in range {
+            out.push_code(self.get(i));
+        }
+        out
+    }
+
+    /// The packed words viewed as little-endian bytes — the load stream for
+    /// the x86 SIMD LCP kernels (4 bases per byte; bytes past the last base
+    /// are zero padding).
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    pub(crate) fn as_raw_bytes(&self) -> &[u8] {
+        // SAFETY: u64 has no padding and alignment 8 >= 1; reinterpreting
+        // the initialized words as bytes is sound. x86_64 is little-endian,
+        // matching the kernel's byte-stream arithmetic.
+        unsafe {
+            std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.words.len() * 8)
+        }
     }
 
     /// Read 32 bases starting at base `pos` as one u64, shifting across the
     /// word boundary (the hardware's REG_1/REG_2 concatenate-and-shift,
-    /// §4.3.2). Bases past the end are unspecified garbage; callers bound the
-    /// comparison by length.
+    /// §4.3.2). Requires `pos < len()`; bases past the end are unspecified
+    /// garbage, so callers bound the comparison by length.
     #[inline]
     pub(crate) fn window(&self, pos: usize) -> u64 {
+        debug_assert!(pos < self.len, "window past the end");
         let wi = pos / BASES_PER_WORD;
         let shift = 2 * (pos % BASES_PER_WORD);
-        let lo = self.words.get(wi).copied().unwrap_or(0) >> shift;
-        if shift == 0 {
-            lo
+        // SAFETY: pos < len implies wi indexes an existing word.
+        let lo = unsafe { *self.words.get_unchecked(wi) } >> shift;
+        let hi = if wi + 1 < self.words.len() {
+            self.words[wi + 1]
         } else {
-            let hi = self.words.get(wi + 1).copied().unwrap_or(0);
-            lo | (hi << (64 - shift))
-        }
+            0
+        };
+        // `(hi << (63 - shift)) << 1` is `hi << (64 - shift)` without the
+        // shift == 0 branch (two in-range shifts totalling 64 yield 0).
+        lo | ((hi << (63 - shift)) << 1)
     }
-}
-
-/// Count matching bases of `a[i..]` vs `b[j..]` using 32-base blocks:
-/// XOR the windows and count trailing zero *base pairs*.
-///
-/// Functionally identical to [`crate::wfa::extend_matches`]; used by the
-/// vectorized CPU model and as the reference for the hardware Extend unit.
-/// Thin wrapper over the shared [`crate::kernel::lcp_packed`] kernel.
-#[inline]
-pub fn extend_matches_packed(a: &PackedSeq, b: &PackedSeq, i: usize, j: usize) -> usize {
-    crate::kernel::lcp_packed(a, b, i, j)
 }
 
 /// Number of 16-base hardware comparison blocks needed to discover
@@ -124,6 +176,7 @@ pub fn hw_extend_blocks(matches: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::lcp_packed;
     use crate::wfa::extend_matches;
 
     #[test]
@@ -158,7 +211,7 @@ mod tests {
         for i in 0..a.len() {
             for j in 0..b.len() {
                 assert_eq!(
-                    extend_matches_packed(&pa, &pb, i, j),
+                    lcp_packed(&pa, &pb, i, j),
                     extend_matches(a, b, i, j),
                     "i={i} j={j}"
                 );
@@ -173,16 +226,16 @@ mod tests {
         let b = vec![b'G'; 70];
         let pa = PackedSeq::from_ascii(&a).unwrap();
         let pb = PackedSeq::from_ascii(&b).unwrap();
-        assert_eq!(extend_matches_packed(&pa, &pb, 0, 0), 70);
-        assert_eq!(extend_matches_packed(&pa, &pb, 5, 0), 65);
-        assert_eq!(extend_matches_packed(&pa, &pb, 31, 33), 37);
+        assert_eq!(lcp_packed(&pa, &pb, 0, 0), 70);
+        assert_eq!(lcp_packed(&pa, &pb, 5, 0), 65);
+        assert_eq!(lcp_packed(&pa, &pb, 31, 33), 37);
     }
 
     #[test]
     fn immediate_mismatch() {
         let pa = PackedSeq::from_ascii(b"AAAA").unwrap();
         let pb = PackedSeq::from_ascii(b"TAAA").unwrap();
-        assert_eq!(extend_matches_packed(&pa, &pb, 0, 0), 0);
+        assert_eq!(lcp_packed(&pa, &pb, 0, 0), 0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod penalties;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod seq;
 pub mod swg;
 pub mod wavefront;
 pub mod wfa;
@@ -53,8 +54,11 @@ pub use cigar::{Cigar, CigarError, EditStats, Op};
 pub use gap_linear::{gap_linear_wavefront, GapLinearAlignment};
 pub use penalties::{Penalties, PenaltyError};
 pub use rng::SmallRng;
+pub use seq::Seq;
 pub use swg::{gap_linear_score, swg_align, swg_score, DpAlignment};
 pub use wavefront::{Wavefront, WavefrontSet, OFFSET_NULL};
 pub use wfa::{
-    align, wfa_align, wfa_align_with_arena, WfaAlignment, WfaError, WfaOptions, WfaStats,
+    align, wfa_align, wfa_align_packed, wfa_align_packed_with_arena, wfa_align_seqs,
+    wfa_align_seqs_with_arena, wfa_align_with_arena, SeqsRef, WfaAlignment, WfaError, WfaOptions,
+    WfaStats,
 };

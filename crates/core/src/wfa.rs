@@ -15,9 +15,11 @@
 use crate::adaptive::{reduce_wavefront, AdaptiveParams};
 use crate::arena::WavefrontArena;
 use crate::backtrace;
+use crate::bitpack::PackedSeq;
 use crate::cigar::Cigar;
 use crate::kernel;
 use crate::penalties::Penalties;
+use crate::seq::Seq;
 use crate::wavefront::{offset_is_valid, WavefrontSet, OFFSET_NULL};
 
 /// Options controlling a WFA run.
@@ -214,6 +216,63 @@ pub fn extend_matches(a: &[u8], b: &[u8], i: usize, j: usize) -> usize {
     kernel::lcp_bytes(a, b, i, j)
 }
 
+/// A borrowed pair of input sequences in either representation. The WFA
+/// core is representation-agnostic: the only sequence-dependent operation
+/// it performs is the `extend()` LCP, which dispatches here to the byte or
+/// packed kernel tier.
+#[derive(Clone, Copy)]
+pub enum SeqsRef<'s> {
+    /// ASCII bytes (1 byte/base) — any alphabet.
+    Bytes(&'s [u8], &'s [u8]),
+    /// 2-bit packed ACGT — the hot-path representation (4 bases/byte,
+    /// wider effective SIMD lanes in the LCP kernel).
+    Packed(&'s PackedSeq, &'s PackedSeq),
+}
+
+impl SeqsRef<'_> {
+    #[inline]
+    fn a_len(&self) -> usize {
+        match self {
+            SeqsRef::Bytes(a, _) => a.len(),
+            SeqsRef::Packed(a, _) => a.len(),
+        }
+    }
+
+    #[inline]
+    fn b_len(&self) -> usize {
+        match self {
+            SeqsRef::Bytes(_, b) => b.len(),
+            SeqsRef::Packed(_, b) => b.len(),
+        }
+    }
+
+    #[inline]
+    fn lcp(&self, i: usize, j: usize) -> usize {
+        match self {
+            SeqsRef::Bytes(a, b) => kernel::lcp_bytes(a, b, i, j),
+            SeqsRef::Packed(a, b) => kernel::lcp_packed(a, b, i, j),
+        }
+    }
+}
+
+/// Fill `row` with `w.get(k)` for `k in lo..=hi`: NULL everywhere, then one
+/// block copy of the overlap with the source's stored range. The gathered
+/// form the batched [`kernel::compute_row`] consumes.
+fn fill_source_row(row: &mut Vec<i32>, lo: i32, hi: i32, w: Option<&crate::wavefront::Wavefront>) {
+    row.clear();
+    row.resize((hi - lo + 1) as usize, OFFSET_NULL);
+    if let Some(w) = w {
+        let s = lo.max(w.lo);
+        let e = hi.min(w.hi);
+        if s <= e {
+            let dst = (s - lo) as usize;
+            let src = (s - w.lo) as usize;
+            let count = (e - s + 1) as usize;
+            row[dst..dst + count].copy_from_slice(&w.offsets[src..src + count]);
+        }
+    }
+}
+
 /// Align `a` against `b` end-to-end with the exact WFA.
 ///
 /// Allocates a private [`WavefrontArena`] per call; sweeps aligning many
@@ -232,23 +291,80 @@ pub fn wfa_align_with_arena(
     opts: &WfaOptions,
     arena: &mut WavefrontArena,
 ) -> Result<WfaAlignment, WfaError> {
+    wfa_align_seqs_ref(SeqsRef::Bytes(a, b), opts, arena)
+}
+
+/// [`wfa_align`] over 2-bit packed sequences — the hot path for clean ACGT
+/// reads. Bit-identical results to the byte path on the same content (the
+/// per-tier equivalence suite enforces it); the packed LCP kernel compares
+/// 4 bases per byte, so `extend()` runs proportionally wider.
+pub fn wfa_align_packed(
+    a: &PackedSeq,
+    b: &PackedSeq,
+    opts: &WfaOptions,
+) -> Result<WfaAlignment, WfaError> {
+    wfa_align_packed_with_arena(a, b, opts, &mut WavefrontArena::new())
+}
+
+/// [`wfa_align_packed`] with caller-provided scratch.
+pub fn wfa_align_packed_with_arena(
+    a: &PackedSeq,
+    b: &PackedSeq,
+    opts: &WfaOptions,
+    arena: &mut WavefrontArena,
+) -> Result<WfaAlignment, WfaError> {
+    wfa_align_seqs_ref(SeqsRef::Packed(a, b), opts, arena)
+}
+
+/// Align a [`Seq`] pair, picking the representation-appropriate kernel:
+/// packed×packed stays on the packed hot path; any raw side (broken data,
+/// non-ACGT alphabets) routes through the byte oracle, unpacking a packed
+/// partner at this boundary only.
+pub fn wfa_align_seqs(a: &Seq, b: &Seq, opts: &WfaOptions) -> Result<WfaAlignment, WfaError> {
+    wfa_align_seqs_with_arena(a, b, opts, &mut WavefrontArena::new())
+}
+
+/// [`wfa_align_seqs`] with caller-provided scratch.
+pub fn wfa_align_seqs_with_arena(
+    a: &Seq,
+    b: &Seq,
+    opts: &WfaOptions,
+    arena: &mut WavefrontArena,
+) -> Result<WfaAlignment, WfaError> {
+    match (a, b) {
+        (Seq::Packed(pa), Seq::Packed(pb)) => {
+            wfa_align_seqs_ref(SeqsRef::Packed(pa, pb), opts, arena)
+        }
+        _ => {
+            let ab = a.bytes();
+            let bb = b.bytes();
+            wfa_align_seqs_ref(SeqsRef::Bytes(&ab, &bb), opts, arena)
+        }
+    }
+}
+
+/// The lowest-level entry: align an already-borrowed [`SeqsRef`].
+pub fn wfa_align_seqs_ref(
+    seqs: SeqsRef<'_>,
+    opts: &WfaOptions,
+    arena: &mut WavefrontArena,
+) -> Result<WfaAlignment, WfaError> {
     let mut fronts = arena.take_spine();
-    let result = wfa_align_inner(a, b, opts, arena, &mut fronts);
+    let result = wfa_align_inner(seqs, opts, arena, &mut fronts);
     arena.recycle_spine(fronts);
     result
 }
 
 fn wfa_align_inner(
-    a: &[u8],
-    b: &[u8],
+    seqs: SeqsRef<'_>,
     opts: &WfaOptions,
     arena: &mut WavefrontArena,
     fronts: &mut Vec<Option<WavefrontSet>>,
 ) -> Result<WfaAlignment, WfaError> {
     opts.penalties.validate().map_err(WfaError::BadPenalties)?;
     let p = opts.penalties;
-    let n = a.len() as i32;
-    let m = b.len() as i32;
+    let n = seqs.a_len() as i32;
+    let m = seqs.b_len() as i32;
     let k_end = m - n;
     let target = m;
 
@@ -295,11 +411,11 @@ fn wfa_align_inner(
                 let k = lo + idx as i32;
                 let i = (off - k) as usize;
                 let j = off as usize;
-                let matches = extend_matches(a, b, i, j);
+                let matches = seqs.lcp(i, j);
                 stats.extend_calls += 1;
                 // Count the terminating comparison too when we stopped on a
                 // mismatch inside both sequences.
-                let stopped_inside = i + matches < a.len() && j + matches < b.len();
+                let stopped_inside = i + matches < n as usize && j + matches < m as usize;
                 stats.bases_compared += matches as u64 + stopped_inside as u64;
                 set.m.offsets[idx] = off + matches as i32;
             }
@@ -325,7 +441,7 @@ fn wfa_align_inner(
             if set.m.get(k_end) == target {
                 let score = s as u32;
                 let cigar = if opts.compute_cigar {
-                    Some(backtrace::backtrace(a, b, fronts, score, &p))
+                    Some(backtrace::backtrace(n, m, fronts, score, &p))
                 } else {
                     None
                 };
@@ -398,9 +514,6 @@ fn wfa_align_inner(
         let mut wi = arena.wavefront(lo, hi);
         let mut wd = arena.wavefront(lo, hi);
         let mut wm = arena.wavefront(lo, hi);
-        let mut any_i = false;
-        let mut any_d = false;
-        let mut any_m = false;
 
         // Hoist the source-wavefront lookups out of the per-diagonal loop:
         // the sources are fixed for the whole score step.
@@ -414,32 +527,39 @@ fn wfa_align_inner(
             None => (None, None),
         };
 
-        for k in lo..=hi {
-            let m_open = open_m.map(|w| w.get(k - 1)).unwrap_or(OFFSET_NULL);
-            let i_ext = ext_i.map(|w| w.get(k - 1)).unwrap_or(OFFSET_NULL);
-            let iv = compute_cell_i(m_open, i_ext, k, n, m);
-
-            let m_open_d = open_m.map(|w| w.get(k + 1)).unwrap_or(OFFSET_NULL);
-            let d_ext = ext_d.map(|w| w.get(k + 1)).unwrap_or(OFFSET_NULL);
-            let dv = compute_cell_d(m_open_d, d_ext, k, n, m);
-
-            let m_sub = sub_m.map(|w| w.get(k)).unwrap_or(OFFSET_NULL);
-            let mv = compute_cell_m(m_sub, iv, dv, k, n, m);
-
-            stats.cells_computed += 3;
-            if offset_is_valid(iv) {
-                wi.set(k, iv);
-                any_i = true;
-            }
-            if offset_is_valid(dv) {
-                wd.set(k, dv);
-                any_d = true;
-            }
-            if offset_is_valid(mv) {
-                wm.set(k, mv);
-                any_m = true;
-            }
-        }
+        // Gather the four Eq. 3 source rows (with a one-diagonal halo on
+        // each side) and compute the whole run of adjacent diagonals in one
+        // batched kernel call. The outputs are written unconditionally: an
+        // invalid component is exactly OFFSET_NULL, identical to the arena's
+        // NULL fill, so the per-cell validity branches are unnecessary.
+        let mut sub_row = arena.take_row();
+        let mut open_row = arena.take_row();
+        let mut iext_row = arena.take_row();
+        let mut dext_row = arena.take_row();
+        fill_source_row(&mut sub_row, lo - 1, hi + 1, sub_m);
+        fill_source_row(&mut open_row, lo - 1, hi + 1, open_m);
+        fill_source_row(&mut iext_row, lo - 1, hi + 1, ext_i);
+        fill_source_row(&mut dext_row, lo - 1, hi + 1, ext_d);
+        kernel::compute_row(
+            &sub_row,
+            &open_row,
+            &iext_row,
+            &dext_row,
+            lo,
+            n,
+            m,
+            &mut wi.offsets,
+            &mut wd.offsets,
+            &mut wm.offsets,
+        );
+        arena.recycle_row(sub_row);
+        arena.recycle_row(open_row);
+        arena.recycle_row(iext_row);
+        arena.recycle_row(dext_row);
+        stats.cells_computed += 3 * wm.offsets.len() as u64;
+        let any_i = !wi.is_all_null();
+        let any_d = !wd.is_all_null();
+        let any_m = !wm.is_all_null();
 
         if !any_m && !any_i && !any_d {
             arena.recycle(wm);

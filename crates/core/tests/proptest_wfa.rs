@@ -4,7 +4,8 @@
 //! Runs on the in-repo harness (`wfa_core::prop`) — the build environment is
 //! offline, so `proptest` is not available.
 
-use wfa_core::bitpack::{extend_matches_packed, PackedSeq};
+use wfa_core::bitpack::PackedSeq;
+use wfa_core::kernel::lcp_packed;
 use wfa_core::prop::cases;
 use wfa_core::rng::SmallRng;
 use wfa_core::wfa::{extend_matches, wfa_align, WfaOptions};
@@ -106,10 +107,7 @@ fn packed_extend_equals_naive() {
         let j = rng.gen_range(0, b.len() + 1);
         let pa = PackedSeq::from_ascii(&a).unwrap();
         let pb = PackedSeq::from_ascii(&b).unwrap();
-        assert_eq!(
-            extend_matches_packed(&pa, &pb, i, j),
-            extend_matches(&a, &b, i, j)
-        );
+        assert_eq!(lcp_packed(&pa, &pb, i, j), extend_matches(&a, &b, i, j));
     });
 }
 
@@ -145,6 +143,62 @@ fn score_bounded_by_all_gaps() {
         let bound = p.gap_cost(a.len() as u32) as u64 + p.gap_cost(b.len() as u32) as u64;
         assert!(r.score as u64 <= bound);
     });
+}
+
+/// The whole exactness sweep holds at every kernel dispatch tier: forcing
+/// scalar, word, SSE2 or AVX2 through the same alignments must not change
+/// a score, a CIGAR, or an extend count. Tiers the host CPU lacks are
+/// skipped (the CI matrix still forces each one where available).
+#[test]
+fn wfa_exactness_holds_at_every_dispatch_tier() {
+    use wfa_core::kernel::{
+        kernel_dispatch, lcp_packed_batch, set_kernel_dispatch, KernelDispatch,
+    };
+    for tier in [
+        KernelDispatch::Scalar,
+        KernelDispatch::Word,
+        KernelDispatch::Sse2,
+        KernelDispatch::Avx2,
+    ] {
+        if !tier.available() {
+            continue;
+        }
+        set_kernel_dispatch(tier);
+        assert_eq!(kernel_dispatch(), tier);
+        cases(64, 0x57FA_0010 ^ tier as u64, |rng, _| {
+            let (a, b) = dna_pair(rng, 96);
+            let p = Penalties::WFASIC_DEFAULT;
+            let wfa = align(&a, &b, p).unwrap();
+            let cigar = wfa.cigar.unwrap();
+            cigar.check(&a, &b).unwrap();
+            assert_eq!(cigar.score(&p), wfa.score as u64);
+            assert_eq!(wfa.score as u64, swg_score(&a, &b, &p));
+
+            // Single-cell and batched extends agree with the byte oracle
+            // at this tier too.
+            let pa = PackedSeq::from_ascii(&a).unwrap();
+            let pb = PackedSeq::from_ascii(&b).unwrap();
+            let i = rng.gen_range(0, a.len() + 1);
+            let j = rng.gen_range(0, b.len() + 1);
+            assert_eq!(lcp_packed(&pa, &pb, i, j), extend_matches(&a, &b, i, j));
+            let is: Vec<i32> = (0..5)
+                .map(|_| rng.gen_range(0, a.len() + 1) as i32)
+                .collect();
+            let js: Vec<i32> = (0..5)
+                .map(|_| rng.gen_range(0, b.len() + 1) as i32)
+                .collect();
+            let mut out = [0u32; 5];
+            lcp_packed_batch(&pa, &pb, &is, &js, &mut out);
+            for t in 0..5 {
+                assert_eq!(
+                    out[t] as usize,
+                    extend_matches(&a, &b, is[t] as usize, js[t] as usize),
+                    "tier {tier:?} lane {t}"
+                );
+            }
+        });
+    }
+    set_kernel_dispatch(KernelDispatch::Auto);
 }
 
 #[test]

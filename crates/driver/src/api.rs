@@ -567,7 +567,17 @@ pub(crate) fn parse_bt_results_at(
             });
             continue;
         }
-        let cigar = backtrace_alignment(schedule, bt, &pair.a, &pair.b, &p, ps)?;
+        // Packed pairs replay packed; only raw (non-ACGT) sequences take
+        // the byte path, so the hot path never decodes to ASCII.
+        let cigar = match (pair.a.as_packed(), pair.b.as_packed()) {
+            (Some(pa), Some(pb)) => {
+                crate::backtrace::backtrace_alignment_packed(schedule, bt, pa, pb, &p, ps)?
+            }
+            _ => {
+                let (ba, bb) = (pair.a.bytes(), pair.b.bytes());
+                backtrace_alignment(schedule, bt, &ba, &bb, &p, ps)?
+            }
+        };
         let edits = {
             let st = cigar.stats();
             st.edits()
@@ -615,7 +625,7 @@ mod tests {
             assert!(!res.recovered);
             assert_eq!(
                 res.score as u64,
-                swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT)
+                swg_score(&pair.a.bytes(), &pair.b.bytes(), &Penalties::WFASIC_DEFAULT)
             );
             assert!(res.cigar.is_none());
         }
@@ -636,7 +646,7 @@ mod tests {
         for (res, pair) in job.results.iter().zip(&pairs) {
             assert!(res.success);
             let cigar = res.cigar.as_ref().expect("bt job yields cigars");
-            cigar.check(&pair.a, &pair.b).unwrap();
+            cigar.check(&pair.a.bytes(), &pair.b.bytes()).unwrap();
             assert_eq!(cigar.score(&Penalties::WFASIC_DEFAULT), res.score as u64);
         }
     }
@@ -654,7 +664,11 @@ mod tests {
         assert!(job.separated);
         for (res, pair) in job.results.iter().zip(&pairs) {
             assert!(res.success);
-            res.cigar.as_ref().unwrap().check(&pair.a, &pair.b).unwrap();
+            res.cigar
+                .as_ref()
+                .unwrap()
+                .check(&pair.a.bytes(), &pair.b.bytes())
+                .unwrap();
         }
     }
 
@@ -710,7 +724,7 @@ mod tests {
         }
         .generate(3, 8)
         .pairs;
-        pairs[1].b[5] = b'N';
+        pairs[1].b.set_byte(5, b'N');
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
         assert!(job.results[0].success);
@@ -727,7 +741,7 @@ mod tests {
         }
         .generate(3, 8)
         .pairs;
-        pairs[1].b[5] = b'N';
+        pairs[1].b.set_byte(5, b'N');
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         drv.cpu_fallback = true;
         let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
@@ -740,7 +754,7 @@ mod tests {
         let pair = &pairs[1];
         assert_eq!(
             job.results[1].score as u64,
-            swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT),
+            swg_score(&pair.a.bytes(), &pair.b.bytes(), &Penalties::WFASIC_DEFAULT),
             "recovered score is the software optimum"
         );
     }
@@ -783,7 +797,7 @@ mod tests {
             assert!(res.success);
             assert_eq!(
                 res.score as u64,
-                swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT)
+                swg_score(&pair.a.bytes(), &pair.b.bytes(), &Penalties::WFASIC_DEFAULT)
             );
         }
     }
@@ -836,7 +850,7 @@ mod tests {
                     // silently corrupted — exactly like ECC-less silicon.)
                     assert_eq!(
                         res.score as u64,
-                        swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT)
+                        swg_score(&pair.a.bytes(), &pair.b.bytes(), &Penalties::WFASIC_DEFAULT)
                     );
                 }
             }
@@ -900,11 +914,7 @@ mod tests {
     #[test]
     fn oversized_batch_is_refused_not_asserted() {
         let pairs: Vec<Pair> = (0..16)
-            .map(|i| Pair {
-                id: i,
-                a: vec![b'A'; 600_000],
-                b: vec![b'C'; 600_000],
-            })
+            .map(|i| Pair::new(i, vec![b'A'; 600_000], vec![b'C'; 600_000]))
             .collect();
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         let err = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap_err();

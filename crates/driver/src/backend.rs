@@ -38,7 +38,7 @@
 use crate::api::{AlignmentResult, DriverError, JobResult, WaitMode, WfasicDriver};
 use crate::batch::{BatchJob, BatchScheduler};
 use wfa_core::pool::ThreadPool;
-use wfa_core::{swg_align, wfa_align_with_arena, Penalties, WavefrontArena, WfaOptions};
+use wfa_core::{swg_align, wfa_align_seqs_with_arena, Penalties, WavefrontArena, WfaOptions};
 use wfasic_accel::device::RunReport;
 use wfasic_accel::AccelConfig;
 use wfasic_seqio::generate::Pair;
@@ -379,7 +379,7 @@ impl CpuWfaBackend {
         } else {
             WfaOptions::score_only(penalties)
         };
-        match wfa_align_with_arena(&pair.a, &pair.b, &opts, arena) {
+        match wfa_align_seqs_with_arena(&pair.a, &pair.b, &opts, arena) {
             Ok(al) => AlignmentResult {
                 id: pair.id,
                 success: true,
@@ -502,7 +502,8 @@ impl AlignmentBackend for SwgBackend {
             .pairs
             .iter()
             .map(|pair| {
-                let dp = swg_align(&pair.a, &pair.b, &self.penalties);
+                let (sa, sb) = (pair.a.bytes(), pair.b.bytes());
+                let dp = swg_align(&sa, &sb, &self.penalties);
                 AlignmentResult {
                     id: pair.id,
                     success: dp.score <= u32::MAX as u64,

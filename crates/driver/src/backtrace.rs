@@ -105,18 +105,39 @@ pub fn separate_stream(bytes: &[u8]) -> Result<Vec<BtAlignment>, BtError> {
 /// Parse a single-Aligner BT region (the "no separation" method): data is
 /// consecutive; split at Last flags.
 pub fn split_consecutive_stream(bytes: &[u8]) -> Result<Vec<BtAlignment>, BtError> {
+    // Single pass: consecutive data needs no reordering, so payload bytes
+    // stream straight into the current alignment's buffer and counters are
+    // checked as they arrive — no per-transaction structs are materialized
+    // (a counter gap is therefore reported at the offending transaction
+    // rather than at the end of its segment).
     let mut out = Vec::new();
-    let mut current: Vec<BtTxn> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut count: usize = 0;
     for chunk in bytes.chunks_exact(SECTION) {
-        let txn = BtTxn::decode(chunk);
-        let last = txn.last;
-        let id = txn.id;
-        current.push(txn);
-        if last {
-            out.push(assemble(id, std::mem::take(&mut current))?);
+        // Decode the 6 info bytes in place (`BtTxn::decode` layout); the
+        // payload streams straight from the chunk, copied exactly once.
+        let counter = chunk[10] as u32 | (chunk[11] as u32) << 8 | (chunk[12] as u32) << 16;
+        let tail = chunk[13] as u32 | (chunk[14] as u32) << 8 | (chunk[15] as u32) << 16;
+        let id = tail & 0x7F_FFFF;
+        if counter != count as u32 {
+            return Err(BtError::BadCounters { id });
+        }
+        count += 1;
+        if tail >> 23 & 1 == 1 {
+            let mut rec = [0u8; BT_PAYLOAD_BYTES];
+            rec.copy_from_slice(&chunk[..BT_PAYLOAD_BYTES]);
+            out.push(BtAlignment {
+                id,
+                record: BtScoreRecord::decode(&rec),
+                payload: std::mem::take(&mut payload),
+                txns: count,
+            });
+            count = 0;
+        } else {
+            payload.extend_from_slice(&chunk[..BT_PAYLOAD_BYTES]);
         }
     }
-    if !current.is_empty() {
+    if count != 0 {
         return Err(BtError::TruncatedStream);
     }
     Ok(out)
@@ -345,6 +366,75 @@ pub fn insert_matches(a: &[u8], b: &[u8], edits: &[Edit]) -> Result<Cigar, BtErr
     Ok(cigar)
 }
 
+/// [`insert_matches`] over 2-bit packed sequences: the same replay without
+/// decoding to ASCII first (the packed-vs-byte LCP equivalence is pinned by
+/// `wfa_core`'s kernel property tests).
+pub fn insert_matches_packed(
+    a: &wfa_core::bitpack::PackedSeq,
+    b: &wfa_core::bitpack::PackedSeq,
+    edits: &[Edit],
+) -> Result<Cigar, BtError> {
+    let mut cigar = Cigar::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    let extend = |i: usize, j: usize| wfa_core::kernel::lcp_packed(a, b, i, j);
+    for edit in edits {
+        if edit.extend_before {
+            let m = extend(i, j);
+            cigar.push_run(Op::Match, m as u32);
+            i += m;
+            j += m;
+        }
+        match edit.op {
+            Op::Mismatch => {
+                if i >= a.len() || j >= b.len() || a.get(i) == b.get(j) {
+                    return Err(BtError::ReconstructionMismatch);
+                }
+                cigar.push(Op::Mismatch);
+                i += 1;
+                j += 1;
+            }
+            Op::Ins => {
+                if j >= b.len() {
+                    return Err(BtError::ReconstructionMismatch);
+                }
+                cigar.push(Op::Ins);
+                j += 1;
+            }
+            Op::Del => {
+                if i >= a.len() {
+                    return Err(BtError::ReconstructionMismatch);
+                }
+                cigar.push(Op::Del);
+                i += 1;
+            }
+            Op::Match => unreachable!("the walk never emits Match edits"),
+        }
+    }
+    // Trailing matches to the ends.
+    let m = extend(i, j);
+    cigar.push_run(Op::Match, m as u32);
+    i += m;
+    j += m;
+    if i != a.len() || j != b.len() {
+        return Err(BtError::ReconstructionMismatch);
+    }
+    Ok(cigar)
+}
+
+/// Full per-alignment CPU backtrace over packed sequences: walk + match
+/// insertion with no ASCII decode.
+pub fn backtrace_alignment_packed(
+    schedule: &WavefrontSchedule,
+    bt: &BtAlignment,
+    a: &wfa_core::bitpack::PackedSeq,
+    b: &wfa_core::bitpack::PackedSeq,
+    p: &Penalties,
+    parallel_sections: usize,
+) -> Result<Cigar, BtError> {
+    let edits = walk_origins(schedule, bt, p, parallel_sections)?;
+    insert_matches_packed(a, b, &edits)
+}
+
 /// Full per-alignment CPU backtrace: walk + match insertion.
 pub fn backtrace_alignment(
     schedule: &WavefrontSchedule,
@@ -444,6 +534,46 @@ mod tests {
         b.remove(200);
         b[250] = b'T';
         check(&a, &b);
+    }
+
+    #[test]
+    fn packed_backtrace_equals_byte_backtrace() {
+        let cfg = AccelConfig::wfasic_chip();
+        let schedule = WavefrontSchedule::for_config(&cfg);
+        for (a, b) in [
+            (
+                b"GATTACAGATTACAGATTACA".as_slice(),
+                b"GATCACAGGATTACAGATACA".as_slice(),
+            ),
+            (b"AG".as_slice(), b"ATGG".as_slice()),
+            (b"CCCCAAAATTTT".as_slice(), b"CCCCTTTT".as_slice()),
+        ] {
+            let pa = PackedSeq::from_ascii(a).unwrap();
+            let pb = PackedSeq::from_ascii(b).unwrap();
+            let outcome = align_packed(&cfg, &schedule, 3, &pa, &pb, true);
+            assert!(outcome.success);
+            let bytes = bt_txns_to_bytes(&collect_bt(&outcome));
+            let alignments = split_consecutive_stream(&bytes).unwrap();
+            let byte_cigar = backtrace_alignment(
+                &schedule,
+                &alignments[0],
+                a,
+                b,
+                &cfg.penalties,
+                cfg.parallel_sections,
+            )
+            .unwrap();
+            let packed_cigar = backtrace_alignment_packed(
+                &schedule,
+                &alignments[0],
+                &pa,
+                &pb,
+                &cfg.penalties,
+                cfg.parallel_sections,
+            )
+            .unwrap();
+            assert_eq!(byte_cigar, packed_cigar);
+        }
     }
 
     #[test]

@@ -353,26 +353,38 @@ impl BatchScheduler {
 
     /// Run a queue of **independent single-lane jobs** across host threads.
     ///
-    /// Each job runs on its own freshly-initialized one-lane
-    /// [`WfasicDriver`] carrying this scheduler's policy (watchdog,
-    /// retries, CPU fallback, separation, `OUT_SIZE`, perf collection), so
-    /// jobs share no simulated state: every job's device starts at cycle 0
-    /// with a private port. Host threads only change wall-clock — results
-    /// come back in submission order and each [`JobResult`] (cycles, perf
-    /// counters, everything) is bit-identical to a sequential
-    /// `WfasicDriver::submit` of the same pairs, at any `threads` value.
+    /// Each job runs on a private one-lane [`WfasicDriver`] carrying this
+    /// scheduler's policy (watchdog, retries, CPU fallback, separation,
+    /// `OUT_SIZE`, perf collection), so jobs share no simulated state:
+    /// every job's device starts at cycle 0 with a private port. Host
+    /// threads only change wall-clock — results come back in submission
+    /// order and each [`JobResult`] (cycles, perf counters, everything) is
+    /// bit-identical to a sequential `WfasicDriver::submit` of the same
+    /// pairs, at any `threads` value.
+    ///
+    /// Each worker thread keeps one warm driver and reuses it across its
+    /// queue (fresh drivers pay milliseconds of host-side allocation —
+    /// arena, scratch, memory image — per job). Reuse is safe because
+    /// [`WfasicDriver::submit`] restages memory, reprograms every register
+    /// and restarts the simulated timeline at cycle 0 on every call, and
+    /// these drivers never carry fault plans; the parallel differential
+    /// suite pins reuse against fresh-driver submits bit for bit.
     ///
     /// This is the throughput path for embarrassingly-parallel work. It is
     /// deliberately distinct from [`BatchScheduler::submit_batch`]: the
     /// shared-bus multi-lane timeline is inherently serial (the arbiter
     /// allocates one port's cycles across lanes), so that path stays
     /// sequential. Per-lane fault plans belong to the shared SoC and do not
-    /// apply here — the fresh drivers are fault-free.
+    /// apply here — the private drivers are fault-free.
     pub fn run_parallel(
         &self,
         jobs: &[BatchJob],
         threads: usize,
     ) -> Vec<Result<JobResult, DriverError>> {
+        thread_local! {
+            static WORKER_DRIVER: std::cell::RefCell<Option<WfasicDriver>> =
+                const { std::cell::RefCell::new(None) };
+        }
         // Copy the policy out of `self`: the worker closure must not
         // capture the scheduler itself (the shared SoC is single-threaded
         // state and is not touched by this path).
@@ -388,18 +400,28 @@ impl BatchScheduler {
         let out_size = self.out_size;
         let collect_perf = self.collect_perf;
         ThreadPool::new(threads).map(jobs, move |_, job| {
-            let mut drv = WfasicDriver::new(cfg);
-            drv.axi_lite = axi_lite;
-            drv.bt_costs = bt_costs;
-            drv.force_separation = force_separation;
-            drv.watchdog_cycles = watchdog_cycles;
-            drv.max_retries = max_retries;
-            drv.retry_backoff_cycles = retry_backoff_cycles;
-            drv.deadline_cycles = job.deadline.or(deadline_cycles);
-            drv.cpu_fallback = cpu_fallback;
-            drv.out_size = out_size;
-            drv.collect_perf = collect_perf;
-            drv.submit(&job.pairs, job.backtrace, WaitMode::PollIdle)
+            WORKER_DRIVER.with(|slot| {
+                let mut slot = slot.borrow_mut();
+                // The cached driver survives across `run_parallel` calls on
+                // a long-lived thread (e.g. `threads == 1` runs on the
+                // caller); rebuild it whenever the device shape changed.
+                let drv = match slot.as_mut() {
+                    Some(d) if d.device.cfg == cfg => d,
+                    _ => slot.insert(WfasicDriver::new(cfg)),
+                };
+                drv.axi_lite = axi_lite;
+                drv.bt_costs = bt_costs;
+                drv.force_separation = force_separation;
+                drv.watchdog_cycles = watchdog_cycles;
+                drv.max_retries = max_retries;
+                drv.retry_backoff_cycles = retry_backoff_cycles;
+                drv.deadline_cycles = job.deadline.or(deadline_cycles);
+                drv.cpu_fallback = cpu_fallback;
+                drv.out_size = out_size;
+                drv.collect_perf = collect_perf;
+                drv.layout = MemLayout::default();
+                drv.submit(&job.pairs, job.backtrace, WaitMode::PollIdle)
+            })
         })
     }
 

@@ -13,7 +13,7 @@
 
 use crate::api::{WaitMode, WfasicDriver};
 use crate::cpu_model::{software_backtrace_cycles, CpuCosts};
-use wfa_core::wfa::{wfa_align, WfaOptions};
+use wfa_core::wfa::{wfa_align_seqs, WfaOptions};
 use wfasic_accel::AccelConfig;
 use wfasic_seqio::generate::Pair;
 use wfasic_soc::clock::Cycle;
@@ -106,7 +106,7 @@ pub fn run_experiment(
     let mut cpu_vector_total: Cycle = 0;
     let mut equivalent_cells: u64 = 0;
     for pair in pairs {
-        let r = wfa_align(&pair.a, &pair.b, &WfaOptions::score_only(cfg.penalties))
+        let r = wfa_align_seqs(&pair.a, &pair.b, &WfaOptions::score_only(cfg.penalties))
             .expect("unbounded software WFA cannot fail");
         cpu_scalar_total += scalar.align_cycles(&r.stats);
         cpu_vector_total += vector.align_cycles(&r.stats);

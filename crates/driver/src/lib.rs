@@ -34,7 +34,7 @@ pub use backend::{
     AlignPolicy, AlignmentBackend, BackendBatch, BackendCounters, BackendKind, Capabilities,
     CpuWfaBackend, DeviceBackend, HeterogeneousBackend, MultiLaneBackend, SwgBackend,
 };
-pub use backtrace::{backtrace_alignment, BtAlignment, BtError, Edit};
+pub use backtrace::{backtrace_alignment, backtrace_alignment_packed, BtAlignment, BtError, Edit};
 pub use batch::{BatchJob, BatchResult, BatchScheduler, DispatchPolicy, LaneHealth, LaneState};
 pub use codesign::{run_experiment, ExperimentResult};
 pub use cpu_model::{software_backtrace_cycles, BacktraceCosts, CpuCosts};

@@ -35,7 +35,7 @@ use crate::backend::{AlignPolicy, AlignmentBackend, BackendBatch, BackendCounter
 use crate::batch::BatchJob;
 use crate::cpu_model::{software_backtrace_cycles, CpuCosts};
 use wfa_core::cigar::Op;
-use wfa_core::{wfa_align_with_arena, Penalties, WavefrontArena, WfaOptions};
+use wfa_core::{wfa_align_seqs_with_arena, Penalties, WavefrontArena, WfaOptions};
 use wfasic_riscv::kernels::{run_wfa_program, wfa_scalar_program_for, MAX_KERNEL_SEQ};
 use wfasic_riscv::Program;
 use wfasic_soc::clock::Cycle;
@@ -119,7 +119,7 @@ impl AlignmentBackend for RiscvBackend {
             } else {
                 WfaOptions::score_only(self.penalties)
             };
-            let host = match wfa_align_with_arena(&pair.a, &pair.b, &opts, &mut self.arena) {
+            let host = match wfa_align_seqs_with_arena(&pair.a, &pair.b, &opts, &mut self.arena) {
                 Ok(al) => al,
                 Err(_) => {
                     results.push(AlignmentResult {
@@ -134,11 +134,12 @@ impl AlignmentBackend for RiscvBackend {
             };
             let analytic = costs.align_cycles(&host.stats);
 
-            if Self::kernel_admits(&pair.a, &pair.b) && host.score <= KERNEL_SCORE_MAX {
+            let (ka, kb) = (pair.a.bytes(), pair.b.bytes());
+            if Self::kernel_admits(&ka, &kb) && host.score <= KERNEL_SCORE_MAX {
                 // In the kernel envelope: the score comes out of the
                 // interpreter too, and must agree exactly — the per-pair
                 // co-simulation invariant.
-                let run = run_wfa_program(&self.program, &pair.a, &pair.b);
+                let run = run_wfa_program(&self.program, &ka, &kb);
                 assert_eq!(
                     run.score,
                     Some(host.score),
@@ -237,11 +238,7 @@ mod tests {
         // the kernel would fail — the backend answers anyway, charging the
         // analytic model.
         let mut backend = RiscvBackend::new(Penalties::WFASIC_DEFAULT);
-        let pair = Pair {
-            id: 7,
-            a: vec![b'A'; 200],
-            b: vec![b'T'; 200],
-        };
+        let pair = Pair::new(7, vec![b'A'; 200], vec![b'T'; 200]);
         let res = backend.align_one(&pair, false).unwrap();
         assert!(res.success);
         assert_eq!(res.score, 800);

@@ -184,7 +184,7 @@ fn a_faulting_lane_degrades_to_cpu_answers_without_stalling_the_batch() {
             assert!(res.success);
             assert_eq!(res.id, pair.id);
             let opts = wfa_core::WfaOptions::exact(cfg.penalties);
-            let truth = wfa_core::wfa_align(&pair.a, &pair.b, &opts).unwrap();
+            let truth = wfa_core::wfa_align_seqs(&pair.a, &pair.b, &opts).unwrap();
             assert_eq!(res.score, truth.score, "job {i} id {}", res.id);
         }
     }
@@ -346,6 +346,41 @@ fn run_parallel_thread_width_never_changes_anything() {
     for width in [2, 3, 8] {
         let wide = format!("{:?}", sched.run_parallel(&jobs, width));
         assert_eq!(reference, wide, "thread width {width} changed a result");
+    }
+}
+
+#[test]
+fn run_parallel_worker_driver_cache_survives_a_config_change() {
+    // `run_parallel` keeps one warm driver per worker thread; with
+    // `threads == 1` the cache lives on the calling thread and survives
+    // across schedulers. Interleaving two device shapes from the same
+    // thread must rebuild the cached driver, not run the wrong config.
+    let cfg_a = AccelConfig::wfasic_chip();
+    let cfg_b = AccelConfig::wfasic_chip().with_aligners(2);
+    assert_ne!(cfg_a, cfg_b);
+    let mut jobs: Vec<BatchJob> = (0..2)
+        .map(|i| BatchJob::with_backtrace(pairs(3, 90, 0xCAFE + i)))
+        .collect();
+    assign_unique_ids(&mut jobs);
+
+    let sched_a = BatchScheduler::new(cfg_a, 1);
+    let sched_b = BatchScheduler::new(cfg_b, 1);
+    for _ in 0..2 {
+        for (cfg, sched) in [(cfg_a, &sched_a), (cfg_b, &sched_b)] {
+            for (job, got) in jobs.iter().zip(sched.run_parallel(&jobs, 1)) {
+                let got = got.expect("clean jobs must pass");
+                let mut drv = WfasicDriver::new(cfg);
+                let want = drv
+                    .submit(&job.pairs, job.backtrace, WaitMode::PollIdle)
+                    .unwrap();
+                assert_eq!(got.report.total_cycles, want.report.total_cycles);
+                assert_eq!(got.separated, want.separated);
+                for (a, b) in got.results.iter().zip(&want.results) {
+                    assert_eq!((a.id, a.success, a.score), (b.id, b.success, b.score));
+                    assert_eq!(a.cigar, b.cigar);
+                }
+            }
+        }
     }
 }
 

@@ -19,8 +19,8 @@ fn kernel_matches_swg_on_random_pairs() {
         let mut g = PairGenerator::new(len, rate, seed);
         for _ in 0..6 {
             let p = g.pair();
-            let expect = swg_score(&p.a, &p.b, &Penalties::WFASIC_DEFAULT);
-            let got = run_wfa_scalar(&p.a, &p.b);
+            let expect = swg_score(&p.a.bytes(), &p.b.bytes(), &Penalties::WFASIC_DEFAULT);
+            let got = run_wfa_scalar(&p.a.bytes(), &p.b.bytes());
             assert_eq!(
                 got.score.map(u64::from),
                 Some(expect),
@@ -57,9 +57,9 @@ fn kernel_cycles_scale_with_score() {
     let mut g_low = PairGenerator::new(150, 0.02, 11);
     let mut g_high = PairGenerator::new(150, 0.10, 11);
     let p_low = g_low.pair();
-    let low = run_wfa_scalar(&p_low.a, &p_low.b);
+    let low = run_wfa_scalar(&p_low.a.bytes(), &p_low.b.bytes());
     let p = g_high.pair();
-    let high = run_wfa_scalar(&p.a, &p.b);
+    let high = run_wfa_scalar(&p.a.bytes(), &p.b.bytes());
     // Different pairs; just require a clear ordering.
     assert!(high.stats.cycles > low.stats.cycles);
 }

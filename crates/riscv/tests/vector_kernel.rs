@@ -17,8 +17,8 @@ fn vector_kernel_matches_swg_on_random_pairs() {
         let mut g = PairGenerator::new(len, rate, seed);
         for _ in 0..4 {
             let p = g.pair();
-            let expect = swg_score(&p.a, &p.b, &Penalties::WFASIC_DEFAULT);
-            let got = run_wfa_vector(&p.a, &p.b);
+            let expect = swg_score(&p.a.bytes(), &p.b.bytes(), &Penalties::WFASIC_DEFAULT);
+            let got = run_wfa_vector(&p.a.bytes(), &p.b.bytes());
             assert_eq!(
                 got.score.map(u64::from),
                 Some(expect),
@@ -55,8 +55,8 @@ fn vector_and_scalar_kernels_always_agree() {
     for _ in 0..6 {
         let p = g.pair();
         assert_eq!(
-            run_wfa_vector(&p.a, &p.b).score,
-            run_wfa_scalar(&p.a, &p.b).score
+            run_wfa_vector(&p.a.bytes(), &p.b.bytes()).score,
+            run_wfa_scalar(&p.a.bytes(), &p.b.bytes()).score
         );
     }
 }
@@ -67,8 +67,8 @@ fn vector_kernel_is_faster_than_scalar() {
     // modest vector speedups: extend vectorizes, compute mostly doesn't).
     let mut g = PairGenerator::new(250, 0.04, 33);
     let p = g.pair();
-    let scalar = run_wfa_scalar(&p.a, &p.b);
-    let vector = run_wfa_vector(&p.a, &p.b);
+    let scalar = run_wfa_scalar(&p.a.bytes(), &p.b.bytes());
+    let vector = run_wfa_vector(&p.a.bytes(), &p.b.bytes());
     assert_eq!(scalar.score, vector.score);
     assert!(
         vector.stats.cycles < scalar.stats.cycles,

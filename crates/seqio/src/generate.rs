@@ -11,16 +11,33 @@
 
 use crate::dna::BASES;
 use wfa_core::rng::SmallRng;
+use wfa_core::seq::Seq;
 
 /// One input pair for alignment.
+///
+/// Sequences are carried as [`Seq`]: generated reads pack to 2 bits/base at
+/// construction and stay packed through the backends' hot paths; broken
+/// data (injected 'N's, arbitrary bytes) degrades to `Seq::Raw` and routes
+/// through the byte-oriented oracle instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pair {
     /// Unique alignment ID (travels through the hardware and back).
     pub id: u32,
     /// Pattern sequence (`a` in the paper's equations).
-    pub a: Vec<u8>,
+    pub a: Seq,
     /// Text sequence (`b`).
-    pub b: Vec<u8>,
+    pub b: Seq,
+}
+
+impl Pair {
+    /// Build a pair from ASCII sequences (packing clean ACGT reads).
+    pub fn new(id: u32, a: Vec<u8>, b: Vec<u8>) -> Pair {
+        Pair {
+            id,
+            a: Seq::from_bytes(a),
+            b: Seq::from_bytes(b),
+        }
+    }
 }
 
 /// Edit-type mix for the mutator. Fields are relative weights.
@@ -136,7 +153,7 @@ impl PairGenerator {
         let b = mutate_capped(&a, num_edits, &self.profile, self.max_len, &mut self.rng);
         let id = self.next_id;
         self.next_id += 1;
-        Pair { id, a, b }
+        Pair::new(id, a, b)
     }
 
     /// Generate `n` pairs.
@@ -210,7 +227,7 @@ pub fn mutate_capped(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wfa_core::{align, Penalties};
+    use wfa_core::{wfa_align_seqs, Penalties, WfaOptions};
 
     #[test]
     fn deterministic_for_seed() {
@@ -233,7 +250,7 @@ mod tests {
         let mut g = PairGenerator::new(80, 0.0, 7);
         let p = g.pair();
         assert_eq!(p.a, p.b);
-        let r = align(&p.a, &p.b, Penalties::WFASIC_DEFAULT).unwrap();
+        let r = wfa_align_seqs(&p.a, &p.b, &WfaOptions::exact(Penalties::WFASIC_DEFAULT)).unwrap();
         assert_eq!(r.score, 0);
     }
 
@@ -252,7 +269,7 @@ mod tests {
         // (each edit costs 4..=8 under (4, 6, 2), and edits can coincide).
         let mut g = PairGenerator::new(1000, 0.05, 123);
         let p = g.pair();
-        let r = align(&p.a, &p.b, Penalties::WFASIC_DEFAULT).unwrap();
+        let r = wfa_align_seqs(&p.a, &p.b, &WfaOptions::exact(Penalties::WFASIC_DEFAULT)).unwrap();
         assert!(r.score >= 100, "score {} too low for 50 edits", r.score);
         assert!(r.score <= 450, "score {} too high for 50 edits", r.score);
     }
@@ -273,13 +290,18 @@ mod tests {
 
     #[test]
     fn technology_profiles_shift_the_edit_mix() {
-        use wfa_core::{align as walign, Penalties as Pen};
+        use wfa_core::{wfa_align_seqs as walign, Penalties as Pen};
         // Indel-heavy profiles produce more gap bases than mismatch-heavy
         // ones at the same nominal error rate.
         let gap_fraction = |profile: ErrorProfile| -> f64 {
             let mut g = PairGenerator::new(600, 0.08, 31).with_profile(profile);
             let p = g.pair();
-            let r = walign(&p.a, &p.b, Pen::WFASIC_DEFAULT).unwrap();
+            let r = walign(
+                &p.a,
+                &p.b,
+                &wfa_core::WfaOptions::exact(Pen::WFASIC_DEFAULT),
+            )
+            .unwrap();
             let st = r.cigar.unwrap().stats();
             (st.ins_bases + st.del_bases) as f64 / st.edits().max(1) as f64
         };
@@ -306,7 +328,7 @@ mod tests {
         // expected band.
         let mut g = PairGenerator::new(500, 0.10, 3).with_max_len(500);
         let p = g.pair();
-        let r = align(&p.a, &p.b, Penalties::WFASIC_DEFAULT).unwrap();
+        let r = wfa_align_seqs(&p.a, &p.b, &WfaOptions::exact(Penalties::WFASIC_DEFAULT)).unwrap();
         assert!(r.score >= 150 && r.score <= 450, "score {}", r.score);
     }
 }

@@ -21,3 +21,4 @@ pub mod memimage;
 pub use dataset::{round_up_16, InputSet, InputSetSpec};
 pub use generate::{ErrorProfile, Pair, PairGenerator};
 pub use memimage::{BtScoreRecord, BtTxn, CellOrigin, InputImage, MOrigin, NbtRecord};
+pub use wfa_core::seq::Seq;

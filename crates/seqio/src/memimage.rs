@@ -77,12 +77,15 @@ impl InputImage {
                 .copy_from_slice(&(p.a.len() as u32).to_le_bytes());
             bytes[base + 2 * SECTION..base + 2 * SECTION + 4]
                 .copy_from_slice(&(p.b.len() as u32).to_le_bytes());
+            // The wire format stays ASCII at 1 byte/base (§4.2): packed
+            // sequences decode straight into the image buffer, raw ones
+            // memcpy — no intermediate allocation either way.
             let a_off = base + HEADER_SECTIONS * SECTION;
             let a_n = p.a.len().min(max_read_len);
-            bytes[a_off..a_off + a_n].copy_from_slice(&p.a[..a_n]);
+            p.a.write_prefix_into(&mut bytes[a_off..a_off + a_n]);
             let b_off = a_off + max_read_len;
             let b_n = p.b.len().min(max_read_len);
-            bytes[b_off..b_off + b_n].copy_from_slice(&p.b[..b_n]);
+            p.b.write_prefix_into(&mut bytes[b_off..b_off + b_n]);
         }
         InputImage {
             bytes,
@@ -342,16 +345,70 @@ pub fn pack_bt_block(cells: &[CellOrigin; 64]) -> [u8; BT_BLOCK_BYTES] {
 pub fn pack_origins(cells: &[CellOrigin]) -> Vec<u8> {
     let mut out = vec![0u8; (cells.len() * 5).div_ceil(8)];
     for (n, cell) in cells.iter().enumerate() {
-        let bit = 5 * n;
-        let code = cell.code() as u16;
-        let byte = bit / 8;
-        let off = bit % 8;
-        out[byte] |= (code << off) as u8;
-        if off > 3 {
-            out[byte + 1] |= (code >> (8 - off)) as u8;
-        }
+        pack_code_into(&mut out, n, cell.code());
     }
     out
+}
+
+/// [`pack_origins`] over raw 5-bit codes (the form the batched compute
+/// kernel emits — see `wfa_core::kernel::compute_row_with_origins`).
+/// Bit-identical blocks to packing the equivalent [`CellOrigin`]s.
+pub fn pack_origin_codes(codes: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; (codes.len() * 5).div_ceil(8)];
+    for (n, &code) in codes.iter().enumerate() {
+        pack_code_into(&mut out, n, code);
+    }
+    out
+}
+
+/// OR one cell's 5-bit origin `code` into slot `n` of a zero-initialized
+/// block (the single-cell form of [`pack_origin_codes`], for callers that
+/// pack straight into a preallocated block buffer).
+#[inline]
+pub fn pack_code_into(out: &mut [u8], n: usize, code: u8) {
+    let bit = 5 * n;
+    let code = code as u16;
+    let byte = bit / 8;
+    let off = bit % 8;
+    out[byte] |= (code << off) as u8;
+    if off > 3 {
+        out[byte + 1] |= (code >> (8 - off)) as u8;
+    }
+}
+
+/// Pack a dense run of 5-bit codes into slots `0..codes.len()` of a
+/// zero-initialized block — [`pack_code_into`] over every slot, in one
+/// call. Bit-identical output; on BMI2 hosts each group of eight codes is
+/// packed with one `PEXT` (slot `8g` starts at bit `40g`, a byte boundary,
+/// so each group lands on exactly five whole bytes).
+#[inline]
+pub fn pack_codes_dense(out: &mut [u8], codes: &[u8]) {
+    let mut n = 0;
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("bmi2") {
+        // SAFETY: feature checked above.
+        n = unsafe { pack_codes_bmi2_prefix(out, codes) };
+    }
+    for (t, &code) in codes.iter().enumerate().skip(n) {
+        pack_code_into(out, t, code);
+    }
+}
+
+/// Pack the longest multiple-of-8 prefix of `codes` with `PEXT`, returning
+/// how many codes were consumed. Eight code bytes read as a little-endian
+/// `u64` put code `n`'s low 5 bits at bits `8n..8n+5`; extracting through
+/// the `0x1F` byte mask concatenates them to bits `5n..5n+5` — the block
+/// layout — and the 40-bit result is the group's five output bytes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+unsafe fn pack_codes_bmi2_prefix(out: &mut [u8], codes: &[u8]) -> usize {
+    use std::arch::x86_64::_pext_u64;
+    for (g, chunk) in codes.chunks_exact(8).enumerate() {
+        let v = u64::from_le_bytes(chunk.try_into().unwrap());
+        let packed = _pext_u64(v, 0x1F1F_1F1F_1F1F_1F1F);
+        out[5 * g..5 * g + 5].copy_from_slice(&packed.to_le_bytes()[..5]);
+    }
+    codes.len() / 8 * 8
 }
 
 /// Bytes of one origin block for `p` parallel sections.
@@ -376,11 +433,7 @@ mod tests {
     use super::*;
 
     fn mk_pair(id: u32, a: &[u8], b: &[u8]) -> Pair {
-        Pair {
-            id,
-            a: a.to_vec(),
-            b: b.to_vec(),
-        }
+        Pair::new(id, a.to_vec(), b.to_vec())
     }
 
     #[test]
@@ -394,8 +447,8 @@ mod tests {
         for (n, p) in pairs.iter().enumerate() {
             let (id, a, b) = img.decode(n);
             assert_eq!(id, p.id);
-            assert_eq!(a, p.a);
-            assert_eq!(b, p.b);
+            assert_eq!(a, p.a.to_bytes());
+            assert_eq!(b, p.b.to_bytes());
         }
     }
 
@@ -499,6 +552,33 @@ mod tests {
         let block = pack_bt_block(&cells);
         for (n, c) in cells.iter().enumerate() {
             assert_eq!(unpack_bt_cell(&block, n), *c, "cell {n}");
+        }
+    }
+
+    #[test]
+    fn code_packer_matches_origin_packer() {
+        for len in [1usize, 7, 32, 64] {
+            let cells: Vec<CellOrigin> = (0..len)
+                .map(|n| CellOrigin::from_code(((n * 11) % 30) as u8))
+                .collect();
+            let codes: Vec<u8> = cells.iter().map(|c| c.code()).collect();
+            assert_eq!(pack_origin_codes(&codes), pack_origins(&cells), "len {len}");
+        }
+    }
+
+    #[test]
+    fn dense_packer_matches_per_slot_packer() {
+        // Every length from empty through a full 64-PS block, so the PEXT
+        // prefix, the scalar tail, and their seam are all exercised.
+        for len in 0..=64usize {
+            let codes: Vec<u8> = (0..len).map(|n| ((n * 13) % 32) as u8).collect();
+            let mut want = vec![0u8; bt_block_bytes(64)];
+            for (n, &c) in codes.iter().enumerate() {
+                pack_code_into(&mut want, n, c);
+            }
+            let mut got = vec![0u8; bt_block_bytes(64)];
+            pack_codes_dense(&mut got, &codes);
+            assert_eq!(got, want, "len {len}");
         }
     }
 

@@ -34,11 +34,7 @@ fn input_image_roundtrip() {
     cases(CASES, 0x5E10_0001, |rng, _| {
         let n_pairs = rng.gen_range(1, 5);
         let pairs: Vec<Pair> = (0..n_pairs)
-            .map(|i| Pair {
-                id: i as u32 * 7,
-                a: dna(rng, 40),
-                b: dna(rng, 40),
-            })
+            .map(|i| Pair::new(i as u32 * 7, dna(rng, 40), dna(rng, 40)))
             .collect();
         let max = pairs
             .iter()
@@ -52,8 +48,8 @@ fn input_image_roundtrip() {
         for (n, p) in pairs.iter().enumerate() {
             let (id, a, b) = img.decode(n);
             assert_eq!(id, p.id);
-            assert_eq!(&a, &p.a);
-            assert_eq!(&b, &p.b);
+            assert_eq!(a, p.a.to_bytes());
+            assert_eq!(b, p.b.to_bytes());
         }
     });
 }

@@ -410,11 +410,7 @@ mod tests {
         let a = Ticket(1);
         let b = Ticket(2);
         assert!(a < b);
-        let p = Pair {
-            id: 9,
-            a: b"ACGT".to_vec(),
-            b: b"ACGT".to_vec(),
-        };
+        let p = Pair::new(9, b"ACGT".to_vec(), b"ACGT".to_vec());
         let mut svc = service(BackendKind::Swg, 1);
         let t = svc.submit(BatchJob::score_only(vec![p])).unwrap();
         assert_eq!(t, Ticket(0));

@@ -36,11 +36,7 @@ fn main() {
 
     // 3. The WFAsic co-design: device + driver + CPU backtrace.
     let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
-    let pairs = vec![Pair {
-        id: 0,
-        a: a.clone(),
-        b: b.clone(),
-    }];
+    let pairs = vec![Pair::new(0, a.clone(), b.clone())];
     let job = drv
         .submit(&pairs, true, WaitMode::PollIdle)
         .expect("fault-free job cannot fail");

@@ -43,7 +43,7 @@ fn candidates(read: &[u8], index: &HashMap<&[u8], Vec<usize>>) -> Vec<usize> {
 fn main() {
     // Build a synthetic "genome" and sample erroneous reads from it.
     let mut refgen = PairGenerator::new(REF_LEN, 0.0, 99);
-    let reference = refgen.pair().a;
+    let reference = refgen.pair().a.to_bytes();
     let index = build_index(&reference);
 
     let readgen = PairGenerator::new(READ_LEN, 0.08, 123);
@@ -69,11 +69,7 @@ fn main() {
             let lo = cand.min(REF_LEN - READ_LEN - 32);
             let window = &reference[lo..(lo + READ_LEN + 32).min(REF_LEN)];
             job_meta.push((r, lo));
-            jobs.push(Pair {
-                id: jobs.len() as u32,
-                a: read.clone(),
-                b: window.to_vec(),
-            });
+            jobs.push(Pair::new(jobs.len() as u32, read.clone(), window.to_vec()));
         }
         let _ = &readgen;
     }
@@ -136,7 +132,11 @@ fn main() {
 
     // Scores are exact: spot-check one against SWG.
     let check = &jobs[0];
-    let sw = wfasic::wfa::swg_score(&check.a, &check.b, &Penalties::WFASIC_DEFAULT);
+    let sw = wfasic::wfa::swg_score(
+        &check.a.bytes(),
+        &check.b.bytes(),
+        &Penalties::WFASIC_DEFAULT,
+    );
     assert_eq!(job.results[0].score as u64, sw);
 }
 

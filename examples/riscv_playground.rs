@@ -47,8 +47,9 @@ done:
     // 2. The WFA kernels on a realistic pair.
     let mut g = PairGenerator::new(200, 0.06, 7);
     let p = g.pair();
-    let scalar = run_wfa_scalar(&p.a, &p.b);
-    let vector = run_wfa_vector(&p.a, &p.b);
+    let (pa, pb) = (p.a.bytes(), p.b.bytes());
+    let scalar = run_wfa_scalar(&pa, &pb);
+    let vector = run_wfa_vector(&pa, &pb);
     println!(
         "WFA kernels on a 200bp / 6% pair (score {:?}):",
         scalar.score.unwrap()

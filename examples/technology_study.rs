@@ -8,7 +8,7 @@
 use wfasic::accel::AccelConfig;
 use wfasic::driver::codesign::run_experiment;
 use wfasic::seqio::{ErrorProfile, PairGenerator};
-use wfasic::wfa::{wfa_align, AdaptiveParams, Penalties, WfaOptions};
+use wfasic::wfa::{wfa_align_seqs, AdaptiveParams, Penalties, WfaOptions};
 
 fn main() {
     let cfg = AccelConfig::wfasic_chip();
@@ -35,7 +35,7 @@ fn main() {
         let mut gaps = 0u64;
         let mut edits = 0u64;
         for p in &pairs {
-            let r = wfasic::wfa::align(&p.a, &p.b, penalties).unwrap();
+            let r = wfa_align_seqs(&p.a, &p.b, &WfaOptions::exact(penalties)).unwrap();
             score_sum += r.score as u64;
             let st = r.cigar.unwrap().stats();
             gaps += st.ins_bases + st.del_bases;
@@ -69,8 +69,8 @@ fn main() {
     };
     for _ in 0..8 {
         let p = g.pair();
-        let exact = wfa_align(&p.a, &p.b, &WfaOptions::score_only(penalties)).unwrap();
-        let adaptive = wfa_align(
+        let exact = wfa_align_seqs(&p.a, &p.b, &WfaOptions::score_only(penalties)).unwrap();
+        let adaptive = wfa_align_seqs(
             &p.a,
             &p.b,
             &WfaOptions {

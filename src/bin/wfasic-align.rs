@@ -119,11 +119,7 @@ fn main() {
         .iter()
         .zip(&recs_b)
         .enumerate()
-        .map(|(i, (ra, rb))| Pair {
-            id: i as u32,
-            a: ra.seq.clone(),
-            b: rb.seq.clone(),
-        })
+        .map(|(i, (ra, rb))| Pair::new(i as u32, ra.seq.clone(), rb.seq.clone()))
         .collect();
 
     let cfg = AccelConfig::wfasic_chip().with_aligners(aligners);

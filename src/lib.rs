@@ -29,7 +29,7 @@
 //! let job = drv.submit(&pairs, true, WaitMode::PollIdle).expect("job failed");
 //! for (res, pair) in job.results.iter().zip(&pairs) {
 //!     assert!(res.success);
-//!     res.cigar.as_ref().unwrap().check(&pair.a, &pair.b).unwrap();
+//!     res.cigar.as_ref().unwrap().check(&pair.a.bytes(), &pair.b.bytes()).unwrap();
 //! }
 //! ```
 

@@ -111,7 +111,7 @@ fn all_backends_agree_on_the_fixed_seed_sweep() {
         for (a, pair) in got.iter().zip(&pairs) {
             assert!(a.success, "{}: pair {} failed", kind.name(), pair.id);
             assert_eq!(a.id, pair.id, "{}: ID mismatch", kind.name());
-            let oracle = swg_score(&pair.a, &pair.b, &penalties);
+            let oracle = swg_score(&pair.a.bytes(), &pair.b.bytes(), &penalties);
             assert_eq!(
                 a.score as u64,
                 oracle,
@@ -137,9 +137,11 @@ fn all_backends_agree_on_the_fixed_seed_sweep() {
                 .cigar
                 .as_ref()
                 .unwrap_or_else(|| panic!("{}: pair {} missing CIGAR", kind.name(), pair.id));
-            cigar.check(&pair.a, &pair.b).unwrap_or_else(|e| {
-                panic!("{}: pair {} CIGAR invalid: {e:?}", kind.name(), pair.id)
-            });
+            cigar
+                .check(&pair.a.bytes(), &pair.b.bytes())
+                .unwrap_or_else(|e| {
+                    panic!("{}: pair {} CIGAR invalid: {e:?}", kind.name(), pair.id)
+                });
             assert_eq!(
                 cigar.score(&penalties),
                 res.score as u64,
@@ -277,7 +279,7 @@ fn hetero_never_drops_duplicates_or_reorders_under_violations_and_faults() {
         assert_eq!(ids, want, "dropped, duplicated, or reordered a pair");
         for (res, pair) in batch.results.iter().zip(&pairs) {
             assert!(res.success, "pair {} unanswered", pair.id);
-            let oracle = swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT);
+            let oracle = swg_score(&pair.a.bytes(), &pair.b.bytes(), &Penalties::WFASIC_DEFAULT);
             assert_eq!(res.score as u64, oracle, "pair {} wrong score", pair.id);
             let oversized = pair.a.len().max(pair.b.len()) > 64;
             if oversized {
@@ -285,7 +287,7 @@ fn hetero_never_drops_duplicates_or_reorders_under_violations_and_faults() {
             }
             if backtrace {
                 let cigar = res.cigar.as_ref().expect("backtrace was on");
-                cigar.check(&pair.a, &pair.b).unwrap();
+                cigar.check(&pair.a.bytes(), &pair.b.bytes()).unwrap();
                 assert_eq!(cigar.score(&Penalties::WFASIC_DEFAULT), oracle);
             }
         }

@@ -10,7 +10,7 @@
 use wfasic::driver::CpuCosts;
 use wfasic::riscv::kernels::run_wfa_scalar;
 use wfasic::seqio::PairGenerator;
-use wfasic::wfa::{wfa_align, Penalties, WfaOptions};
+use wfasic::wfa::{wfa_align_seqs, Penalties, WfaOptions};
 use wfasic_bench::cosim::calibrated_band;
 
 #[test]
@@ -23,9 +23,9 @@ fn analytic_model_stays_inside_the_calibrated_cosim_bands() {
     let mut work = Vec::new();
     for (len, rate, seed) in [(80usize, 0.05, 1u64), (150, 0.08, 2), (200, 0.10, 3)] {
         let p = PairGenerator::new(len, rate, seed).pair();
-        let isa = run_wfa_scalar(&p.a, &p.b);
+        let isa = run_wfa_scalar(&p.a.bytes(), &p.b.bytes());
         assert!(isa.score.is_some());
-        let sw = wfa_align(
+        let sw = wfa_align_seqs(
             &p.a,
             &p.b,
             &WfaOptions::score_only(Penalties::WFASIC_DEFAULT),
@@ -59,13 +59,13 @@ fn isa_kernel_score_agrees_with_software_on_standard_shape() {
     let mut g = PairGenerator::new(100, 0.05, 42);
     for _ in 0..5 {
         let p = g.pair();
-        let sw = wfa_align(
+        let sw = wfa_align_seqs(
             &p.a,
             &p.b,
             &WfaOptions::score_only(Penalties::WFASIC_DEFAULT),
         )
         .unwrap();
-        let isa = run_wfa_scalar(&p.a, &p.b);
+        let isa = run_wfa_scalar(&p.a.bytes(), &p.b.bytes());
         assert_eq!(isa.score, Some(sw.score));
     }
 }
@@ -76,7 +76,7 @@ fn vector_model_strictly_faster_on_real_workloads() {
     let vector = CpuCosts::sargantana_vector();
     let mut g = PairGenerator::new(1000, 0.10, 9);
     let p = g.pair();
-    let sw = wfa_align(
+    let sw = wfa_align_seqs(
         &p.a,
         &p.b,
         &WfaOptions::score_only(Penalties::WFASIC_DEFAULT),

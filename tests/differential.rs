@@ -75,7 +75,7 @@ fn check_pair(res: &AlignmentResult, pair: &Pair, p: &Penalties, ctx: &str) {
         golden.success,
         "{ctx}: software WFA must handle every generated pair"
     );
-    let oracle = swg_score(&pair.a, &pair.b, p);
+    let oracle = swg_score(&pair.a.bytes(), &pair.b.bytes(), p);
     assert_eq!(
         golden.score as u64, oracle,
         "{ctx}: WFA golden disagrees with SWG oracle on pair {}",
@@ -93,7 +93,7 @@ fn check_pair(res: &AlignmentResult, pair: &Pair, p: &Penalties, ctx: &str) {
         .as_ref()
         .unwrap_or_else(|| panic!("{ctx}: pair {} missing CIGAR", pair.id));
     cigar
-        .check(&pair.a, &pair.b)
+        .check(&pair.a.bytes(), &pair.b.bytes())
         .unwrap_or_else(|e| panic!("{ctx}: pair {} CIGAR invalid: {e:?}", pair.id));
     assert_eq!(
         cigar.score(p),

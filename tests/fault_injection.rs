@@ -45,7 +45,7 @@ fn assert_recovered(drv: &mut WfasicDriver, plan: FaultPlan, seed: u64) {
         if res.recovered {
             assert_eq!(
                 res.score as u64,
-                swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT),
+                swg_score(&pair.a.bytes(), &pair.b.bytes(), &Penalties::WFASIC_DEFAULT),
                 "recovered pair {} must be software-exact",
                 pair.id
             );
@@ -114,7 +114,7 @@ fn scenario_stuck_fifo_delays_but_completes() {
         assert!(res.success && !res.recovered);
         assert_eq!(
             res.score as u64,
-            swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT)
+            swg_score(&pair.a.bytes(), &pair.b.bytes(), &Penalties::WFASIC_DEFAULT)
         );
     }
 }
@@ -198,9 +198,13 @@ fn scenario_output_buffer_overrun() {
         assert!(res.success);
         assert_eq!(
             res.score as u64,
-            swg_score(&pair.a, &pair.b, &Penalties::WFASIC_DEFAULT)
+            swg_score(&pair.a.bytes(), &pair.b.bytes(), &Penalties::WFASIC_DEFAULT)
         );
-        res.cigar.as_ref().unwrap().check(&pair.a, &pair.b).unwrap();
+        res.cigar
+            .as_ref()
+            .unwrap()
+            .check(&pair.a.bytes(), &pair.b.bytes())
+            .unwrap();
     }
 }
 

@@ -47,11 +47,7 @@ fn codesign_matches_oracle() {
     cases(40, 0x5151_0001, |rng, _| {
         let (a, b) = pair(rng, 120);
         let p = Penalties::WFASIC_DEFAULT;
-        let pairs = vec![Pair {
-            id: 0,
-            a: a.clone(),
-            b: b.clone(),
-        }];
+        let pairs = vec![Pair::new(0, a.clone(), b.clone())];
         let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
         let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
         let res = &job.results[0];
@@ -72,7 +68,7 @@ fn aligner_count_never_changes_results() {
         let pairs: Vec<Pair> = (0..n_pairs)
             .map(|i| {
                 let (a, b) = pair(rng, 60);
-                Pair { id: i as u32, a, b }
+                Pair::new(i as u32, a, b)
             })
             .collect();
         let n_aligners = rng.gen_range(2, 5);
@@ -92,7 +88,7 @@ fn parallel_sections_never_change_results() {
     cases(40, 0x5151_0003, |rng, _| {
         let (a, b) = pair(rng, 80);
         let ps = rng.gen_range(1, 9) * 8;
-        let pairs = vec![Pair { id: 0, a, b }];
+        let pairs = vec![Pair::new(0, a, b)];
         let mut d64 = WfasicDriver::new(AccelConfig::wfasic_chip());
         let mut dp = WfasicDriver::new(AccelConfig::wfasic_chip().with_parallel_sections(ps));
         let r64 = d64.submit(&pairs, true, WaitMode::PollIdle).unwrap();

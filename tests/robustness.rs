@@ -22,9 +22,9 @@ fn n_bases_flagged_not_hung() {
     }
     .generate(5, 1)
     .pairs;
-    pairs[0].a[3] = b'N';
-    pairs[2].b[100] = b'n';
-    pairs[4].a[0] = b'-';
+    pairs[0].a.set_byte(3, b'N');
+    pairs[2].b.set_byte(100, b'n');
+    pairs[4].a.set_byte(0, b'-');
     let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
     let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
     assert!(!job.results[0].success);
@@ -38,16 +38,13 @@ fn n_bases_flagged_not_hung() {
 fn over_length_reads_rejected_per_read() {
     // Build an image whose recorded length exceeds MAX_READ_LEN for one
     // pair (the Extractor's first unsupported-read check).
-    let good = Pair {
-        id: 0,
-        a: b"ACGTACGTACGTACGT".to_vec(),
-        b: b"ACGTACGAACGTACGT".to_vec(),
-    };
-    let bad = Pair {
-        id: 1,
-        a: vec![b'A'; 64], // longer than MAX_READ_LEN = 16
-        b: b"ACGT".to_vec(),
-    };
+    let good = Pair::new(
+        0,
+        b"ACGTACGTACGTACGT".to_vec(),
+        b"ACGTACGAACGTACGT".to_vec(),
+    );
+    // 64 'A's: longer than MAX_READ_LEN = 16.
+    let bad = Pair::new(1, vec![b'A'; 64], b"ACGT".to_vec());
     let img = InputImage::encode_raw(&[good.clone(), bad], 16);
     let mut mem = MainMemory::with_default_cap();
     mem.write(0x1000, &img.bytes);
@@ -103,26 +100,10 @@ fn garbage_image_completes_with_failures() {
 #[test]
 fn empty_and_tiny_sequences_flow_through() {
     let pairs = vec![
-        Pair {
-            id: 0,
-            a: Vec::new(),
-            b: b"ACGT".to_vec(),
-        },
-        Pair {
-            id: 1,
-            a: b"A".to_vec(),
-            b: b"A".to_vec(),
-        },
-        Pair {
-            id: 2,
-            a: b"ACGT".to_vec(),
-            b: Vec::new(),
-        },
-        Pair {
-            id: 3,
-            a: Vec::new(),
-            b: Vec::new(),
-        },
+        Pair::new(0, Vec::new(), b"ACGT".to_vec()),
+        Pair::new(1, b"A".to_vec(), b"A".to_vec()),
+        Pair::new(2, b"ACGT".to_vec(), Vec::new()),
+        Pair::new(3, Vec::new(), Vec::new()),
     ];
     let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
     let job = drv.submit(&pairs, true, WaitMode::PollIdle).unwrap();
@@ -132,7 +113,11 @@ fn empty_and_tiny_sequences_flow_through() {
     assert_eq!(job.results[2].score, 6 + 4 * 2);
     assert_eq!(job.results[3].score, 0);
     for (res, pair) in job.results.iter().zip(&pairs) {
-        res.cigar.as_ref().unwrap().check(&pair.a, &pair.b).unwrap();
+        res.cigar
+            .as_ref()
+            .unwrap()
+            .check(&pair.a.bytes(), &pair.b.bytes())
+            .unwrap();
     }
 }
 
@@ -141,21 +126,9 @@ fn mixed_lengths_in_one_job() {
     // MAX_READ_LEN is set by the longest read; short reads are padded with
     // dummy bases that the Extractor must ignore.
     let pairs = vec![
-        Pair {
-            id: 0,
-            a: b"ACG".to_vec(),
-            b: b"ACG".to_vec(),
-        },
-        Pair {
-            id: 1,
-            a: vec![b'G'; 777],
-            b: vec![b'G'; 777],
-        },
-        Pair {
-            id: 2,
-            a: b"GATTACA".to_vec(),
-            b: b"GACTACA".to_vec(),
-        },
+        Pair::new(0, b"ACG".to_vec(), b"ACG".to_vec()),
+        Pair::new(1, vec![b'G'; 777], vec![b'G'; 777]),
+        Pair::new(2, b"GATTACA".to_vec(), b"GACTACA".to_vec()),
     ];
     let mut drv = WfasicDriver::new(AccelConfig::wfasic_chip());
     let job = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap();

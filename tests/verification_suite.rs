@@ -48,14 +48,14 @@ fn verify_config(cfg: AccelConfig, backtrace: bool, pairs_per_set: usize, seed: 
         assert_eq!(job.results.len(), pairs.len(), "{}", spec.name());
         let mut failed = 0;
         for (res, pair) in job.results.iter().zip(&pairs) {
-            let expected = swg_score(&pair.a, &pair.b, &p);
+            let expected = swg_score(&pair.a.bytes(), &pair.b.bytes(), &p);
             if !res.success || res.score as u64 != expected {
                 failed += 1;
                 continue;
             }
             if backtrace {
                 let cigar = res.cigar.as_ref().expect("bt mode yields cigars");
-                cigar.check(&pair.a, &pair.b).unwrap();
+                cigar.check(&pair.a.bytes(), &pair.b.bytes()).unwrap();
                 assert_eq!(cigar.score(&p), expected);
             }
         }
@@ -120,7 +120,7 @@ fn small_k_max_flags_failures_honestly() {
     let job = drv.submit(&pairs, false, WaitMode::PollIdle).unwrap();
     let mut seen_fail = false;
     for (res, pair) in job.results.iter().zip(&pairs) {
-        let expected = swg_score(&pair.a, &pair.b, &p);
+        let expected = swg_score(&pair.a.bytes(), &pair.b.bytes(), &p);
         if expected <= 28 {
             assert!(res.success, "in-budget alignment must succeed");
             assert_eq!(res.score as u64, expected);
