@@ -41,6 +41,44 @@ pub struct BackendRow {
     pub aligns_per_sec: f64,
     /// Simulated device cycles for the batch (`None` for pure software).
     pub sim_cycles: Option<u64>,
+    /// Wall-clock milliseconds to align one 12 kb / 5% pair with
+    /// backtrace, and the CPU engine that answered it (`None` for
+    /// backends whose envelope cannot take a 12 kb read). Display-only —
+    /// never part of [`baseline_metrics`].
+    pub longread: Option<(f64, &'static str)>,
+}
+
+/// The long-read spot-check: one fixed 12 kb / 5% pair, beyond the stock
+/// device envelope, so the backends that accept it (`cpu`, `hetero`) route
+/// it through the CPU strategy ladder — at the default policy that is the
+/// linear-memory BiWFA engine.
+fn longread_spot(kind: BackendKind, sizes: &Sizes) -> Option<(f64, &'static str)> {
+    if !matches!(kind, BackendKind::Cpu | BackendKind::Heterogeneous) {
+        return None;
+    }
+    let pair = InputSetSpec {
+        length: 12_000,
+        error_pct: 5,
+    }
+    .generate(1, sizes.seed ^ 0x10B6)
+    .pairs
+    .remove(0);
+    let mut backend = kind.create(AccelConfig::wfasic_chip(), LANES);
+    let start = std::time::Instant::now();
+    let res = backend
+        .align_one(&pair, true)
+        .expect("the long-read spot pair must align");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(res.success);
+    let c = backend.counters();
+    let engine = if c.biwfa_pairs > 0 {
+        "biwfa"
+    } else if c.adaptive_pairs > 0 {
+        "adaptive"
+    } else {
+        "exact"
+    };
+    Some((ms, engine))
 }
 
 fn workload(sizes: &Sizes) -> BatchJob {
@@ -86,6 +124,7 @@ fn run_backend(kind: BackendKind, sizes: &Sizes, timed_iters: usize) -> BackendR
         pairs,
         aligns_per_sec: pairs as f64 / (t.p50_ms / 1e3),
         sim_cycles,
+        longread: longread_spot(kind, sizes),
     }
 }
 
@@ -111,18 +150,23 @@ pub fn backends_report(sizes: &Sizes) -> String {
                 r.sim_cycles
                     .map(|c| c.to_string())
                     .unwrap_or_else(|| "-".to_string()),
+                r.longread
+                    .map(|(ms, engine)| format!("{ms:.1} ({engine})"))
+                    .unwrap_or_else(|| "-".to_string()),
             ]
         })
         .collect();
     out.push_str(&render_table(
         "Backend comparison (100bp/5%, BT on, streamed through AlignmentService)",
-        &["backend", "pairs", "aligns/s", "sim cycles"],
+        &["backend", "pairs", "aligns/s", "sim cycles", "12kb ms"],
         &table,
     ));
     out.push_str(&format!(
         "\nlanes for multilane/hetero: {LANES}; aligns/s is host wall clock \
          (varies); sim cycles are deterministic — device-backed rows are \
-         gated by ci-check, the riscv row by cosim-check\n"
+         gated by ci-check, the riscv row by cosim-check; 12kb ms is one \
+         12 kb/5% long read beyond the device envelope (CPU strategy in \
+         parentheses; '-' where the envelope refuses it)\n"
     ));
     out
 }
@@ -178,6 +222,13 @@ mod tests {
         assert_eq!(sim, [false, false, true, true, true, true]);
         // All six answered the full workload.
         assert!(rows.iter().all(|r| r.pairs == Sizes::quick().sched_pairs));
+        // The 12 kb spot-check runs exactly where the envelope allows it,
+        // and lands on the linear-memory engine at the default policy.
+        let long: Vec<Option<&str>> = rows
+            .iter()
+            .map(|r| r.longread.map(|(_, engine)| engine))
+            .collect();
+        assert_eq!(long, [Some("biwfa"), None, None, None, None, Some("biwfa")]);
         let text = backends_report(&Sizes::quick());
         for name in ["cpu", "swg", "riscv", "device", "multilane", "hetero"] {
             assert!(text.contains(name), "missing row for {name}");

@@ -12,6 +12,8 @@
 //!     [--out PATH] [--check] [--bless] [--baseline PATH]
 //! cargo run -p wfasic-bench --release --bin report -- cosim [--quick] [--seed N] [--threads N] \
 //!     [--out PATH] [--check] [--bless] [--baseline PATH]
+//! cargo run -p wfasic-bench --release --bin report -- longread [--quick] [--seed N] \
+//!     [--out PATH] [--check] [--bless] [--baseline PATH]
 //! ```
 //!
 //! `trace` prints Chrome `trace_event` JSON for one input set (default
@@ -28,14 +30,19 @@
 //! differential co-simulation sweep (ISA WFA kernels on the interpreter vs
 //! `wfa_align`, analytic models, backend counters, simulated device),
 //! prints the Fig. 9/10-shaped speedup table and writes `BENCH_cosim.json`;
-//! `--check` gates it against `bench/baselines/cosim.json`.
+//! `--check` gates it against `bench/baselines/cosim.json`. `longread`
+//! routes technology-shaped read sets (PacBio CLR/HiFi, Nanopore) through
+//! the heterogeneous backend's length-class router, prints the strategy
+//! tallies and measured BiWFA memory reduction, and writes
+//! `BENCH_longread.json`; `--check` gates it against
+//! `bench/baselines/longread.json`.
 //!
 //! Every subcommand uses the same exit codes (see `report --help`):
 //! 0 = success, 1 = gate violation or drift (including an unreadable
 //! baseline), 2 = usage error.
 
 use wfasic_bench::experiments::{trace_json, Sizes};
-use wfasic_bench::{backends, baseline, chaos, cosim, dse, host, report};
+use wfasic_bench::{backends, baseline, chaos, cosim, dse, host, longread, report};
 use wfasic_seqio::dataset::InputSetSpec;
 
 /// A gate tripped: cycle/frontier drift, chaos invariant violation, or a
@@ -56,6 +63,9 @@ subcommands (default: all)
                                         Pareto frontier vs bench/baselines/dse.json
   cosim [--check] [--bless]             differential co-simulation sweep; --check
                                         gates it vs bench/baselines/cosim.json
+  longread [--check] [--bless]          long-read scale-out through the hetero
+                                        router; --check gates the strategy tallies
+                                        and memory peaks vs bench/baselines/longread.json
   host [--check] [--bless]              host wall-clock throughput (BENCH_host.json);
                                         --check gates the speedup *ratios* vs
                                         bench/baselines/host.json (one-sided floor)
@@ -65,12 +75,13 @@ subcommands (default: all)
 
 flags
   --quick            small workloads/grids (the CI tier)
-  --seed N           workload seed (experiments, chaos, dse, cosim)
+  --seed N           workload seed (experiments, chaos, dse, cosim, longread)
   --threads N        host threads (host, dse, cosim); results are thread-invariant
-  --out PATH         JSON record path (host, chaos, dse, cosim)
-  --baseline PATH    override the gate baseline file (ci-check, dse, cosim, host)
+  --out PATH         JSON record path (host, chaos, dse, cosim, longread)
+  --baseline PATH    override the gate baseline file (ci-check, dse, cosim, host,
+                     longread)
   --bless            rewrite the gate baseline instead of comparing
-  --check            dse/cosim: compare against the baseline instead of
+  --check            dse/cosim/longread: compare against the baseline instead of
                      writing the BENCH_*.json record (pass --out to keep it too)
 
 exit codes
@@ -103,6 +114,7 @@ fn main() {
     let mut chaos_opts = chaos::ChaosOptions::default();
     let mut dse_opts = dse::DseOptions::default();
     let mut cosim_opts = cosim::CosimOptions::default();
+    let mut longread_opts = longread::LongreadOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -112,6 +124,7 @@ fn main() {
                 chaos_opts.quick = true;
                 dse_opts.quick = true;
                 cosim_opts.quick = true;
+                longread_opts.quick = true;
             }
             "--threads" => {
                 i += 1;
@@ -129,7 +142,8 @@ fn main() {
                 host_opts.out = Some(path.clone());
                 chaos_opts.out = Some(path.clone());
                 dse_opts.out = Some(path.clone());
-                cosim_opts.out = Some(path);
+                cosim_opts.out = Some(path.clone());
+                longread_opts.out = Some(path);
             }
             "--seed" => {
                 i += 1;
@@ -138,6 +152,7 @@ fn main() {
                 chaos_opts.seed = seed;
                 dse_opts.seed = seed;
                 cosim_opts.seed = seed;
+                longread_opts.seed = seed;
             }
             "--bless" => bless = true,
             "--check" => check = true,
@@ -216,6 +231,12 @@ fn main() {
                     .clone()
                     .unwrap_or_else(cosim::default_baseline_path);
                 run_cosim(&cosim_opts, check, bless, &path);
+            }
+            "longread" => {
+                let path = baseline_override
+                    .clone()
+                    .unwrap_or_else(longread::default_baseline_path);
+                run_longread(&longread_opts, check, bless, &path);
             }
             "chaos" => {
                 let outcome = chaos::chaos_report(&chaos_opts);
@@ -414,6 +435,70 @@ fn run_cosim(
         }
         println!(
             "cosim-check: {} metrics within {}% of baseline",
+            base.len(),
+            baseline::TOLERANCE_PCT
+        );
+    }
+}
+
+/// `report -- longread`: run the technology sweep through the
+/// heterogeneous router, print the routing/memory table, then either write
+/// the JSON record (default `BENCH_longread.json`), gate the deterministic
+/// tallies against the committed baseline (`--check`), or rebless the
+/// baseline (`--bless`).
+fn run_longread(
+    opts: &longread::LongreadOptions,
+    check: bool,
+    bless: bool,
+    baseline_path: &std::path::Path,
+) {
+    let outcome = longread::run(opts);
+    print!("{}", longread::longread_report(&outcome));
+
+    if bless {
+        if let Some(dir) = baseline_path.parent() {
+            std::fs::create_dir_all(dir).expect("create baseline directory");
+        }
+        std::fs::write(baseline_path, longread::render_json(&outcome))
+            .expect("write longread baseline");
+        println!(
+            "blessed {} longread metrics into {}",
+            longread::metrics(&outcome).len(),
+            baseline_path.display()
+        );
+        return;
+    }
+
+    // `--check` never touches the committed full-tier record; pass `--out`
+    // explicitly to keep the measured document too.
+    let record = match (&opts.out, check) {
+        (Some(path), _) => Some(path.clone()),
+        (None, false) => Some(std::path::PathBuf::from("BENCH_longread.json")),
+        (None, true) => None,
+    };
+    if let Some(path) = record {
+        std::fs::write(&path, longread::render_json(&outcome)).expect("write longread record");
+        println!("wrote {}", path.display());
+    }
+
+    if check {
+        let base = load_baseline(baseline_path, "report -- longread --quick --check --bless");
+        let (text, failures) = baseline::drift_report(
+            &baseline::compare(&base, &longread::metrics(&outcome)),
+            baseline::TOLERANCE_PCT,
+        );
+        print!("{text}");
+        if failures > 0 {
+            eprintln!(
+                "longread-check: {failures} metric(s) drifted more than {}% — \
+                 if the routing or the engines moved intentionally, rerun with \
+                 --check --bless and commit the baseline",
+                baseline::TOLERANCE_PCT
+            );
+            std::process::exit(EXIT_VIOLATION);
+        }
+        println!(
+            "longread-check: {} metrics within {}% of baseline",
             base.len(),
             baseline::TOLERANCE_PCT
         );

@@ -21,6 +21,10 @@
 //! * [`dse`] — the design-space exploration sweep behind `report -- dse`:
 //!   lanes × sections × banking × bus × clock through the multi-lane SoC,
 //!   joined with the area model into a CI-gated Pareto frontier;
+//! * [`longread`] — the long-read scale-out bench behind
+//!   `report -- longread`: technology-shaped read sets through the
+//!   heterogeneous router, CI-gated strategy tallies and the measured
+//!   BiWFA memory reduction;
 //! * [`pool`] — the deterministic host thread pool (re-export of
 //!   [`wfa_core::pool`]);
 //! * [`fmt`] — table rendering.
@@ -38,6 +42,7 @@ pub mod dse;
 pub mod experiments;
 pub mod fmt;
 pub mod host;
+pub mod longread;
 pub mod paper;
 pub mod pool;
 pub mod report;

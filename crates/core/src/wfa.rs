@@ -22,11 +22,82 @@ use crate::penalties::Penalties;
 use crate::seq::Seq;
 use crate::wavefront::{offset_is_valid, WavefrontSet, OFFSET_NULL};
 
+/// Which algorithm answers an alignment call — the strategy axis of the
+/// engine. All three strategies share the same wavefront kernels, arena
+/// and extend ladder; they differ in what they *retain* and what they
+/// *guarantee*:
+///
+/// * [`AlignStrategy::Exact`] — today's full-history WFA: optimal score
+///   and CIGAR, `O(s²)` retained wavefront memory in CIGAR mode.
+/// * [`AlignStrategy::BiWfa`] — bidirectional linear-memory WFA: forward
+///   and reverse score-only wavefronts meet in the middle and the engine
+///   recurses on the split point. Optimal score and a valid optimal
+///   CIGAR, `O(s)` retained wavefront memory — the long-read mode.
+/// * [`AlignStrategy::AdaptiveBand`] — the WFA-adaptive heuristic
+///   reduction ([`crate::adaptive`]) as a first-class mode: the returned
+///   score is an upper bound on the optimal (equal on realistic error
+///   distributions), with narrower wavefronts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AlignStrategy {
+    /// Exact full-history WFA (the default).
+    #[default]
+    Exact,
+    /// Bidirectional linear-memory WFA (exact score, `O(s)` memory).
+    BiWfa,
+    /// Heuristic adaptive wavefront reduction (upper-bound score).
+    AdaptiveBand,
+}
+
+impl AlignStrategy {
+    /// Every strategy, in CLI presentation order.
+    pub const ALL: [AlignStrategy; 3] = [
+        AlignStrategy::Exact,
+        AlignStrategy::BiWfa,
+        AlignStrategy::AdaptiveBand,
+    ];
+
+    /// The stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlignStrategy::Exact => "exact",
+            AlignStrategy::BiWfa => "biwfa",
+            AlignStrategy::AdaptiveBand => "adaptive",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Option<Self> {
+        AlignStrategy::ALL
+            .iter()
+            .copied()
+            .find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for AlignStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for AlignStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AlignStrategy::parse(s).ok_or_else(|| {
+            let names: Vec<&str> = AlignStrategy::ALL.iter().map(|s| s.name()).collect();
+            format!("unknown strategy '{s}' (one of: {})", names.join(", "))
+        })
+    }
+}
+
 /// Options controlling a WFA run.
 #[derive(Debug, Clone, Copy)]
 pub struct WfaOptions {
     /// Penalty model.
     pub penalties: Penalties,
+    /// Algorithm strategy (see [`AlignStrategy`]).
+    pub strategy: AlignStrategy,
     /// Keep all wavefronts and produce a CIGAR (otherwise score-only with
     /// bounded memory, like the accelerator with backtrace disabled).
     pub compute_cigar: bool,
@@ -34,9 +105,15 @@ pub struct WfaOptions {
     /// `Score_max = 2*k_max + 4`, Eq. 6). `None` = unbounded.
     pub score_limit: Option<u32>,
     /// Clamp wavefronts to diagonals `-band..=band` (models the hardware
-    /// `k_max` storage bound). `None` = unbounded.
+    /// `k_max` storage bound). `None` = unbounded. Ignored by the
+    /// [`AlignStrategy::BiWfa`] CIGAR path, whose memory bound comes from
+    /// the bidirectional window instead.
     pub band: Option<i32>,
-    /// Heuristic wavefront reduction (WFA-adaptive). `None` = exact.
+    /// Parameters of the heuristic wavefront reduction. Setting this on an
+    /// otherwise-[`AlignStrategy::Exact`] run implies
+    /// [`AlignStrategy::AdaptiveBand`] (the pre-strategy configuration
+    /// surface, kept for compatibility); `None` under `AdaptiveBand` uses
+    /// [`AdaptiveParams::default`].
     pub adaptive: Option<AdaptiveParams>,
 }
 
@@ -45,6 +122,7 @@ impl WfaOptions {
     pub fn exact(penalties: Penalties) -> Self {
         WfaOptions {
             penalties,
+            strategy: AlignStrategy::Exact,
             compute_cigar: true,
             score_limit: None,
             band: None,
@@ -60,15 +138,54 @@ impl WfaOptions {
         }
     }
 
+    /// Bidirectional linear-memory alignment with a CIGAR — the long-read
+    /// configuration: exact scores and valid optimal CIGARs in `O(s)`
+    /// retained wavefront memory.
+    pub fn biwfa(penalties: Penalties) -> Self {
+        WfaOptions {
+            strategy: AlignStrategy::BiWfa,
+            ..Self::exact(penalties)
+        }
+    }
+
+    /// Heuristic adaptive-band alignment (upper-bound score; equal to the
+    /// optimum on realistic error distributions).
+    pub fn adaptive(penalties: Penalties, params: AdaptiveParams) -> Self {
+        WfaOptions {
+            strategy: AlignStrategy::AdaptiveBand,
+            adaptive: Some(params),
+            ..Self::exact(penalties)
+        }
+    }
+
     /// Hardware-like configuration: score limit from `k_max` via Eq. 6 and
     /// banded wavefront storage.
     pub fn hardware(penalties: Penalties, k_max: u32) -> Self {
         WfaOptions {
             penalties,
+            strategy: AlignStrategy::Exact,
             compute_cigar: false,
             score_limit: Some(Penalties::hardware_score_max(k_max)),
             band: Some(k_max as i32),
             adaptive: None,
+        }
+    }
+
+    /// The strategy that will actually run: `adaptive` params on an
+    /// `Exact` run promote it to [`AlignStrategy::AdaptiveBand`].
+    pub fn effective_strategy(&self) -> AlignStrategy {
+        match self.strategy {
+            AlignStrategy::Exact if self.adaptive.is_some() => AlignStrategy::AdaptiveBand,
+            s => s,
+        }
+    }
+
+    /// The adaptive-reduction parameters in effect (None unless the
+    /// effective strategy is [`AlignStrategy::AdaptiveBand`]).
+    pub fn effective_adaptive(&self) -> Option<AdaptiveParams> {
+        match self.effective_strategy() {
+            AlignStrategy::AdaptiveBand => Some(self.adaptive.unwrap_or_default()),
+            _ => None,
         }
     }
 }
@@ -230,24 +347,28 @@ pub enum SeqsRef<'s> {
 }
 
 impl SeqsRef<'_> {
+    /// Length of the first (vertical, `i`-indexed) sequence.
     #[inline]
-    fn a_len(&self) -> usize {
+    pub fn a_len(&self) -> usize {
         match self {
             SeqsRef::Bytes(a, _) => a.len(),
             SeqsRef::Packed(a, _) => a.len(),
         }
     }
 
+    /// Length of the second (horizontal, `j`-indexed) sequence.
     #[inline]
-    fn b_len(&self) -> usize {
+    pub fn b_len(&self) -> usize {
         match self {
             SeqsRef::Bytes(_, b) => b.len(),
             SeqsRef::Packed(_, b) => b.len(),
         }
     }
 
+    /// Matching bases of `a[i..]` vs `b[j..]` in the representation's
+    /// fastest kernel tier.
     #[inline]
-    fn lcp(&self, i: usize, j: usize) -> usize {
+    pub fn lcp(&self, i: usize, j: usize) -> usize {
         match self {
             SeqsRef::Bytes(a, b) => kernel::lcp_bytes(a, b, i, j),
             SeqsRef::Packed(a, b) => kernel::lcp_packed(a, b, i, j),
@@ -349,118 +470,233 @@ pub fn wfa_align_seqs_ref(
     opts: &WfaOptions,
     arena: &mut WavefrontArena,
 ) -> Result<WfaAlignment, WfaError> {
-    let mut fronts = arena.take_spine();
-    let result = wfa_align_inner(seqs, opts, arena, &mut fronts);
-    arena.recycle_spine(fronts);
-    result
+    match opts.effective_strategy() {
+        // Bidirectional CIGAR path: the linear-memory engine. Score-only
+        // BiWfa requests fall through to the unidirectional loop below,
+        // which is already O(s) memory in score-only mode and computes the
+        // identical (exact) score.
+        AlignStrategy::BiWfa if opts.compute_cigar => crate::biwfa::biwfa_align(seqs, opts, arena),
+        _ => wfa_align_inner(seqs, opts, arena),
+    }
 }
 
-fn wfa_align_inner(
-    seqs: SeqsRef<'_>,
-    opts: &WfaOptions,
-    arena: &mut WavefrontArena,
-    fronts: &mut Vec<Option<WavefrontSet>>,
-) -> Result<WfaAlignment, WfaError> {
-    opts.penalties.validate().map_err(WfaError::BadPenalties)?;
-    let p = opts.penalties;
-    let n = seqs.a_len() as i32;
-    let m = seqs.b_len() as i32;
-    let k_end = m - n;
-    let target = m;
+/// How a [`WfaMachine`] retains old wavefronts across score steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Retention {
+    /// Keep every wavefront (the full-history mode the backtrace needs).
+    Full,
+    /// The seed score-only policy, preserved bit-for-bit because its
+    /// `peak_memory_bytes` feeds the blessed cycle baselines: drop the
+    /// single slot `s - w - 1`, and only on steps that actually compute a
+    /// front. Under the default all-even penalty costs every front sits
+    /// at an even score while `s - w - 1` is odd on compute steps, so in
+    /// practice this retains the full history — the model the gated
+    /// metrics were calibrated against.
+    Legacy(usize),
+    /// True bounded-memory mode for the bidirectional engine: every step
+    /// drops *all* fronts older than `s - w`, including on source-less
+    /// and all-null steps.
+    Strict(usize),
+}
 
-    if let Some(band) = opts.band {
-        if k_end.abs() > band {
-            return Err(WfaError::BandExceeded {
-                band,
-                needed: k_end,
-            });
+/// The incremental unidirectional WFA engine: one score step at a time
+/// over an arena-backed spine of per-score wavefront sets.
+///
+/// [`wfa_align_inner`] drives it straight to termination (the classic
+/// single-pass WFA); the bidirectional engine ([`crate::biwfa`]) drives a
+/// forward and a reverse machine in lock-step and reads their fronts to
+/// find the meet point. Work statistics are accounted exactly as the
+/// pre-refactor monolithic loop did, so cycle models and gated metrics are
+/// bit-identical.
+pub(crate) struct WfaMachine<'s> {
+    seqs: SeqsRef<'s>,
+    pub(crate) n: i32,
+    pub(crate) m: i32,
+    p: Penalties,
+    band: Option<i32>,
+    /// Hard score cap: min(score_limit, all-gaps alignment cost).
+    cap: u64,
+    /// The limit to report in [`WfaError::ScoreLimitExceeded`].
+    limit_for_error: u32,
+    /// `fronts[s]` is the wavefront set for score `s` (None once dropped
+    /// by the retention window or never materialized).
+    pub(crate) fronts: Vec<Option<WavefrontSet>>,
+    /// Current score.
+    pub(crate) s: usize,
+    /// First spine slot not yet reclaimed by [`Retention::Strict`].
+    drop_floor: usize,
+    live_memory: u64,
+    /// Farthest anti-diagonal `i + j` any M offset has reached (monotone;
+    /// the bidirectional engine uses it to gate overlap scans).
+    pub(crate) max_antidiag: i64,
+    pub(crate) stats: WfaStats,
+}
+
+impl<'s> WfaMachine<'s> {
+    pub(crate) fn new(
+        seqs: SeqsRef<'s>,
+        p: Penalties,
+        band: Option<i32>,
+        score_limit: Option<u32>,
+        arena: &mut WavefrontArena,
+    ) -> Self {
+        let n = seqs.a_len() as i32;
+        let m = seqs.b_len() as i32;
+        // Hard cap: the all-gaps alignment is always available, so the
+        // optimal score can never exceed it.
+        let natural_cap = p.gap_cost(n as u32) as u64 + p.gap_cost(m as u32) as u64;
+        let cap = match score_limit {
+            Some(lim) => (lim as u64).min(natural_cap),
+            None => natural_cap,
+        };
+        let mut fronts = arena.take_spine();
+        fronts.push(Some(WavefrontSet {
+            m: arena.initial(),
+            i: None,
+            d: None,
+        }));
+        let live_memory = fronts[0].as_ref().unwrap().memory_bytes() as u64;
+        let stats = WfaStats {
+            peak_memory_bytes: live_memory,
+            ..WfaStats::default()
+        };
+        WfaMachine {
+            seqs,
+            n,
+            m,
+            p,
+            band,
+            cap,
+            limit_for_error: score_limit.unwrap_or(cap as u32),
+            fronts,
+            s: 0,
+            drop_floor: 0,
+            live_memory,
+            max_antidiag: 0,
+            stats,
         }
     }
 
-    // Hard cap: the all-gaps alignment is always available, so the optimal
-    // score can never exceed it.
-    let natural_cap = p.gap_cost(n as u32) as u64 + p.gap_cost(m as u32) as u64;
-    let cap = match opts.score_limit {
-        Some(lim) => (lim as u64).min(natural_cap),
-        None => natural_cap,
-    };
+    #[inline]
+    pub(crate) fn k_end(&self) -> i32 {
+        self.m - self.n
+    }
 
-    let lookback = p.x.max(p.o + p.e) as usize;
+    /// Wavefront set at score `score`, if still retained.
+    #[inline]
+    pub(crate) fn front(&self, score: usize) -> Option<&WavefrontSet> {
+        self.fronts.get(score).and_then(|f| f.as_ref())
+    }
 
-    let mut stats = WfaStats::default();
-    fronts.push(Some(WavefrontSet {
-        m: arena.initial(),
-        i: None,
-        d: None,
-    }));
-    let mut live_memory: u64 = fronts[0].as_ref().unwrap().memory_bytes() as u64;
-    stats.peak_memory_bytes = live_memory;
+    /// Retained wavefront bytes right now.
+    #[inline]
+    pub(crate) fn live_memory(&self) -> u64 {
+        self.live_memory
+    }
 
-    let mut s: usize = 0;
-    loop {
-        // --- extend() + termination check ---
-        if let Some(set) = fronts[s].as_mut() {
-            stats.score_steps += 1;
-            stats.max_wavefront_len = stats.max_wavefront_len.max(set.m.len() as u64);
-            let lo = set.m.lo;
-            for idx in 0..set.m.offsets.len() {
-                let off = set.m.offsets[idx];
-                if !offset_is_valid(off) {
-                    continue;
-                }
-                let k = lo + idx as i32;
-                let i = (off - k) as usize;
-                let j = off as usize;
-                let matches = seqs.lcp(i, j);
-                stats.extend_calls += 1;
-                // Count the terminating comparison too when we stopped on a
-                // mismatch inside both sequences.
-                let stopped_inside = i + matches < n as usize && j + matches < m as usize;
-                stats.bases_compared += matches as u64 + stopped_inside as u64;
-                set.m.offsets[idx] = off + matches as i32;
+    /// Has the score cap been reached (the next [`Self::step`] would
+    /// fail)?
+    #[inline]
+    pub(crate) fn at_cap(&self) -> bool {
+        self.s as u64 >= self.cap
+    }
+
+    /// `extend()` the current front's M offsets along their diagonals
+    /// (matches are free). Returns true when a front exists at the
+    /// current score.
+    pub(crate) fn extend_current(&mut self) -> bool {
+        let (n, m) = (self.n, self.m);
+        let seqs = self.seqs;
+        let Some(set) = self.fronts[self.s].as_mut() else {
+            return false;
+        };
+        self.stats.score_steps += 1;
+        self.stats.max_wavefront_len = self.stats.max_wavefront_len.max(set.m.len() as u64);
+        let lo = set.m.lo;
+        for idx in 0..set.m.offsets.len() {
+            let off = set.m.offsets[idx];
+            if !offset_is_valid(off) {
+                continue;
             }
-            if let Some(params) = &opts.adaptive {
-                // Heuristic mode: never prune the terminal cell (checked
-                // below before any source use).
-                if set.m.get(k_end) != target && reduce_wavefront(&mut set.m, n, m, params) > 0 {
-                    // Trim the I/D components to the surviving band so
-                    // future ranges (unions over all components) narrow too.
-                    let (lo, hi) = (set.m.lo, set.m.hi);
-                    if let Some(w) = set.i.as_mut() {
-                        if !w.clamp_range(lo, hi) {
-                            set.i = None;
-                        }
-                    }
-                    if let Some(w) = set.d.as_mut() {
-                        if !w.clamp_range(lo, hi) {
-                            set.d = None;
-                        }
-                    }
+            let k = lo + idx as i32;
+            let i = (off - k) as usize;
+            let j = off as usize;
+            let matches = seqs.lcp(i, j);
+            self.stats.extend_calls += 1;
+            // Count the terminating comparison too when we stopped on a
+            // mismatch inside both sequences.
+            let stopped_inside = i + matches < n as usize && j + matches < m as usize;
+            self.stats.bases_compared += matches as u64 + stopped_inside as u64;
+            let new_off = off + matches as i32;
+            set.m.offsets[idx] = new_off;
+            let antidiag = 2 * new_off as i64 - k as i64;
+            self.max_antidiag = self.max_antidiag.max(antidiag);
+        }
+        true
+    }
+
+    /// Apply the heuristic wavefront reduction to the current front,
+    /// never pruning the terminal cell.
+    pub(crate) fn reduce_adaptive(&mut self, params: &AdaptiveParams) {
+        let (n, m) = (self.n, self.m);
+        let k_end = self.k_end();
+        let target = m;
+        let Some(set) = self.fronts[self.s].as_mut() else {
+            return;
+        };
+        if set.m.get(k_end) != target && reduce_wavefront(&mut set.m, n, m, params) > 0 {
+            // Trim the I/D components to the surviving band so future
+            // ranges (unions over all components) narrow too.
+            let (lo, hi) = (set.m.lo, set.m.hi);
+            if let Some(w) = set.i.as_mut() {
+                if !w.clamp_range(lo, hi) {
+                    set.i = None;
                 }
             }
-            if set.m.get(k_end) == target {
-                let score = s as u32;
-                let cigar = if opts.compute_cigar {
-                    Some(backtrace::backtrace(n, m, fronts, score, &p))
-                } else {
-                    None
-                };
-                return Ok(WfaAlignment {
-                    score,
-                    cigar,
-                    stats,
-                });
+            if let Some(w) = set.d.as_mut() {
+                if !w.clamp_range(lo, hi) {
+                    set.d = None;
+                }
             }
         }
+    }
 
-        // --- advance the score and compute() the next wavefront set ---
-        s += 1;
-        if s as u64 > cap {
+    /// Has the current front's M component reached the end cell `(n, m)`?
+    pub(crate) fn reached_end(&self) -> bool {
+        self.front(self.s)
+            .is_some_and(|set| set.m.get(self.k_end()) == self.m)
+    }
+
+    /// Advance the score by one and `compute()` the next wavefront set
+    /// (Eq. 3, batched kernel). `retention` governs which old fronts are
+    /// recycled — see [`Retention`].
+    pub(crate) fn step(
+        &mut self,
+        arena: &mut WavefrontArena,
+        retention: Retention,
+    ) -> Result<(), WfaError> {
+        let (n, m, p) = (self.n, self.m, self.p);
+        self.s += 1;
+        let s = self.s;
+        if s as u64 > self.cap {
             return Err(WfaError::ScoreLimitExceeded {
-                limit: opts.score_limit.unwrap_or(cap as u32),
+                limit: self.limit_for_error,
             });
         }
 
+        if let Retention::Strict(w) = retention {
+            // Reclaim everything older than the window, on every step —
+            // including the source-less and all-null early-outs below.
+            while self.drop_floor + w < s {
+                if let Some(old) = self.fronts[self.drop_floor].take() {
+                    self.live_memory -= old.memory_bytes() as u64;
+                    arena.recycle_set(old);
+                }
+                self.drop_floor += 1;
+            }
+        }
+
+        let fronts = &mut self.fronts;
         let get = |fronts: &[Option<WavefrontSet>], back: u32| -> Option<usize> {
             let back = back as usize;
             if s >= back && fronts[s - back].is_some() {
@@ -475,7 +711,7 @@ fn wfa_align_inner(
         // A wavefront for this score exists only if some source exists.
         if src_sub.is_none() && src_open.is_none() && src_ext.is_none() {
             fronts.push(None);
-            continue;
+            return Ok(());
         }
 
         // New diagonal range: sources widen by one on each side through the
@@ -502,12 +738,12 @@ fn wfa_align_inner(
         consider(src_ext, fronts);
         let mut lo = lo - 1;
         let mut hi = hi + 1;
-        if let Some(band) = opts.band {
+        if let Some(band) = self.band {
             lo = lo.max(-band);
             hi = hi.min(band);
             if lo > hi {
                 fronts.push(None);
-                continue;
+                return Ok(());
             }
         }
 
@@ -556,7 +792,7 @@ fn wfa_align_inner(
         arena.recycle_row(open_row);
         arena.recycle_row(iext_row);
         arena.recycle_row(dext_row);
-        stats.cells_computed += 3 * wm.offsets.len() as u64;
+        self.stats.cells_computed += 3 * wm.offsets.len() as u64;
         let any_i = !wi.is_all_null();
         let any_d = !wd.is_all_null();
         let any_m = !wm.is_all_null();
@@ -566,7 +802,7 @@ fn wfa_align_inner(
             arena.recycle(wi);
             arena.recycle(wd);
             fronts.push(None);
-            continue;
+            return Ok(());
         }
         let set = WavefrontSet {
             m: wm,
@@ -583,18 +819,94 @@ fn wfa_align_inner(
                 None
             },
         };
-        live_memory += set.memory_bytes() as u64;
+        self.live_memory += set.memory_bytes() as u64;
         fronts.push(Some(set));
 
-        // Score-only mode: drop wavefronts older than the deepest lookback
-        // (their buffers go straight back to the arena pool).
-        if !opts.compute_cigar && s > lookback {
-            if let Some(old) = fronts[s - lookback - 1].take() {
-                live_memory -= old.memory_bytes() as u64;
-                arena.recycle_set(old);
+        // Bounded-memory modes: drop wavefronts beyond the retention
+        // window (their buffers go straight back to the arena pool).
+        if let Retention::Legacy(window) = retention {
+            if s > window {
+                if let Some(old) = fronts[s - window - 1].take() {
+                    self.live_memory -= old.memory_bytes() as u64;
+                    arena.recycle_set(old);
+                }
             }
         }
-        stats.peak_memory_bytes = stats.peak_memory_bytes.max(live_memory);
+        self.stats.peak_memory_bytes = self.stats.peak_memory_bytes.max(self.live_memory);
+        Ok(())
+    }
+
+    /// Tear the machine down, returning every retained buffer to the
+    /// arena.
+    pub(crate) fn finish(self, arena: &mut WavefrontArena) {
+        arena.recycle_spine(self.fronts);
+    }
+}
+
+pub(crate) fn wfa_align_inner(
+    seqs: SeqsRef<'_>,
+    opts: &WfaOptions,
+    arena: &mut WavefrontArena,
+) -> Result<WfaAlignment, WfaError> {
+    opts.penalties.validate().map_err(WfaError::BadPenalties)?;
+    let p = opts.penalties;
+    let n = seqs.a_len() as i32;
+    let m = seqs.b_len() as i32;
+    let k_end = m - n;
+
+    if let Some(band) = opts.band {
+        if k_end.abs() > band {
+            return Err(WfaError::BandExceeded {
+                band,
+                needed: k_end,
+            });
+        }
+    }
+
+    let lookback = p.x.max(p.o + p.e) as usize;
+    let retention = if opts.compute_cigar {
+        Retention::Full
+    } else if opts.strategy == AlignStrategy::BiWfa {
+        // Score-only BiWfa requests have no backtrace to serve, so the
+        // strictly-windowed schedule applies: genuinely O(lookback)
+        // retained wavefronts, unlike the legacy schedule below.
+        Retention::Strict(lookback)
+    } else {
+        Retention::Legacy(lookback)
+    };
+    let adaptive = opts.effective_adaptive();
+
+    let mut mach = WfaMachine::new(seqs, p, opts.band, opts.score_limit, arena);
+    loop {
+        // --- extend() + termination check ---
+        if mach.extend_current() {
+            if let Some(params) = &adaptive {
+                // Heuristic mode: never prune the terminal cell (the
+                // machine checks before any source use).
+                mach.reduce_adaptive(params);
+            }
+            if mach.reached_end() {
+                let score = mach.s as u32;
+                let stats = mach.stats;
+                let cigar = if opts.compute_cigar {
+                    Some(backtrace::backtrace(n, m, &mach.fronts, score, &p))
+                } else {
+                    None
+                };
+                mach.finish(arena);
+                return Ok(WfaAlignment {
+                    score,
+                    cigar,
+                    stats,
+                });
+            }
+        }
+
+        // --- advance the score and compute() the next wavefront set ---
+        if let Err(e) = mach.step(arena, retention) {
+            mach.finish(arena);
+            return Err(e);
+        }
     }
 }
 

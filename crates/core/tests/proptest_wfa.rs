@@ -201,6 +201,108 @@ fn wfa_exactness_holds_at_every_dispatch_tier() {
     set_kernel_dispatch(KernelDispatch::Auto);
 }
 
+/// BiWFA is score-identical to the exact engine and its CIGAR replays to
+/// exactly the optimal score — at every kernel dispatch tier, so the
+/// packed extend ladder under the bidirectional machines is covered the
+/// same way the exact engine's is.
+#[test]
+fn biwfa_matches_exact_at_every_dispatch_tier() {
+    use wfa_core::kernel::{set_kernel_dispatch, KernelDispatch};
+    use wfa_core::AlignStrategy;
+    for tier in [
+        KernelDispatch::Scalar,
+        KernelDispatch::Word,
+        KernelDispatch::Sse2,
+        KernelDispatch::Avx2,
+    ] {
+        if !tier.available() {
+            continue;
+        }
+        set_kernel_dispatch(tier);
+        cases(48, 0x57FA_0020 ^ tier as u64, |rng, _| {
+            let (a, b) = dna_pair(rng, 96);
+            let p = Penalties::WFASIC_DEFAULT;
+            let exact = align(&a, &b, p).unwrap();
+            let opts = WfaOptions::biwfa(p);
+            assert_eq!(opts.strategy, AlignStrategy::BiWfa);
+            let bi = wfa_align(&a, &b, &opts).unwrap();
+            assert_eq!(bi.score, exact.score, "tier {tier:?}");
+            let cigar = bi.cigar.unwrap();
+            cigar.check(&a, &b).unwrap();
+            assert_eq!(cigar.score(&p), bi.score as u64, "tier {tier:?}");
+        });
+    }
+    set_kernel_dispatch(KernelDispatch::Auto);
+}
+
+/// BiWFA stays exact on non-default penalty sets (odd costs exercise
+/// wavefront schedules the default even-cost grid never produces).
+#[test]
+fn biwfa_matches_exact_on_other_penalties() {
+    cases(CASES, 0x57FA_0021, |rng, _| {
+        let (a, b) = dna_pair(rng, 72);
+        let x = rng.gen_range(1, 8) as u32;
+        let o = rng.gen_range(0, 10) as u32;
+        let e = rng.gen_range(1, 5) as u32;
+        let p = Penalties::new(x, o, e).unwrap();
+        let bi = wfa_align(&a, &b, &WfaOptions::biwfa(p)).unwrap();
+        assert_eq!(bi.score as u64, swg_score(&a, &b, &p));
+        let cigar = bi.cigar.unwrap();
+        cigar.check(&a, &b).unwrap();
+        assert_eq!(cigar.score(&p), bi.score as u64);
+    });
+}
+
+/// The adaptive band is an upper bound: it never reports a score below the
+/// exact optimum, its CIGAR is always a valid transcript that replays to
+/// the reported score, and at realistic error rates (the co-sim grid's
+/// regime) the heuristic loses nothing.
+#[test]
+fn adaptive_band_is_an_upper_bound_and_exact_at_low_error() {
+    use wfa_core::AdaptiveParams;
+    // Arbitrary pairs: upper-bound + validity only.
+    cases(CASES, 0x57FA_0022, |rng, _| {
+        let (a, b) = dna_pair(rng, 96);
+        let p = Penalties::WFASIC_DEFAULT;
+        let exact = swg_score(&a, &b, &p);
+        let opts = WfaOptions::adaptive(p, AdaptiveParams::default());
+        let ad = wfa_align(&a, &b, &opts).unwrap();
+        assert!(
+            ad.score as u64 >= exact,
+            "adaptive {} beat exact {exact}",
+            ad.score
+        );
+        let cigar = ad.cigar.unwrap();
+        cigar.check(&a, &b).unwrap();
+        assert_eq!(cigar.score(&p), ad.score as u64);
+    });
+    // Realistic mutated pairs (bounded edit count over 200+ bp is a
+    // low-single-digit error rate, the co-sim grid's regime): the band
+    // never clips the optimal path, so adaptive == exact.
+    cases(CASES, 0x57FA_0023, |rng, _| {
+        let mut a = dna(rng, 320);
+        while a.len() < 200 {
+            a.push(*rng.pick(BASES));
+        }
+        let mut b = a.clone();
+        for _ in 0..rng.gen_range(0, 6) {
+            let base = *rng.pick(BASES);
+            let pos = rng.gen_range(0, b.len());
+            match rng.gen_range(0, 3) {
+                0 => b[pos] = base,
+                1 => b.insert(pos, base),
+                _ => {
+                    b.remove(pos);
+                }
+            }
+        }
+        let p = Penalties::WFASIC_DEFAULT;
+        let opts = WfaOptions::adaptive(p, AdaptiveParams::default());
+        let ad = wfa_align(&a, &b, &opts).unwrap();
+        assert_eq!(ad.score as u64, swg_score(&a, &b, &p));
+    });
+}
+
 #[test]
 fn extend_matches_edge_positions() {
     let a = b"ACGT";

@@ -38,7 +38,10 @@
 use crate::api::{AlignmentResult, DriverError, JobResult, WaitMode, WfasicDriver};
 use crate::batch::{BatchJob, BatchScheduler};
 use wfa_core::pool::ThreadPool;
-use wfa_core::{swg_align, wfa_align_seqs_with_arena, Penalties, WavefrontArena, WfaOptions};
+use wfa_core::{
+    swg_align, wfa_align_seqs_with_arena, AdaptiveParams, AlignStrategy, Penalties, WavefrontArena,
+    WfaOptions,
+};
 use wfasic_accel::device::RunReport;
 use wfasic_accel::AccelConfig;
 use wfasic_seqio::generate::Pair;
@@ -102,6 +105,142 @@ impl BackendBatch {
     }
 }
 
+/// Which CPU alignment strategy a policy asks for — either a fixed
+/// [`AlignStrategy`] or `Auto`, the length-class router: pairs at or above
+/// [`AlignPolicy::long_read_threshold`] take the linear-memory BiWFA
+/// engine, everything shorter takes the exact full-history engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StrategySelect {
+    /// Route by read length (the default: exact for short/mid pairs,
+    /// BiWFA past the long-read threshold).
+    #[default]
+    Auto,
+    /// Force the exact full-history engine for every pair.
+    Exact,
+    /// Force the bidirectional linear-memory engine for every pair.
+    BiWfa,
+    /// Force the adaptive-band heuristic for every pair (uses
+    /// [`AlignPolicy::adaptive`], or the reference defaults when unset).
+    Adaptive,
+}
+
+impl StrategySelect {
+    /// Every selector, in CLI presentation order.
+    pub const ALL: [StrategySelect; 4] = [
+        StrategySelect::Auto,
+        StrategySelect::Exact,
+        StrategySelect::BiWfa,
+        StrategySelect::Adaptive,
+    ];
+
+    /// The stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategySelect::Auto => "auto",
+            StrategySelect::Exact => "exact",
+            StrategySelect::BiWfa => "biwfa",
+            StrategySelect::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Option<Self> {
+        StrategySelect::ALL
+            .iter()
+            .copied()
+            .find(|s| s.name() == name)
+    }
+}
+
+impl std::str::FromStr for StrategySelect {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        StrategySelect::parse(s).ok_or_else(|| {
+            let names: Vec<&str> = StrategySelect::ALL.iter().map(|k| k.name()).collect();
+            format!("unknown strategy '{s}' (one of: {})", names.join(", "))
+        })
+    }
+}
+
+/// The resolved CPU routing decision a backend carries: the policy's
+/// strategy projection, ready to pick a concrete [`AlignStrategy`] per
+/// pair and build the matching [`WfaOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuRoute {
+    /// Strategy selector (fixed or length-routed).
+    pub select: StrategySelect,
+    /// `Auto` routes pairs at or above this max-side length to BiWFA.
+    pub long_read_threshold: usize,
+    /// Band parameters for the adaptive strategy (reference defaults when
+    /// `None` and the adaptive strategy is selected anyway).
+    pub adaptive: Option<AdaptiveParams>,
+}
+
+impl Default for CpuRoute {
+    fn default() -> Self {
+        CpuRoute {
+            select: StrategySelect::Auto,
+            long_read_threshold: AlignPolicy::DEFAULT_LONG_READ_THRESHOLD,
+            adaptive: None,
+        }
+    }
+}
+
+impl CpuRoute {
+    /// The legacy fixed-exact route (what every pre-strategy call site
+    /// did): exact engine, no length routing, no band.
+    pub fn exact() -> Self {
+        CpuRoute {
+            select: StrategySelect::Exact,
+            ..CpuRoute::default()
+        }
+    }
+
+    /// Project a policy's strategy fields.
+    pub fn from_policy(policy: &AlignPolicy) -> Self {
+        CpuRoute {
+            select: policy.strategy,
+            long_read_threshold: policy.long_read_threshold,
+            adaptive: policy.adaptive,
+        }
+    }
+
+    /// The concrete strategy for one pair.
+    pub fn pick(&self, pair: &Pair) -> AlignStrategy {
+        match self.select {
+            StrategySelect::Exact => AlignStrategy::Exact,
+            StrategySelect::BiWfa => AlignStrategy::BiWfa,
+            StrategySelect::Adaptive => AlignStrategy::AdaptiveBand,
+            StrategySelect::Auto => {
+                if pair.a.len().max(pair.b.len()) >= self.long_read_threshold {
+                    AlignStrategy::BiWfa
+                } else {
+                    AlignStrategy::Exact
+                }
+            }
+        }
+    }
+
+    /// The [`WfaOptions`] implementing `strategy` for this route.
+    pub fn options(
+        &self,
+        strategy: AlignStrategy,
+        penalties: Penalties,
+        backtrace: bool,
+    ) -> WfaOptions {
+        let mut opts = match strategy {
+            AlignStrategy::Exact => WfaOptions::exact(penalties),
+            AlignStrategy::BiWfa => WfaOptions::biwfa(penalties),
+            AlignStrategy::AdaptiveBand => {
+                WfaOptions::adaptive(penalties, self.adaptive.unwrap_or_default())
+            }
+        };
+        opts.compute_cigar = backtrace;
+        opts
+    }
+}
+
 /// Lifetime counters every backend keeps (the service layer aggregates
 /// these into its own stats).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -132,6 +271,18 @@ pub struct BackendCounters {
     /// Instructions retired on a modeled CPU (`mhpmcounter`-style; only
     /// the RISC-V baseline backend reports these — zero elsewhere).
     pub retired_instrs: u64,
+    /// CPU-routed pairs answered by the exact full-history engine.
+    pub exact_pairs: u64,
+    /// CPU-routed pairs answered by the bidirectional linear-memory
+    /// engine.
+    pub biwfa_pairs: u64,
+    /// CPU-routed pairs answered by the adaptive-band heuristic.
+    pub adaptive_pairs: u64,
+    /// High-water mark of retained wavefront memory across every CPU-routed
+    /// pair (bytes; `WfaStats::peak_memory_bytes`). This is the measured
+    /// number behind the BiWFA `O(s)` claim — zero for backends that never
+    /// route a pair to the host CPU.
+    pub peak_memory_bytes: u64,
 }
 
 impl BackendCounters {
@@ -173,6 +324,15 @@ pub struct AlignPolicy {
     pub cpu_fallback: bool,
     /// Collect per-stage cycle attribution on device jobs.
     pub collect_perf: bool,
+    /// Which engine CPU-routed pairs run on ([`StrategySelect::Auto`]
+    /// routes by length; the device lanes are unaffected).
+    pub strategy: StrategySelect,
+    /// `Auto` routes pairs whose longer side is at or above this many
+    /// bases to the linear-memory BiWFA engine.
+    pub long_read_threshold: usize,
+    /// Band parameters for the adaptive strategy (reference defaults when
+    /// the strategy is selected with `None` here).
+    pub adaptive: Option<AdaptiveParams>,
 }
 
 impl Default for AlignPolicy {
@@ -187,11 +347,19 @@ impl Default for AlignPolicy {
             retire_after: 0,
             cpu_fallback: false,
             collect_perf: false,
+            strategy: StrategySelect::Auto,
+            long_read_threshold: AlignPolicy::DEFAULT_LONG_READ_THRESHOLD,
+            adaptive: None,
         }
     }
 }
 
 impl AlignPolicy {
+    /// Default `Auto` cutover to BiWFA: at 10 kb the exact engine's
+    /// full-history footprint crosses into hundreds of megabytes at
+    /// realistic long-read error rates.
+    pub const DEFAULT_LONG_READ_THRESHOLD: usize = 10_000;
+
     /// The fault-containment preset the chaos soak runs under: CPU fallback
     /// on, a 3-strike circuit breaker with a 2M-cycle cooldown, and 10k
     /// cycles of backoff between retries. No deadline — callers opt into
@@ -336,6 +504,9 @@ impl std::str::FromStr for BackendKind {
 pub struct CpuWfaBackend {
     /// Penalty model.
     pub penalties: Penalties,
+    /// Strategy routing (length-class `Auto` by default; set via
+    /// [`AlignmentBackend::apply_policy`] or directly).
+    pub route: CpuRoute,
     threads: usize,
     arena: WavefrontArena,
     counters: BackendCounters,
@@ -346,6 +517,7 @@ impl CpuWfaBackend {
     pub fn new(penalties: Penalties) -> Self {
         CpuWfaBackend {
             penalties,
+            route: CpuRoute::default(),
             threads: 1,
             arena: WavefrontArena::new(),
             counters: BackendCounters::default(),
@@ -374,32 +546,78 @@ impl CpuWfaBackend {
         backtrace: bool,
         recovered: bool,
     ) -> AlignmentResult {
-        let opts = if backtrace {
-            WfaOptions::exact(penalties)
-        } else {
-            WfaOptions::score_only(penalties)
+        Self::align_pair_routed(
+            arena,
+            penalties,
+            &CpuRoute::exact(),
+            pair,
+            backtrace,
+            recovered,
+        )
+        .0
+    }
+
+    /// [`Self::align_pair_in`] with strategy routing: picks an engine per
+    /// `route`, and also reports which strategy ran and the pair's retained
+    /// wavefront memory peak (bytes) so callers can tally
+    /// [`BackendCounters`].
+    pub fn align_pair_routed(
+        arena: &mut WavefrontArena,
+        penalties: Penalties,
+        route: &CpuRoute,
+        pair: &Pair,
+        backtrace: bool,
+        recovered: bool,
+    ) -> (AlignmentResult, AlignStrategy, u64) {
+        let strategy = route.pick(pair);
+        let opts = route.options(strategy, penalties, backtrace);
+        let (result, peak) = match wfa_align_seqs_with_arena(&pair.a, &pair.b, &opts, arena) {
+            Ok(al) => (
+                AlignmentResult {
+                    id: pair.id,
+                    success: true,
+                    score: al.score,
+                    cigar: al.cigar,
+                    recovered,
+                },
+                al.stats.peak_memory_bytes,
+            ),
+            Err(_) => (
+                AlignmentResult {
+                    id: pair.id,
+                    success: false,
+                    score: 0,
+                    cigar: None,
+                    recovered,
+                },
+                0,
+            ),
         };
-        match wfa_align_seqs_with_arena(&pair.a, &pair.b, &opts, arena) {
-            Ok(al) => AlignmentResult {
-                id: pair.id,
-                success: true,
-                score: al.score,
-                cigar: al.cigar,
-                recovered,
-            },
-            Err(_) => AlignmentResult {
-                id: pair.id,
-                success: false,
-                score: 0,
-                cigar: None,
-                recovered,
-            },
+        (result, strategy, peak)
+    }
+
+    /// Record one routed CPU answer in a counter block.
+    fn tally(counters: &mut BackendCounters, strategy: AlignStrategy, peak: u64) {
+        match strategy {
+            AlignStrategy::Exact => counters.exact_pairs += 1,
+            AlignStrategy::BiWfa => counters.biwfa_pairs += 1,
+            AlignStrategy::AdaptiveBand => counters.adaptive_pairs += 1,
         }
+        counters.peak_memory_bytes = counters.peak_memory_bytes.max(peak);
     }
 
     /// Align one pair as a primary engine (not a recovery).
     pub fn align_pair(&mut self, pair: &Pair, backtrace: bool) -> AlignmentResult {
-        Self::align_pair_in(&mut self.arena, self.penalties, pair, backtrace, false)
+        let (result, strategy, peak) = Self::align_pair_routed(
+            &mut self.arena,
+            self.penalties,
+            &self.route,
+            pair,
+            backtrace,
+            false,
+        );
+        Self::tally(&mut self.counters, strategy, peak);
+        result
     }
 
     /// Recover one pair a device-backed path could not complete. This is
@@ -408,7 +626,16 @@ impl CpuWfaBackend {
     /// fallback.
     pub fn recover_pair(&mut self, pair: &Pair, backtrace: bool) -> AlignmentResult {
         self.counters.recovered_pairs += 1;
-        Self::align_pair_in(&mut self.arena, self.penalties, pair, backtrace, true)
+        let (result, strategy, peak) = Self::align_pair_routed(
+            &mut self.arena,
+            self.penalties,
+            &self.route,
+            pair,
+            backtrace,
+            true,
+        );
+        Self::tally(&mut self.counters, strategy, peak);
+        result
     }
 }
 
@@ -424,25 +651,39 @@ impl AlignmentBackend for CpuWfaBackend {
     }
 
     fn align_batch(&mut self, job: &BatchJob) -> Result<BackendBatch, DriverError> {
-        let results: Vec<AlignmentResult> = if self.threads > 1 && job.pairs.len() > 1 {
-            // Parallel fan-out: each worker item gets a private arena (the
-            // pool's `Fn` closures cannot share one mutably). Answers do
-            // not depend on the arena, so this is bit-identical to the
-            // sequential path.
-            let penalties = self.penalties;
-            let backtrace = job.backtrace;
-            ThreadPool::new(self.threads).map(&job.pairs, move |_, pair| {
-                let mut arena = WavefrontArena::new();
-                Self::align_pair_in(&mut arena, penalties, pair, backtrace, false)
-            })
-        } else {
-            job.pairs
-                .iter()
-                .map(|p| {
-                    Self::align_pair_in(&mut self.arena, self.penalties, p, job.backtrace, false)
+        let routed: Vec<(AlignmentResult, AlignStrategy, u64)> =
+            if self.threads > 1 && job.pairs.len() > 1 {
+                // Parallel fan-out: each worker item gets a private arena
+                // (the pool's `Fn` closures cannot share one mutably).
+                // Answers do not depend on the arena, so this is
+                // bit-identical to the sequential path.
+                let penalties = self.penalties;
+                let backtrace = job.backtrace;
+                let route = self.route;
+                ThreadPool::new(self.threads).map(&job.pairs, move |_, pair| {
+                    let mut arena = WavefrontArena::new();
+                    Self::align_pair_routed(&mut arena, penalties, &route, pair, backtrace, false)
                 })
-                .collect()
-        };
+            } else {
+                job.pairs
+                    .iter()
+                    .map(|p| {
+                        Self::align_pair_routed(
+                            &mut self.arena,
+                            self.penalties,
+                            &self.route,
+                            p,
+                            job.backtrace,
+                            false,
+                        )
+                    })
+                    .collect()
+            };
+        let mut results = Vec::with_capacity(routed.len());
+        for (result, strategy, peak) in routed {
+            Self::tally(&mut self.counters, strategy, peak);
+            results.push(result);
+        }
         let batch = BackendBatch {
             results,
             sim_cycles: None,
@@ -459,6 +700,10 @@ impl AlignmentBackend for CpuWfaBackend {
 
     fn reset_counters(&mut self) {
         self.counters = BackendCounters::default();
+    }
+
+    fn apply_policy(&mut self, policy: &AlignPolicy) {
+        self.route = CpuRoute::from_policy(policy);
     }
 }
 
@@ -804,9 +1049,12 @@ impl AlignmentBackend for HeterogeneousBackend {
 
         // The accelerator simulates on this thread while a scoped host
         // worker answers the out-of-envelope partition — the lanes never
-        // wait on the CPU route.
+        // wait on the CPU route. The worker routes by strategy: realistic
+        // long reads (the usual reason a pair misses the envelope) take
+        // the linear-memory BiWFA engine under the default `Auto` policy.
         let penalties = self.cpu.penalties;
         let backtrace = job.backtrace;
+        let route = self.cpu.route;
         let cpu_pairs: Vec<&Pair> = cpu_idx.iter().map(|&i| &job.pairs[i]).collect();
         let (accel_out, cpu_out) = std::thread::scope(|scope| {
             let worker = scope.spawn(move || {
@@ -814,9 +1062,11 @@ impl AlignmentBackend for HeterogeneousBackend {
                 cpu_pairs
                     .iter()
                     .map(|p| {
-                        CpuWfaBackend::align_pair_in(&mut arena, penalties, p, backtrace, true)
+                        CpuWfaBackend::align_pair_routed(
+                            &mut arena, penalties, &route, p, backtrace, true,
+                        )
                     })
-                    .collect::<Vec<AlignmentResult>>()
+                    .collect::<Vec<(AlignmentResult, AlignStrategy, u64)>>()
             });
             let accel_out = if dev_job.pairs.is_empty() {
                 None
@@ -857,8 +1107,9 @@ impl AlignmentBackend for HeterogeneousBackend {
                 }
             }
         }
-        for (&i, res) in cpu_idx.iter().zip(cpu_out) {
+        for (&i, (res, strategy, peak)) in cpu_idx.iter().zip(cpu_out) {
             self.cpu.counters.recovered_pairs += 1;
+            CpuWfaBackend::tally(&mut self.cpu.counters, strategy, peak);
             slots[i] = Some(res);
         }
 
@@ -885,7 +1136,8 @@ impl AlignmentBackend for HeterogeneousBackend {
 
     fn counters(&self) -> BackendCounters {
         // Surface the accelerator side's health ledger (faults, breaker
-        // transitions, refusals) alongside this backend's own totals.
+        // transitions, refusals) and the CPU side's strategy tallies
+        // alongside this backend's own totals.
         let mut c = self.counters;
         let accel = self.accel.counters();
         c.faults = accel.faults;
@@ -893,11 +1145,17 @@ impl AlignmentBackend for HeterogeneousBackend {
         c.readmissions = accel.readmissions;
         c.degraded_jobs = accel.degraded_jobs;
         c.deadline_refusals = accel.deadline_refusals;
+        let cpu = self.cpu.counters();
+        c.exact_pairs = cpu.exact_pairs;
+        c.biwfa_pairs = cpu.biwfa_pairs;
+        c.adaptive_pairs = cpu.adaptive_pairs;
+        c.peak_memory_bytes = cpu.peak_memory_bytes;
         c
     }
 
     fn reset_counters(&mut self) {
         self.counters = BackendCounters::default();
+        self.cpu.reset_counters();
     }
 
     fn apply_policy(&mut self, policy: &AlignPolicy) {
@@ -909,6 +1167,8 @@ impl AlignmentBackend for HeterogeneousBackend {
             ..*policy
         };
         self.accel.apply_policy(&device_policy);
+        // The CPU side takes the strategy routing as-is.
+        self.cpu.apply_policy(policy);
     }
 }
 
@@ -1018,6 +1278,89 @@ mod tests {
     }
 
     #[test]
+    fn strategy_select_round_trips_names() {
+        for s in StrategySelect::ALL {
+            assert_eq!(StrategySelect::parse(s.name()), Some(s));
+            assert_eq!(s.name().parse::<StrategySelect>(), Ok(s));
+        }
+        assert!(StrategySelect::parse("banded").is_none());
+        assert!("nope".parse::<StrategySelect>().is_err());
+    }
+
+    #[test]
+    fn auto_route_picks_by_length_and_forced_routes_ignore_it() {
+        let short = &pairs(1, 100, 1)[0];
+        let route = CpuRoute::default();
+        assert_eq!(route.pick(short), AlignStrategy::Exact);
+        let long_route = CpuRoute {
+            long_read_threshold: 50,
+            ..route
+        };
+        assert_eq!(long_route.pick(short), AlignStrategy::BiWfa);
+        assert_eq!(CpuRoute::exact().pick(short), AlignStrategy::Exact);
+        let forced = CpuRoute {
+            select: StrategySelect::Adaptive,
+            ..route
+        };
+        assert_eq!(forced.pick(short), AlignStrategy::AdaptiveBand);
+    }
+
+    #[test]
+    fn cpu_backend_tallies_strategies_and_memory() {
+        let p = pairs(4, 120, 0x7A11);
+        let mut backend = CpuWfaBackend::new(Penalties::WFASIC_DEFAULT);
+        backend
+            .align_batch(&BatchJob::with_backtrace(p.clone()))
+            .unwrap();
+        let c = backend.counters();
+        assert_eq!(c.exact_pairs, 4);
+        assert_eq!((c.biwfa_pairs, c.adaptive_pairs), (0, 0));
+        assert!(c.peak_memory_bytes > 0);
+
+        backend.apply_policy(&AlignPolicy {
+            strategy: StrategySelect::BiWfa,
+            ..AlignPolicy::default()
+        });
+        backend.align_batch(&BatchJob::with_backtrace(p)).unwrap();
+        assert_eq!(backend.counters().biwfa_pairs, 4);
+    }
+
+    #[test]
+    fn hetero_auto_routes_long_reads_to_biwfa_in_bounded_memory() {
+        // A 12 kb / 5% pair: outside the device envelope, past the
+        // long-read threshold — the `Auto` route answers it with BiWFA.
+        let p = pairs(1, 12_000, 0xB1F4);
+        let mut backend = HeterogeneousBackend::new(AccelConfig::wfasic_chip(), 2);
+        let got = backend
+            .align_batch(&BatchJob::with_backtrace(p.clone()))
+            .unwrap();
+        assert!(got.results[0].success);
+        assert!(got.results[0].recovered, "long read took the CPU route");
+        got.results[0]
+            .cigar
+            .as_ref()
+            .unwrap()
+            .check(&p[0].a.bytes(), &p[0].b.bytes())
+            .unwrap();
+        let c = backend.counters();
+        assert_eq!((c.biwfa_pairs, c.exact_pairs), (1, 0));
+
+        // The exact full-history oracle on the same pair: score-identical,
+        // but with a retained-memory peak far (≥ 20×) above BiWFA's.
+        let mut exact = CpuWfaBackend::new(Penalties::WFASIC_DEFAULT);
+        exact.route = CpuRoute::exact();
+        let want = exact.align_pair(&p[0], true);
+        assert_eq!(got.results[0].score, want.score);
+        let ec = exact.counters();
+        assert!(
+            c.peak_memory_bytes * 20 <= ec.peak_memory_bytes,
+            "biwfa peak {} vs exact peak {}",
+            c.peak_memory_bytes,
+            ec.peak_memory_bytes
+        );
+    }
+
+    #[test]
     fn policy_reaches_the_device_engines() {
         let policy = AlignPolicy {
             watchdog_cycles: 123,
@@ -1029,6 +1372,9 @@ mod tests {
             retire_after: 2,
             cpu_fallback: true,
             collect_perf: true,
+            strategy: StrategySelect::Auto,
+            long_read_threshold: AlignPolicy::DEFAULT_LONG_READ_THRESHOLD,
+            adaptive: None,
         };
         let mut dev = DeviceBackend::new(AccelConfig::wfasic_chip());
         dev.apply_policy(&policy);

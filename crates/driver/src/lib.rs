@@ -32,7 +32,8 @@ pub mod riscv_backend;
 pub use api::{AlignmentResult, DriverError, JobResult, MemLayout, WaitMode, WfasicDriver};
 pub use backend::{
     AlignPolicy, AlignmentBackend, BackendBatch, BackendCounters, BackendKind, Capabilities,
-    CpuWfaBackend, DeviceBackend, HeterogeneousBackend, MultiLaneBackend, SwgBackend,
+    CpuRoute, CpuWfaBackend, DeviceBackend, HeterogeneousBackend, MultiLaneBackend, StrategySelect,
+    SwgBackend,
 };
 pub use backtrace::{backtrace_alignment, backtrace_alignment_packed, BtAlignment, BtError, Edit};
 pub use batch::{BatchJob, BatchResult, BatchScheduler, DispatchPolicy, LaneHealth, LaneState};

@@ -10,6 +10,8 @@
 //! * [`memimage`] — the exact main-memory layouts the accelerator's DMA,
 //!   Extractor and Collectors produce/consume (16-byte sections, NBT result
 //!   records, BT transactions, 5-bit origin codes);
+//! * [`technology`] — PacBio/ONT-style long-read presets (length band,
+//!   error rate, edit mix) for the long-read bench and examples;
 //! * [`fasta`] — minimal FASTA I/O for the examples.
 
 pub mod dataset;
@@ -17,8 +19,10 @@ pub mod dna;
 pub mod fasta;
 pub mod generate;
 pub mod memimage;
+pub mod technology;
 
 pub use dataset::{round_up_16, InputSet, InputSetSpec};
 pub use generate::{ErrorProfile, Pair, PairGenerator};
 pub use memimage::{BtScoreRecord, BtTxn, CellOrigin, InputImage, MOrigin, NbtRecord};
+pub use technology::Technology;
 pub use wfa_core::seq::Seq;

@@ -3,6 +3,8 @@
 //! ```text
 //! wfasic-align <a.fasta> <b.fasta> [--backend cpu|swg|riscv|device|multilane|hetero]
 //!              [--lanes N] [--aligners N] [--no-backtrace] [--cycles]
+//!              [--strategy auto|exact|biwfa|adaptive] [--adaptive MINLEN,MAXDIST]
+//!              [--long-read-threshold N]
 //! ```
 //!
 //! Records are paired by position (record `i` of `a.fasta` vs record `i` of
@@ -10,6 +12,13 @@
 //! chosen backend (`device` by default — the paper's taped-out
 //! configuration). Output is one line per pair: id, status, score, and CIGAR
 //! (when backtrace is enabled), plus an optional cycle summary.
+//!
+//! `--strategy` picks the engine for CPU-routed pairs: `auto` (default)
+//! routes reads at or past `--long-read-threshold` (10 kb) to the
+//! linear-memory BiWFA engine and everything shorter to the exact
+//! full-history engine; `exact`, `biwfa` and `adaptive` force one engine.
+//! `--adaptive MINLEN,MAXDIST` sets the adaptive band (and implies
+//! `--strategy adaptive` unless a strategy was given explicitly).
 //!
 //! Exit codes: 0 success, 1 I/O or alignment failure, 2 usage error,
 //! 3 device/driver error (watchdog, refused job, corrupt result stream),
@@ -20,10 +29,11 @@ use std::fs::File;
 use std::io::BufReader;
 use wfasic::accel::AccelConfig;
 use wfasic::driver::batch::BatchJob;
-use wfasic::driver::BackendKind;
+use wfasic::driver::{AlignPolicy, BackendKind, StrategySelect};
 use wfasic::seqio::fasta::read_fasta;
 use wfasic::seqio::Pair;
 use wfasic::service::{AlignmentService, ServiceConfig, ServiceError};
+use wfasic::wfa::AdaptiveParams;
 
 const EXIT_IO: i32 = 1;
 const EXIT_USAGE: i32 = 2;
@@ -34,7 +44,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: wfasic-align <a.fasta> <b.fasta> \
          [--backend cpu|swg|riscv|device|multilane|hetero] [--lanes N] \
-         [--aligners N] [--no-backtrace] [--cycles]"
+         [--aligners N] [--no-backtrace] [--cycles] \
+         [--strategy auto|exact|biwfa|adaptive] [--adaptive MINLEN,MAXDIST] \
+         [--long-read-threshold N]"
     );
     std::process::exit(EXIT_USAGE);
 }
@@ -47,11 +59,46 @@ fn main() {
     let mut backtrace = true;
     let mut aligners = 1usize;
     let mut show_cycles = false;
+    let mut strategy: Option<StrategySelect> = None;
+    let mut adaptive: Option<AdaptiveParams> = None;
+    let mut long_read_threshold = AlignPolicy::DEFAULT_LONG_READ_THRESHOLD;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--no-backtrace" => backtrace = false,
             "--cycles" => show_cycles = true,
+            "--strategy" => {
+                i += 1;
+                strategy = match args.get(i).map(|s| s.parse::<StrategySelect>()) {
+                    Some(Ok(s)) => Some(s),
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        std::process::exit(EXIT_USAGE);
+                    }
+                    None => usage(),
+                };
+            }
+            "--adaptive" => {
+                i += 1;
+                adaptive = args
+                    .get(i)
+                    .and_then(|spec| {
+                        let (min, max) = spec.split_once(',')?;
+                        Some(AdaptiveParams {
+                            min_wavefront_length: min.trim().parse().ok()?,
+                            max_distance_threshold: max.trim().parse().ok()?,
+                        })
+                    })
+                    .or_else(|| usage());
+            }
+            "--long-read-threshold" => {
+                i += 1;
+                long_read_threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
             "--backend" => {
                 i += 1;
                 backend = match args.get(i).map(|s| s.parse::<BackendKind>()) {
@@ -122,8 +169,25 @@ fn main() {
         .map(|(i, (ra, rb))| Pair::new(i as u32, ra.seq.clone(), rb.seq.clone()))
         .collect();
 
+    // Band parameters without an explicit strategy imply the adaptive one.
+    let strategy = strategy.unwrap_or(if adaptive.is_some() {
+        StrategySelect::Adaptive
+    } else {
+        StrategySelect::Auto
+    });
+    let policy = AlignPolicy {
+        strategy,
+        long_read_threshold,
+        adaptive,
+        ..AlignPolicy::default()
+    };
+
     let cfg = AccelConfig::wfasic_chip().with_aligners(aligners);
-    let mut svc = AlignmentService::with_backend(backend, cfg, lanes, ServiceConfig::default());
+    let svc_cfg = ServiceConfig {
+        policy,
+        ..ServiceConfig::default()
+    };
+    let mut svc = AlignmentService::with_backend(backend, cfg, lanes, svc_cfg);
     let job = BatchJob {
         pairs,
         backtrace,
